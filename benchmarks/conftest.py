@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's figures or quantitative
+claims (see DESIGN.md §3) and prints the rows/series it produces; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+Assertions in each benchmark check the *shape* the paper asserts (who
+wins, what dominates, where the knee is) — absolute numbers are
+simulator-scale, not 1967-hardware-scale.
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print an experiment's table, fenced for readability."""
+    print()
+    print(text)

@@ -1,0 +1,175 @@
+"""ABL-ACSI — ACSI-MATIC program descriptions steering allocation.
+
+"In this system programs were accompanied by 'program descriptions' ...
+which specified, for example, (i) which storage medium a particular
+segment was to be in when it was used, and (ii) permissions and
+restrictions on the overlaying of groups of segments.  Storage
+allocation strategies were then based on the analysis of these
+descriptions."
+
+Two ablations: overlay restrictions protecting a hot group from an
+indifferent replacement policy, and medium placement keeping
+soon-needed segments on the fast drum instead of the slow disk.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.addressing import SegmentTable
+from repro.advice import (
+    DescribedSegmentManager,
+    ProgramDescription,
+    medium_router,
+)
+from repro.alloc import FreeListAllocator
+from repro.clock import Clock
+from repro.memory import MultiLevelBackingStore, StorageHierarchy, StorageLevel
+from repro.metrics import format_table
+from repro.paging import FifoPolicy
+from repro.segmentation import SegmentManager
+
+CAPACITY = 2_000
+SEGMENT_WORDS = 450
+HOT = ("hot0", "hot1")
+COLD = ("cold0", "cold1", "cold2", "cold3")
+
+
+def make_hierarchy() -> StorageHierarchy:
+    return StorageHierarchy([
+        StorageLevel("core", CAPACITY, access_time=1,
+                     directly_addressable=True),
+        StorageLevel("drum", 100_000, access_time=500, transfer_rate=1.0),
+        StorageLevel("disk", 1_000_000, access_time=10_000,
+                     transfer_rate=0.2),
+    ])
+
+
+def run_workload(manager) -> None:
+    """Hot segments referenced constantly, cold ones swept repeatedly."""
+    for name in HOT + COLD:
+        manager.create(name, SEGMENT_WORDS)
+    for round_ in range(30):
+        for hot in HOT:
+            manager.access(hot, round_ % SEGMENT_WORDS)
+        manager.access(COLD[round_ % len(COLD)], 0)
+
+
+def run_overlay_ablation() -> list[tuple[str, int, int]]:
+    """(variant, hot-segment refetches, total faults) under FIFO."""
+    rows = []
+    for label, described in (("plain FIFO manager", False),
+                             ("description-guided", True)):
+        clock = Clock()
+        backing = MultiLevelBackingStore(make_hierarchy(), clock=clock)
+        description = ProgramDescription("job")
+        for name in HOT:
+            description.assign_group(name, "hot")
+        for name in COLD:
+            description.assign_group(name, "cold")
+        description.forbid_overlay("cold", "hot")
+        kwargs = dict(
+            table=SegmentTable(),
+            allocator=FreeListAllocator(CAPACITY, policy="best_fit"),
+            backing=backing,
+            policy=FifoPolicy(),
+            clock=clock,
+        )
+        if described:
+            manager = DescribedSegmentManager(description=description, **kwargs)
+        else:
+            manager = SegmentManager(**kwargs)
+        run_workload(manager)
+        hot_refetches = sum(
+            1 for _ in ()  # placeholder replaced below
+        )
+        # Count hot-segment fetches past the cold start.
+        hot_fetches = sum(
+            backing.store_for(level).fetches
+            for level in ("drum", "disk")
+        )
+        rows.append((label, hot_fetches, manager.stats.segment_faults))
+    return rows
+
+
+def test_overlay_rules_protect_hot_segments(benchmark):
+    rows = benchmark(run_overlay_ablation)
+
+    emit(format_table(
+        ["manager", "backing fetches", "segment faults"],
+        rows,
+        title="ABL-ACSI  Overlay restrictions: forbid cold sweeps from "
+              "overlaying the hot group (FIFO replacement underneath)",
+    ))
+
+    plain, described = rows
+    # The description keeps the hot group resident: fewer total faults.
+    assert described[2] < plain[2]
+
+
+def run_medium_ablation() -> list[tuple[str, int]]:
+    """(variant, cycles spent waiting on fetches).
+
+    Two archive segments are touched once and never again; four detail
+    segments rotate through a core that holds only three segments.  The
+    drum holds four displaced segments' images.  Without medium routing
+    the archives land on the drum first (nearest-with-room) and squat
+    there; half the details spill to the 20x-slower disk and every
+    refetch of those pays disk latency.  The description knows better:
+    archives to disk, details to drum.
+    """
+    archives = ("archive0", "archive1")
+    rows = []
+    for label, routed in (("nearest-level placement", False),
+                          ("described medium placement", True)):
+        clock = Clock()
+        description = ProgramDescription("job")
+        for name in archives:
+            description.set_medium(name, "disk")
+        for name in COLD:
+            description.set_medium(name, "drum")
+        hierarchy = StorageHierarchy([
+            StorageLevel("core", 1_500, access_time=1,
+                         directly_addressable=True),
+            # Room for four displaced images on the drum — exactly the
+            # detail set, if nothing squats there.
+            StorageLevel("drum", 1_900, access_time=500, transfer_rate=1.0),
+            StorageLevel("disk", 1_000_000, access_time=10_000,
+                         transfer_rate=0.2),
+        ])
+        backing = MultiLevelBackingStore(
+            hierarchy, clock=clock,
+            medium_of=medium_router(description) if routed else None,
+        )
+        manager = DescribedSegmentManager(
+            table=SegmentTable(),
+            allocator=FreeListAllocator(1_500, policy="best_fit"),
+            backing=backing,
+            policy=FifoPolicy(),
+            clock=clock,
+            description=description,
+        )
+        for name in archives + COLD:
+            manager.create(name, SEGMENT_WORDS)
+        for name in archives:       # touched once, early
+            manager.access(name, 0)
+        for round_ in range(40):    # the detail rotation
+            manager.access(COLD[round_ % len(COLD)], 0)
+        rows.append((label, manager.stats.fetch_wait_cycles))
+    return rows
+
+
+def test_medium_placement_cuts_fetch_waits(benchmark):
+    rows = benchmark(run_medium_ablation)
+
+    emit(format_table(
+        ["placement", "fetch wait cycles"],
+        rows,
+        title="ABL-ACSI  Medium prediction: segments kept on the drum "
+              "fetch 20x faster than from the disk",
+    ))
+
+    nearest, described = rows
+    # Routing by the description keeps the rotating details on the fast
+    # drum: a large multiple cheaper than letting archives squat there.
+    assert described[1] * 3 < nearest[1]

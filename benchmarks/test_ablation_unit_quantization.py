@@ -1,0 +1,129 @@
+"""ABL-UNIT — Between uniform and arbitrary units: quantized blocks.
+
+The paper's fourth characteristic is binary (uniform page frames vs
+blocks sized to the request), but the design space between the poles is
+real: the buddy system quantizes requests to powers of two, and the
+boundary-tag method serves exact sizes with two words of overhead per
+block.  This ablation runs one request stream across the whole spectrum
+and prices each point: internal waste (quantization), external
+fragmentation pressure (failures), and bookkeeping (search steps).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.alloc import (
+    BoundaryTagAllocator,
+    BuddyAllocator,
+    FreeListAllocator,
+)
+from repro.alloc.stats import paging_internal_waste
+from repro.errors import OutOfMemory
+from repro.metrics import format_table
+from repro.workload import exponential_requests, request_schedule
+
+CAPACITY = 1 << 16   # 65,536 words (power of two for the buddy system)
+
+
+def drive(allocator) -> tuple[int, int]:
+    requests = exponential_requests(
+        1_000, mean_size=300, mean_lifetime=100, max_size=4_000, seed=67
+    )
+    live = {}
+    failures = 0
+    for _, action, request in request_schedule(requests):
+        if action == "allocate":
+            try:
+                live[id(request)] = allocator.allocate(request.size)
+            except OutOfMemory:
+                failures += 1
+        elif id(request) in live:
+            allocator.free(live.pop(id(request)))
+    return failures, len(requests)
+
+
+def run_experiment() -> list[tuple[str, int, int, float]]:
+    """(scheme, failures, overhead/waste words at peak, search/request)."""
+    rows = []
+
+    exact = FreeListAllocator(CAPACITY, policy="best_fit")
+    failures, requests = drive(exact)
+    rows.append(("exact blocks (best fit)", failures, 0,
+                 exact.counters.search_steps / requests))
+
+    tagged = BoundaryTagAllocator(CAPACITY, policy="first_fit")
+    failures, requests = drive(tagged)
+    successes = requests - failures
+    rows.append(
+        ("exact + boundary tags", failures, 2 * successes,
+         tagged.counters.search_steps / requests)
+    )
+
+    buddy = BuddyAllocator(CAPACITY, min_block=16)
+    failures, requests = drive(buddy)
+    # Internal waste across the whole stream: reserved - requested.
+    reserved = buddy.counters.words_allocated
+    rows.append(
+        ("power-of-two (buddy)", failures, reserved,
+         buddy.counters.search_steps / requests)
+    )
+
+    # Fully uniform frames, as a yardstick: per-request page waste.
+    sizes = [r.size for r in exponential_requests(
+        1_000, mean_size=300, mean_lifetime=100, max_size=4_000, seed=67
+    )]
+    wasted, _ = paging_internal_waste(sizes, page_size=512)
+    rows.append(("uniform 512-word frames", 0, wasted, 0.0))
+    return rows
+
+
+def test_unit_quantization_spectrum(benchmark):
+    rows = benchmark(run_experiment)
+
+    emit(format_table(
+        ["allocation scheme", "failures", "overhead words", "search/request"],
+        rows,
+        title="ABL-UNIT  From exact blocks to uniform frames: what each "
+              "point on the spectrum pays",
+    ))
+
+    by_name = {row[0]: row for row in rows}
+    # Boundary tags trade two words per block for cheaper searches than
+    # best fit's full scan.
+    assert (by_name["exact + boundary tags"][3]
+            < by_name["exact blocks (best fit)"][3])
+    # Uniform frames waste the most words; exact blocks waste none.
+    assert by_name["uniform 512-word frames"][2] > 0
+    assert by_name["exact blocks (best fit)"][2] == 0
+    # Every scheme served the stream with bounded failures.
+    for name, failures, *_ in rows:
+        assert failures <= 100, name
+
+
+def test_buddy_quantization_waste(benchmark):
+    """The buddy system's rounding is measurable internal fragmentation."""
+
+    def run() -> float:
+        buddy = BuddyAllocator(CAPACITY, min_block=16)
+        live = []
+        requests = exponential_requests(
+            300, mean_size=300, mean_lifetime=10**9,   # never freed
+            max_size=2_000, seed=73,
+        )
+        for request in requests:
+            try:
+                live.append(buddy.allocate(request.size))
+            except OutOfMemory:
+                break
+        requested = sum(a.size for a in live)
+        reserved = sum(buddy.block_size(a) for a in live)
+        return (reserved - requested) / reserved
+
+    waste_share = benchmark(run)
+    emit(f"ABL-UNIT  buddy rounding waste: {waste_share:.1%} of reserved "
+         "words back no request")
+    # Power-of-two rounding wastes a notable share (theory: ~25% mean
+    # for uniformly placed sizes) but far less than whole 512-word
+    # frames would on the same stream.
+    assert 0.05 < waste_share < 0.45

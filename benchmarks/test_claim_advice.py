@@ -1,0 +1,132 @@
+"""CL-ADVICE — Predictive information.
+
+"The authors' opinion is that the general level of performance of the
+system should not be dependent on the extent and accuracy of predictive
+information supplied by users.  The system should in general achieve
+acceptable performance without such user-supplied information.
+Provision and debugging of predictive information should be regarded as
+an attempt to 'tune' the system for special cases."
+
+The experiment runs one phase-structured program under the M44/44X
+directive pair with: no advice, accurate advice (will-need the next
+phase, wont-need the finished one), and adversarial advice (the
+opposite).  The shape to reproduce: accurate advice helps, the
+no-advice baseline is already acceptable, and bad advice degrades
+gracefully rather than catastrophically (it is advisory).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.addressing import PageTable
+from repro.advice import AdvisedPager, will_need, wont_need
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.metrics import format_table
+from repro.paging import DemandPager, FrameTable, LruPolicy
+
+PHASES = 12
+PAGES_PER_PHASE = 4
+REFS_PER_PHASE = 150
+FRAMES = 6
+FETCH_LATENCY = 1_000
+PAGE_SIZE = 512
+
+
+def phase_pages(phase: int) -> list[int]:
+    base = phase * PAGES_PER_PHASE
+    return list(range(base, base + PAGES_PER_PHASE))
+
+
+def run_variant(mode: str) -> tuple[int, int]:
+    """Returns (faults, fetch wait cycles) for an advice mode."""
+    clock = Clock()
+    table = PageTable(page_size=PAGE_SIZE, pages=PHASES * PAGES_PER_PHASE)
+    backing = BackingStore(
+        StorageLevel("drum", 10**7, access_time=FETCH_LATENCY,
+                     transfer_rate=1.0),
+        clock=clock,
+    )
+    pager = AdvisedPager.wrap(
+        DemandPager(table, FrameTable(FRAMES), backing, LruPolicy(), clock)
+    )
+    for phase in range(PHASES):
+        if mode == "accurate":
+            # Retire the previous phase, announce this one.
+            if phase:
+                for page in phase_pages(phase - 1):
+                    pager.advise(wont_need(page))
+            for page in phase_pages(phase):
+                pager.advise(will_need(page))
+        for step in range(REFS_PER_PHASE):
+            pages = phase_pages(phase)
+            pager.access_page(pages[step % len(pages)])
+            if mode == "adversarial" and step == len(pages):
+                # Exactly wrong advice, issued once the phase's pages are
+                # resident: declare the live working set dead and ask for
+                # the finished phase back.
+                for page in pages:
+                    pager.advise(wont_need(page))
+                if phase:
+                    for page in phase_pages(phase - 1):
+                        pager.advise(will_need(page))
+    return pager.stats.faults, pager.stats.fetch_wait_cycles
+
+
+def run_experiment() -> list[tuple[str, int, int]]:
+    return [(mode,) + run_variant(mode)
+            for mode in ("none", "accurate", "adversarial")]
+
+
+def test_advice_accuracy(benchmark):
+    rows = benchmark(run_experiment)
+
+    emit(format_table(
+        ["advice", "demand faults", "fetch wait cycles"],
+        rows,
+        title="CL-ADVICE  One phase-structured program under the "
+              "M44/44X will-need / wont-need instructions",
+    ))
+
+    by_mode = {row[0]: row for row in rows}
+    none_faults, none_wait = by_mode["none"][1], by_mode["none"][2]
+    accurate_faults, accurate_wait = by_mode["accurate"][1], by_mode["accurate"][2]
+    adversarial_faults = by_mode["adversarial"][1]
+
+    # Accurate advice removes nearly all demand faults (tuning works).
+    assert accurate_faults < none_faults * 0.25
+    assert accurate_wait < none_wait * 0.25
+    # The baseline is acceptable without advice: faults are bounded by
+    # the cold-start cost of each phase (performance does not *depend*
+    # on advice).
+    assert none_faults <= PHASES * PAGES_PER_PHASE
+    # Bad advice degrades but stays the same order of magnitude — it is
+    # advisory, not catastrophic.
+    assert adversarial_faults <= none_faults * 3
+    assert adversarial_faults >= none_faults
+
+
+def test_advice_is_never_load_bearing(benchmark):
+    """Ignoring every directive must still be correct (only slower)."""
+
+    def run() -> bool:
+        clock = Clock()
+        table = PageTable(page_size=PAGE_SIZE, pages=16)
+        backing = BackingStore(
+            StorageLevel("drum", 10**6, access_time=100), clock=clock
+        )
+        pager = AdvisedPager.wrap(
+            DemandPager(table, FrameTable(2), backing, LruPolicy(), clock)
+        )
+        # Advice that cannot be honoured (frames full, nothing hinted).
+        pager.access_page(0)
+        pager.access_page(1)
+        for page in range(8):
+            pager.advise(will_need(page))
+        # Every access still resolves.
+        for page in range(8):
+            pager.access_page(page)
+        return True
+
+    assert benchmark(run)

@@ -1,0 +1,87 @@
+"""CL-NAMES — Symbolically vs linearly segmented name spaces.
+
+"Thus one does not need to search a dictionary for a group of available
+contiguous segment names, and more importantly, one does not have to
+reallocate names when the dictionary has become fragmented ...  A
+symbolically segmented name space consequently involves far less
+bookkeeping than a linearly segmented name space."
+
+Identical group-churn workloads drive both name-space kinds; the table
+counts dictionary search steps, forced reallocations, and segments
+renamed (every rename invalidates stored names elsewhere).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.metrics import format_table
+from repro.namespace import (
+    LinearlySegmentedNameSpace,
+    SymbolicallySegmentedNameSpace,
+)
+
+ROUNDS = 300
+SEGMENT_NAME_BITS = 8    # 256 segment numbers
+LIVE_GROUP_CAP = 25      # steady-state pressure without true exhaustion
+GROUP_SIZES = [1, 2, 4, 8, 16]
+
+
+def churn(space) -> None:
+    """Create/destroy groups of related segments with varying sizes."""
+    rng = random.Random(47)
+    live: list[tuple[str, int]] = []
+    for round_ in range(ROUNDS):
+        group = f"group{round_}"
+        group_size = rng.choice(GROUP_SIZES)
+        extents = [rng.randint(16, 512) for _ in range(group_size)]
+        space.create_group(group, extents)
+        live.append((group, group_size))
+        # Destroy a random older group about half the time, and always
+        # when the live population hits the cap (a steady-state mix).
+        while live and (
+            len(live) > LIVE_GROUP_CAP or rng.random() < 0.55
+        ):
+            victim, _ = live.pop(rng.randrange(len(live)))
+            space.destroy_group(victim)
+            if rng.random() < 0.8:
+                break
+
+
+def run_experiment() -> list[tuple[str, int, int, int]]:
+    symbolic = SymbolicallySegmentedNameSpace()
+    churn(symbolic)
+
+    linear = LinearlySegmentedNameSpace(
+        segment_name_bits=SEGMENT_NAME_BITS, auto_reallocate=True
+    )
+    churn(linear)
+
+    return [
+        ("symbolic (B5000)", symbolic.search_steps, symbolic.reallocations, 0),
+        ("linear (360/67)", linear.search_steps, linear.reallocations,
+         linear.segments_renamed),
+    ]
+
+
+def test_name_space_bookkeeping(benchmark):
+    rows = benchmark(run_experiment)
+
+    emit(format_table(
+        ["segment naming", "dictionary searches", "reallocations",
+         "segments renamed"],
+        rows,
+        title=f"CL-NAMES  Bookkeeping under {ROUNDS} rounds of group churn "
+              f"({1 << SEGMENT_NAME_BITS} segment numbers available)",
+    ))
+
+    symbolic, linear = rows
+    # "Far less bookkeeping": the symbolic space does none at all.
+    assert symbolic[1] == 0
+    assert symbolic[2] == 0
+    # The linear space searches constantly and is forced to renumber.
+    assert linear[1] > 500
+    assert linear[2] >= 1
+    assert linear[3] > 0

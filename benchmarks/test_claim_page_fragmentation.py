@@ -1,0 +1,104 @@
+"""CL-FRAG — "Storage fragmentation is not prevented, but just obscured,
+by paging techniques."
+
+Two prints:
+
+1. The page-size dilemma: for a fixed request population, sweep the page
+   size and report internal fragmentation (within-page waste) and table
+   overhead — "If it is too small, there will be an unacceptable amount
+   of overhead.  If it is too large, too much space will be wasted."
+2. The obscuring claim: the same request stream served by a variable-
+   unit allocator (fragmentation visible as external holes) and by whole
+   page frames (fragmentation hidden inside pages) — both waste storage.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.alloc import FreeListAllocator, fragmentation_stats
+from repro.alloc.stats import paging_internal_waste
+from repro.errors import OutOfMemory
+from repro.metrics import format_table
+from repro.workload import exponential_requests, request_schedule
+
+PAGE_SIZES = [64, 128, 256, 512, 1_024, 2_048, 4_096]
+NAME_SPACE_WORDS = 1 << 21   # table entries = name space / page size
+
+
+def run_page_size_sweep() -> list[tuple[int, float, int, float]]:
+    """(page size, internal frag share, table entries, waste+overhead words)."""
+    requests = exponential_requests(
+        400, mean_size=600, mean_lifetime=100, max_size=8_000, seed=23
+    )
+    sizes = [r.size for r in requests]
+    rows = []
+    for page_size in PAGE_SIZES:
+        wasted, reserved = paging_internal_waste(sizes, page_size)
+        table_entries = NAME_SPACE_WORDS // page_size
+        # One word per page-table entry: the overhead side of the dilemma.
+        combined = wasted + table_entries
+        rows.append((page_size, wasted / reserved, table_entries, combined))
+    return rows
+
+
+def run_obscuring_comparison() -> dict[str, float]:
+    requests = exponential_requests(
+        600, mean_size=400, mean_lifetime=60, max_size=4_000, seed=29
+    )
+    # Variable units: external fragmentation is visible as holes.
+    allocator = FreeListAllocator(1 << 20, policy="first_fit")
+    live = {}
+    for _, action, request in request_schedule(requests):
+        if action == "allocate":
+            try:
+                live[id(request)] = allocator.allocate(request.size)
+            except OutOfMemory:
+                pass
+        elif id(request) in live:
+            allocator.free(live.pop(id(request)))
+    visible = fragmentation_stats(allocator).external_fragmentation
+
+    # Uniform units: the same stream, whole frames per request.
+    live_sizes = [allocator_allocation.size for allocator_allocation in live.values()]
+    wasted, reserved = paging_internal_waste(live_sizes or [1], 512)
+    hidden = wasted / reserved
+    return {"variable_external": visible, "paged_internal": hidden}
+
+
+def test_page_size_dilemma(benchmark):
+    rows = benchmark(run_page_size_sweep)
+
+    emit(format_table(
+        ["page size", "internal frag", "table entries", "waste+table words"],
+        rows,
+        title="CL-FRAG  The unit-size dilemma: small pages cost table "
+              "overhead, large pages cost within-page waste",
+    ))
+
+    frag = [f for _, f, _, _ in rows]
+    tables = [t for _, _, t, _ in rows]
+    combined = [c for *_, c in rows]
+    # Internal fragmentation grows with page size; table overhead shrinks.
+    assert frag[-1] > frag[0]
+    assert all(a >= b for a, b in zip(tables, tables[1:]))
+    # The combined cost is non-monotonic: a knee exists strictly inside
+    # the sweep — the "choosing the size of the unit" problem.
+    best = combined.index(min(combined))
+    assert 0 < best < len(combined) - 1
+
+
+def test_paging_obscures_fragmentation(benchmark):
+    result = benchmark(run_obscuring_comparison)
+
+    emit(format_table(
+        ["where the fragmentation lives", "fraction of storage wasted"],
+        [["variable units: external holes", result["variable_external"]],
+         ["512-word frames: inside pages", result["paged_internal"]]],
+        title="CL-FRAG  Paging hides fragmentation inside pages; it does "
+              "not remove it",
+    ))
+
+    # Both systems waste a real fraction; paging's is merely invisible to
+    # a hole count.
+    assert result["paged_internal"] > 0.05

@@ -1,0 +1,123 @@
+"""CL-REPL — Replacement strategies (the Belady [1] evaluation).
+
+"The strategy should seek to avoid the overlaying of information which
+may be required again in the near future.  Program and information
+structure ... or recent history of usage of information may guide the
+allocator toward this ideal."
+
+Every implemented policy — including the appendix machines' algorithms
+(ATLAS learning, M44 class-random, B5000 cyclic) — runs the same
+locality trace at several memory sizes; Belady's OPT provides the
+unbeatable lower envelope.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.metrics import format_table
+from repro.paging import BeladyOptimalPolicy, make_policy, simulate_trace
+from repro.workload import cyclic_trace, phased_trace
+
+POLICIES = ["fifo", "lru", "clock", "random", "lfu", "atlas", "m44",
+            "working_set"]
+FRAME_SWEEP = [4, 6, 8, 12, 16]
+PAGES = 32
+LENGTH = 4_000
+
+
+def run_experiment() -> dict[str, list[float]]:
+    """policy -> fault rate per frame count (plus 'opt')."""
+    trace = phased_trace(
+        pages=PAGES, length=LENGTH, working_set=7, phase_length=350,
+        locality=0.9, seed=41,
+    )
+    results: dict[str, list[float]] = {}
+    for name in POLICIES:
+        results[name] = [
+            simulate_trace(trace, frames, make_policy(name)).fault_rate
+            for frames in FRAME_SWEEP
+        ]
+    results["opt"] = [
+        simulate_trace(trace, frames, BeladyOptimalPolicy(trace)).fault_rate
+        for frames in FRAME_SWEEP
+    ]
+    return results
+
+
+def test_replacement_policies(benchmark):
+    results = benchmark(run_experiment)
+
+    rows = [
+        [name] + rates
+        for name, rates in sorted(results.items(), key=lambda kv: kv[1][-1])
+    ]
+    emit(format_table(
+        ["policy"] + [f"{f} frames" for f in FRAME_SWEEP],
+        rows,
+        title=f"CL-REPL  Fault rate vs memory size "
+              f"(locality trace, {LENGTH} references, {PAGES} pages)",
+    ))
+
+    # OPT is the lower envelope everywhere.
+    for name in POLICIES:
+        for opt_rate, rate in zip(results["opt"], results[name]):
+            assert opt_rate <= rate + 1e-12, name
+    # Usage-history policies beat FIFO at the tightest size on a
+    # locality trace ("recent history of usage may guide the allocator").
+    assert results["lru"][0] <= results["fifo"][0] * 1.15
+    # More memory never hurts LRU (stack property).
+    lru = results["lru"]
+    assert all(a >= b for a, b in zip(lru, lru[1:]))
+
+
+def test_atlas_learning_on_loops(benchmark):
+    """The learning program's home turf: looping reference patterns.
+
+    ATLAS learns each page's re-use period, so on a program alternating
+    between a loop and one-shot data sweeps it protects the loop pages.
+    """
+
+    def run() -> dict[str, int]:
+        # Loop over pages 0-3, with a sweep of one-shot pages in between.
+        trace = []
+        sweep_page = 8
+        for round_ in range(120):
+            trace.extend([0, 1, 2, 3] * 3)
+            trace.append(sweep_page)
+            sweep_page += 1
+        faults = {}
+        for name in ("atlas", "fifo", "lru"):
+            faults[name] = simulate_trace(trace, 5, make_policy(name)).faults
+        return faults
+
+    faults = benchmark(run)
+    emit(format_table(
+        ["policy", "faults"],
+        sorted(faults.items(), key=lambda kv: kv[1]),
+        title="CL-REPL  Loop + sweep trace: the ATLAS learning program "
+              "protects looping pages",
+    ))
+    assert faults["atlas"] <= faults["fifo"]
+    assert faults["atlas"] <= faults["lru"]
+
+
+def test_cyclic_trace_pathology(benchmark):
+    """LRU's classic failure: a loop one page bigger than memory."""
+
+    def run() -> dict[str, float]:
+        trace = cyclic_trace(pages=9, length=2_000)
+        return {
+            name: simulate_trace(trace, 8, make_policy(name)).fault_rate
+            for name in ("lru", "fifo", "random")
+        }
+
+    rates = benchmark(run)
+    emit(format_table(
+        ["policy", "fault rate"],
+        sorted(rates.items(), key=lambda kv: kv[1]),
+        title="CL-REPL  Cyclic trace (loop of 9 pages, 8 frames): "
+              "LRU and FIFO thrash; random does not",
+    ))
+    assert rates["lru"] > 0.99
+    assert rates["random"] < rates["lru"]

@@ -1,0 +1,86 @@
+"""CL-LEVELS — Conclusion (ii): strategy choice depends on the devices.
+
+"The choice of a suitable storage allocation system is strongly
+dependent on the characteristics of the various storage levels, and
+their interconnections, provided by the computer system on which it is
+implemented."
+
+The experiment runs one program (same reference behaviour, same core
+size) over two backing devices — a drum (short latency) and a disk
+(long seek) — sweeping the page size.  Small pages minimize waste and
+pollution, but each fetch pays the device latency; large pages amortize
+the latency over more words.  The best page size therefore *grows with
+device latency*: the same design question has different answers on
+different hardware, which is the conclusion's point.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.metrics import format_table
+from repro.paging import LruPolicy, simulate_trace
+from repro.workload import phased_trace
+
+CORE_WORDS = 8_192
+SPACE_WORDS = 1 << 16          # the program's name space
+PAGE_SIZES = [128, 256, 512, 1_024, 2_048]
+DEVICES = {
+    "drum (latency 500)": (500, 1.0),
+    "disk (latency 20000)": (20_000, 0.25),
+}
+WORD_TRACE_LENGTH = 6_000
+
+
+def word_trace() -> list[int]:
+    """A word-granular reference trace (page number depends on page size)."""
+    coarse = phased_trace(
+        pages=SPACE_WORDS // 256, length=WORD_TRACE_LENGTH, working_set=10,
+        phase_length=600, locality=0.93, seed=83,
+    )
+    # Spread each 256-word-granule reference to a word address.
+    return [(granule * 256 + (index * 97) % 256)
+            for index, granule in enumerate(coarse)]
+
+
+def run_experiment() -> list[tuple[str, int, int, int]]:
+    """(device, page size, faults, total wait cycles)."""
+    words = word_trace()
+    rows = []
+    for device, (latency, rate) in DEVICES.items():
+        for page_size in PAGE_SIZES:
+            trace = [word // page_size for word in words]
+            frames = CORE_WORDS // page_size
+            result = simulate_trace(trace, frames, LruPolicy())
+            fetch_cycles = latency + round(page_size / rate)
+            rows.append(
+                (device, page_size, result.faults,
+                 result.faults * fetch_cycles)
+            )
+    return rows
+
+
+def test_best_page_size_depends_on_the_device(benchmark):
+    rows = benchmark(run_experiment)
+
+    emit(format_table(
+        ["backing device", "page size", "faults", "total wait cycles"],
+        rows,
+        title="CL-LEVELS  One program, one core size, two devices: "
+              "the best page size moves with the hardware",
+    ))
+
+    def best_page(device: str) -> int:
+        candidates = [(wait, page) for d, page, _, wait in rows if d == device]
+        return min(candidates)[1]
+
+    drum_best = best_page("drum (latency 500)")
+    disk_best = best_page("disk (latency 20000)")
+    emit(f"CL-LEVELS  best page size: drum={drum_best}, disk={disk_best}")
+
+    # The long-seek device wants larger transfer units than the drum —
+    # the same allocation design question, different answers per device.
+    assert disk_best > drum_best
+    # And neither extreme of the sweep is best on the drum (a real
+    # interior optimum exists there).
+    assert PAGE_SIZES[0] <= drum_best < PAGE_SIZES[-1]

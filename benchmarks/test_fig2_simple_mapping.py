@@ -1,0 +1,73 @@
+"""FIG2 — Figure 2: the simple (one-level) mapping scheme.
+
+The figure's path: the high bits of the name index a table of block
+addresses; the low bits pass through as the offset.  The experiment
+measures what the scheme costs — extra storage references per access —
+against the register-pair baseline, and shows how an associative memory
+recovers the loss (previewing FIG4).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.addressing import AssociativeMemory, PageTable, RelocationLimitRegister
+from repro.metrics import format_table
+from repro.workload import phased_trace
+
+PAGE_SIZE = 512
+PAGES = 64
+REFERENCES = 2_000
+
+
+def run_experiment() -> list[tuple[str, int, float]]:
+    """(scheme, total mapping references, per-access overhead)."""
+    trace = phased_trace(
+        pages=PAGES, length=REFERENCES, working_set=8, phase_length=400,
+        seed=11,
+    )
+    rows: list[tuple[str, int, float]] = []
+
+    # Baseline: relocation/limit registers (no storage references).
+    pair = RelocationLimitRegister(base=0, limit=PAGES * PAGE_SIZE)
+    for page in trace:
+        pair.translate(page * PAGE_SIZE)
+    rows.append(("relocation+limit registers", 0, 0.0))
+
+    # Figure 2's table mapping, with and without an associative memory.
+    for label, tlb in (
+        ("block table (Figure 2)", None),
+        ("block table + 8-entry associative memory", AssociativeMemory(8)),
+    ):
+        table = PageTable(
+            page_size=PAGE_SIZE, pages=PAGES, table_access_cycles=1,
+            associative_memory=tlb,
+        )
+        for page in range(PAGES):
+            table.map(page, (page * 7) % PAGES)
+        for page in trace:
+            table.translate(page * PAGE_SIZE)
+        rows.append(
+            (label, table.mapping_cycles_total,
+             table.mapping_cycles_total / REFERENCES)
+        )
+    return rows
+
+
+def test_fig2_simple_mapping(benchmark):
+    rows = benchmark(run_experiment)
+
+    emit(format_table(
+        ["addressing scheme", "mapping refs", "refs/access"],
+        rows,
+        title="FIG2  Cost of the simple mapping scheme "
+              f"({REFERENCES} accesses, locality trace)",
+    ))
+
+    baseline, table_only, table_tlb = rows
+    # Registers cost nothing; the table costs one reference per access.
+    assert baseline[1] == 0
+    assert table_only[2] == 1.0
+    # The associative memory removes most of the overhead on a locality
+    # trace — the paper's "reduction of addressing overhead" facility.
+    assert table_tlb[1] < table_only[1] * 0.25

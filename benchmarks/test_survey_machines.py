@@ -1,0 +1,81 @@
+"""SURVEY — Appendix A.1–A.7: the machine museum on a common workload.
+
+The appendix "is intended to illustrate the many combinations of
+functional capability, underlying strategies, and special hardware
+facilities that have been chosen by system designers."  The experiment
+prints the classification matrix (checked against the paper's own
+classifications in tests/test_machines.py) and runs every machine on an
+identical segment workload, reporting the measured consequences of each
+design.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.machines import all_machines, survey_matrix
+from repro.metrics import format_table
+from repro.workload import phased_trace
+
+SEGMENTS = 8
+SEGMENT_WORDS = 600
+REFERENCES = 800
+
+
+def run_experiment() -> list[tuple[str, int, int, int, float, float]]:
+    """(machine, faults, wait, mapping refs, TLB hit rate, waste words)."""
+    rows = []
+    trace = phased_trace(
+        pages=SEGMENTS, length=REFERENCES, working_set=3, phase_length=160,
+        seed=59,
+    )
+    for machine in all_machines():
+        system = machine.system
+        for index in range(SEGMENTS):
+            system.create(f"seg{index}", SEGMENT_WORDS)
+        for position, segment in enumerate(trace):
+            system.access(
+                f"seg{segment}", (position * 37) % SEGMENT_WORDS,
+                write=(position % 13 == 0),
+            )
+        stats = system.stats()
+        rows.append(
+            (machine.name, stats.faults, stats.fetch_wait_cycles,
+             stats.mapping_cycles, stats.associative_hit_rate,
+             stats.internal_waste_words)
+        )
+    return rows
+
+
+def test_survey_matrix_and_workload(benchmark):
+    rows = benchmark(run_experiment)
+
+    emit(survey_matrix(all_machines()))
+    emit(format_table(
+        ["machine", "faults", "wait cycles", "mapping refs", "TLB hits",
+         "internal waste"],
+        rows,
+        title=f"SURVEY  Common workload: {SEGMENTS} segments of "
+              f"{SEGMENT_WORDS} words, {REFERENCES} references",
+    ))
+
+    by_name = {row[0]: row for row in rows}
+    every = {name: by_name[name] for name in by_name}
+    assert len(every) == 7
+
+    # Machines with associative memories show hits; those without, none.
+    assert by_name["Burroughs B8500"][4] > 0.5
+    assert by_name["Burroughs B5000"][4] == 0.0
+    # The B8500's scratchpad cuts mapping references vs the B5000.
+    assert by_name["Burroughs B8500"][3] < by_name["Burroughs B5000"][3]
+    # Segment-allocated machines waste nothing inside units;
+    # paged machines show internal waste.
+    assert by_name["Burroughs B5000"][5] == 0
+    assert by_name["Ferranti ATLAS"][5] > 0
+    # MULTICS's 64-word small pages waste less per small segment than the
+    # 360/67's single 1024-word frames on the same segments.
+    assert (by_name["MULTICS (GE 645)"][5]
+            < by_name["IBM System/360 Model 67 (32-bit)"][5])
+    # Every machine actually exercised demand fetching.
+    for name, faults, *_ in rows:
+        assert faults >= 3, name

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""ACSI-MATIC program descriptions steering a storage allocator.
+
+The paper credits Project ACSI-MATIC with pioneering predictive
+information: programs travelled with dynamically revisable "program
+descriptions" naming (i) the storage medium each segment should be in
+when used and (ii) permissions and restrictions on overlaying groups of
+segments — and "storage allocation strategies were then based on the
+analysis of these descriptions."
+
+This example runs a report-generator-shaped job twice — with and without
+its description — over a core/drum/disk hierarchy and shows what the
+analysis buys.
+
+Run:  python examples/acsi_descriptions.py
+"""
+
+from repro.addressing import SegmentTable
+from repro.advice import (
+    DescribedSegmentManager,
+    ProgramDescription,
+    medium_router,
+)
+from repro.alloc import FreeListAllocator
+from repro.clock import Clock
+from repro.memory import MultiLevelBackingStore, StorageHierarchy, StorageLevel
+from repro.metrics import format_table
+from repro.paging import FifoPolicy
+from repro.segmentation import SegmentManager
+
+CORE_WORDS = 3_000
+MASTER_FILE = ("master0", "master1")            # hot reference data
+DETAIL_FILES = ("detail0", "detail1", "detail2", "detail3")  # swept once each
+SEGMENT_WORDS = 700
+
+
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy([
+        StorageLevel("core", CORE_WORDS, access_time=1,
+                     directly_addressable=True),
+        StorageLevel("drum", 4_000, access_time=500, transfer_rate=1.0),
+        StorageLevel("disk", 200_000, access_time=10_000, transfer_rate=0.2),
+    ])
+
+
+def build_description() -> ProgramDescription:
+    description = ProgramDescription("monthly-report")
+    # (ii) Overlay rules: the detail sweep may not overlay the master file.
+    for segment in MASTER_FILE:
+        description.assign_group(segment, "master")
+    for segment in DETAIL_FILES:
+        description.assign_group(segment, "details")
+    description.forbid_overlay("details", "master")
+    # (i) Medium predictions: everything this job displaces returns soon,
+    # so it belongs on the drum, not the disk.
+    for segment in MASTER_FILE + DETAIL_FILES:
+        description.set_medium(segment, "drum")
+    return description
+
+
+def run_job(described: bool):
+    clock = Clock()
+    description = build_description()
+    backing = MultiLevelBackingStore(
+        hierarchy(), clock=clock,
+        medium_of=medium_router(description) if described else None,
+    )
+    common = dict(
+        table=SegmentTable(),
+        allocator=FreeListAllocator(CORE_WORDS, policy="best_fit"),
+        backing=backing,
+        policy=FifoPolicy(),   # a deliberately indifferent base policy
+        clock=clock,
+    )
+    if described:
+        manager = DescribedSegmentManager(description=description, **common)
+    else:
+        manager = SegmentManager(**common)
+
+    for segment in MASTER_FILE + DETAIL_FILES:
+        manager.create(segment, SEGMENT_WORDS)
+    # The report loop: every record consults the master file, then one
+    # detail file in rotation.
+    for record in range(120):
+        for segment in MASTER_FILE:
+            manager.access(segment, record % SEGMENT_WORDS)
+        manager.access(DETAIL_FILES[record % len(DETAIL_FILES)],
+                       record % SEGMENT_WORDS, write=True)
+    return manager, clock
+
+
+def main() -> None:
+    print("=" * 72)
+    print("A report generator: master file + detail sweep, 3000-word core")
+    print("=" * 72)
+    rows = []
+    for described in (False, True):
+        manager, clock = run_job(described)
+        label = "with description" if described else "without description"
+        rows.append(
+            (label, manager.stats.segment_faults,
+             manager.stats.fetch_wait_cycles, clock.now)
+        )
+    print(format_table(
+        ["run", "segment faults", "fetch wait cycles", "total cycles"],
+        rows,
+    ))
+    without, with_description = rows
+    speedup = without[3] / with_description[3]
+    print()
+    print(f"  The description made the run {speedup:.1f}x faster:")
+    print("  - overlay restrictions kept the master file resident while the")
+    print("    detail sweep churned (FIFO alone would have evicted it), and")
+    print("  - medium predictions kept displaced details on the drum, not")
+    print("    the 20x-slower disk.")
+    print()
+    print("  Both gains are advisory: delete the description and the job")
+    print("  still runs — the authors' requirement that performance must")
+    print("  not *depend* on predictive information.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The machine museum: every appendix system, classified and running.
+
+Builds the seven machines of Appendix A.1–A.7 with their published
+parameters, prints the paper's four-characteristic classification matrix
+and each machine's special hardware facilities, then runs one common
+segment workload through all of them and compares the measured
+behaviour.
+
+Run:  python examples/machine_museum.py
+"""
+
+from repro.machines import all_machines, survey_matrix
+from repro.metrics import format_table
+from repro.workload import phased_trace
+
+SEGMENTS = 8
+SEGMENT_WORDS = 600
+REFERENCES = 1_000
+
+
+def show_museum() -> None:
+    machines = all_machines()
+
+    print("=" * 72)
+    print("Appendix A.1-A.7: the survey matrix")
+    print("=" * 72)
+    print(survey_matrix(machines))
+    print()
+
+    print("=" * 72)
+    print("Special hardware facilities")
+    print("=" * 72)
+    for machine in machines:
+        print(f"  {machine.appendix}  {machine.name}")
+        for facility in machine.hardware_facilities:
+            print(f"        - {facility}")
+    print()
+
+    print("=" * 72)
+    print(f"Common workload: {SEGMENTS} segments x {SEGMENT_WORDS} words, "
+          f"{REFERENCES} references with locality")
+    print("=" * 72)
+    trace = phased_trace(
+        pages=SEGMENTS, length=REFERENCES, working_set=3, phase_length=200,
+        seed=7,
+    )
+    rows = []
+    for machine in machines:
+        system = machine.system
+        for index in range(SEGMENTS):
+            system.create(f"seg{index}", SEGMENT_WORDS)
+        for position, segment in enumerate(trace):
+            system.access(
+                f"seg{segment}", (position * 41) % SEGMENT_WORDS,
+                write=(position % 17 == 0),
+            )
+        stats = system.stats()
+        rows.append(
+            (machine.name, stats.faults, stats.fetch_wait_cycles,
+             stats.mapping_cycles, f"{stats.associative_hit_rate:.2f}",
+             stats.internal_waste_words)
+        )
+    print(format_table(
+        ["machine", "faults", "wait cycles", "mapping refs",
+         "TLB hit rate", "waste words"],
+        rows,
+    ))
+    print()
+    print("Reading the table with the paper:")
+    print("  - The B8500 is the B5000 plus a PRT scratchpad: same faults,")
+    print("    a fraction of the mapping references (hardware facility vi).")
+    print("  - Paged machines (ATLAS, M44, 360/67) waste words inside page")
+    print("    frames; segment machines (B5000, Rice) fit requests exactly")
+    print("    — fragmentation obscured vs fragmentation visible.")
+    print("  - MULTICS's 64-word small pages cut that waste relative to")
+    print("    the 360/67's single 1024-word frame size.")
+
+
+if __name__ == "__main__":
+    show_museum()

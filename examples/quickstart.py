@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: compose storage allocation systems from the paper's taxonomy.
+
+Randell & Kuehner characterize every dynamic storage allocation system by
+four choices: name space, predictive information, artificial contiguity,
+and uniformity of the unit of allocation.  This script:
+
+1. builds the authors' *recommended* system and runs a small program
+   against it (segments, accesses, advice, measured stats);
+2. walks the whole characteristic space, building every valid
+   combination and showing the one invalid corner being rejected.
+
+Run:  python examples/quickstart.py
+"""
+
+from itertools import product
+
+from repro import (
+    AllocationUnit,
+    ConfigurationError,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+    SystemConfig,
+    build_system,
+    recommended_system,
+)
+from repro.advice import keep_resident, will_need, wont_need
+
+
+def demo_recommended_system() -> None:
+    print("=" * 72)
+    print("The authors' recommended system")
+    print("=" * 72)
+    system = recommended_system()
+    print(f"  {system.characteristics.describe()}")
+
+    # Dynamic segments: created, grown, destroyed by program directives.
+    system.create("symbol-table", 800)        # small: contiguous, unmapped
+    system.create("source-text", 20_000)      # large: paged
+    system.create("scratch", 300)
+
+    # Predictive information is advisory: offer it, the system may use it.
+    system.advise(will_need("symbol-table"))
+    system.advise(keep_resident("scratch"))
+
+    # A compilation-ish access pattern.
+    for position in range(0, 20_000, 257):
+        system.access("source-text", position)
+        system.access("symbol-table", position % 800, write=True)
+        system.access("scratch", position % 300, write=True)
+    system.advise(wont_need("source-text"))
+
+    stats = system.stats()
+    print(f"  accesses            : {stats.accesses}")
+    print(f"  faults              : {stats.faults}")
+    print(f"  fault rate          : {stats.fault_rate:.4f}")
+    print(f"  fetch wait (cycles) : {stats.fetch_wait_cycles}")
+    print(f"  mapping references  : {stats.mapping_cycles}")
+    print(f"  TLB hit rate        : {stats.associative_hit_rate:.3f}")
+    print(f"  internal waste      : {stats.internal_waste_words} words")
+    print()
+    print("  Small segments avoided the page map entirely; the large")
+    print("  segment was paged — the paper's point (iii): artificial")
+    print("  contiguity only where essential.")
+    print()
+
+
+def demo_characteristic_space() -> None:
+    print("=" * 72)
+    print("The design space: every combination of the four characteristics")
+    print("=" * 72)
+    config = SystemConfig(capacity_words=8_192, page_size=256)
+    built = rejected = 0
+    for name_space, advice, contiguity, unit in product(
+        NameSpaceKind, PredictiveInformation, Contiguity, AllocationUnit
+    ):
+        characteristics = SystemCharacteristics(
+            name_space, advice, contiguity, unit
+        )
+        try:
+            system = build_system(characteristics, config)
+        except ConfigurationError:
+            rejected += 1
+            print(f"  INVALID  {characteristics.describe()}")
+            continue
+        built += 1
+        # Prove the composition runs.
+        system.create("unit", 500)
+        system.access("unit", 250)
+        print(f"  {type(system).__name__:26s}  {characteristics.describe()}")
+    print()
+    print(f"  {built} valid combinations built and exercised; "
+          f"{rejected} impossible corners rejected")
+    print("  (uniform units require a mapping device — pages can occupy")
+    print("  any frame only if artificial contiguity hides where).")
+
+
+if __name__ == "__main__":
+    demo_recommended_system()
+    demo_characteristic_space()

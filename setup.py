@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools cannot build wheels.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

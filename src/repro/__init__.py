@@ -1,0 +1,91 @@
+"""repro — an executable reproduction of Randell & Kuehner,
+"Dynamic Storage Allocation Systems" (SOSP 1967 / CACM May 1968).
+
+The paper is a taxonomy: four basic characteristics (name space,
+predictive information, artificial contiguity, uniformity of the unit of
+allocation), three strategy areas (fetch, placement, replacement), six
+special hardware facilities, and a survey of seven machines.  This
+library makes all of it executable:
+
+>>> from repro import recommended_system
+>>> system = recommended_system()
+>>> system.create("matrix", 5000)
+>>> _ = system.access("matrix", 1234)
+>>> system.stats().faults
+1
+
+Package map
+-----------
+``repro.core``
+    The taxonomy: characteristics, the system facade, the builder, and
+    the authors' recommended hybrid system.
+``repro.memory`` / ``repro.addressing``
+    Physical storage (core/drum/disk timing) and the mapping hardware
+    (relocation registers, page/segment tables, two-level maps,
+    associative memories).
+``repro.alloc`` / ``repro.paging`` / ``repro.segmentation``
+    Variable-unit allocators (fits, two-ends, buddy, Rice chain,
+    compaction), demand paging with nine replacement policies, and
+    segment-level storage management.
+``repro.namespace`` / ``repro.advice``
+    Linear vs. segmented naming with bookkeeping costs; the M44/MULTICS
+    advice directives and ACSI-MATIC program descriptions.
+``repro.sim`` / ``repro.workload`` / ``repro.metrics``
+    Multiprogramming simulation with space-time accounting; trace and
+    request generators; reporting helpers.
+``repro.machines``
+    The appendix machines: ATLAS, M44/44X, B5000, Rice, B8500, MULTICS,
+    360/67.
+"""
+
+from repro.clock import Clock
+from repro.core import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    StorageAllocationSystem,
+    SystemCharacteristics,
+    SystemConfig,
+    SystemStats,
+    build_system,
+    recommended_characteristics,
+    recommended_system,
+)
+from repro.errors import (
+    AllocationError,
+    BoundViolation,
+    ConfigurationError,
+    OutOfMemory,
+    PageFault,
+    ReproError,
+    SegmentFault,
+)
+from repro.machines import all_machines, survey_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "AllocationUnit",
+    "BoundViolation",
+    "Clock",
+    "ConfigurationError",
+    "Contiguity",
+    "NameSpaceKind",
+    "OutOfMemory",
+    "PageFault",
+    "PredictiveInformation",
+    "ReproError",
+    "SegmentFault",
+    "StorageAllocationSystem",
+    "SystemCharacteristics",
+    "SystemConfig",
+    "SystemStats",
+    "all_machines",
+    "build_system",
+    "recommended_characteristics",
+    "recommended_system",
+    "survey_matrix",
+    "__version__",
+]

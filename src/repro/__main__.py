@@ -1,0 +1,89 @@
+"""Command-line entry point.
+
+``python -m repro``          prints the appendix survey matrix.
+``python -m repro survey``   the same, plus hardware facilities.
+``python -m repro space``    prints the characteristic design space.
+``python -m repro policies`` lists the strategy registries.
+"""
+
+from __future__ import annotations
+
+import sys
+from itertools import product
+
+
+def _print_survey(verbose: bool) -> None:
+    from repro.machines import all_machines, survey_matrix
+
+    machines = all_machines()
+    print(survey_matrix(machines))
+    if verbose:
+        print()
+        for machine in machines:
+            print(f"{machine.appendix}  {machine.name}")
+            for facility in machine.hardware_facilities:
+                print(f"      - {facility}")
+            print(f"      notes: {machine.notes}")
+
+
+def _print_space() -> None:
+    from repro.core import (
+        AllocationUnit,
+        Contiguity,
+        NameSpaceKind,
+        PredictiveInformation,
+        SystemCharacteristics,
+    )
+    from repro.errors import ConfigurationError
+
+    for axes in product(
+        NameSpaceKind, PredictiveInformation, Contiguity, AllocationUnit
+    ):
+        characteristics = SystemCharacteristics(*axes)
+        try:
+            characteristics.validate()
+            marker = "  "
+        except ConfigurationError:
+            marker = "x "
+        print(f"{marker}{characteristics.describe()}")
+    print()
+    print("x = invalid (uniform units require artificial contiguity)")
+
+
+def _print_policies() -> None:
+    from repro.alloc import PLACEMENT_POLICIES
+    from repro.paging import REPLACEMENT_POLICIES
+
+    print("placement policies :", ", ".join(PLACEMENT_POLICIES),
+          "+ two_ends, buddy, boundary_tags, rice")
+    print("replacement policies:", ", ".join(sorted(REPLACEMENT_POLICIES)))
+    print("fetch timings       : demand, anticipatory (prefetch/advice), "
+          "deferred write-back (cleaning)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    command = arguments[0] if arguments else "matrix"
+    if command == "matrix":
+        _print_survey(verbose=False)
+    elif command == "survey":
+        _print_survey(verbose=True)
+    elif command == "space":
+        _print_space()
+    elif command == "policies":
+        _print_policies()
+    else:
+        print(__doc__)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output truncated by a pipe (e.g. `| head`): exit quietly.
+        import os
+
+        os.close(1)
+        raise SystemExit(0)

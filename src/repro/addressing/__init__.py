@@ -1,0 +1,43 @@
+"""Address mapping hardware.
+
+The paper distinguishes the *name* a program uses from the *address* the
+machine accesses, and surveys the hardware placed between them.  Each of
+those mechanisms is modelled here, with per-translation cycle accounting
+so the cost of mapping (the paper's main reservation about segmentation
+and artificial contiguity) is measurable:
+
+- :class:`~repro.addressing.relocation.RelocationLimitRegister` — the
+  relocation/limit register pair of early systems.
+- :class:`~repro.addressing.page_table.PageTable` — the single-level
+  block mapping of Figure 2 (ATLAS-style artificial contiguity).
+- :class:`~repro.addressing.segment_table.SegmentTable` — a descriptor
+  table mapping (name of segment, name within segment) pairs, as in the
+  B5000's Program Reference Table.
+- :class:`~repro.addressing.two_level.TwoLevelMapper` — the segment table
+  → page tables scheme of Figure 4 (MULTICS, 360/67).
+- :class:`~repro.addressing.associative.AssociativeMemory` — the small
+  associative store used to keep recently used mappings and make the
+  whole enterprise affordable.
+"""
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.mapper import AddressMapper, Translation
+from repro.addressing.page_table import PageTable, PageTableEntry
+from repro.addressing.relocation import RelocationLimitRegister
+from repro.addressing.relocation_problem import RelocatableImage, RelocationUnsafe
+from repro.addressing.segment_table import SegmentDescriptor, SegmentTable
+from repro.addressing.two_level import TwoLevelMapper
+
+__all__ = [
+    "AddressMapper",
+    "AssociativeMemory",
+    "PageTable",
+    "PageTableEntry",
+    "RelocatableImage",
+    "RelocationLimitRegister",
+    "RelocationUnsafe",
+    "SegmentDescriptor",
+    "SegmentTable",
+    "Translation",
+    "TwoLevelMapper",
+]

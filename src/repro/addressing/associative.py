@@ -1,0 +1,118 @@
+"""Small associative memories (the era's TLBs).
+
+The paper, Special Hardware Facilities (vi): "Many computers have special
+hardware for ... reducing the average time taken to determine the current
+location of an item of information.  The most obvious example of such a
+device is a small associative memory in which recently-used segment
+and/or page locations are kept.  If it were not for such mechanisms, the
+cost in extra addressing time ... would often be unacceptable."
+
+Concrete sizes from the appendix: the 360/67 has an eight-entry
+associative memory (plus a ninth register for the instruction counter);
+the B8500 a 44-word thin-film associative memory; ATLAS used one page
+register per frame, performing the mapping directly.
+
+Eviction is selectable: ``lru`` (recently used entries retained — the
+behaviour the paper describes) or ``fifo``/``random`` for ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Hashable
+
+
+class AssociativeMemory:
+    """A fixed-capacity key→value store searched associatively.
+
+    A ``capacity`` of 0 models a machine with no associative memory: every
+    lookup misses.
+
+    >>> tlb = AssociativeMemory(capacity=2)
+    >>> tlb.insert("page-3", 7)
+    >>> tlb.lookup("page-3")
+    7
+    >>> tlb.lookup("page-9") is None
+    True
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if policy not in ("lru", "fifo", "random"):
+            raise ValueError(f"unknown eviction policy {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._rng = random.Random(seed)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: Hashable):
+        """Return the stored value for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency under the LRU policy, as the
+        paper's "recently used ... locations are kept" implies.
+        """
+        if key in self._entries:
+            self.hits += 1
+            if self.policy == "lru":
+                self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def insert(self, key: Hashable, value: object) -> None:
+        """Store a mapping, evicting per policy if the store is full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries[key] = value
+            if self.policy == "lru":
+                self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[key] = value
+
+    def _evict_one(self) -> None:
+        if self.policy == "random":
+            victim = self._rng.choice(list(self._entries))
+            del self._entries[victim]
+        else:
+            # Both LRU and FIFO evict the oldest entry; they differ only in
+            # whether lookups refresh recency (handled in ``lookup``).
+            self._entries.popitem(last=False)
+        self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry (used when a page or segment is replaced)."""
+        self._entries.pop(key, None)
+
+    def flush(self) -> None:
+        """Drop every entry (used on a change of address space)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"AssociativeMemory(capacity={self.capacity}, policy={self.policy!r}, "
+            f"entries={len(self._entries)}, hit_rate={self.hit_rate:.3f})"
+        )

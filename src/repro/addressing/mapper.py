@@ -1,0 +1,51 @@
+"""The mapper protocol and translation results.
+
+Every address-mapping mechanism translates a *name* into an absolute
+*address* and reports how many storage references the translation itself
+consumed (the "reduction of addressing overhead" facility exists exactly
+because this count can be unacceptable).  The :class:`Translation` result
+carries both, so experiments FIG2 and FIG4 can sum mapping overhead
+separately from useful accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class Translation:
+    """The outcome of mapping one name to an absolute address.
+
+    Attributes
+    ----------
+    address:
+        The absolute working-storage address.
+    mapping_cycles:
+        Extra storage references spent performing the mapping (table
+        lookups); zero for direct addressing, and reduced by associative
+        memory hits.
+    associative_hit:
+        True when the mapping was satisfied by an associative memory and
+        no table walk occurred.
+    """
+
+    address: int
+    mapping_cycles: int = 0
+    associative_hit: bool = False
+
+
+@runtime_checkable
+class AddressMapper(Protocol):
+    """Anything that can translate names to absolute addresses.
+
+    Implementations raise :class:`~repro.errors.BoundViolation` for names
+    outside the mapped extent and :class:`~repro.errors.PageFault` /
+    :class:`~repro.errors.SegmentFault` for information not in working
+    storage — the "trapping invalid accesses" hardware function.
+    """
+
+    def translate(self, name: int, write: bool = False) -> Translation:
+        """Map ``name`` to an absolute address."""
+        ...

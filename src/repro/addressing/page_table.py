@@ -1,0 +1,180 @@
+"""Single-level page mapping (Figure 2).
+
+"The mapping is usually based on the use of a group of the most
+significant bits of the name.  A set of separate blocks of locations,
+whose absolute addresses are contiguous, can then be made to correspond
+to a single set of contiguous names" — this module is that mechanism: the
+name's high bits index a table of block (frame) addresses; the low bits
+are the offset within the block.
+
+The entry carries the usage sensors of the "information gathering"
+hardware facility: a referenced bit and a modified bit, interrogated by
+replacement strategies (ATLAS's learning program, the M44/44X's
+modified-class policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.mapper import Translation
+from repro.errors import BoundViolation, PageFault
+
+
+@dataclass
+class PageTableEntry:
+    """One page's mapping state, including the hardware usage sensors."""
+
+    frame: int | None = None
+    present: bool = False
+    referenced: bool = False
+    modified: bool = False
+    # Timestamps maintained for replacement strategies that want history
+    # (the ATLAS learning algorithm); updated by the paging engine.
+    last_use: int = 0
+    loaded_at: int = 0
+
+    def clear_sensors(self) -> None:
+        self.referenced = False
+        self.modified = False
+
+
+class PageTable:
+    """Maps a linear name space onto page frames via the name's high bits.
+
+    Parameters
+    ----------
+    page_size:
+        Words per page; must be a power of two so the split of a name
+        into (page number, offset) is a bit-field extraction as in the
+        figure.
+    pages:
+        Number of pages in the name space (the name space extent is
+        ``pages * page_size`` — it may far exceed physical storage, which
+        is precisely the "virtual storage" use of artificial contiguity).
+    table_access_cycles:
+        Storage references consumed by one table lookup (1 for a table in
+        a dedicated mapping store, more if the table itself lives in core).
+    associative_memory:
+        Optional :class:`AssociativeMemory` short-circuiting the lookup.
+    """
+
+    def __init__(
+        self,
+        page_size: int,
+        pages: int,
+        table_access_cycles: int = 1,
+        associative_memory: AssociativeMemory | None = None,
+    ) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        if pages <= 0:
+            raise ValueError(f"pages must be positive, got {pages}")
+        if table_access_cycles < 0:
+            raise ValueError("table_access_cycles must be non-negative")
+        self.page_size = page_size
+        self.pages = pages
+        self.table_access_cycles = table_access_cycles
+        self.tlb = associative_memory
+        self._entries = [PageTableEntry() for _ in range(pages)]
+        self._offset_bits = page_size.bit_length() - 1
+        self.translations = 0
+        self.faults = 0
+        self.mapping_cycles_total = 0
+
+    @property
+    def extent(self) -> int:
+        """Size of the name space in words."""
+        return self.pages * self.page_size
+
+    def split(self, name: int) -> tuple[int, int]:
+        """Split a name into (page number, offset) by bit fields."""
+        return name >> self._offset_bits, name & (self.page_size - 1)
+
+    def entry(self, page: int) -> PageTableEntry:
+        if not 0 <= page < self.pages:
+            raise BoundViolation(page, self.pages - 1, "page table")
+        return self._entries[page]
+
+    def translate(self, name: int, write: bool = False) -> Translation:
+        """Figure 2's path: high bits index the table of block addresses.
+
+        Raises :class:`PageFault` when the page is not present — the trap
+        demand paging is built on.  On a fault no mapping cycles are
+        charged here; the fault handler pays for the fetch.
+        """
+        if not 0 <= name < self.extent:
+            raise BoundViolation(name, self.extent - 1, "linear name space")
+        page, offset = self.split(name)
+        self.translations += 1
+
+        if self.tlb is not None:
+            frame = self.tlb.lookup(page)
+            if frame is not None:
+                self._touch(page, write)
+                return Translation(
+                    address=frame * self.page_size + offset,
+                    mapping_cycles=0,
+                    associative_hit=True,
+                )
+
+        entry = self._entries[page]
+        if not entry.present:
+            self.faults += 1
+            raise PageFault(page)
+        self.mapping_cycles_total += self.table_access_cycles
+        self._touch(page, write)
+        if self.tlb is not None:
+            self.tlb.insert(page, entry.frame)
+        return Translation(
+            address=entry.frame * self.page_size + offset,
+            mapping_cycles=self.table_access_cycles,
+        )
+
+    def _touch(self, page: int, write: bool) -> None:
+        entry = self._entries[page]
+        entry.referenced = True
+        if write:
+            entry.modified = True
+
+    def map(self, page: int, frame: int, now: int = 0) -> None:
+        """Install a page→frame mapping (done by the fetch strategy)."""
+        entry = self.entry(page)
+        entry.frame = frame
+        entry.present = True
+        entry.referenced = False
+        entry.modified = False
+        entry.loaded_at = now
+        entry.last_use = now
+
+    def unmap(self, page: int) -> PageTableEntry:
+        """Remove a mapping (done by the replacement strategy).
+
+        Returns the entry as it stood, so the caller can inspect the
+        modified bit to decide whether a write-back is needed.
+        """
+        entry = self.entry(page)
+        snapshot = PageTableEntry(
+            frame=entry.frame,
+            present=entry.present,
+            referenced=entry.referenced,
+            modified=entry.modified,
+            last_use=entry.last_use,
+            loaded_at=entry.loaded_at,
+        )
+        entry.frame = None
+        entry.present = False
+        entry.clear_sensors()
+        if self.tlb is not None:
+            self.tlb.invalidate(page)
+        return snapshot
+
+    def resident_pages(self) -> list[int]:
+        return [i for i, entry in enumerate(self._entries) if entry.present]
+
+    def __repr__(self) -> str:
+        return (
+            f"PageTable(pages={self.pages}, page_size={self.page_size}, "
+            f"resident={len(self.resident_pages())})"
+        )

@@ -1,0 +1,148 @@
+"""The stored-absolute-address problem (the Storage Addressing section).
+
+"The ability to relocate (i.e. move) information requires knowledge of
+the whereabouts of any actual physical storage addresses (i.e. absolute
+addresses) included in the body of a program, or stored in registers or
+working storage, since these will have to be updated.  The most
+convenient solution is to insure that there are no such stored absolute
+addresses, because all access to information is via, for example, base
+registers or an address mapping device.  Techniques for dealing with the
+problem when stored absolute addresses are permitted are often very
+complex" (citing Corbató and McGee).
+
+This module makes the problem concrete.  A :class:`RelocatableImage` is
+a block of words, some of which are *address words* pointing (in
+absolute terms) at other words of the image.  Two disciplines:
+
+- ``absolute``: address words hold absolute addresses.  Moving the image
+  requires finding and patching every one — possible only if they are
+  identified (the image keeps a McGee-style address map; without one,
+  relocation is unsafe and :meth:`RelocatableImage.move` refuses).
+- ``based``: address words hold base-relative offsets; a single base
+  register is updated on a move and nothing stored changes.
+
+The per-move patch count is the cost the paper's "most convenient
+solution" eliminates, and why compaction was paired with descriptors,
+codewords and mapping devices rather than raw addresses.
+"""
+
+from __future__ import annotations
+
+from repro.memory.physical import PhysicalMemory
+
+
+class RelocationUnsafe(RuntimeError):
+    """Moving an image with unidentified stored absolute addresses."""
+
+
+class RelocatableImage:
+    """A program/data image containing stored address words.
+
+    Parameters
+    ----------
+    memory:
+        The physical store the image lives in.
+    base:
+        Current absolute starting address.
+    size:
+        Image extent in words.
+    discipline:
+        ``"absolute"`` or ``"based"``.
+    track_address_words:
+        For the absolute discipline: whether the loader kept a map of
+        which words hold addresses (McGee's technique).  Without it the
+        image cannot be moved safely.
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        base: int,
+        size: int,
+        discipline: str = "based",
+        track_address_words: bool = True,
+    ) -> None:
+        if discipline not in ("absolute", "based"):
+            raise ValueError(f"unknown discipline {discipline!r}")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.memory = memory
+        self.base = base
+        self.size = size
+        self.discipline = discipline
+        self.track_address_words = track_address_words
+        self._address_words: set[int] = set()   # offsets holding addresses
+        self.patches_applied = 0
+        self.moves = 0
+
+    # -- building the image ---------------------------------------------------
+
+    def store_value(self, offset: int, value: object) -> None:
+        """Store a plain (non-address) word."""
+        self._check(offset)
+        self.memory.write(self.base + offset, value)
+        self._address_words.discard(offset)
+
+    def store_pointer(self, offset: int, target_offset: int) -> None:
+        """Store a word that *refers to* another word of this image."""
+        self._check(offset)
+        self._check(target_offset)
+        if self.discipline == "absolute":
+            self.memory.write(self.base + offset, self.base + target_offset)
+            if self.track_address_words:
+                self._address_words.add(offset)
+        else:
+            self.memory.write(self.base + offset, target_offset)
+
+    def _check(self, offset: int) -> None:
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} outside image of {self.size}")
+
+    # -- using the image -------------------------------------------------------
+
+    def load_value(self, offset: int) -> object:
+        self._check(offset)
+        return self.memory.read(self.base + offset)
+
+    def follow_pointer(self, offset: int) -> object:
+        """Dereference a stored pointer word, per the discipline."""
+        self._check(offset)
+        word = self.memory.read(self.base + offset)
+        if self.discipline == "absolute":
+            return self.memory.read(word)
+        return self.memory.read(self.base + word)
+
+    # -- relocating the image ----------------------------------------------------
+
+    def move(self, new_base: int) -> int:
+        """Relocate the image; returns the number of words patched.
+
+        Based images: the block is copied and the base register updated —
+        zero stored words change.  Absolute images: every identified
+        address word must also be patched; if address words were not
+        tracked, the move is refused as unsafe.
+        """
+        if self.discipline == "absolute" and not self.track_address_words:
+            raise RelocationUnsafe(
+                "image holds absolute addresses at unknown positions; "
+                "moving it would leave dangling pointers"
+            )
+        self.memory.move(self.base, new_base, self.size)
+        delta = new_base - self.base
+        patched = 0
+        if self.discipline == "absolute":
+            for offset in self._address_words:
+                old = self.memory.read(new_base + offset)
+                self.memory.write(new_base + offset, old + delta)
+                patched += 1
+        self.base = new_base
+        self.moves += 1
+        self.patches_applied += patched
+        return patched
+
+    def __repr__(self) -> str:
+        return (
+            f"RelocatableImage(base={self.base}, size={self.size}, "
+            f"discipline={self.discipline!r}, "
+            f"address_words={len(self._address_words)})"
+        )

@@ -1,0 +1,218 @@
+"""Segment descriptor tables.
+
+A segmented name space addresses items by the pair (name of segment,
+name of item within segment).  Each segment is described by a descriptor
+giving "the base address and extent of the segment, and an indication of
+whether the segment is currently in working storage" — the B5000's
+Program Reference Table entry, which this module models directly.
+
+Unlike the paged mapping of Figure 2, a plain segment table requires the
+whole segment to occupy *contiguous* absolute addresses; the fragmentation
+consequences of that are what the variable-unit allocators in
+:mod:`repro.alloc` deal with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.mapper import Translation
+from repro.errors import BoundViolation, MissingSegment, SegmentFault
+
+
+@dataclass
+class SegmentDescriptor:
+    """A PRT-style descriptor: base, extent, presence, usage sensors."""
+
+    base: int | None = None
+    extent: int = 0
+    present: bool = False
+    referenced: bool = False
+    modified: bool = False
+    last_use: int = 0
+    loaded_at: int = 0
+
+    def clear_sensors(self) -> None:
+        self.referenced = False
+        self.modified = False
+
+
+class SegmentTable:
+    """Maps (segment name, item name) pairs through descriptors.
+
+    Segment names are opaque hashables: integers model a *linearly*
+    segmented name space (360/67, MULTICS), strings a *symbolically*
+    segmented one (B5000).  The table itself is indifferent — exactly the
+    paper's observation that the name-space distinction "is independent of
+    any underlying storage allocation mechanism".
+
+    Parameters
+    ----------
+    max_segment_extent:
+        Upper bound a descriptor's extent may take (1024 words on the
+        B5000, 256K on MULTICS, 1M bytes on the 360/67); ``None`` for
+        unbounded.
+    table_access_cycles:
+        Storage references per descriptor lookup.
+    associative_memory:
+        Optional store of recently used descriptors (B8500-style
+        scratchpad retention of PRT elements).
+    """
+
+    def __init__(
+        self,
+        max_segment_extent: int | None = None,
+        table_access_cycles: int = 1,
+        associative_memory: AssociativeMemory | None = None,
+    ) -> None:
+        if max_segment_extent is not None and max_segment_extent <= 0:
+            raise ValueError("max_segment_extent must be positive or None")
+        if table_access_cycles < 0:
+            raise ValueError("table_access_cycles must be non-negative")
+        self.max_segment_extent = max_segment_extent
+        self.table_access_cycles = table_access_cycles
+        self.tlb = associative_memory
+        self._descriptors: dict[Hashable, SegmentDescriptor] = {}
+        self.translations = 0
+        self.faults = 0
+        self.mapping_cycles_total = 0
+
+    def declare(self, segment: Hashable, extent: int) -> SegmentDescriptor:
+        """Bring a segment into existence (a program directive).
+
+        The segment starts non-present; a fetch strategy must place it.
+        """
+        if extent <= 0:
+            raise ValueError(f"segment extent must be positive, got {extent}")
+        if self.max_segment_extent is not None and extent > self.max_segment_extent:
+            raise ValueError(
+                f"segment extent {extent} exceeds the machine maximum "
+                f"{self.max_segment_extent}"
+            )
+        if segment in self._descriptors:
+            raise ValueError(f"segment {segment!r} already declared")
+        descriptor = SegmentDescriptor(extent=extent)
+        self._descriptors[segment] = descriptor
+        return descriptor
+
+    def destroy(self, segment: Hashable) -> SegmentDescriptor:
+        """Remove a segment from existence (dynamic segments may die)."""
+        try:
+            descriptor = self._descriptors.pop(segment)
+        except KeyError:
+            raise MissingSegment(segment) from None
+        if self.tlb is not None:
+            self.tlb.invalidate(segment)
+        return descriptor
+
+    def resize(self, segment: Hashable, new_extent: int) -> None:
+        """Change a segment's extent (dynamic segments may grow/shrink).
+
+        Resizing a *present* segment is the storage manager's job (it may
+        need to move the segment); the table only records the new extent,
+        so callers must have arranged storage first.
+        """
+        if new_extent <= 0:
+            raise ValueError(f"segment extent must be positive, got {new_extent}")
+        if self.max_segment_extent is not None and new_extent > self.max_segment_extent:
+            raise ValueError(
+                f"segment extent {new_extent} exceeds the machine maximum "
+                f"{self.max_segment_extent}"
+            )
+        self.descriptor(segment).extent = new_extent
+
+    def descriptor(self, segment: Hashable) -> SegmentDescriptor:
+        try:
+            return self._descriptors[segment]
+        except KeyError:
+            raise MissingSegment(segment) from None
+
+    def translate_pair(
+        self, segment: Hashable, item: int, write: bool = False
+    ) -> Translation:
+        """Map a (segment, item) pair to an absolute address.
+
+        Enforces the bound check the paper highlights: "the checking of
+        illegal subscripting can be performed automatically".
+        """
+        self.translations += 1
+
+        if self.tlb is not None:
+            cached = self.tlb.lookup(segment)
+            if cached is not None:
+                base, extent = cached
+                if not 0 <= item < extent:
+                    raise BoundViolation(item, extent - 1, f"segment {segment!r}")
+                self._touch(segment, write)
+                return Translation(
+                    address=base + item, mapping_cycles=0, associative_hit=True
+                )
+
+        descriptor = self.descriptor(segment)
+        if not 0 <= item < descriptor.extent:
+            raise BoundViolation(item, descriptor.extent - 1, f"segment {segment!r}")
+        if not descriptor.present:
+            self.faults += 1
+            raise SegmentFault(segment)
+        self.mapping_cycles_total += self.table_access_cycles
+        self._touch(segment, write)
+        if self.tlb is not None:
+            self.tlb.insert(segment, (descriptor.base, descriptor.extent))
+        return Translation(
+            address=descriptor.base + item,
+            mapping_cycles=self.table_access_cycles,
+        )
+
+    def _touch(self, segment: Hashable, write: bool) -> None:
+        descriptor = self._descriptors[segment]
+        descriptor.referenced = True
+        if write:
+            descriptor.modified = True
+
+    def place(self, segment: Hashable, base: int, now: int = 0) -> None:
+        """Record that a segment now occupies storage starting at ``base``."""
+        descriptor = self.descriptor(segment)
+        descriptor.base = base
+        descriptor.present = True
+        descriptor.clear_sensors()
+        descriptor.loaded_at = now
+        descriptor.last_use = now
+
+    def displace(self, segment: Hashable) -> SegmentDescriptor:
+        """Mark a segment as no longer in working storage; returns its state."""
+        descriptor = self.descriptor(segment)
+        snapshot = SegmentDescriptor(
+            base=descriptor.base,
+            extent=descriptor.extent,
+            present=descriptor.present,
+            referenced=descriptor.referenced,
+            modified=descriptor.modified,
+            last_use=descriptor.last_use,
+            loaded_at=descriptor.loaded_at,
+        )
+        descriptor.base = None
+        descriptor.present = False
+        descriptor.clear_sensors()
+        if self.tlb is not None:
+            self.tlb.invalidate(segment)
+        return snapshot
+
+    def segments(self) -> list[Hashable]:
+        return list(self._descriptors)
+
+    def resident_segments(self) -> list[Hashable]:
+        return [s for s, d in self._descriptors.items() if d.present]
+
+    def __contains__(self, segment: Hashable) -> bool:
+        return segment in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentTable(segments={len(self._descriptors)}, "
+            f"resident={len(self.resident_segments())})"
+        )

@@ -1,0 +1,180 @@
+"""The two-level mapping scheme of Figure 4 (MULTICS / 360-67).
+
+"Name contiguity within segments is provided by a mapping mechanism using
+two levels of indirect addressing, through a segment table and a set of
+page tables.  Each entry in the segment table indicates the location of
+the page table corresponding to that segment.  A small associative memory
+is used to contain the locations of recently accessed pages in order to
+reduce the overhead caused by the mapping process."
+
+A full table walk therefore costs *two* storage references (segment table
+entry, then page table entry); an associative hit on (segment, page)
+costs none.  Experiment FIG4 sweeps the associative memory size to show
+the overhead collapse the paper attributes to it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.mapper import Translation
+from repro.addressing.page_table import PageTable
+from repro.errors import BoundViolation, MissingSegment, PageFault
+
+
+class TwoLevelMapper:
+    """Segment table of per-segment page tables, with a shared TLB.
+
+    Parameters
+    ----------
+    page_size:
+        Words per page frame (power of two).  MULTICS used two sizes; a
+        separate mapper per size models that (see the MULTICS machine).
+    max_segment_extent:
+        Largest extent a segment may declare (256K words on MULTICS).
+    table_access_cycles:
+        Storage references per table level per walk.
+    associative_memory:
+        Optional TLB keyed by ``(segment, page)`` holding frame numbers.
+    """
+
+    def __init__(
+        self,
+        page_size: int,
+        max_segment_extent: int | None = None,
+        table_access_cycles: int = 1,
+        associative_memory: AssociativeMemory | None = None,
+    ) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        self.page_size = page_size
+        self.max_segment_extent = max_segment_extent
+        self.table_access_cycles = table_access_cycles
+        self.tlb = associative_memory
+        self._page_tables: dict[Hashable, PageTable] = {}
+        self._extents: dict[Hashable, int] = {}
+        self.translations = 0
+        self.segment_faults = 0
+        self.page_faults = 0
+        self.mapping_cycles_total = 0
+
+    def declare(self, segment: Hashable, extent: int) -> None:
+        """Create a segment: allocate its (initially empty) page table."""
+        if extent <= 0:
+            raise ValueError(f"segment extent must be positive, got {extent}")
+        if self.max_segment_extent is not None and extent > self.max_segment_extent:
+            raise ValueError(
+                f"segment extent {extent} exceeds the machine maximum "
+                f"{self.max_segment_extent}"
+            )
+        if segment in self._page_tables:
+            raise ValueError(f"segment {segment!r} already declared")
+        pages = -(-extent // self.page_size)  # ceiling division
+        self._page_tables[segment] = PageTable(
+            page_size=self.page_size,
+            pages=pages,
+            table_access_cycles=self.table_access_cycles,
+        )
+        self._extents[segment] = extent
+
+    def destroy(self, segment: Hashable) -> None:
+        if segment not in self._page_tables:
+            raise MissingSegment(segment)
+        table = self._page_tables.pop(segment)
+        del self._extents[segment]
+        if self.tlb is not None:
+            for page in range(table.pages):
+                self.tlb.invalidate((segment, page))
+
+    def page_table(self, segment: Hashable) -> PageTable:
+        try:
+            return self._page_tables[segment]
+        except KeyError:
+            raise MissingSegment(segment) from None
+
+    def extent(self, segment: Hashable) -> int:
+        try:
+            return self._extents[segment]
+        except KeyError:
+            raise MissingSegment(segment) from None
+
+    def translate_pair(
+        self, segment: Hashable, item: int, write: bool = False
+    ) -> Translation:
+        """Figure 4's path: segment table, then that segment's page table.
+
+        Raises :class:`SegmentFault` for undeclared-but-named segments
+        handled at a higher level, :class:`PageFault` (with the page table
+        attached via ``fault.process``) for non-resident pages, and
+        :class:`BoundViolation` past the declared extent.
+        """
+        self.translations += 1
+        table = self.page_table(segment)
+        declared_extent = self._extents[segment]
+        if not 0 <= item < declared_extent:
+            raise BoundViolation(item, declared_extent - 1, f"segment {segment!r}")
+        page, offset = table.split(item)
+
+        if self.tlb is not None:
+            frame = self.tlb.lookup((segment, page))
+            if frame is not None:
+                entry = table.entry(page)
+                entry.referenced = True
+                if write:
+                    entry.modified = True
+                return Translation(
+                    address=frame * self.page_size + offset,
+                    mapping_cycles=0,
+                    associative_hit=True,
+                )
+
+        # Walk: one reference for the segment-table entry...
+        walk_cycles = self.table_access_cycles
+        entry = table.entry(page)
+        if not entry.present:
+            self.page_faults += 1
+            self.mapping_cycles_total += walk_cycles
+            raise PageFault(page, process=segment)
+        # ...and one for the page-table entry.
+        walk_cycles += self.table_access_cycles
+        self.mapping_cycles_total += walk_cycles
+        entry.referenced = True
+        if write:
+            entry.modified = True
+        if self.tlb is not None:
+            self.tlb.insert((segment, page), entry.frame)
+        return Translation(
+            address=entry.frame * self.page_size + offset,
+            mapping_cycles=walk_cycles,
+        )
+
+    def map(self, segment: Hashable, page: int, frame: int, now: int = 0) -> None:
+        """Install a page of a segment into a frame."""
+        self.page_table(segment).map(page, frame, now=now)
+
+    def unmap(self, segment: Hashable, page: int):
+        """Evict a page of a segment; returns its final entry state."""
+        snapshot = self.page_table(segment).unmap(page)
+        if self.tlb is not None:
+            self.tlb.invalidate((segment, page))
+        return snapshot
+
+    def resident(self) -> list[tuple[Hashable, int]]:
+        """All (segment, page) pairs currently mapped to frames."""
+        pairs = []
+        for segment, table in self._page_tables.items():
+            pairs.extend((segment, page) for page in table.resident_pages())
+        return pairs
+
+    def segments(self) -> list[Hashable]:
+        return list(self._page_tables)
+
+    def __contains__(self, segment: Hashable) -> bool:
+        return segment in self._page_tables
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoLevelMapper(page_size={self.page_size}, "
+            f"segments={len(self._page_tables)}, resident={len(self.resident())})"
+        )

@@ -1,0 +1,49 @@
+"""Predictive information.
+
+The paper's second basic characteristic: "the inclusion in programs of
+directives predicting the probable uses of storage over the next short
+time interval ... the directives are essentially advisory."
+
+Concrete forms modelled:
+
+- The M44/44X's two special instructions — "one indicates that a page
+  will shortly be needed; the other indicates that it will not be needed
+  for some time" — and MULTICS's three directives (keep permanently in
+  working storage; will be accessed shortly; will not be accessed again):
+  :class:`~repro.advice.directives.Advice` and the advice-aware
+  :class:`~repro.advice.pager.AdvisedPager`.
+- ACSI-MATIC "program descriptions", which "specified, for example,
+  (i) which storage medium a particular segment was to be in when it was
+  used, and (ii) permissions and restrictions on the overlaying of groups
+  of segments": :class:`~repro.advice.descriptions.ProgramDescription`.
+
+Because advice is advisory, every directive here may be ignored without
+affecting correctness — only the measured performance changes, which is
+what CL-ADVICE quantifies (including the authors' warning that system
+performance should not *depend* on user advice).
+"""
+
+from repro.advice.acsi import DescribedSegmentManager, medium_router
+from repro.advice.descriptions import OverlayRule, ProgramDescription
+from repro.advice.directives import (
+    Advice,
+    AdviceKind,
+    keep_resident,
+    will_need,
+    wont_need,
+)
+from repro.advice.pager import AdvisedPager, AdvisedReplacementPolicy
+
+__all__ = [
+    "Advice",
+    "AdviceKind",
+    "AdvisedPager",
+    "AdvisedReplacementPolicy",
+    "DescribedSegmentManager",
+    "medium_router",
+    "OverlayRule",
+    "ProgramDescription",
+    "keep_resident",
+    "will_need",
+    "wont_need",
+]

@@ -1,0 +1,65 @@
+"""ACSI-MATIC-style description-driven storage allocation.
+
+"Storage allocation strategies were then based on the analysis of these
+descriptions."  :class:`DescribedSegmentManager` is a segment manager
+whose strategies consult a :class:`~repro.advice.descriptions.ProgramDescription`:
+
+- **Replacement** honours the description's overlay permissions and
+  restrictions: an incoming segment may only displace segments its group
+  is allowed to overlay.  If the rules leave no candidate, they are
+  waived rather than wedging the system (descriptions are predictive
+  information, and predictive information is advisory).
+- **Medium placement** routes each displaced segment's image to the
+  backing medium the description names for it, via a
+  :class:`~repro.memory.multilevel.MultiLevelBackingStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.advice.descriptions import ProgramDescription
+from repro.segmentation.manager import SegmentManager
+
+
+def medium_router(description: ProgramDescription, default: str | None = None):
+    """A ``medium_of`` function for a multi-level backing store.
+
+    Unit keys arriving from the segment manager look like
+    ``("segment", name)``; the description is keyed by ``name``.
+    """
+
+    def medium_of(key: Hashable) -> str | None:
+        name = key[1] if isinstance(key, tuple) and len(key) == 2 else key
+        medium = description.preferred_medium(name, default="")
+        return medium or default
+
+    return medium_of
+
+
+class DescribedSegmentManager(SegmentManager):
+    """A segment manager steered by an ACSI-MATIC program description.
+
+    Construct it exactly like :class:`SegmentManager`, plus the
+    ``description``.  Pair it with a
+    :class:`~repro.memory.multilevel.MultiLevelBackingStore` built with
+    :func:`medium_router` to get medium placement as well.
+    """
+
+    def __init__(self, *args, description: ProgramDescription, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.description = description
+        self.overlay_rule_filtered = 0
+        self.overlay_rule_waived = 0
+
+    def _replacement_candidates(self, incoming: Hashable) -> list[Hashable]:
+        resident = super()._replacement_candidates(incoming)
+        allowed = self.description.replacement_candidates(incoming, resident)
+        if len(allowed) < len(resident):
+            self.overlay_rule_filtered += 1
+        if not allowed and resident:
+            # The description forbade every candidate: advisory rules
+            # must never make allocation impossible.
+            self.overlay_rule_waived += 1
+            return resident
+        return allowed

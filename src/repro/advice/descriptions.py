@@ -1,0 +1,115 @@
+"""ACSI-MATIC program descriptions.
+
+"Pioneering work on the concepts of segmentation and the use of
+predictive information to control storage allocation was done in
+connection with Project ACSI-MATIC.  In this system programs were
+accompanied by 'program descriptions,' which could be varied
+dynamically, and which specified, for example, (i) which storage medium
+a particular segment was to be in when it was used, and (ii) permissions
+and restrictions on the overlaying of groups of segments.  Storage
+allocation strategies were then based on the analysis of these
+descriptions."
+
+A :class:`ProgramDescription` is that artifact: per-segment preferred
+media and overlay rules between segment groups, mutable at run time, and
+analyzable by an allocator (``may_overlay``, ``preferred_medium``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class OverlayRule:
+    """Permission or restriction on one group overlaying another."""
+
+    overlayer: str
+    overlayed: str
+    allowed: bool
+
+
+class ProgramDescription:
+    """Dynamically variable predictive description of a program.
+
+    >>> description = ProgramDescription("payroll")
+    >>> description.set_medium("master-file", "drum")
+    >>> description.forbid_overlay("tax-tables", "master-file")
+    >>> description.may_overlay("tax-tables", "master-file")
+    False
+    """
+
+    def __init__(self, program: str) -> None:
+        self.program = program
+        self._media: dict[Hashable, str] = {}
+        self._groups: dict[Hashable, str] = {}
+        self._rules: dict[tuple[str, str], bool] = {}
+        self.revisions = 0
+
+    # -- (i) storage medium predictions --------------------------------------
+
+    def set_medium(self, segment: Hashable, medium: str) -> None:
+        """Declare which storage medium ``segment`` should be in when used."""
+        self._media[segment] = medium
+        self.revisions += 1
+
+    def preferred_medium(self, segment: Hashable, default: str = "core") -> str:
+        return self._media.get(segment, default)
+
+    # -- (ii) overlay permissions/restrictions --------------------------------
+
+    def assign_group(self, segment: Hashable, group: str) -> None:
+        """Place a segment in a named overlay group."""
+        self._groups[segment] = group
+        self.revisions += 1
+
+    def group_of(self, segment: Hashable) -> str | None:
+        return self._groups.get(segment)
+
+    def permit_overlay(self, overlayer: str, overlayed: str) -> None:
+        self._rules[(overlayer, overlayed)] = True
+        self.revisions += 1
+
+    def forbid_overlay(self, overlayer: str, overlayed: str) -> None:
+        self._rules[(overlayer, overlayed)] = False
+        self.revisions += 1
+
+    def may_overlay(self, overlayer: str, overlayed: str) -> bool:
+        """Whether group ``overlayer`` may displace group ``overlayed``.
+
+        Unstated pairs default to permitted — descriptions are advisory
+        refinements, not a protection mechanism.
+        """
+        return self._rules.get((overlayer, overlayed), True)
+
+    def replacement_candidates(
+        self, incoming: Hashable, resident: list[Hashable]
+    ) -> list[Hashable]:
+        """Resident segments the incoming segment is allowed to overlay.
+
+        The "analysis of these descriptions" an allocation strategy
+        performs before consulting its replacement policy.  Segments in
+        no group are always candidates.
+        """
+        incoming_group = self._groups.get(incoming)
+        candidates = []
+        for segment in resident:
+            group = self._groups.get(segment)
+            if incoming_group is None or group is None:
+                candidates.append(segment)
+            elif self.may_overlay(incoming_group, group):
+                candidates.append(segment)
+        return candidates
+
+    def rules(self) -> list[OverlayRule]:
+        return [
+            OverlayRule(overlayer, overlayed, allowed)
+            for (overlayer, overlayed), allowed in sorted(self._rules.items())
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgramDescription({self.program!r}, media={len(self._media)}, "
+            f"rules={len(self._rules)})"
+        )

@@ -1,0 +1,55 @@
+"""Advice directives.
+
+The vocabulary shared by the M44/44X special instructions and the
+MULTICS programmer provisions.  A directive names a unit (page or
+segment) and a prediction about it; the storage allocator is free to
+exploit or ignore it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable
+
+
+class AdviceKind(enum.Enum):
+    """The three predictions the surveyed systems accept."""
+
+    WILL_NEED = "will_need"
+    """The unit "will shortly be needed" (M44/44X; MULTICS (ii)) —
+    worth fetching ahead of the demand."""
+
+    WONT_NEED = "wont_need"
+    """The unit "will not be needed for some time" (M44/44X; MULTICS
+    (iii)) — a preferred replacement victim."""
+
+    KEEP_RESIDENT = "keep_resident"
+    """The unit should be "kept permanently in working storage"
+    (MULTICS (i)) — exempt from replacement while the advice stands."""
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One advisory directive about one unit."""
+
+    kind: AdviceKind
+    unit: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.unit!r})"
+
+
+def will_need(unit: Hashable) -> Advice:
+    """Shorthand constructor: the unit will shortly be needed."""
+    return Advice(AdviceKind.WILL_NEED, unit)
+
+
+def wont_need(unit: Hashable) -> Advice:
+    """Shorthand constructor: the unit will not be needed for some time."""
+    return Advice(AdviceKind.WONT_NEED, unit)
+
+
+def keep_resident(unit: Hashable) -> Advice:
+    """Shorthand constructor: keep the unit permanently in working storage."""
+    return Advice(AdviceKind.KEEP_RESIDENT, unit)

@@ -1,0 +1,153 @@
+"""An advice-aware demand pager.
+
+Wraps a :class:`~repro.paging.pager.DemandPager` so programs can issue
+the M44/44X / MULTICS directives.  The semantics keep advice strictly
+advisory:
+
+- ``WILL_NEED`` starts an anticipatory fetch if a frame is free (or one
+  can be taken from a ``WONT_NEED`` page); the fetch is overlappable, so
+  it charges backing-store traffic but no program wait.
+- ``WONT_NEED`` marks the page a preferred victim; the replacement
+  policy is consulted only when no advised victim is resident.
+- ``KEEP_RESIDENT`` locks the page against replacement; if *every*
+  resident page were locked, locking is ignored for the choice (advice
+  must never wedge the system).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.advice.directives import Advice, AdviceKind
+from repro.paging.pager import DemandPager
+from repro.paging.replacement.base import ReplacementPolicy
+
+
+class AdvisedReplacementPolicy(ReplacementPolicy):
+    """Decorates any policy with WONT_NEED preference and KEEP_RESIDENT locks."""
+
+    def __init__(self, base: ReplacementPolicy) -> None:
+        self.base = base
+        self.name = f"advised-{base.name}"
+        self.discard_hints: list[Hashable] = []   # WONT_NEED order
+        self.locked: set[Hashable] = set()
+        self.hints_honoured = 0
+
+    def on_load(self, page: Hashable, now: int, modified: bool = False) -> None:
+        self.base.on_load(page, now, modified)
+
+    def on_access(self, page: Hashable, now: int, modified: bool = False) -> None:
+        # A real access to a "won't need" page retires the stale hint.
+        if page in self.discard_hints:
+            self.discard_hints.remove(page)
+        self.base.on_access(page, now, modified)
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        resident_set = set(resident)
+        for hint in self.discard_hints:
+            if hint in resident_set and hint not in self.locked:
+                self.discard_hints.remove(hint)
+                self.hints_honoured += 1
+                return hint
+        unlocked = [page for page in resident if page not in self.locked]
+        candidates = unlocked if unlocked else resident
+        return self.base.choose_victim(candidates, now)
+
+    def on_evict(self, page: Hashable) -> None:
+        if page in self.discard_hints:
+            self.discard_hints.remove(page)
+        self.base.on_evict(page)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self.discard_hints.clear()
+        self.locked.clear()
+        self.hints_honoured = 0
+
+    # -- directives ----------------------------------------------------------
+
+    def hint_discard(self, page: Hashable) -> None:
+        if page not in self.discard_hints:
+            self.discard_hints.append(page)
+
+    def lock(self, page: Hashable) -> None:
+        self.locked.add(page)
+
+    def unlock(self, page: Hashable) -> None:
+        self.locked.discard(page)
+
+
+class AdvisedPager:
+    """A demand pager accepting advisory directives.
+
+    Build it around a pager whose ``policy`` is an
+    :class:`AdvisedReplacementPolicy`; :func:`AdvisedPager.wrap` does the
+    decoration for you.
+    """
+
+    def __init__(self, pager: DemandPager) -> None:
+        if not isinstance(pager.policy, AdvisedReplacementPolicy):
+            raise TypeError(
+                "AdvisedPager requires the pager's policy to be an "
+                "AdvisedReplacementPolicy; use AdvisedPager.wrap()"
+            )
+        self.pager = pager
+        self.advice_received = 0
+        self.prefetches_started = 0
+
+    @classmethod
+    def wrap(cls, pager: DemandPager) -> "AdvisedPager":
+        """Decorate ``pager``'s policy and return the advised view."""
+        if not isinstance(pager.policy, AdvisedReplacementPolicy):
+            pager.policy = AdvisedReplacementPolicy(pager.policy)
+        return cls(pager)
+
+    @property
+    def policy(self) -> AdvisedReplacementPolicy:
+        return self.pager.policy   # type: ignore[return-value]
+
+    @property
+    def stats(self):
+        return self.pager.stats
+
+    def access(self, name: int, write: bool = False) -> int:
+        return self.pager.access(name, write=write)
+
+    def access_page(self, page: int, write: bool = False) -> None:
+        self.pager.access_page(page, write=write)
+
+    def advise(self, advice: Advice) -> None:
+        """Apply one directive (advisory: may be a no-op)."""
+        self.advice_received += 1
+        page = advice.unit
+        if advice.kind is AdviceKind.KEEP_RESIDENT:
+            self.policy.lock(page)
+            return
+        if advice.kind is AdviceKind.WONT_NEED:
+            self.policy.unlock(page)
+            if page in self.pager.frames:
+                self.policy.hint_discard(page)
+            return
+        # WILL_NEED: anticipatory fetch that never blocks the program.
+        if page in self.pager.frames:
+            return
+        if not 0 <= page < self.pager.page_table.pages:
+            return   # advice about a nonexistent page is silently dropped
+        if self.pager.frames.is_full():
+            # Only a WONT_NEED page may be displaced by a prefetch;
+            # demand traffic keeps the full say otherwise.
+            victims = [
+                hint for hint in self.policy.discard_hints
+                if hint in self.pager.frames
+            ]
+            if not victims:
+                return
+            self.pager._evict(victims[0])
+        wait_before = self.pager.stats.fetch_wait_cycles
+        self.pager._load(page, prefetch=True)
+        self.prefetches_started += 1
+        # prefetch=True charges no fetch_wait_cycles; assert the contract.
+        assert self.pager.stats.fetch_wait_cycles == wait_before
+
+    def __repr__(self) -> str:
+        return f"AdvisedPager({self.pager!r}, advice={self.advice_received})"

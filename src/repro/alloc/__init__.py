@@ -1,0 +1,57 @@
+"""Variable-unit storage allocation (nonuniform units of allocation).
+
+When "the size of the unit of allocation is varied in order to suit the
+needs of the information to be stored, the problem of storage
+fragmentation becomes directly apparent".  This package implements the
+placement strategies the paper names, the compaction alternative, and the
+fragmentation measurements the experiments report:
+
+- :class:`~repro.alloc.freelist.FreeListAllocator` — a coalescing free
+  list with first-fit, **best-fit** ("place the information in the
+  smallest space which is sufficient to contain it" — the "common and
+  frequently satisfactory" strategy), worst-fit and next-fit placement.
+- :class:`~repro.alloc.two_ends.TwoEndsAllocator` — "an alternative
+  strategy, which involves less bookkeeping, is to place large blocks of
+  information starting at one end of storage and small blocks starting at
+  the other end".
+- :class:`~repro.alloc.buddy.BuddyAllocator` — a power-of-two contrast
+  case sitting between uniform and arbitrary units.
+- :class:`~repro.alloc.boundary_tags.BoundaryTagAllocator` — Knuth's
+  contemporaneous boundary-tag method: constant-time coalescing bought
+  with two tag words per block.
+- :class:`~repro.alloc.rice.RiceAllocator` — the inactive-block chain of
+  the Rice University computer (Appendix A.4), with back references,
+  adjacent-block combination, and hooks for the iterative replacement
+  algorithm.
+- :func:`~repro.alloc.compaction.compact` — moving information "around in
+  storage so as to remove any unused spaces", with the moved-word cost
+  accounted.
+- :mod:`~repro.alloc.stats` — external/internal fragmentation and
+  utilization measures (the Wald-style analysis).
+"""
+
+from repro.alloc.base import Allocation, Allocator
+from repro.alloc.boundary_tags import BoundaryTagAllocator
+from repro.alloc.buddy import BuddyAllocator
+from repro.alloc.compaction import CompactionResult, compact
+from repro.alloc.freelist import FreeListAllocator
+from repro.alloc.rice import RiceAllocator
+from repro.alloc.stats import FragmentationStats, fragmentation_stats
+from repro.alloc.two_ends import TwoEndsAllocator
+
+PLACEMENT_POLICIES = ("first_fit", "best_fit", "worst_fit", "next_fit")
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "BoundaryTagAllocator",
+    "BuddyAllocator",
+    "CompactionResult",
+    "FragmentationStats",
+    "FreeListAllocator",
+    "PLACEMENT_POLICIES",
+    "RiceAllocator",
+    "TwoEndsAllocator",
+    "compact",
+    "fragmentation_stats",
+]

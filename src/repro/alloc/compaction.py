@@ -1,0 +1,96 @@
+"""Storage packing (compaction).
+
+The second of the paper's "two main alternative courses of action" for
+fragmented variable-unit storage: "move information around in storage so
+as to remove any unused spaces between the sets of contiguous locations".
+The special-hardware section notes machines provided "fast autonomous
+storage to storage channel operations" for exactly this.
+
+:func:`compact` slides every live allocation toward address zero.  The
+cost — words moved — is what CL-COMPACT weighs against the utilization
+recovered, using the per-word move time of
+:meth:`repro.memory.physical.PhysicalMemory.move` when a memory is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.alloc.base import Allocation
+from repro.alloc.freelist import FreeListAllocator
+from repro.memory.physical import PhysicalMemory
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one compaction pass accomplished."""
+
+    moves: int
+    words_moved: int
+    hole_count_before: int
+    hole_count_after: int
+    largest_hole_before: int
+    largest_hole_after: int
+    relocations: dict[int, int]
+    """Old address -> new address for every allocation that moved."""
+
+
+def compact(
+    allocator: FreeListAllocator,
+    memory: PhysicalMemory | None = None,
+    on_relocate: Callable[[Allocation, Allocation], None] | None = None,
+) -> CompactionResult:
+    """Slide all live allocations down to make one maximal hole at the top.
+
+    Relocation implies updating whoever holds the old addresses — the
+    problem the paper routes through base registers or mapping devices.
+    ``on_relocate(old, new)`` is invoked per moved block so segment tables
+    or codewords can be updated, mirroring the Rice back-reference whose
+    whole purpose is to find the codeword that must be patched.
+
+    The allocator's internal state is rebuilt in place; the allocation
+    objects handed out earlier become stale for moved blocks (use the
+    ``relocations`` map or the callback to track them).
+    """
+    holes_before = allocator.holes()
+    largest_before = allocator.largest_hole
+    live = allocator.allocations()  # ascending by address
+
+    relocations: dict[int, int] = {}
+    moves = 0
+    words_moved = 0
+    cursor = 0
+    new_live: dict[int, Allocation] = {}
+    for allocation in live:
+        if allocation.address != cursor:
+            if memory is not None:
+                memory.move(allocation.address, cursor, allocation.size)
+            relocations[allocation.address] = cursor
+            moves += 1
+            words_moved += allocation.size
+            moved = Allocation(cursor, allocation.size)
+            if on_relocate is not None:
+                on_relocate(allocation, moved)
+            new_live[cursor] = moved
+        else:
+            new_live[cursor] = allocation
+        cursor += allocation.size
+
+    # Rebuild the allocator's free list: one hole from the cursor up.
+    allocator._live = new_live
+    if cursor < allocator.capacity:
+        allocator._holes = [(cursor, allocator.capacity - cursor)]
+    else:
+        allocator._holes = []
+    allocator._rover = 0
+
+    return CompactionResult(
+        moves=moves,
+        words_moved=words_moved,
+        hole_count_before=len(holes_before),
+        hole_count_after=len(allocator.holes()),
+        largest_hole_before=largest_before,
+        largest_hole_after=allocator.largest_hole,
+        relocations=relocations,
+    )

@@ -1,0 +1,200 @@
+"""Coalescing free-list allocator with selectable placement policy.
+
+Implements the placement strategies of the paper's "Placement
+Strategies" section over one free list:
+
+- ``best_fit`` — "place the information in the smallest space which is
+  sufficient to contain it" (the "common and frequently satisfactory"
+  strategy; also the one "found to be effective" on the B5000).
+- ``first_fit`` — take the lowest-addressed sufficient hole.
+- ``next_fit`` — first-fit resuming from the previous allocation point
+  (a rover), trading fragmentation behaviour for shorter searches.
+- ``worst_fit`` — take the largest hole (a known-bad contrast case for
+  the experiments).
+
+Frees coalesce with both neighbours immediately, so the free list always
+holds maximal holes.  ``search_steps`` counts holes examined, making the
+bookkeeping cost of each policy measurable (CL-PLACE).
+"""
+
+from __future__ import annotations
+
+from repro.alloc.base import Allocation, AllocatorCounters, check_free_known
+from repro.errors import OutOfMemory
+
+_POLICIES = ("first_fit", "best_fit", "worst_fit", "next_fit")
+
+
+class FreeListAllocator:
+    """Variable-unit allocation from a single span of storage.
+
+    Parameters
+    ----------
+    capacity:
+        Words of storage managed (addresses 0 .. capacity-1).
+    policy:
+        One of ``first_fit``, ``best_fit``, ``worst_fit``, ``next_fit``.
+
+    >>> allocator = FreeListAllocator(100, policy="best_fit")
+    >>> block = allocator.allocate(30)
+    >>> (block.address, block.size)
+    (0, 30)
+    """
+
+    def __init__(self, capacity: int, policy: str = "first_fit") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown placement policy {policy!r}; choose from {_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._holes: list[tuple[int, int]] = [(0, capacity)]  # sorted by address
+        self._live: dict[int, Allocation] = {}
+        self._rover = 0  # index into _holes for next_fit
+        self.counters = AllocatorCounters()
+
+    # -- inspection ------------------------------------------------------
+
+    def holes(self) -> list[tuple[int, int]]:
+        return list(self._holes)
+
+    def allocations(self) -> list[Allocation]:
+        return sorted(self._live.values(), key=lambda a: a.address)
+
+    @property
+    def free_words(self) -> int:
+        return sum(size for _, size in self._holes)
+
+    @property
+    def used_words(self) -> int:
+        return self.capacity - self.free_words
+
+    @property
+    def largest_hole(self) -> int:
+        return max((size for _, size in self._holes), default=0)
+
+    # -- placement -------------------------------------------------------
+
+    def _choose_hole(self, size: int) -> int | None:
+        """Return the index of the hole to allocate from, or None."""
+        if self.policy == "first_fit":
+            for index, (_, hole_size) in enumerate(self._holes):
+                self.counters.search_steps += 1
+                if hole_size >= size:
+                    return index
+            return None
+        if self.policy == "next_fit":
+            count = len(self._holes)
+            if count == 0:
+                return None
+            start = self._rover % count
+            for step in range(count):
+                index = (start + step) % count
+                self.counters.search_steps += 1
+                if self._holes[index][1] >= size:
+                    return index
+            return None
+        # best_fit / worst_fit examine every hole.
+        chosen: int | None = None
+        chosen_size = None
+        for index, (_, hole_size) in enumerate(self._holes):
+            self.counters.search_steps += 1
+            if hole_size < size:
+                continue
+            better = (
+                chosen is None
+                or (self.policy == "best_fit" and hole_size < chosen_size)
+                or (self.policy == "worst_fit" and hole_size > chosen_size)
+            )
+            if better:
+                chosen, chosen_size = index, hole_size
+        return chosen
+
+    def allocate(self, size: int) -> Allocation:
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        self.counters.record_request(size)
+        index = self._choose_hole(size)
+        if index is None:
+            self.counters.record_failure(size)
+            raise OutOfMemory(
+                size,
+                f"largest hole {self.largest_hole} of {self.free_words} free words "
+                f"({self.policy})",
+            )
+        address, hole_size = self._holes[index]
+        if hole_size == size:
+            del self._holes[index]
+            if self.policy == "next_fit":
+                self._rover = index
+        else:
+            self._holes[index] = (address + size, hole_size - size)
+            if self.policy == "next_fit":
+                self._rover = index
+        allocation = Allocation(address, size)
+        self._live[address] = allocation
+        return allocation
+
+    # -- release ---------------------------------------------------------
+
+    def free(self, allocation: Allocation) -> None:
+        check_free_known(allocation, self._live, "FreeListAllocator")
+        del self._live[allocation.address]
+        self.counters.record_free(allocation.size)
+        self._insert_hole(allocation.address, allocation.size)
+
+    def _insert_hole(self, address: int, size: int) -> None:
+        """Insert a hole in address order, coalescing with neighbours."""
+        lo, hi = 0, len(self._holes)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._holes[mid][0] < address:
+                lo = mid + 1
+            else:
+                hi = mid
+        index = lo
+        # Coalesce with the predecessor?
+        if index > 0:
+            prev_address, prev_size = self._holes[index - 1]
+            if prev_address + prev_size == address:
+                address, size = prev_address, prev_size + size
+                del self._holes[index - 1]
+                index -= 1
+        # Coalesce with the successor?
+        if index < len(self._holes):
+            next_address, next_size = self._holes[index]
+            if address + size == next_address:
+                size += next_size
+                del self._holes[index]
+        self._holes.insert(index, (address, size))
+        if self._rover > len(self._holes):
+            self._rover = 0
+
+    # -- integrity (used by property tests) ------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal state is inconsistent."""
+        previous_end = None
+        for address, size in self._holes:
+            assert size > 0, "zero-size hole"
+            assert 0 <= address and address + size <= self.capacity, "hole out of range"
+            if previous_end is not None:
+                assert address > previous_end, "holes unsorted or uncoalesced"
+            previous_end = address + size
+        spans = sorted(
+            [(a.address, a.end) for a in self._live.values()]
+            + [(addr, addr + size) for addr, size in self._holes]
+        )
+        cursor = 0
+        for start, end in spans:
+            assert start >= cursor, "overlapping extents"
+            cursor = end
+        assert (
+            self.free_words + sum(a.size for a in self._live.values()) == self.capacity
+        ), "words lost or duplicated"
+
+    def __repr__(self) -> str:
+        return (
+            f"FreeListAllocator(capacity={self.capacity}, policy={self.policy!r}, "
+            f"used={self.used_words}, holes={len(self._holes)})"
+        )

@@ -1,0 +1,84 @@
+"""Simulated time.
+
+Every component of the simulated storage system that consumes time —
+address mapping steps, storage accesses, page transfers, compaction moves —
+charges its cost to a shared :class:`Clock`.  The paper's quantitative
+arguments (the space-time product of Figure 3, the addressing-overhead
+claim about associative memories) are all statements about accumulated
+time, so the clock is the one piece of global state the simulation allows
+itself.
+
+Time is measured in abstract *cycles*.  Machine models assign concrete
+meanings (e.g. on the modelled ATLAS a core access is ~1 cycle and a drum
+page transfer tens of thousands).
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically advancing cycle counter.
+
+    >>> clock = Clock()
+    >>> clock.advance(5)
+    >>> clock.now
+    5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    def advance(self, cycles: int) -> None:
+        """Move time forward by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by negative amount {cycles}")
+        self._now += cycles
+
+    def advance_to(self, time: int) -> None:
+        """Move time forward to an absolute instant (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot move clock backwards from {self._now} to {time}")
+        self._now = time
+
+    def reset(self) -> None:
+        """Rewind to zero.  Intended for reusing a clock between experiments."""
+        self._now = 0
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"
+
+
+class StopWatch:
+    """Measures elapsed time on a :class:`Clock` between two instants.
+
+    >>> clock = Clock()
+    >>> watch = StopWatch(clock)
+    >>> clock.advance(10)
+    >>> watch.elapsed
+    10
+    """
+
+    __slots__ = ("_clock", "_start")
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._start = clock.now
+
+    @property
+    def elapsed(self) -> int:
+        return self._clock.now - self._start
+
+    def restart(self) -> int:
+        """Return elapsed time and begin a new measurement interval."""
+        elapsed = self.elapsed
+        self._start = self._clock.now
+        return elapsed

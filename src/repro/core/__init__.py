@@ -1,0 +1,39 @@
+"""The paper's taxonomy, executable.
+
+The four basic characteristics — name space, predictive information,
+artificial contiguity, uniformity of the unit of allocation — become a
+:class:`~repro.core.characteristics.SystemCharacteristics` value; the
+builder turns any *valid* combination into a running, measurable
+:class:`~repro.core.system.StorageAllocationSystem` composed from the
+substrate packages.  The authors' favoured combination is available as
+:func:`~repro.core.presets.recommended_system`.
+"""
+
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.assessment import assess, compare, facility_inventory
+from repro.core.builder import SystemConfig, build_system
+from repro.core.presets import recommended_characteristics, recommended_system
+from repro.core.system import StorageAllocationSystem, SystemStats
+
+__all__ = [
+    "AllocationUnit",
+    "assess",
+    "compare",
+    "facility_inventory",
+    "Contiguity",
+    "NameSpaceKind",
+    "PredictiveInformation",
+    "StorageAllocationSystem",
+    "SystemCharacteristics",
+    "SystemConfig",
+    "SystemStats",
+    "build_system",
+    "recommended_characteristics",
+    "recommended_system",
+]

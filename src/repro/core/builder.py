@@ -1,0 +1,163 @@
+"""Build a running system from a characteristics value.
+
+``build_system`` is the taxonomy's constructive proof: every valid
+combination of the four characteristics maps to a concrete composition
+of the substrate packages.  The hardware-ish knobs (capacity, page size,
+policies, associative memory size, backing latency) travel in a
+:class:`SystemConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.addressing.associative import AssociativeMemory
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.hybrid import HybridSegmentedSystem
+from repro.core.linear_systems import PagedLinearSystem, ResidentLinearSystem
+from repro.core.segmented_systems import (
+    PagedSegmentedSystem,
+    SegmentedResidentSystem,
+)
+from repro.core.system import StorageAllocationSystem
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageLevel
+from repro.paging.replacement import make_policy
+
+
+@dataclass
+class SystemConfig:
+    """Hardware and strategy parameters for a composed system."""
+
+    capacity_words: int = 16_384
+    page_size: int = 512
+    name_space_extent: int = 1 << 21
+    max_segment_extent: int | None = None
+    replacement_policy: str = "lru"
+    placement_policy: str = "best_fit"
+    associative_memory_size: int = 0
+    backing_capacity: int = 10_000_000
+    backing_latency: int = 6_000
+    backing_rate: float = 0.25
+    compaction: bool = False
+    large_segment_threshold: int = 1024
+    segment_name_bits: int = 12
+    policy_kwargs: dict = field(default_factory=dict)
+
+    def make_clock(self) -> Clock:
+        return Clock()
+
+    def make_backing(self, clock: Clock) -> BackingStore:
+        level = StorageLevel(
+            "backing",
+            self.backing_capacity,
+            access_time=self.backing_latency,
+            transfer_rate=self.backing_rate,
+        )
+        return BackingStore(level, clock=clock)
+
+    def make_tlb(self) -> AssociativeMemory | None:
+        if self.associative_memory_size <= 0:
+            return None
+        return AssociativeMemory(self.associative_memory_size)
+
+    def make_replacement(self):
+        return make_policy(self.replacement_policy, **self.policy_kwargs)
+
+
+def build_system(
+    characteristics: SystemCharacteristics,
+    config: SystemConfig | None = None,
+    clock: Clock | None = None,
+) -> StorageAllocationSystem:
+    """Compose the system a characteristics value describes.
+
+    Raises :class:`~repro.errors.ConfigurationError` for the invalid
+    corner (uniform units without artificial contiguity).
+    """
+    characteristics.validate()
+    config = config if config is not None else SystemConfig()
+    clock = clock if clock is not None else config.make_clock()
+    advice = (
+        characteristics.predictive_information is PredictiveInformation.ACCEPTED
+    )
+
+    if characteristics.allocation_unit is AllocationUnit.UNIFORM:
+        backing = config.make_backing(clock)
+        frame_count = config.capacity_words // config.page_size
+        if characteristics.name_space is NameSpaceKind.LINEAR:
+            return PagedLinearSystem(
+                name_space_extent=config.name_space_extent,
+                frame_count=frame_count,
+                page_size=config.page_size,
+                policy=config.make_replacement(),
+                backing=backing,
+                clock=clock,
+                tlb=config.make_tlb(),
+                advice=advice,
+            )
+        return PagedSegmentedSystem(
+            frame_count=frame_count,
+            page_size=config.page_size,
+            policy=config.make_replacement(),
+            backing=backing,
+            clock=clock,
+            name_space=characteristics.name_space,
+            max_segment_extent=config.max_segment_extent,
+            advice=advice,
+            tlb=config.make_tlb(),
+            segment_name_bits=config.segment_name_bits,
+        )
+
+    # Nonuniform units.
+    if characteristics.name_space is NameSpaceKind.LINEAR:
+        return ResidentLinearSystem(
+            capacity=config.capacity_words,
+            placement=config.placement_policy,
+            contiguity=characteristics.contiguity,
+            clock=clock,
+            advice=advice,
+        )
+    if (
+        characteristics.contiguity is Contiguity.ARTIFICIAL
+        and characteristics.name_space is NameSpaceKind.SYMBOLICALLY_SEGMENTED
+    ):
+        # The recommended hybrid: small segments contiguous, large paged.
+        backing = config.make_backing(clock)
+        paged_words = config.capacity_words // 2
+        return HybridSegmentedSystem(
+            small_region_words=config.capacity_words - paged_words,
+            frame_count=max(1, paged_words // config.page_size),
+            page_size=config.page_size,
+            large_segment_threshold=config.large_segment_threshold,
+            small_policy=config.make_replacement(),
+            large_policy=config.make_replacement(),
+            backing=backing,
+            clock=clock,
+            placement=config.placement_policy,
+            compaction=config.compaction,
+            tlb=config.make_tlb(),
+            advice=advice,
+        )
+    backing = config.make_backing(clock)
+    return SegmentedResidentSystem(
+        capacity=config.capacity_words,
+        policy=config.make_replacement(),
+        backing=backing,
+        clock=clock,
+        name_space=characteristics.name_space,
+        placement=config.placement_policy,
+        max_segment_extent=config.max_segment_extent,
+        compaction=config.compaction,
+        advice=advice,
+        tlb=config.make_tlb(),
+        segment_name_bits=config.segment_name_bits,
+        contiguity=characteristics.contiguity,
+    )

@@ -1,0 +1,107 @@
+"""The four basic characteristics.
+
+"The four characteristics believed to be the most useful for revealing
+the functional capability and underlying mechanisms of current
+hardware-assisted dynamic storage allocation systems are related to the
+concepts of: 1. Name space.  2. Predictive information.  3. Artificial
+contiguity.  4. Uniformity of units of storage allocation." — and they
+"have the advantage of being, to a large degree, mutually independent".
+
+The one genuine dependence is encoded in :meth:`SystemCharacteristics.validate`:
+uniform units (paging) presuppose a mapping device ("systems ... which
+use a mapping device to make the addresses of items in pages independent
+of the particular page frame"), i.e. artificial contiguity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class NameSpaceKind(enum.Enum):
+    """Characteristic 1: the structure of the program-visible name space."""
+
+    LINEAR = "linear"
+    LINEARLY_SEGMENTED = "linearly_segmented"
+    SYMBOLICALLY_SEGMENTED = "symbolically_segmented"
+
+    @property
+    def segmented(self) -> bool:
+        return self is not NameSpaceKind.LINEAR
+
+
+class PredictiveInformation(enum.Enum):
+    """Characteristic 2: whether advisory predictions are accepted."""
+
+    NONE = "none"
+    ACCEPTED = "accepted"
+
+
+class Contiguity(enum.Enum):
+    """Characteristic 3: whether name contiguity requires address contiguity."""
+
+    REAL = "real"
+    """Contiguous names occupy contiguous absolute addresses."""
+    ARTIFICIAL = "artificial"
+    """A mapping device lets contiguous names span scattered blocks."""
+
+
+class AllocationUnit(enum.Enum):
+    """Characteristic 4: uniformity of the unit of allocation."""
+
+    UNIFORM = "uniform"
+    """Equal-size page frames (paging systems)."""
+    NONUNIFORM = "nonuniform"
+    """Variable blocks sized to the information stored."""
+
+
+@dataclass(frozen=True)
+class SystemCharacteristics:
+    """One point in the paper's design space."""
+
+    name_space: NameSpaceKind
+    predictive_information: PredictiveInformation
+    contiguity: Contiguity
+    allocation_unit: AllocationUnit
+
+    def validate(self) -> None:
+        """Reject the impossible corner of the space.
+
+        Uniform units scatter a name space across arbitrary frames, which
+        is unobservable only through a mapping device — so UNIFORM with
+        REAL contiguity is a contradiction.
+        """
+        if (
+            self.allocation_unit is AllocationUnit.UNIFORM
+            and self.contiguity is Contiguity.REAL
+        ):
+            raise ConfigurationError(
+                "uniform units (paging) require artificial contiguity: a page "
+                "can occupy any frame only if a mapping device hides where"
+            )
+
+    def describe(self) -> str:
+        """A one-line classification in the paper's vocabulary."""
+        parts = [
+            self.name_space.value.replace("_", " ") + " name space",
+            (
+                "accepts predictive information"
+                if self.predictive_information is PredictiveInformation.ACCEPTED
+                else "no predictive information"
+            ),
+            self.contiguity.value + " contiguity",
+            self.allocation_unit.value + " units",
+        ]
+        return "; ".join(parts)
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        """The four cells of the survey comparison matrix."""
+        return (
+            self.name_space.value,
+            self.predictive_information.value,
+            self.contiguity.value,
+            self.allocation_unit.value,
+        )

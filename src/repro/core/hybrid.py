@@ -1,0 +1,231 @@
+"""The authors' recommended system.
+
+The Basic Characteristics summary ends with the combination the authors
+"tend to favor, from the point of view of user convenience and system
+efficiency":
+
+  (i)   a symbolically segmented name space;
+  (ii)  provisions for accepting predictions about future use of segments;
+  (iii) artificial contiguity used if it is essential, to provide large
+        segments, but with use of the mapping device avoided in accessing
+        small segments; and
+  (iv)  nonuniform units of allocation, corresponding closely to the size
+        of small segments, but with large segments, if allowed, allocated
+        using a set of separate blocks.
+
+No surveyed machine built this; :class:`HybridSegmentedSystem` does.
+Segments up to ``large_segment_threshold`` words live contiguously in a
+variable-unit region and are addressed through a single descriptor (one
+table reference, no page mapping).  Larger segments are paged through a
+two-level map into a frame pool.  Advice is accepted on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.segment_table import SegmentTable
+from repro.addressing.two_level import TwoLevelMapper
+from repro.advice.directives import Advice, AdviceKind
+from repro.advice.pager import AdvisedReplacementPolicy
+from repro.alloc.freelist import FreeListAllocator
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.system import StorageAllocationSystem, SystemStats
+from repro.memory.backing import BackingStore
+from repro.paging.frame import FrameTable
+from repro.paging.replacement.base import ReplacementPolicy
+from repro.paging.segmented_pager import SegmentedPager
+from repro.segmentation.manager import SegmentManager
+
+
+class HybridSegmentedSystem(StorageAllocationSystem):
+    """Small segments contiguous and unmapped; large segments paged.
+
+    Parameters
+    ----------
+    small_region_words:
+        Words of working storage for the variable-unit (small segment)
+        region.
+    frame_count / page_size:
+        The paged region for large segments.
+    large_segment_threshold:
+        Segments strictly larger than this are paged.
+    small_policy / large_policy:
+        Replacement policies for the two regions (fresh instances).
+    """
+
+    def __init__(
+        self,
+        small_region_words: int,
+        frame_count: int,
+        page_size: int,
+        large_segment_threshold: int,
+        small_policy: ReplacementPolicy,
+        large_policy: ReplacementPolicy,
+        backing: BackingStore,
+        clock: Clock,
+        placement: str = "best_fit",
+        compaction: bool = True,
+        tlb: AssociativeMemory | None = None,
+        advice: bool = True,
+    ) -> None:
+        super().__init__(
+            SystemCharacteristics(
+                name_space=NameSpaceKind.SYMBOLICALLY_SEGMENTED,
+                predictive_information=(
+                    PredictiveInformation.ACCEPTED if advice
+                    else PredictiveInformation.NONE
+                ),
+                contiguity=Contiguity.ARTIFICIAL,
+                allocation_unit=AllocationUnit.NONUNIFORM,
+            )
+        )
+        if large_segment_threshold <= 0:
+            raise ValueError("large_segment_threshold must be positive")
+        self.clock = clock
+        self.threshold = large_segment_threshold
+        self.small = SegmentManager(
+            table=SegmentTable(),
+            allocator=FreeListAllocator(small_region_words, policy=placement),
+            backing=backing,
+            policy=AdvisedReplacementPolicy(small_policy),
+            clock=clock,
+            compact_before_replacing=compaction,
+        )
+        self.mapper = TwoLevelMapper(
+            page_size=page_size, associative_memory=tlb
+        )
+        self.large = SegmentedPager(
+            self.mapper,
+            FrameTable(frame_count),
+            backing,
+            AdvisedReplacementPolicy(large_policy),
+            clock,
+        )
+        self.page_size = page_size
+        self._side: dict[Hashable, str] = {}
+        self._sizes: dict[Hashable, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create(self, name: Hashable, size: int) -> None:
+        if name in self._side:
+            raise ValueError(f"segment {name!r} already exists")
+        if size <= self.threshold:
+            self.small.create(name, size)
+            self._side[name] = "small"
+        else:
+            self.large.declare(name, size)
+            self._side[name] = "large"
+        self._sizes[name] = size
+
+    def destroy(self, name: Hashable) -> None:
+        side = self._side.pop(name)
+        del self._sizes[name]
+        if side == "small":
+            self.small.destroy(name)
+        else:
+            self.large.destroy(name)
+
+    def resize(self, name: Hashable, new_size: int) -> None:
+        """Resize, migrating across the threshold when needed."""
+        side = self._side[name]
+        if side == "small" and new_size <= self.threshold:
+            self.small.resize(name, new_size)
+            self._sizes[name] = new_size
+            return
+        # Crossing the threshold (or resizing a paged segment): recreate.
+        self.destroy(name)
+        self.create(name, new_size)
+
+    def access(self, name: Hashable, offset: int, write: bool = False) -> int:
+        if self._side[name] == "small":
+            return self.small.access(name, offset, write=write)
+        return self.large.access(name, offset, write=write)
+
+    # -- advice ------------------------------------------------------------------
+
+    def _apply_advice(self, advice: Advice) -> None:
+        side = self._side.get(advice.unit)
+        if side is None:
+            return
+        if side == "small":
+            self._advise_small(advice)
+        else:
+            self._advise_large(advice)
+
+    def _advise_small(self, advice: Advice) -> None:
+        policy = self.small.policy
+        assert isinstance(policy, AdvisedReplacementPolicy)
+        name = advice.unit
+        if advice.kind is AdviceKind.KEEP_RESIDENT:
+            policy.lock(name)
+        elif advice.kind is AdviceKind.WONT_NEED:
+            policy.unlock(name)
+            if name in self.small.resident_segments():
+                policy.hint_discard(name)
+        else:
+            self.small.prefetch(name)
+
+    def _advise_large(self, advice: Advice) -> None:
+        policy = self.large.policy
+        assert isinstance(policy, AdvisedReplacementPolicy)
+        name = advice.unit
+        pages = self.mapper.page_table(name).pages
+        units = [(name, page) for page in range(pages)]
+        resident = set(self.large.frames.resident_pages())
+        for unit in units:
+            if advice.kind is AdviceKind.KEEP_RESIDENT:
+                policy.lock(unit)
+            elif advice.kind is AdviceKind.WONT_NEED:
+                policy.unlock(unit)
+                if unit in resident:
+                    policy.hint_discard(unit)
+            # WILL_NEED on a paged segment: no anticipation (demand only).
+
+    # -- measurement ------------------------------------------------------------
+
+    def mapping_cycles(self) -> int:
+        return (
+            self.small.table.mapping_cycles_total
+            + self.mapper.mapping_cycles_total
+        )
+
+    def stats(self) -> SystemStats:
+        small_stats = self.small.stats
+        large_stats = self.large.stats
+        allocator = self.small.allocator
+        free = allocator.free_words
+        largest = allocator.largest_hole
+        frames = self.large.frames
+        small_used = allocator.used_words
+        large_used = frames.resident_count * self.page_size
+        capacity = allocator.capacity + frames.frame_count * self.page_size
+        waste = sum(
+            (-(-size // self.page_size)) * self.page_size - size
+            for name, size in self._sizes.items()
+            if self._side[name] == "large"
+        )
+        tlb = self.mapper.tlb
+        return SystemStats(
+            accesses=small_stats.accesses + large_stats.accesses,
+            faults=small_stats.segment_faults + large_stats.faults,
+            fetch_wait_cycles=(
+                small_stats.fetch_wait_cycles + large_stats.fetch_wait_cycles
+            ),
+            mapping_cycles=self.mapping_cycles(),
+            associative_hit_rate=tlb.hit_rate if tlb is not None else 0.0,
+            utilization=(small_used + large_used) / capacity,
+            external_fragmentation=(1.0 - largest / free) if free else 0.0,
+            internal_waste_words=waste,
+            writebacks=small_stats.writebacks + large_stats.writebacks,
+            time=self.clock.now,
+        )

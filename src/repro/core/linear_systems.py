@@ -1,0 +1,273 @@
+"""Composed systems over a linear name space.
+
+Two realizable corners:
+
+- :class:`PagedLinearSystem` — artificial contiguity with uniform units:
+  the ATLAS / M44-44X shape.  The single linear name space may far exceed
+  working storage ("virtual storage systems"); names are allocated in
+  contiguous runs (so the *name space* can fragment even while storage is
+  fine), and pages come in on demand.
+- :class:`ResidentLinearSystem` — the pre-mapping shape: every structure
+  occupies real contiguous storage for its whole life, allocated by a
+  placement policy.  With artificial contiguity (relocation registers or
+  a map) compaction becomes safe and is applied when fragmentation blocks
+  a request; with real contiguity the fragmentation must be tolerated —
+  the paper's "two main alternative courses of action", selectable by one
+  characteristic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.page_table import PageTable
+from repro.advice.directives import Advice
+from repro.advice.pager import AdvisedPager
+from repro.alloc.base import Allocation
+from repro.alloc.compaction import compact
+from repro.alloc.freelist import FreeListAllocator
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.system import StorageAllocationSystem, SystemStats
+from repro.errors import OutOfMemory
+from repro.memory.backing import BackingStore
+from repro.namespace.linear import LinearNameSpace
+from repro.paging.frame import FrameTable
+from repro.paging.pager import DemandPager
+from repro.paging.replacement.base import ReplacementPolicy
+
+
+class PagedLinearSystem(StorageAllocationSystem):
+    """Linear name space, artificial contiguity, uniform units.
+
+    Parameters
+    ----------
+    name_space_extent:
+        Size of the linear name space in words (may exceed core —
+        the M44/44X gave each user ~2M words over ~200K of core).
+    frame_count:
+        Page frames of working storage.
+    page_size:
+        Words per page (power of two).
+    policy:
+        Replacement policy over page numbers.
+    backing:
+        Backing store pricing fetches.
+    clock:
+        Simulation clock.
+    tlb:
+        Optional associative memory over page numbers.
+    advice:
+        Whether the system accepts predictive information (M44/44X yes,
+        ATLAS no).
+    """
+
+    def __init__(
+        self,
+        name_space_extent: int,
+        frame_count: int,
+        page_size: int,
+        policy: ReplacementPolicy,
+        backing: BackingStore,
+        clock: Clock,
+        tlb: AssociativeMemory | None = None,
+        advice: bool = False,
+        keep_one_vacant: bool = False,
+    ) -> None:
+        super().__init__(
+            SystemCharacteristics(
+                name_space=NameSpaceKind.LINEAR,
+                predictive_information=(
+                    PredictiveInformation.ACCEPTED if advice
+                    else PredictiveInformation.NONE
+                ),
+                contiguity=Contiguity.ARTIFICIAL,
+                allocation_unit=AllocationUnit.UNIFORM,
+            )
+        )
+        pages = -(-name_space_extent // page_size)
+        self.page_size = page_size
+        self.clock = clock
+        self.names = LinearNameSpace(pages * page_size)
+        self.page_table = PageTable(
+            page_size=page_size, pages=pages, associative_memory=tlb
+        )
+        pager = DemandPager(
+            self.page_table, FrameTable(frame_count), backing, policy, clock,
+            keep_one_vacant=keep_one_vacant,
+        )
+        self._advised = AdvisedPager.wrap(pager) if advice else None
+        self.pager = pager
+        self._sizes: dict[Hashable, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def create(self, name: Hashable, size: int) -> None:
+        self.names.allocate(name, size)
+        self._sizes[name] = size
+
+    def destroy(self, name: Hashable) -> None:
+        self.names.release(name)
+        del self._sizes[name]
+
+    def access(self, name: Hashable, offset: int, write: bool = False) -> int:
+        linear_name = self.names.name_of(name, offset)
+        target = self._advised if self._advised is not None else self.pager
+        return target.access(linear_name, write=write)
+
+    # -- advice ---------------------------------------------------------------
+
+    def _apply_advice(self, advice: Advice) -> None:
+        """Unit-level advice fans out to the unit's pages (M44 style)."""
+        assert self._advised is not None
+        name = advice.unit
+        allocation = self.names._regions.get(name)
+        if allocation is None:
+            return   # advice about an unknown unit is quietly ignored
+        first_page = allocation.address // self.page_size
+        last_page = (allocation.end - 1) // self.page_size
+        for page in range(first_page, last_page + 1):
+            self._advised.advise(Advice(advice.kind, page))
+
+    # -- measurement ------------------------------------------------------------
+
+    def internal_waste_words(self) -> int:
+        """Words of page frames reserved beyond what structures asked for.
+
+        Approximated per structure from the pages its name run spans —
+        "it is only rarely that an allocation request will correspond
+        exactly to the capacity of an integral number of page frames".
+        """
+        waste = 0
+        for name, size in self._sizes.items():
+            allocation = self.names._regions[name]
+            first_page = allocation.address // self.page_size
+            last_page = (allocation.end - 1) // self.page_size
+            spanned = (last_page - first_page + 1) * self.page_size
+            waste += spanned - size
+        return waste
+
+    def stats(self) -> SystemStats:
+        pager_stats = self.pager.stats
+        tlb = self.page_table.tlb
+        frames = self.pager.frames
+        return SystemStats(
+            accesses=pager_stats.accesses,
+            faults=pager_stats.faults,
+            fetch_wait_cycles=pager_stats.fetch_wait_cycles,
+            mapping_cycles=self.page_table.mapping_cycles_total,
+            associative_hit_rate=tlb.hit_rate if tlb is not None else 0.0,
+            utilization=frames.resident_count / frames.frame_count,
+            external_fragmentation=0.0,   # uniform units: none at frame level
+            internal_waste_words=self.internal_waste_words(),
+            writebacks=pager_stats.writebacks,
+            time=self.clock.now,
+        )
+
+
+class ResidentLinearSystem(StorageAllocationSystem):
+    """Linear name space, nonuniform units, everything resident.
+
+    Parameters
+    ----------
+    capacity:
+        Words of working storage (which *is* the name space here, as in
+        basic systems where names are absolute addresses).
+    placement:
+        Free-list placement policy.
+    contiguity:
+        ``Contiguity.ARTIFICIAL`` permits compaction when a request fails
+        for fragmentation (addresses are not wired into programs);
+        ``Contiguity.REAL`` forces the failure to stand.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        placement: str = "best_fit",
+        contiguity: Contiguity = Contiguity.REAL,
+        clock: Clock | None = None,
+        advice: bool = False,
+    ) -> None:
+        super().__init__(
+            SystemCharacteristics(
+                name_space=NameSpaceKind.LINEAR,
+                predictive_information=(
+                    PredictiveInformation.ACCEPTED if advice
+                    else PredictiveInformation.NONE
+                ),
+                contiguity=contiguity,
+                allocation_unit=AllocationUnit.NONUNIFORM,
+            )
+        )
+        self.clock = clock if clock is not None else Clock()
+        self.allocator = FreeListAllocator(capacity, policy=placement)
+        self._regions: dict[Hashable, Allocation] = {}
+        self.accesses = 0
+        self.compactions = 0
+        self.words_moved = 0
+
+    def _apply_advice(self, advice: Advice) -> None:
+        """Everything is permanently resident: predictions change nothing."""
+
+    def create(self, name: Hashable, size: int) -> None:
+        if name in self._regions:
+            raise ValueError(f"unit {name!r} already exists")
+        try:
+            allocation = self.allocator.allocate(size)
+        except OutOfMemory:
+            if (
+                self.characteristics.contiguity is not Contiguity.ARTIFICIAL
+                or self.allocator.free_words < size
+            ):
+                raise
+            result = compact(self.allocator, on_relocate=self._relocate)
+            self.compactions += 1
+            self.words_moved += result.words_moved
+            self.clock.advance(result.words_moved)
+            allocation = self.allocator.allocate(size)
+        self._regions[name] = allocation
+
+    def _relocate(self, old: Allocation, new: Allocation) -> None:
+        for name, allocation in self._regions.items():
+            if allocation.address == old.address:
+                self._regions[name] = new
+                return
+
+    def destroy(self, name: Hashable) -> None:
+        try:
+            allocation = self._regions.pop(name)
+        except KeyError:
+            raise KeyError(f"no unit {name!r}") from None
+        self.allocator.free(allocation)
+
+    def access(self, name: Hashable, offset: int, write: bool = False) -> int:
+        allocation = self._regions[name]
+        if not 0 <= offset < allocation.size:
+            raise IndexError(f"offset {offset} outside unit of {allocation.size}")
+        self.accesses += 1
+        self.clock.advance(1)
+        return allocation.address + offset
+
+    def stats(self) -> SystemStats:
+        free = self.allocator.free_words
+        largest = self.allocator.largest_hole
+        return SystemStats(
+            accesses=self.accesses,
+            faults=0,
+            fetch_wait_cycles=0,
+            mapping_cycles=0,
+            associative_hit_rate=0.0,
+            utilization=self.allocator.used_words / self.allocator.capacity,
+            external_fragmentation=(1.0 - largest / free) if free else 0.0,
+            internal_waste_words=0,
+            writebacks=0,
+            time=self.clock.now,
+        )

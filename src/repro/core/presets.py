@@ -1,0 +1,46 @@
+"""Preset compositions, led by the authors' recommendation.
+
+"The authors tend to favor ... (i) a symbolically segmented name space;
+(ii) provisions for accepting predictions about future use of segments;
+(iii) artificial contiguity used if it is essential, to provide large
+segments ...; and (iv) nonuniform units of allocation ..."
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock
+from repro.core.builder import SystemConfig, build_system
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.system import StorageAllocationSystem
+
+
+def recommended_characteristics() -> SystemCharacteristics:
+    """The combination the paper's summary favours."""
+    return SystemCharacteristics(
+        name_space=NameSpaceKind.SYMBOLICALLY_SEGMENTED,
+        predictive_information=PredictiveInformation.ACCEPTED,
+        contiguity=Contiguity.ARTIFICIAL,
+        allocation_unit=AllocationUnit.NONUNIFORM,
+    )
+
+
+def recommended_system(
+    config: SystemConfig | None = None,
+    clock: Clock | None = None,
+) -> StorageAllocationSystem:
+    """Build the recommended hybrid system (defaults are laptop-friendly)."""
+    if config is None:
+        config = SystemConfig(
+            capacity_words=32_768,
+            page_size=512,
+            large_segment_threshold=1024,
+            compaction=True,
+            associative_memory_size=8,
+        )
+    return build_system(recommended_characteristics(), config=config, clock=clock)

@@ -1,0 +1,110 @@
+"""The storage-allocation-system facade.
+
+Whatever the underlying combination of characteristics, a composed
+system exposes one vocabulary — the operations the paper treats as the
+user-visible function of a storage allocation system:
+
+- ``create(name, size)`` / ``destroy(name)`` — dynamic units coming into
+  and out of existence by program directive;
+- ``access(name, offset, write=...)`` — reference an item, with fetches,
+  bound checks and traps handled beneath the name;
+- ``resize(name, new_size)`` — dynamic extents (where the name space
+  supports it);
+- ``advise(advice)`` — predictive information (where accepted);
+- ``stats()`` — the measurable consequences, in one record.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.advice.directives import Advice
+from repro.core.characteristics import (
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Point-in-time measurements of a composed system."""
+
+    accesses: int
+    faults: int
+    fetch_wait_cycles: int
+    mapping_cycles: int
+    associative_hit_rate: float
+    utilization: float
+    external_fragmentation: float
+    internal_waste_words: int
+    writebacks: int
+    time: int
+
+    @property
+    def fault_rate(self) -> float:
+        return self.faults / self.accesses if self.accesses else 0.0
+
+
+class StorageAllocationSystem(ABC):
+    """Base class for every composed system.
+
+    Subclasses are the realizable corners of the characteristic space;
+    :func:`repro.core.builder.build_system` picks the right one.
+    """
+
+    def __init__(self, characteristics: SystemCharacteristics) -> None:
+        characteristics.validate()
+        self.characteristics = characteristics
+
+    # -- unit lifecycle -------------------------------------------------------
+
+    @abstractmethod
+    def create(self, name: Hashable, size: int) -> None:
+        """Bring a unit (segment / named structure) into existence."""
+
+    @abstractmethod
+    def destroy(self, name: Hashable) -> None:
+        """The unit ceases to exist; its names and storage are reclaimed."""
+
+    @abstractmethod
+    def access(self, name: Hashable, offset: int, write: bool = False) -> int:
+        """Reference item ``offset`` of unit ``name``; returns the address."""
+
+    def resize(self, name: Hashable, new_size: int) -> None:
+        """Change a unit's extent (optional capability)."""
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support dynamic resizing"
+        )
+
+    # -- predictive information --------------------------------------------------
+
+    @property
+    def accepts_advice(self) -> bool:
+        return (
+            self.characteristics.predictive_information
+            is PredictiveInformation.ACCEPTED
+        )
+
+    def advise(self, advice: Advice) -> None:
+        """Offer one advisory directive about a unit."""
+        if not self.accepts_advice:
+            raise ConfigurationError(
+                f"{type(self).__name__} was composed without predictive "
+                f"information; it cannot accept {advice}"
+            )
+        self._apply_advice(advice)
+
+    def _apply_advice(self, advice: Advice) -> None:
+        raise NotImplementedError   # pragma: no cover - subclass duty
+
+    # -- measurement -----------------------------------------------------------
+
+    @abstractmethod
+    def stats(self) -> SystemStats:
+        """Assemble the unified measurement record."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.characteristics.describe()})"

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the storage-allocation simulator.
+
+The paper's "special hardware facilities" section lists *address bound
+violation detection* and *trapping invalid accesses* as first-class
+hardware functions.  We model both as exceptions: a bound violation is a
+program error (:class:`BoundViolation`), while a trap on information not
+currently in working storage (:class:`PageFault`, :class:`SegmentFault`)
+is the mechanism demand fetching is built on — callers are expected to
+catch it, fetch, and retry.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AddressingError(ReproError):
+    """Base class for errors raised while mapping a name to an address."""
+
+
+class BoundViolation(AddressingError):
+    """A name fell outside the extent of its segment or name space.
+
+    Corresponds to the paper's automatic "address bound violation
+    detection" — e.g. an attempted violation of array bounds when each
+    array is a separate segment.
+    """
+
+    def __init__(self, name: int, limit: int, context: str = "") -> None:
+        where = f" in {context}" if context else ""
+        super().__init__(f"name {name} exceeds limit {limit}{where}")
+        self.name = name
+        self.limit = limit
+        self.context = context
+
+
+class StorageTrap(AddressingError):
+    """Base class for traps on information not in working storage.
+
+    The paper: "The automatic trapping of attempts to access information
+    not currently in working storage ... is at the heart of the demand
+    paging strategy."
+    """
+
+
+class PageFault(StorageTrap):
+    """Reference to a page that is not resident in any page frame."""
+
+    def __init__(self, page: int, process: object | None = None) -> None:
+        super().__init__(f"page fault on page {page}")
+        self.page = page
+        self.process = process
+
+
+class SegmentFault(StorageTrap):
+    """Reference to a segment that is not resident in working storage."""
+
+    def __init__(self, segment: object) -> None:
+        super().__init__(f"segment fault on segment {segment!r}")
+        self.segment = segment
+
+
+class MissingSegment(AddressingError):
+    """Reference to a segment name that does not exist in the name space."""
+
+    def __init__(self, segment: object) -> None:
+        super().__init__(f"no such segment {segment!r}")
+        self.segment = segment
+
+
+class AllocationError(ReproError):
+    """Base class for storage-allocation failures."""
+
+
+class OutOfMemory(AllocationError):
+    """No block of sufficient size could be found (or made) for a request."""
+
+    def __init__(self, requested: int, detail: str = "") -> None:
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"cannot allocate {requested} words{extra}")
+        self.requested = requested
+
+
+class InvalidFree(AllocationError):
+    """An attempt to free storage that is not currently allocated."""
+
+
+class ConfigurationError(ReproError):
+    """A system was composed from an inconsistent set of characteristics."""

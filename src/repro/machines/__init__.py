@@ -1,0 +1,36 @@
+"""The appendix machines (A.1–A.7).
+
+Each factory returns a :class:`~repro.machines.base.Machine`: the
+published parameters, the paper's four-characteristic classification,
+the special hardware facilities noted, and a live composed system ready
+to run workloads.  ``all_machines()`` builds the full museum and
+``survey_matrix()`` renders the comparison table the appendix implies.
+"""
+
+from repro.machines.atlas import atlas
+from repro.machines.b5000 import b5000
+from repro.machines.b8500 import b8500
+from repro.machines.base import Machine, survey_matrix
+from repro.machines.m44 import m44_44x
+from repro.machines.model67 import model67
+from repro.machines.multics import multics
+from repro.machines.rice import rice
+
+
+def all_machines() -> list[Machine]:
+    """The surveyed machines, in the appendix's order."""
+    return [atlas(), m44_44x(), b5000(), rice(), b8500(), multics(), model67()]
+
+
+__all__ = [
+    "Machine",
+    "all_machines",
+    "atlas",
+    "b5000",
+    "b8500",
+    "m44_44x",
+    "model67",
+    "multics",
+    "rice",
+    "survey_matrix",
+]

@@ -1,0 +1,83 @@
+"""A.1 — Ferranti ATLAS.
+
+"The Ferranti ATLAS computer was the first to incorporate mapping
+mechanisms which allowed a heterogeneous physical storage system to be
+accessed using a large linear address space.  The physical storage
+consisted of 16,384 words of core storage and a 98,304 word drum, while
+the programmer could use a full 24-bit address representation.  This was
+also the first use of demand paging as a fetch strategy, storage being
+allocated in units of 512 words.  The replacement strategy ... is based
+on a 'learning program'."
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.linear_systems import PagedLinearSystem
+from repro.machines.base import Machine
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageLevel
+from repro.paging.replacement.atlas import AtlasLearningPolicy
+
+CORE_WORDS = 16_384
+DRUM_WORDS = 98_304
+PAGE_SIZE = 512
+ADDRESS_BITS = 24
+# A drum revolution was ~12 ms against a 6 microsecond core cycle; one
+# cycle here is one core access, so ~2,000 cycles of latency and roughly
+# four words per cycle of burst once positioned is a fair-era ratio.
+DRUM_LATENCY = 2_000
+DRUM_RATE = 0.25
+
+
+def atlas(clock: Clock | None = None) -> Machine:
+    """Build the ATLAS model."""
+    clock = clock if clock is not None else Clock()
+    backing = BackingStore(
+        StorageLevel(
+            "drum", DRUM_WORDS, access_time=DRUM_LATENCY, transfer_rate=DRUM_RATE
+        ),
+        clock=clock,
+    )
+    system = PagedLinearSystem(
+        name_space_extent=1 << ADDRESS_BITS,
+        frame_count=CORE_WORDS // PAGE_SIZE,   # 32 frames
+        page_size=PAGE_SIZE,
+        policy=AtlasLearningPolicy(),
+        backing=backing,
+        clock=clock,
+        keep_one_vacant=True,   # "one page frame is kept vacant, ready
+        # for the next page demand"
+        tlb=None,   # ATLAS's page registers performed the mapping directly:
+        # there is no separate table walk to short-circuit, so the table
+        # walk cost models the page-register search.
+        advice=False,
+    )
+    classification = SystemCharacteristics(
+        name_space=NameSpaceKind.LINEAR,
+        predictive_information=PredictiveInformation.NONE,
+        contiguity=Contiguity.ARTIFICIAL,
+        allocation_unit=AllocationUnit.UNIFORM,
+    )
+    return Machine(
+        name="Ferranti ATLAS",
+        appendix="A.1",
+        system=system,
+        classification=classification,
+        hardware_facilities=[
+            "address mapping (per-frame page address registers)",
+            "trapping invalid accesses (the page fault, first use)",
+            "information gathering (use bits feeding the learning program)",
+        ],
+        notes=(
+            "16,384-word core, 98,304-word drum, 512-word pages, 24-bit "
+            "addresses; learning-program replacement per Kilburn et al."
+        ),
+    )

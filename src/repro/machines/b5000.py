@@ -1,0 +1,78 @@
+"""A.3 — Burroughs B5000.
+
+"The B5000 was one of the first systems to provide programmers with a
+segmented name space (in fact a symbolically segmented name space).
+Segments are dynamic but have a maximum size of 1024 words. ... The
+segment is used directly as the unit of allocation.  Each segment is
+fetched when reference is first made to information in the segment. ...
+Among those found to be effective were a placement strategy of choosing
+the smallest available block of sufficient size and a replacement
+strategy which was essentially cyclical."
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.segmented_systems import SegmentedResidentSystem
+from repro.machines.base import Machine
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageLevel
+from repro.paging.replacement.clock import ClockPolicy
+
+WORKING_STORAGE_WORDS = 24_000   # "a typical size for working storage"
+MAX_SEGMENT_WORDS = 1_024
+DRUM_WORDS = 32_768
+DRUM_LATENCY = 2_000
+DRUM_RATE = 0.25
+
+
+def b5000(clock: Clock | None = None) -> Machine:
+    """Build the B5000 model."""
+    clock = clock if clock is not None else Clock()
+    backing = BackingStore(
+        StorageLevel(
+            "drum", DRUM_WORDS, access_time=DRUM_LATENCY, transfer_rate=DRUM_RATE
+        ),
+        clock=clock,
+    )
+    system = SegmentedResidentSystem(
+        capacity=WORKING_STORAGE_WORDS,
+        policy=ClockPolicy(),                    # "essentially cyclical"
+        backing=backing,
+        clock=clock,
+        name_space=NameSpaceKind.SYMBOLICALLY_SEGMENTED,
+        placement="best_fit",                    # "smallest available block"
+        max_segment_extent=MAX_SEGMENT_WORDS,
+        compaction=False,
+        advice=False,
+    )
+    classification = SystemCharacteristics(
+        name_space=NameSpaceKind.SYMBOLICALLY_SEGMENTED,
+        predictive_information=PredictiveInformation.NONE,
+        contiguity=Contiguity.REAL,
+        allocation_unit=AllocationUnit.NONUNIFORM,
+    )
+    return Machine(
+        name="Burroughs B5000",
+        appendix="A.3",
+        system=system,
+        classification=classification,
+        hardware_facilities=[
+            "address mapping (descriptor indirection via the PRT)",
+            "address bound violation detection (descriptor extents)",
+            "trapping invalid accesses (presence bit in the descriptor)",
+        ],
+        notes=(
+            "Symbolic segment names held in instructions; 1024-word "
+            "maximum segments over 24,000 words of working storage; "
+            "Program Reference Table descriptors; segment = unit of "
+            "allocation, fetched on first reference."
+        ),
+    )

@@ -1,0 +1,84 @@
+"""A.5 — Burroughs B8500.
+
+"The storage allocation system provided in the B8500 is very similar to
+that of the B5000. ... The most notable of these is a 44 word thin film
+associative memory.  This is used for instruction and data fetch
+lookahead (16 words), temporary storage of program reference table
+elements and index words (24 words) and a 4 word storage queue."
+
+We model the allocation-relevant portion: the B5000 configuration plus a
+24-entry associative store retaining recently used PRT elements, which
+removes the descriptor-reference cost on hits (FIG4's effect, at segment
+granularity).
+"""
+
+from __future__ import annotations
+
+from repro.addressing.associative import AssociativeMemory
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.segmented_systems import SegmentedResidentSystem
+from repro.machines.base import Machine
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageLevel
+from repro.paging.replacement.clock import ClockPolicy
+
+WORKING_STORAGE_WORDS = 65_536    # a larger multiprocessor-era store
+MAX_SEGMENT_WORDS = 1_024
+PRT_SCRATCHPAD_ENTRIES = 24       # the PRT/index-word share of the 44 words
+BACKING_WORDS = 1 << 20
+BACKING_LATENCY = 1_500
+BACKING_RATE = 0.5
+
+
+def b8500(clock: Clock | None = None) -> Machine:
+    """Build the B8500 model."""
+    clock = clock if clock is not None else Clock()
+    backing = BackingStore(
+        StorageLevel(
+            "drum", BACKING_WORDS, access_time=BACKING_LATENCY,
+            transfer_rate=BACKING_RATE,
+        ),
+        clock=clock,
+    )
+    system = SegmentedResidentSystem(
+        capacity=WORKING_STORAGE_WORDS,
+        policy=ClockPolicy(),
+        backing=backing,
+        clock=clock,
+        name_space=NameSpaceKind.SYMBOLICALLY_SEGMENTED,
+        placement="best_fit",
+        max_segment_extent=MAX_SEGMENT_WORDS,
+        compaction=False,
+        advice=False,
+        tlb=AssociativeMemory(PRT_SCRATCHPAD_ENTRIES),
+    )
+    classification = SystemCharacteristics(
+        name_space=NameSpaceKind.SYMBOLICALLY_SEGMENTED,
+        predictive_information=PredictiveInformation.NONE,
+        contiguity=Contiguity.REAL,
+        allocation_unit=AllocationUnit.NONUNIFORM,
+    )
+    return Machine(
+        name="Burroughs B8500",
+        appendix="A.5",
+        system=system,
+        classification=classification,
+        hardware_facilities=[
+            "address mapping (descriptor indirection via the PRT)",
+            "reduction of addressing overhead (44-word thin-film "
+            "associative memory retaining PRT elements and index words)",
+            "address bound violation detection (descriptor extents)",
+        ],
+        notes=(
+            "B5000-style symbolic segmentation; 24 of the 44 associative "
+            "words modelled as a PRT-element cache; any storage word "
+            "usable as an index register."
+        ),
+    )

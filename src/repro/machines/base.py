@@ -1,0 +1,63 @@
+"""The machine-model record and the survey matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.characteristics import SystemCharacteristics
+from repro.core.system import StorageAllocationSystem
+
+
+@dataclass
+class Machine:
+    """One surveyed computer system, modelled and classified.
+
+    Attributes
+    ----------
+    name:
+        The machine's name as the appendix gives it.
+    appendix:
+        The appendix section (e.g. "A.1").
+    system:
+        A live composed system with the published parameters.
+    classification:
+        The paper's four-characteristic classification.
+    hardware_facilities:
+        Which of the six special hardware facilities the machine provides.
+    notes:
+        Parameter provenance and modelling remarks.
+    """
+
+    name: str
+    appendix: str
+    system: StorageAllocationSystem
+    classification: SystemCharacteristics
+    hardware_facilities: list[str] = field(default_factory=list)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.system.characteristics != self.classification:
+            raise ValueError(
+                f"{self.name}: composed system characteristics "
+                f"{self.system.characteristics} do not match the paper's "
+                f"classification {self.classification}"
+            )
+
+
+def survey_matrix(machines: list[Machine]) -> str:
+    """Render the appendix comparison as an aligned text table."""
+    headers = (
+        "machine", "appendix", "name space", "advice", "contiguity", "unit"
+    )
+    rows = [headers]
+    for machine in machines:
+        rows.append(
+            (machine.name, machine.appendix) + machine.classification.as_row()
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

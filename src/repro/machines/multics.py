@@ -1,0 +1,234 @@
+"""A.6 — MULTICS (GE 645).
+
+"A 'small but useful' GE 645 configuration is described as including two
+processors, 128K words of core storage, 4 million words of drum storage,
+and 16 million words of disk storage. ... a linearly segmented name
+space, which by convention is used as a symbolically segmented name
+space.  Segments are dynamic and have a maximum extent of 256K words.
+... allocation is performed by a variant of the standard paging
+technique, since in fact two different page sizes (64 and 1024 words)
+are used."
+
+The two frame sizes are why the paper classifies MULTICS among the
+systems that "do not have a uniform unit of allocation" — so the
+composed system here, :class:`MulticsDualPageSystem`, runs two paged
+regions (64- and 1024-word frames) and routes each segment to the size
+that wastes less, and its characteristics row says NONUNIFORM.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.addressing.associative import AssociativeMemory
+from repro.addressing.two_level import TwoLevelMapper
+from repro.advice.directives import Advice, AdviceKind
+from repro.advice.pager import AdvisedReplacementPolicy
+from repro.clock import Clock
+from repro.core.characteristics import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.core.segmented_systems import _SegmentNaming
+from repro.core.system import StorageAllocationSystem, SystemStats
+from repro.machines.base import Machine
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageLevel
+from repro.paging.frame import FrameTable
+from repro.paging.replacement.base import ReplacementPolicy
+from repro.paging.replacement.simple import LruPolicy
+from repro.paging.segmented_pager import SegmentedPager
+
+CORE_WORDS = 131_072
+DRUM_WORDS = 4_000_000
+SMALL_PAGE = 64
+LARGE_PAGE = 1_024
+MAX_SEGMENT_WORDS = 262_144
+MAX_SEGMENTS = 262_144
+SEGMENT_NAME_BITS = 18
+TLB_ENTRIES = 16
+DRUM_LATENCY = 2_000
+DRUM_RATE = 0.25
+SMALL_REGION_FRACTION = 0.25    # share of core given to 64-word frames
+
+
+class MulticsDualPageSystem(StorageAllocationSystem):
+    """Two-level mapping over two page-frame sizes (64 and 1024 words).
+
+    Small segments (one large frame or less) use 64-word frames so
+    within-page fragmentation stays bounded; larger segments use
+    1024-word frames so table overhead stays bounded — "at the cost of
+    somewhat added complexity to the placement and replacement
+    strategies, the loss in storage utilization caused by fragmentation
+    occurring within pages can be reduced".
+    """
+
+    def __init__(
+        self,
+        backing: BackingStore,
+        clock: Clock,
+        small_policy: ReplacementPolicy,
+        large_policy: ReplacementPolicy,
+        core_words: int = CORE_WORDS,
+    ) -> None:
+        super().__init__(
+            SystemCharacteristics(
+                name_space=NameSpaceKind.LINEARLY_SEGMENTED,
+                predictive_information=PredictiveInformation.ACCEPTED,
+                contiguity=Contiguity.ARTIFICIAL,
+                allocation_unit=AllocationUnit.NONUNIFORM,
+            )
+        )
+        self.clock = clock
+        self.naming = _SegmentNaming(
+            NameSpaceKind.LINEARLY_SEGMENTED, SEGMENT_NAME_BITS
+        )
+        small_words = int(core_words * SMALL_REGION_FRACTION)
+        self._pagers: dict[str, SegmentedPager] = {}
+        for label, page_size, words in (
+            ("small", SMALL_PAGE, small_words),
+            ("large", LARGE_PAGE, core_words - small_words),
+        ):
+            mapper = TwoLevelMapper(
+                page_size=page_size,
+                max_segment_extent=MAX_SEGMENT_WORDS,
+                associative_memory=AssociativeMemory(TLB_ENTRIES),
+            )
+            self._pagers[label] = SegmentedPager(
+                mapper,
+                FrameTable(max(1, words // page_size)),
+                backing,
+                AdvisedReplacementPolicy(
+                    small_policy if label == "small" else large_policy
+                ),
+                clock,
+            )
+        self._side: dict[Hashable, str] = {}
+        self._sizes: dict[Hashable, int] = {}
+
+    def _route(self, size: int) -> str:
+        return "small" if size <= LARGE_PAGE else "large"
+
+    def create(self, name: Hashable, size: int) -> None:
+        if len(self._sizes) >= MAX_SEGMENTS:
+            raise ValueError("maximum of 256K segments per user exceeded")
+        key = self.naming.assign(name)
+        side = self._route(size)
+        self._pagers[side].declare(key, size)
+        self._side[name] = side
+        self._sizes[name] = size
+
+    def destroy(self, name: Hashable) -> None:
+        side = self._side.pop(name)
+        del self._sizes[name]
+        key = self.naming.release(name)
+        self._pagers[side].destroy(key)
+
+    def access(self, name: Hashable, offset: int, write: bool = False) -> int:
+        return self._pagers[self._side[name]].access(
+            self.naming.key(name), offset, write=write
+        )
+
+    def _apply_advice(self, advice: Advice) -> None:
+        """The three MULTICS directives, at segment granularity."""
+        side = self._side.get(advice.unit)
+        if side is None:
+            return
+        pager = self._pagers[side]
+        policy = pager.policy
+        assert isinstance(policy, AdvisedReplacementPolicy)
+        key = self.naming.key(advice.unit)
+        pages = pager.mapper.page_table(key).pages
+        resident = set(pager.frames.resident_pages())
+        for page in range(pages):
+            unit = (key, page)
+            if advice.kind is AdviceKind.KEEP_RESIDENT:
+                policy.lock(unit)
+            elif advice.kind is AdviceKind.WONT_NEED:
+                policy.unlock(unit)
+                if unit in resident:
+                    policy.hint_discard(unit)
+
+    def page_size_of(self, name: Hashable) -> int:
+        return SMALL_PAGE if self._side[name] == "small" else LARGE_PAGE
+
+    def internal_waste_words(self) -> int:
+        waste = 0
+        for name, size in self._sizes.items():
+            page = self.page_size_of(name)
+            waste += (-(-size // page)) * page - size
+        return waste
+
+    def stats(self) -> SystemStats:
+        small, large = self._pagers["small"], self._pagers["large"]
+        total_frames = sum(
+            p.frames.frame_count for p in self._pagers.values()
+        )
+        resident = sum(
+            p.frames.resident_count for p in self._pagers.values()
+        )
+        hits = sum(p.mapper.tlb.hits for p in self._pagers.values())
+        misses = sum(p.mapper.tlb.misses for p in self._pagers.values())
+        return SystemStats(
+            accesses=small.stats.accesses + large.stats.accesses,
+            faults=small.stats.faults + large.stats.faults,
+            fetch_wait_cycles=(
+                small.stats.fetch_wait_cycles + large.stats.fetch_wait_cycles
+            ),
+            mapping_cycles=(
+                small.mapper.mapping_cycles_total
+                + large.mapper.mapping_cycles_total
+            ),
+            associative_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            utilization=resident / total_frames,
+            external_fragmentation=0.0,
+            internal_waste_words=self.internal_waste_words(),
+            writebacks=small.stats.writebacks + large.stats.writebacks,
+            time=self.clock.now,
+        )
+
+
+def multics(clock: Clock | None = None) -> Machine:
+    """Build the MULTICS model."""
+    clock = clock if clock is not None else Clock()
+    backing = BackingStore(
+        StorageLevel(
+            "drum", DRUM_WORDS, access_time=DRUM_LATENCY, transfer_rate=DRUM_RATE
+        ),
+        clock=clock,
+    )
+    system = MulticsDualPageSystem(
+        backing=backing,
+        clock=clock,
+        small_policy=LruPolicy(),
+        large_policy=LruPolicy(),
+    )
+    classification = SystemCharacteristics(
+        name_space=NameSpaceKind.LINEARLY_SEGMENTED,
+        predictive_information=PredictiveInformation.ACCEPTED,
+        contiguity=Contiguity.ARTIFICIAL,
+        allocation_unit=AllocationUnit.NONUNIFORM,
+    )
+    return Machine(
+        name="MULTICS (GE 645)",
+        appendix="A.6",
+        system=system,
+        classification=classification,
+        hardware_facilities=[
+            "address mapping (two-level: segment table then page tables)",
+            "reduction of addressing overhead (associative memory of "
+            "recently accessed page locations)",
+            "trapping invalid accesses (demand paging)",
+            "address bound violation detection (segment extents)",
+        ],
+        notes=(
+            "128K-word core, 4M-word drum, 16M-word disk; 64- and "
+            "1024-word page frames (hence NONUNIFORM units, as the paper "
+            "classifies it); 256K-word maximum segments; keep/will-need/"
+            "wont-need directives; linearly segmented name space used, by "
+            "convention, symbolically."
+        ),
+    )

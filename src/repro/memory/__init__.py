@@ -1,0 +1,36 @@
+"""Physical storage substrate.
+
+Models the storage devices of the paper's era as discrete, word-addressed
+stores with explicit timing:
+
+- :class:`~repro.memory.physical.PhysicalMemory` — directly addressable
+  working storage (core).
+- :class:`~repro.memory.hierarchy.StorageLevel` and
+  :class:`~repro.memory.hierarchy.StorageHierarchy` — the levels of a
+  storage hierarchy (core / drum / disk) with access latency and transfer
+  rate, as in the appendix machine descriptions.
+- :class:`~repro.memory.backing.BackingStore` — keyed storage for page and
+  segment images kept outside working storage.
+"""
+
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import (
+    StorageHierarchy,
+    StorageLevel,
+    core_disk,
+    core_drum,
+    core_drum_disk,
+)
+from repro.memory.multilevel import MultiLevelBackingStore
+from repro.memory.physical import PhysicalMemory
+
+__all__ = [
+    "BackingStore",
+    "MultiLevelBackingStore",
+    "PhysicalMemory",
+    "StorageHierarchy",
+    "StorageLevel",
+    "core_disk",
+    "core_drum",
+    "core_drum_disk",
+]

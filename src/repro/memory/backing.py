@@ -1,0 +1,117 @@
+"""Backing storage for pages and segments.
+
+A :class:`BackingStore` holds the images of information units (pages or
+segments) that are not currently in working storage, keyed by an opaque
+unit identifier.  Fetching or storing a unit charges the transfer time of
+the hierarchy level the store lives on.
+
+This is the simulated counterpart of the ATLAS drum, the M44/44X's IBM
+1301 disk, and MULTICS's drum-plus-disk, and it is the component demand
+fetch strategies pull from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.clock import Clock
+from repro.memory.hierarchy import StorageLevel
+
+
+class BackingStore:
+    """Keyed storage of unit images on a (possibly slow) device.
+
+    Parameters
+    ----------
+    level:
+        The storage level this store models; its latency and transfer
+        rate price every fetch and store.
+    clock:
+        Shared simulation clock, or ``None`` for untimed use in tests.
+    """
+
+    def __init__(self, level: StorageLevel, clock: Clock | None = None) -> None:
+        self._level = level
+        self._clock = clock
+        self._images: dict[Hashable, list[Any]] = {}
+        self.fetches = 0
+        self.stores = 0
+        self.words_in = 0
+        self.words_out = 0
+
+    @property
+    def level(self) -> StorageLevel:
+        return self._level
+
+    @property
+    def used_words(self) -> int:
+        return sum(len(image) for image in self._images.values())
+
+    def _tick(self, cycles: int) -> None:
+        if self._clock is not None:
+            self._clock.advance(cycles)
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._images
+
+    __contains__ = contains
+
+    def store(self, key: Hashable, image: list[Any], charge: bool = True) -> int:
+        """Write a unit image out to this level; returns the transfer time.
+
+        ``charge=False`` models a transfer overlapped with computation
+        (e.g. an unhurried cleaning write): the cycles are returned but
+        the clock does not advance.
+        """
+        image = list(image)
+        new_total = self.used_words - len(self._images.get(key, ())) + len(image)
+        if new_total > self._level.capacity:
+            raise ValueError(
+                f"backing store {self._level.name!r} full: "
+                f"{new_total} > {self._level.capacity} words"
+            )
+        self._images[key] = image
+        self.stores += 1
+        self.words_out += len(image)
+        cycles = self._level.transfer_time(len(image))
+        if charge:
+            self._tick(cycles)
+        return cycles
+
+    def fetch(self, key: Hashable, charge: bool = True) -> tuple[list[Any], int]:
+        """Read a unit image from this level.
+
+        Returns ``(image, transfer_cycles)``.  The image stays resident in
+        the backing store (a *copy* exists in working storage afterwards),
+        mirroring the paper's replacement discussions where "a copy of a
+        segment exists in backing storage" affects eviction cost.
+
+        ``charge=False`` models an anticipatory fetch overlapped with
+        computation: the cycles are returned but the clock stands still.
+        """
+        try:
+            image = self._images[key]
+        except KeyError:
+            raise KeyError(f"no image for unit {key!r} on {self._level.name}") from None
+        self.fetches += 1
+        self.words_in += len(image)
+        cycles = self._level.transfer_time(len(image))
+        if charge:
+            self._tick(cycles)
+        return list(image), cycles
+
+    def discard(self, key: Hashable) -> None:
+        """Drop a unit image (the unit ceased to exist)."""
+        self._images.pop(key, None)
+
+    def keys(self) -> set[Hashable]:
+        return set(self._images)
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __repr__(self) -> str:
+        return (
+            f"BackingStore(level={self._level.name!r}, units={len(self._images)}, "
+            f"words={self.used_words})"
+        )

@@ -1,0 +1,195 @@
+"""Storage hierarchies.
+
+The paper stresses that "the choice of suitable strategies will depend
+highly upon ... the characteristics of the various storage levels and
+their interconnections" (conclusion (ii)).  ``StorageLevel`` captures
+those characteristics — capacity, access latency, transfer rate — and
+``StorageHierarchy`` strings levels together so experiments can compute
+the cost of moving a page or segment between any two levels.
+
+The appendix machines provide concrete instances::
+
+    ATLAS:   16,384-word core + 98,304-word drum, 512-word pages
+    M44/44X: ~200,000-word 8 microsecond core + 9,000,000-word 1301 disk
+    MULTICS: 128K-word core + 4M-word drum + 16M-word disk
+
+Latencies are expressed in clock cycles where one cycle is one core
+access of the fastest level; factory helpers encode era-appropriate
+ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageLevel:
+    """One level of a storage hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name ("core", "drum", "disk", "tape").
+    capacity:
+        Number of words the level can hold.
+    access_time:
+        Cycles of latency before a transfer begins (seek/rotational
+        latency for mechanical devices; cycle time for core).
+    transfer_rate:
+        Words transferred per cycle once a transfer has begun.  Core is
+        conventionally 1.0.
+    directly_addressable:
+        Whether a processor can execute from / address into this level
+        (true of core; false of drum, disk, tape).
+    """
+
+    name: str
+    capacity: int
+    access_time: int
+    transfer_rate: float = 1.0
+    directly_addressable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.access_time < 0:
+            raise ValueError("access_time must be non-negative")
+        if self.transfer_rate <= 0:
+            raise ValueError("transfer_rate must be positive")
+
+    def transfer_time(self, words: int) -> int:
+        """Cycles to move ``words`` to or from this level (latency + burst)."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        if words == 0:
+            return 0
+        return self.access_time + max(1, round(words / self.transfer_rate))
+
+
+class StorageHierarchy:
+    """An ordered sequence of storage levels, fastest first.
+
+    >>> hierarchy = StorageHierarchy([
+    ...     StorageLevel("core", 16384, access_time=1, transfer_rate=1.0,
+    ...                  directly_addressable=True),
+    ...     StorageLevel("drum", 98304, access_time=6000, transfer_rate=0.25),
+    ... ])
+    >>> hierarchy.fetch_time("drum", 512)
+    8048
+    """
+
+    def __init__(self, levels: list[StorageLevel]) -> None:
+        if not levels:
+            raise ValueError("a hierarchy needs at least one level")
+        names = [level.name for level in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate level names in {names}")
+        if not levels[0].directly_addressable:
+            raise ValueError("the fastest level must be directly addressable")
+        self._levels = list(levels)
+        self._by_name = {level.name: level for level in levels}
+
+    @property
+    def levels(self) -> list[StorageLevel]:
+        return list(self._levels)
+
+    @property
+    def working_storage(self) -> StorageLevel:
+        """The fastest (directly addressable) level."""
+        return self._levels[0]
+
+    def level(self, name: str) -> StorageLevel:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no level named {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def fetch_time(self, from_level: str, words: int) -> int:
+        """Cycles to bring ``words`` from ``from_level`` into working storage."""
+        return self.level(from_level).transfer_time(words)
+
+    def store_time(self, to_level: str, words: int) -> int:
+        """Cycles to push ``words`` from working storage to ``to_level``."""
+        return self.level(to_level).transfer_time(words)
+
+    def backing_levels(self) -> list[StorageLevel]:
+        """Levels other than working storage, nearest first."""
+        return self._levels[1:]
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(
+            f"{level.name}({level.capacity}w)" for level in self._levels
+        )
+        return f"StorageHierarchy({chain})"
+
+
+def core_drum(
+    core_words: int = 16_384,
+    drum_words: int = 98_304,
+    drum_latency: int = 6_000,
+    drum_rate: float = 0.25,
+) -> StorageHierarchy:
+    """The ATLAS-shaped two-level hierarchy (defaults are ATLAS's sizes)."""
+    return StorageHierarchy(
+        [
+            StorageLevel(
+                "core", core_words, access_time=1, transfer_rate=1.0,
+                directly_addressable=True,
+            ),
+            StorageLevel("drum", drum_words, access_time=drum_latency,
+                         transfer_rate=drum_rate),
+        ]
+    )
+
+
+def core_disk(
+    core_words: int = 200_000,
+    disk_words: int = 9_000_000,
+    disk_latency: int = 40_000,
+    disk_rate: float = 0.1,
+) -> StorageHierarchy:
+    """The M44/44X-shaped hierarchy: large core over a slow 1301 disk."""
+    return StorageHierarchy(
+        [
+            StorageLevel(
+                "core", core_words, access_time=1, transfer_rate=1.0,
+                directly_addressable=True,
+            ),
+            StorageLevel("disk", disk_words, access_time=disk_latency,
+                         transfer_rate=disk_rate),
+        ]
+    )
+
+
+def core_drum_disk(
+    core_words: int = 131_072,
+    drum_words: int = 4_000_000,
+    disk_words: int = 16_000_000,
+    drum_latency: int = 6_000,
+    disk_latency: int = 40_000,
+) -> StorageHierarchy:
+    """The MULTICS-shaped three-level hierarchy (GE 645 configuration)."""
+    return StorageHierarchy(
+        [
+            StorageLevel(
+                "core", core_words, access_time=1, transfer_rate=1.0,
+                directly_addressable=True,
+            ),
+            StorageLevel("drum", drum_words, access_time=drum_latency,
+                         transfer_rate=0.25),
+            StorageLevel("disk", disk_words, access_time=disk_latency,
+                         transfer_rate=0.1),
+        ]
+    )

@@ -1,0 +1,130 @@
+"""Multi-level backing storage.
+
+MULTICS backs its core with a drum *and* a disk; ACSI-MATIC program
+descriptions could specify "which storage medium a particular segment
+was to be in when it was used".  :class:`MultiLevelBackingStore` models
+that: one keyed store per backing level of a hierarchy, with per-unit
+routing — by explicit preference, else to the nearest level with room.
+
+The fetch/store/contains/discard surface matches
+:class:`~repro.memory.backing.BackingStore`, so the segment managers and
+pagers accept either.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.clock import Clock
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageHierarchy, StorageLevel
+
+
+class MultiLevelBackingStore:
+    """Keyed unit storage across the backing levels of a hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The storage hierarchy; every level past working storage becomes
+        a backing store, nearest (fastest) first.
+    clock:
+        Shared simulation clock.
+    medium_of:
+        Optional routing function ``key -> level name`` consulted on
+        every store — the hook a program description plugs into.  A
+        returned name not in the hierarchy falls back to default routing.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        clock: Clock | None = None,
+        medium_of: Callable[[Hashable], str | None] | None = None,
+    ) -> None:
+        backing_levels = hierarchy.backing_levels()
+        if not backing_levels:
+            raise ValueError("hierarchy has no backing levels")
+        self.hierarchy = hierarchy
+        self.medium_of = medium_of
+        self._stores = {
+            level.name: BackingStore(level, clock=clock)
+            for level in backing_levels
+        }
+        self._order = [level.name for level in backing_levels]
+        self.misroutes = 0
+
+    # -- BackingStore-compatible surface -------------------------------------
+
+    @property
+    def level(self) -> StorageLevel:
+        """The default (nearest) backing level, for first-touch pricing."""
+        return self._stores[self._order[0]].level
+
+    def contains(self, key: Hashable) -> bool:
+        return any(key in store for store in self._stores.values())
+
+    __contains__ = contains
+
+    def store(self, key: Hashable, image: list[Any], charge: bool = True) -> int:
+        """Write a unit image to its preferred level (or the nearest fit)."""
+        # A unit lives on exactly one level: drop stale copies first.
+        self.discard(key)
+        for name in self._route(key):
+            target = self._stores[name]
+            if target.used_words + len(image) <= target.level.capacity:
+                return target.store(key, image, charge=charge)
+        raise ValueError(
+            f"no backing level can hold {len(image)} words for {key!r}"
+        )
+
+    def fetch(self, key: Hashable, charge: bool = True) -> tuple[list[Any], int]:
+        """Read a unit image from whichever level holds it."""
+        for store in self._stores.values():
+            if key in store:
+                return store.fetch(key, charge=charge)
+        raise KeyError(f"no image for unit {key!r} on any backing level")
+
+    def discard(self, key: Hashable) -> None:
+        for store in self._stores.values():
+            store.discard(key)
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route(self, key: Hashable) -> list[str]:
+        """Level names to try, preferred first."""
+        order = list(self._order)
+        if self.medium_of is not None:
+            preferred = self.medium_of(key)
+            if preferred in self._stores:
+                order.remove(preferred)
+                order.insert(0, preferred)
+            elif preferred is not None:
+                self.misroutes += 1
+        return order
+
+    # -- inspection ---------------------------------------------------------------
+
+    def level_of(self, key: Hashable) -> str | None:
+        """Which level currently holds ``key`` (None if nowhere)."""
+        for name, store in self._stores.items():
+            if key in store:
+                return name
+        return None
+
+    def store_for(self, name: str) -> BackingStore:
+        return self._stores[name]
+
+    @property
+    def fetches(self) -> int:
+        return sum(store.fetches for store in self._stores.values())
+
+    @property
+    def stores(self) -> int:
+        return sum(store.stores for store in self._stores.values())
+
+    def __repr__(self) -> str:
+        populated = {
+            name: len(store) for name, store in self._stores.items()
+        }
+        return f"MultiLevelBackingStore({populated})"

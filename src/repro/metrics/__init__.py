@@ -1,0 +1,13 @@
+"""Measurement helpers shared by experiments and examples.
+
+- :class:`~repro.metrics.series.TimeSeries` — sampled metric traces
+  (utilization over time, fragmentation over a request stream).
+- :mod:`~repro.metrics.report` — aligned text tables and simple ASCII
+  bar charts for printing experiment results the way the benches do.
+"""
+
+from repro.metrics.histogram import Bin, Histogram
+from repro.metrics.report import ascii_bar, format_table
+from repro.metrics.series import TimeSeries
+
+__all__ = ["Bin", "Histogram", "TimeSeries", "ascii_bar", "format_table"]

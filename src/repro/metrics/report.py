@@ -1,0 +1,56 @@
+"""Plain-text result rendering.
+
+The benchmark harness prints each experiment's rows/series the way the
+paper would tabulate them; these helpers keep that output aligned and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with four significant decimals; everything else via
+    ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    text_rows = [[render(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A proportional bar, for eyeballing series in terminal output."""
+    if maximum <= 0:
+        return ""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    filled = round(width * min(value, maximum) / maximum)
+    return "#" * filled + "." * (width - filled)

@@ -1,0 +1,68 @@
+"""Sampled metric traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of (time, value) samples.
+
+    >>> series = TimeSeries("utilization")
+    >>> series.sample(0, 0.5)
+    >>> series.sample(10, 0.7)
+    >>> series.mean()
+    0.6
+    """
+
+    name: str
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def sample(self, time: int, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        """Unweighted mean of the sampled values (0.0 when empty)."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighting each value by the interval it was current for.
+
+        Each value holds from its sample time to the next sample time;
+        the last sample gets zero weight (its interval is unknown), so at
+        least two samples are needed for a nonzero result.
+        """
+        if len(self.values) < 2:
+            return self.mean()
+        weighted = 0.0
+        total = 0
+        for index in range(len(self.values) - 1):
+            interval = self.times[index + 1] - self.times[index]
+            weighted += self.values[index] * interval
+            total += interval
+        return weighted / total if total else self.mean()
+
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def final(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]

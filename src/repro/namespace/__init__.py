@@ -1,0 +1,38 @@
+"""Name spaces.
+
+"Name space has come into usage as a term for the set of names which can
+be used by a program to refer to informational items."  The paper's
+first characteristic distinguishes:
+
+- :class:`~repro.namespace.linear.LinearNameSpace` — names are the
+  integers 0..n; allocating groups of items means allocating groups of
+  *contiguous names*, so the name space itself fragments ("problems of
+  name allocation which need not have concerned the user will remain to
+  be solved").
+- :class:`~repro.namespace.segmented.LinearlySegmentedNameSpace` — the
+  (segment number, item) scheme of the 360/67 and MULTICS, where segment
+  names are ordered integers carved from the high bits of the address;
+  groups of related segments need *contiguous segment names*, so the
+  segment dictionary fragments and may need reallocation.
+- :class:`~repro.namespace.segmented.SymbolicallySegmentedNameSpace` —
+  the B5000 scheme, where "the segments are in no sense ordered ...
+  there is no name contiguity to cause the sort of problems that are
+  present in the task of allocating and reallocating addresses", and so
+  "far less bookkeeping".
+
+Each implementation counts its bookkeeping operations (dictionary search
+steps, name reallocations) so experiment CL-NAMES can print the paper's
+comparison as numbers.
+"""
+
+from repro.namespace.linear import LinearNameSpace
+from repro.namespace.segmented import (
+    LinearlySegmentedNameSpace,
+    SymbolicallySegmentedNameSpace,
+)
+
+__all__ = [
+    "LinearNameSpace",
+    "LinearlySegmentedNameSpace",
+    "SymbolicallySegmentedNameSpace",
+]

@@ -1,0 +1,65 @@
+"""Paging: uniform units of allocation.
+
+"Storage can be allocated in blocks of equal size, which we call 'page
+frames,' a 'page' being the set of informational items that can fit
+within a page frame.  Systems ... which use a mapping device to make the
+addresses of items in pages independent of the particular page frame in
+which the page currently resides are often referred to as 'paging
+systems.'"
+
+- :class:`~repro.paging.frame.FrameTable` — the pool of page frames ("one
+  of the great virtues of such systems is their simplicity, since a page
+  can be placed in any available page frame").
+- :class:`~repro.paging.pager.DemandPager` — the demand fetch strategy
+  built on the invalid-access trap, with write-back of modified pages.
+- :mod:`~repro.paging.replacement` — the replacement strategies the paper
+  and its references describe (FIFO, LRU, clock, random, LFU, working
+  set, Belady's OPT, the ATLAS learning algorithm, the M44/44X
+  class-random algorithm).
+- :func:`~repro.paging.simulate.simulate_trace` — a fast trace-driven
+  fault counter used by the replacement experiments.
+- :class:`~repro.paging.prefetch.SequentialPrefetcher` — anticipatory
+  fetching ("information can be fetched before it is needed").
+"""
+
+from repro.paging.cleaning import PageCleaner
+from repro.paging.frame import FrameTable
+from repro.paging.pager import DemandPager, PagerStats
+from repro.paging.prefetch import SequentialPrefetcher
+from repro.paging.replacement import (
+    REPLACEMENT_POLICIES,
+    AtlasLearningPolicy,
+    BeladyOptimalPolicy,
+    ClockPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    M44ClassRandomPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    WorkingSetPolicy,
+    make_policy,
+)
+from repro.paging.simulate import SimulationResult, simulate_trace
+
+__all__ = [
+    "REPLACEMENT_POLICIES",
+    "AtlasLearningPolicy",
+    "BeladyOptimalPolicy",
+    "ClockPolicy",
+    "DemandPager",
+    "FifoPolicy",
+    "FrameTable",
+    "LfuPolicy",
+    "LruPolicy",
+    "M44ClassRandomPolicy",
+    "PageCleaner",
+    "PagerStats",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SequentialPrefetcher",
+    "SimulationResult",
+    "WorkingSetPolicy",
+    "make_policy",
+    "simulate_trace",
+]

@@ -1,0 +1,76 @@
+"""Cleaning: writing modified pages back at the system's convenience.
+
+The paper's fetch-strategy taxonomy has a third timing — "or even later
+at the convenience of the system" — whose storage-side counterpart is
+*cleaning*: a dirty page must reach backing storage before its frame is
+reused, but the write can happen early and overlapped instead of on the
+eviction's critical path.
+
+:class:`PageCleaner` sweeps a pager's dirty resident pages during what
+would be idle channel time (charged as overlapped traffic, not program
+wait).  A cleaned page evicts as cheaply as a clean one unless it is
+modified again first.  The CL-CLEAN ablation measures the blocked-cycle
+difference.
+"""
+
+from __future__ import annotations
+
+from repro.paging.pager import DemandPager
+
+
+class PageCleaner:
+    """Opportunistically writes back dirty pages, overlapped.
+
+    Parameters
+    ----------
+    pager:
+        The demand pager whose resident pages are swept.
+    """
+
+    def __init__(self, pager: DemandPager) -> None:
+        self.pager = pager
+        self.pages_cleaned = 0
+        self.words_cleaned = 0
+        self.sweeps = 0
+
+    def dirty_pages(self) -> list[int]:
+        """Resident pages whose modified sensor is set."""
+        table = self.pager.page_table
+        return [
+            page for page in self.pager.frames.resident_pages()
+            if table.entry(page).modified
+        ]
+
+    def clean(self, max_pages: int | None = None) -> int:
+        """Write back up to ``max_pages`` dirty pages; returns the count.
+
+        The transfers are overlapped (``charge=False``): backing-store
+        traffic is recorded, the program does not wait.  Each cleaned
+        page's modified bit is cleared — the page now has a faithful
+        copy in backing storage, so a later eviction needs no write-back.
+        """
+        if max_pages is not None and max_pages < 0:
+            raise ValueError("max_pages must be non-negative")
+        self.sweeps += 1
+        cleaned = 0
+        page_size = self.pager.page_table.page_size
+        for page in self.dirty_pages():
+            if max_pages is not None and cleaned >= max_pages:
+                break
+            image = [("page", page)] * page_size
+            self.pager.backing.store(("page", page), image, charge=False)
+            self.pager.page_table.entry(page).modified = False
+            # Keep the replacement policy's dirty view in sync, if it has
+            # one (TrackingPolicy subclasses do).
+            modified_map = getattr(self.pager.policy, "modified", None)
+            if modified_map is not None and page in modified_map:
+                modified_map[page] = False
+            cleaned += 1
+            self.pages_cleaned += 1
+            self.words_cleaned += page_size
+        return cleaned
+
+    def __repr__(self) -> str:
+        return (
+            f"PageCleaner(cleaned={self.pages_cleaned}, sweeps={self.sweeps})"
+        )

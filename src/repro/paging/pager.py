@@ -1,0 +1,221 @@
+"""The demand-paging engine.
+
+"Demand paging uses the address mapping device to deflect reference to a
+page which is not currently in one of the page frames.  A page fetch
+will then be initiated."
+
+:class:`DemandPager` ties together the page table (mapping + trap), the
+frame table (placement — any free frame), a replacement policy, the
+backing store (fetch/write-back timing), and the clock.  Its statistics
+feed Figure 3: total time split into computing time and page-wait time,
+and the residency integral needed for the space-time product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.addressing.page_table import PageTable
+from repro.clock import Clock
+from repro.errors import PageFault
+from repro.memory.backing import BackingStore
+from repro.paging.frame import FrameTable
+from repro.paging.prefetch import SequentialPrefetcher
+from repro.paging.replacement.base import ReplacementPolicy
+
+
+@dataclass
+class PagerStats:
+    """Counters a demand-paging run accumulates."""
+
+    accesses: int = 0
+    faults: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetches: int = 0
+    fetch_wait_cycles: int = 0
+    writeback_cycles: int = 0
+    frame_cycles_resident: int = 0
+    """Sum over evicted/live pages of (residency duration in cycles) — the
+    storage half of the space-time product."""
+
+    @property
+    def fault_rate(self) -> float:
+        return self.faults / self.accesses if self.accesses else 0.0
+
+
+class DemandPager:
+    """Demand fetch with pluggable replacement over one page table.
+
+    Parameters
+    ----------
+    page_table:
+        The address map for the program's linear name space.
+    frames:
+        The machine's page-frame pool (shared in multiprogramming setups).
+    backing:
+        Where non-resident pages live; prices fetches and write-backs.
+    policy:
+        Replacement strategy consulted when no frame is free.
+    clock:
+        Simulation clock; page waits advance it by the backing store's
+        transfer time.
+    prefetcher:
+        Optional anticipatory-fetch strategy consulted after each fault.
+    prefetch_evicts:
+        Whether anticipatory fetches may displace resident pages (the
+        aggressive variant).  Off, prefetch only fills free frames — safe
+        but inert under memory pressure; on, lookahead trades resident
+        pages for predicted ones, which pays on sequential patterns and
+        pollutes on random ones (measured in ABL-FETCH).
+    keep_one_vacant:
+        The ATLAS discipline: after each fault is resolved, pre-evict a
+        victim so "one page frame is kept vacant, ready for the next
+        page demand".  The pre-eviction's write-back (if any) happens at
+        the drum's convenience (overlapped), so the *next* fault finds a
+        frame free and pays only the fetch.
+    reference_time:
+        Processor cycles each reference itself consumes (a core access);
+        keeps recency timestamps distinct and compute time measurable.
+    """
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        frames: FrameTable,
+        backing: BackingStore,
+        policy: ReplacementPolicy,
+        clock: Clock,
+        prefetcher: SequentialPrefetcher | None = None,
+        reference_time: int = 1,
+        prefetch_evicts: bool = False,
+        keep_one_vacant: bool = False,
+    ) -> None:
+        self.page_table = page_table
+        self.frames = frames
+        self.backing = backing
+        self.policy = policy
+        self.clock = clock
+        self.prefetcher = prefetcher
+        self.prefetch_evicts = prefetch_evicts
+        self.keep_one_vacant = keep_one_vacant
+        if reference_time <= 0:
+            raise ValueError("reference_time must be positive")
+        self.reference_time = reference_time
+        self.stats = PagerStats()
+        self._loaded_at: dict[Hashable, int] = {}
+
+    # -- the access path ---------------------------------------------------
+
+    def access(self, name: int, write: bool = False) -> int:
+        """Reference one name; returns the absolute address used.
+
+        On a page fault the pager blocks (advances the clock by the fetch
+        time), performs replacement if needed, and retries — invisible to
+        the caller, exactly as the trap hardware makes it invisible to
+        the program.
+        """
+        self.stats.accesses += 1
+        self.clock.advance(self.reference_time)
+        try:
+            translation = self.page_table.translate(name, write=write)
+        except PageFault as fault:
+            self._handle_fault(fault.page, write=write)
+            translation = self.page_table.translate(name, write=write)
+        else:
+            page = self.page_table.split(name)[0]
+            entry = self.page_table.entry(page)
+            entry.last_use = self.clock.now
+            self.policy.on_access(page, self.clock.now, modified=write)
+        return translation.address
+
+    def access_page(self, page: int, write: bool = False) -> None:
+        """Trace-driven entry point: reference page ``page`` directly."""
+        self.access(page * self.page_table.page_size, write=write)
+
+    # -- fault handling ------------------------------------------------------
+
+    def _handle_fault(self, page: int, write: bool) -> None:
+        self.stats.faults += 1
+        self._ensure_free_frame()
+        self._load(page, modified=write)
+        if self.prefetcher is not None:
+            for candidate in self.prefetcher.suggest(page, self.page_table):
+                if candidate in self.frames:
+                    continue
+                if self.frames.is_full():
+                    if not self.prefetch_evicts:
+                        break   # conservative prefetch never evicts
+                    self._ensure_free_frame()
+                self._load(candidate, prefetch=True)
+        if self.keep_one_vacant and self.frames.is_full():
+            # ATLAS: vacate a frame now, at leisure, not on the next
+            # fault's critical path.
+            self._evict(self.policy.choose_victim(
+                self.frames.resident_pages(), self.clock.now
+            ), overlapped=True)
+
+    def _ensure_free_frame(self) -> None:
+        if not self.frames.is_full():
+            return
+        victim = self.policy.choose_victim(
+            self.frames.resident_pages(), self.clock.now
+        )
+        self._evict(victim)
+
+    def _evict(self, page: Hashable, overlapped: bool = False) -> None:
+        snapshot = self.page_table.unmap(page)
+        self.frames.release(page)
+        self.policy.on_evict(page)
+        self.stats.evictions += 1
+        loaded = self._loaded_at.pop(page, self.clock.now)
+        self.stats.frame_cycles_resident += self.clock.now - loaded
+        if snapshot.modified:
+            # Write-back: a dirty page must reach backing storage before
+            # its frame is reused.  A pre-eviction (keep-one-vacant) runs
+            # the transfer at the drum's convenience — not program time.
+            image = [("page", page)] * self.page_table.page_size
+            cycles = self.backing.store(
+                ("page", page), image, charge=not overlapped
+            )
+            self.stats.writebacks += 1
+            if not overlapped:
+                self.stats.writeback_cycles += cycles
+
+    def _load(self, page: int, modified: bool = False,
+              prefetch: bool = False) -> None:
+        key = ("page", page)
+        if key in self.backing:
+            _, cycles = self.backing.fetch(key, charge=not prefetch)
+        else:
+            # First touch: the page springs into existence zero-filled,
+            # but the transfer from backing store still takes full time.
+            cycles = self.backing.level.transfer_time(self.page_table.page_size)
+            if not prefetch:
+                self.clock.advance(cycles)
+        if prefetch:
+            # Anticipatory fetch, overlapped with computation: the program
+            # does not wait (the paper's point about fetching "before it
+            # is needed").
+            self.stats.prefetches += 1
+        else:
+            self.stats.fetch_wait_cycles += cycles
+        frame = self.frames.acquire(page)
+        self.page_table.map(page, frame, now=self.clock.now)
+        self._loaded_at[page] = self.clock.now
+        self.policy.on_load(page, self.clock.now, modified=modified)
+
+    # -- accounting ----------------------------------------------------------
+
+    def residency_cycles(self) -> int:
+        """Space-time numerator: evicted pages' residency plus live pages'
+        residency up to now."""
+        live = sum(self.clock.now - t for t in self._loaded_at.values())
+        return self.stats.frame_cycles_resident + live
+
+    def __repr__(self) -> str:
+        return (
+            f"DemandPager(policy={self.policy.name}, "
+            f"frames={self.frames.frame_count}, faults={self.stats.faults})"
+        )

@@ -1,0 +1,46 @@
+"""Anticipatory fetch strategies.
+
+"There exist many strategies governing when to fetch information that is
+required by a program.  For instance, information can be fetched before
+it is needed, at the moment it is needed (e.g. 'demand paging'), or even
+later at the convenience of the system."
+
+The demand case is the pager's default; this module supplies the
+*before* case.  :class:`SequentialPrefetcher` exploits the prediction
+implicit in name contiguity — a program using page *p* is likely to use
+*p+1* shortly.  Explicitly advised prefetch (the M44/44X's special
+instructions) lives in :mod:`repro.advice` and plugs into the same hook.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.addressing.page_table import PageTable
+
+
+class SequentialPrefetcher:
+    """Suggest the next ``depth`` pages after each faulting page.
+
+    Parameters
+    ----------
+    depth:
+        How many successor pages to suggest per fault (lookahead).
+    """
+
+    def __init__(self, depth: int = 1) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.depth = depth
+
+    def suggest(self, faulting_page: int, page_table: PageTable) -> Iterable[int]:
+        """Pages worth bringing in alongside ``faulting_page``."""
+        for step in range(1, self.depth + 1):
+            candidate = faulting_page + step
+            if candidate >= page_table.pages:
+                break
+            if not page_table.entry(candidate).present:
+                yield candidate
+
+    def __repr__(self) -> str:
+        return f"SequentialPrefetcher(depth={self.depth})"

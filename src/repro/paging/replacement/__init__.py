@@ -1,0 +1,88 @@
+"""Replacement strategies.
+
+"When it is necessary to make room in working storage for some new
+information, a replacement strategy is used to determine which
+informational units should be overlayed.  The strategy should seek to
+avoid the overlaying of information which may be required again in the
+near future."
+
+The policies implemented:
+
+================== =========================================================
+``fifo``            Evict the longest-resident page.
+``lru``             Evict the least recently used page ("recent history of
+                    usage of information may guide the allocator").
+``clock``           Cyclic second-chance — "a replacement strategy which was
+                    essentially cyclical" (B5000, Appendix A.3).
+``random``          Uniformly random victim (a Belady [1] baseline).
+``lfu``             Evict the least frequently used page.
+``atlas``           The ATLAS "learning program" (Appendix A.1): uses the
+                    time since last access and the previous duration of
+                    inactivity to find a page "no longer in use", else the
+                    one that "will be the last to be required".
+``m44``             The M44/44X algorithm (Appendix A.2): "selects at random
+                    from a set of equally acceptable candidates determined
+                    on the basis of frequency of usage and whether or not a
+                    page has been modified".
+``working_set``     Evict pages outside the working-set window.
+``opt``             Belady's MIN — evict the page whose next use is farthest
+                    in the future; the unbeatable yardstick from Belady [1].
+================== =========================================================
+"""
+
+from repro.paging.replacement.atlas import AtlasLearningPolicy
+from repro.paging.replacement.base import ReplacementPolicy
+from repro.paging.replacement.belady import BeladyOptimalPolicy
+from repro.paging.replacement.clock import ClockPolicy
+from repro.paging.replacement.m44 import M44ClassRandomPolicy
+from repro.paging.replacement.simple import (
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+)
+from repro.paging.replacement.working_set import WorkingSetPolicy
+
+REPLACEMENT_POLICIES = {
+    "fifo": FifoPolicy,
+    "lru": LruPolicy,
+    "clock": ClockPolicy,
+    "random": RandomPolicy,
+    "lfu": LfuPolicy,
+    "atlas": AtlasLearningPolicy,
+    "m44": M44ClassRandomPolicy,
+    "working_set": WorkingSetPolicy,
+    "opt": BeladyOptimalPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry name.
+
+    ``opt`` requires a ``trace`` keyword (the full future reference
+    string); others accept their documented tuning knobs.
+    """
+    try:
+        cls = REPLACEMENT_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(REPLACEMENT_POLICIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "REPLACEMENT_POLICIES",
+    "AtlasLearningPolicy",
+    "BeladyOptimalPolicy",
+    "ClockPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "M44ClassRandomPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "WorkingSetPolicy",
+    "make_policy",
+]

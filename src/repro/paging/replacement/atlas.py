@@ -1,0 +1,89 @@
+"""The ATLAS "learning program" (Appendix A.1).
+
+"The learning program makes use of information which records the length
+of time since the page in each page frame has been accessed and the
+previous duration of inactivity for that page.  It attempts to find a
+page which appears to be no longer in use.  If all the pages are in
+current use it tries to choose the one which, if the recent pattern of
+use is maintained, will be the last to be required."
+
+Interpretation (following Kilburn et al.'s description of loop periods):
+for each resident page the policy keeps
+
+- ``idle = now - last_use`` — time since last access, and
+- ``period`` — the most recently observed inactivity interval that *ended*
+  in a new access (the page's apparent re-use period).
+
+A page whose current idleness exceeds its observed period by a margin
+"appears to be no longer in use" — among those, the one idle longest is
+taken.  If every page is within its period (all "in current use"), the
+page whose predicted next use ``last_use + period`` is farthest away is
+chosen — the one that "will be the last to be required".
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.paging.replacement.base import TrackingPolicy
+
+
+class AtlasLearningPolicy(TrackingPolicy):
+    """Loop-period learning replacement, after the ATLAS drum scheme.
+
+    Parameters
+    ----------
+    margin:
+        How far past its observed period a page's idleness must run
+        before the page is presumed dead, as a multiple of the period.
+        1.0 reproduces the "longer idle than its loop period" rule.
+    """
+
+    name = "atlas"
+
+    def __init__(self, margin: float = 1.0) -> None:
+        super().__init__()
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.margin = margin
+        self.period: dict[Hashable, int] = {}
+
+    def on_load(self, page: Hashable, now: int, modified: bool = False) -> None:
+        super().on_load(page, now, modified)
+        self.period[page] = 0   # no observed re-use interval yet
+
+    def on_access(self, page: Hashable, now: int, modified: bool = False) -> None:
+        previous_use = self.last_use.get(page, now)
+        inactivity = now - previous_use
+        if inactivity > 0:
+            # The inactivity interval just ended: learn it as the period.
+            self.period[page] = inactivity
+        super().on_access(page, now, modified)
+
+    def on_evict(self, page: Hashable) -> None:
+        super().on_evict(page)
+        self.period.pop(page, None)
+
+    def reset(self) -> None:
+        super().reset()
+        self.period.clear()
+
+    def _appears_dead(self, page: Hashable, now: int) -> bool:
+        idle = now - self.last_use[page]
+        period = self.period.get(page, 0)
+        if period == 0:
+            # Never re-used since load: dead once idle at all beyond load.
+            return idle > 0
+        return idle > period * (1.0 + self.margin)
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        dead = [page for page in resident if self._appears_dead(page, now)]
+        if dead:
+            # The page idle longest relative to expectation.
+            return max(dead, key=lambda page: now - self.last_use[page])
+        # All pages in current use: predict next use = last_use + period;
+        # sacrifice the one needed last.
+        return max(
+            resident,
+            key=lambda page: self.last_use[page] + self.period.get(page, 0),
+        )

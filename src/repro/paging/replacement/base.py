@@ -1,0 +1,86 @@
+"""The replacement-policy interface.
+
+A policy observes the paging engine's events (loads, accesses, evictions)
+and, when asked, names a victim among the currently resident pages.  The
+``now`` argument is a reference counter or clock value — whichever the
+driver uses, as long as it is monotonic; policies only compare instants.
+
+Pages are opaque hashables, so the same policies drive single-program
+page traces, (process, page) pairs in multiprogramming runs, and
+(segment, page) pairs under two-level mapping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+
+class ReplacementPolicy(ABC):
+    """Observer-and-oracle interface shared by every replacement strategy."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def on_load(self, page: Hashable, now: int, modified: bool = False) -> None:
+        """``page`` was just brought into a frame.
+
+        ``modified`` is True when the triggering reference was a write
+        (the page is dirty from its very first instant).
+        """
+
+    @abstractmethod
+    def on_access(self, page: Hashable, now: int, modified: bool = False) -> None:
+        """``page`` (already resident) was referenced."""
+
+    @abstractmethod
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        """Pick one of ``resident`` to overlay.  ``resident`` is non-empty."""
+
+    def on_evict(self, page: Hashable) -> None:
+        """``page`` left working storage; drop any state held for it."""
+
+    def reset(self) -> None:
+        """Forget everything (new experiment, same policy object)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class TrackingPolicy(ReplacementPolicy):
+    """Base class maintaining the bookkeeping most policies need.
+
+    Tracks, per resident page: load time, last-use time, use count, and a
+    modified flag — the data the paper's "information gathering" hardware
+    sensors provide.
+    """
+
+    def __init__(self) -> None:
+        self.loaded_at: dict[Hashable, int] = {}
+        self.last_use: dict[Hashable, int] = {}
+        self.use_count: dict[Hashable, int] = {}
+        self.modified: dict[Hashable, bool] = {}
+
+    def on_load(self, page: Hashable, now: int, modified: bool = False) -> None:
+        self.loaded_at[page] = now
+        self.last_use[page] = now
+        self.use_count[page] = 1
+        self.modified[page] = modified
+
+    def on_access(self, page: Hashable, now: int, modified: bool = False) -> None:
+        self.last_use[page] = now
+        self.use_count[page] = self.use_count.get(page, 0) + 1
+        if modified:
+            self.modified[page] = True
+
+    def on_evict(self, page: Hashable) -> None:
+        self.loaded_at.pop(page, None)
+        self.last_use.pop(page, None)
+        self.use_count.pop(page, None)
+        self.modified.pop(page, None)
+
+    def reset(self) -> None:
+        self.loaded_at.clear()
+        self.last_use.clear()
+        self.use_count.clear()
+        self.modified.clear()

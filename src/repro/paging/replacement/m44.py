@@ -1,0 +1,64 @@
+"""The M44/44X class-random replacement algorithm (Appendix A.2).
+
+"One of particular interest selects at random from a set of equally
+acceptable candidates determined on the basis of frequency of usage and
+whether or not a page has been modified (see Belady [1])."
+
+Resident pages are partitioned into four classes by (frequently-used?,
+modified?).  Classes are ranked cheapest-to-evict first:
+
+1. infrequently used, clean   — least likely needed, free to drop
+2. infrequently used, dirty   — unlikely needed, costs a write-back
+3. frequently used, clean
+4. frequently used, dirty
+
+The victim is drawn uniformly at random from the first non-empty class.
+"Frequently used" means a use count at or above the median of the
+resident set (a threshold the real system derived from its usage
+counters in the mapping store).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.paging.replacement.base import TrackingPolicy
+
+
+class M44ClassRandomPolicy(TrackingPolicy):
+    """Random choice among the least valuable usage/modification class."""
+
+    name = "m44"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
+
+    def _median_use(self, resident: list[Hashable]) -> float:
+        counts = sorted(self.use_count.get(page, 0) for page in resident)
+        middle = len(counts) // 2
+        if len(counts) % 2:
+            return counts[middle]
+        return (counts[middle - 1] + counts[middle]) / 2
+
+    def classes(self, resident: list[Hashable]) -> list[list[Hashable]]:
+        """The four candidate classes, cheapest-to-evict first."""
+        threshold = self._median_use(resident)
+        buckets: list[list[Hashable]] = [[], [], [], []]
+        for page in resident:
+            frequent = self.use_count.get(page, 0) >= threshold
+            dirty = self.modified.get(page, False)
+            buckets[2 * frequent + dirty].append(page)
+        return buckets
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        for bucket in self.classes(resident):
+            if bucket:
+                return self._rng.choice(bucket)
+        raise RuntimeError("no resident pages to choose among")

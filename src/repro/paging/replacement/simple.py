@@ -1,0 +1,64 @@
+"""FIFO, LRU, LFU and random replacement.
+
+The straightforward strategies evaluated by Belady [1], against which the
+appendix machines' more elaborate algorithms are compared in CL-REPL.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.paging.replacement.base import TrackingPolicy
+
+
+class FifoPolicy(TrackingPolicy):
+    """Evict the page that has been resident longest.
+
+    Ignores usage entirely — the contrast case showing why "recent
+    history of usage" should "guide the allocator".
+    """
+
+    name = "fifo"
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        return min(resident, key=lambda page: self.loaded_at[page])
+
+
+class LruPolicy(TrackingPolicy):
+    """Evict the least recently used page."""
+
+    name = "lru"
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        return min(resident, key=lambda page: self.last_use[page])
+
+
+class LfuPolicy(TrackingPolicy):
+    """Evict the least frequently used page (ties broken by last use)."""
+
+    name = "lfu"
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        return min(
+            resident,
+            key=lambda page: (self.use_count[page], self.last_use[page]),
+        )
+
+
+class RandomPolicy(TrackingPolicy):
+    """Evict a uniformly random resident page (seeded for repeatability)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
+        return self._rng.choice(resident)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,116 @@
+"""Demand paging under a two-level (segment, page) map.
+
+The MULTICS / 360-67 configuration: a segmented name space whose name
+contiguity is provided by paging, so the unit of allocation is the page
+frame while the unit of *naming* is the segment.  Replacement operates
+over (segment, page) pairs drawn from the shared frame pool.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.addressing.two_level import TwoLevelMapper
+from repro.clock import Clock
+from repro.errors import PageFault
+from repro.memory.backing import BackingStore
+from repro.paging.frame import FrameTable
+from repro.paging.pager import PagerStats
+from repro.paging.replacement.base import ReplacementPolicy
+
+
+class SegmentedPager:
+    """Demand paging of segments through a :class:`TwoLevelMapper`."""
+
+    def __init__(
+        self,
+        mapper: TwoLevelMapper,
+        frames: FrameTable,
+        backing: BackingStore,
+        policy: ReplacementPolicy,
+        clock: Clock,
+        reference_time: int = 1,
+    ) -> None:
+        if reference_time <= 0:
+            raise ValueError("reference_time must be positive")
+        self.reference_time = reference_time
+        self.mapper = mapper
+        self.frames = frames
+        self.backing = backing
+        self.policy = policy
+        self.clock = clock
+        self.stats = PagerStats()
+        self._loaded_at: dict[tuple[Hashable, int], int] = {}
+
+    def declare(self, segment: Hashable, extent: int) -> None:
+        self.mapper.declare(segment, extent)
+
+    def destroy(self, segment: Hashable) -> None:
+        """Destroy a segment, vacating its resident pages."""
+        table = self.mapper.page_table(segment)
+        for page in table.resident_pages():
+            unit = (segment, page)
+            self.frames.release(unit)
+            self.policy.on_evict(unit)
+            loaded = self._loaded_at.pop(unit, self.clock.now)
+            self.stats.frame_cycles_resident += self.clock.now - loaded
+            self.backing.discard(("page",) + unit)
+        self.mapper.destroy(segment)
+
+    def access(self, segment: Hashable, item: int, write: bool = False) -> int:
+        """Reference item ``item`` of ``segment``; returns the address."""
+        self.stats.accesses += 1
+        self.clock.advance(self.reference_time)
+        try:
+            translation = self.mapper.translate_pair(segment, item, write=write)
+        except PageFault as fault:
+            self._handle_fault(segment, fault.page, write=write)
+            translation = self.mapper.translate_pair(segment, item, write=write)
+        else:
+            page = item >> (self.mapper.page_size.bit_length() - 1)
+            self.policy.on_access((segment, page), self.clock.now, modified=write)
+        return translation.address
+
+    def _handle_fault(self, segment: Hashable, page: int, write: bool) -> None:
+        self.stats.faults += 1
+        if self.frames.is_full():
+            victim = self.policy.choose_victim(
+                self.frames.resident_pages(), self.clock.now
+            )
+            self._evict(victim)
+        unit = (segment, page)
+        key = ("page",) + unit
+        if key in self.backing:
+            _, cycles = self.backing.fetch(key)
+        else:
+            cycles = self.backing.level.transfer_time(self.mapper.page_size)
+            self.clock.advance(cycles)
+        self.stats.fetch_wait_cycles += cycles
+        frame = self.frames.acquire(unit)
+        self.mapper.map(segment, page, frame, now=self.clock.now)
+        self._loaded_at[unit] = self.clock.now
+        self.policy.on_load(unit, self.clock.now, modified=write)
+
+    def _evict(self, unit: tuple[Hashable, int]) -> None:
+        segment, page = unit
+        snapshot = self.mapper.unmap(segment, page)
+        self.frames.release(unit)
+        self.policy.on_evict(unit)
+        self.stats.evictions += 1
+        loaded = self._loaded_at.pop(unit, self.clock.now)
+        self.stats.frame_cycles_resident += self.clock.now - loaded
+        if snapshot.modified:
+            image = [("page",) + unit] * self.mapper.page_size
+            cycles = self.backing.store(("page",) + unit, image)
+            self.stats.writebacks += 1
+            self.stats.writeback_cycles += cycles
+
+    def residency_cycles(self) -> int:
+        live = sum(self.clock.now - t for t in self._loaded_at.values())
+        return self.stats.frame_cycles_resident + live
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedPager(policy={self.policy.name}, "
+            f"frames={self.frames.frame_count}, faults={self.stats.faults})"
+        )

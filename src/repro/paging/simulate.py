@@ -1,0 +1,108 @@
+"""Fast trace-driven replacement simulation.
+
+The replacement experiments (CL-REPL) need fault counts for many
+(policy, memory size) pairs over long reference strings; this driver
+strips the machinery down to exactly what Belady [1] measured: a set of
+frames, a policy, and a trace of page references.
+
+Timing is in reference counts ("virtual time"), the standard measure for
+replacement studies, so results are independent of fetch latency — the
+latency-dependent picture is the space-time experiment's job (FIG3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.paging.frame import FrameTable
+from repro.paging.replacement.base import ReplacementPolicy
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace-driven run."""
+
+    policy: str
+    frames: int
+    references: int
+    faults: int
+    evictions: int
+    cold_faults: int
+    fault_positions: list[int] = field(default_factory=list, repr=False)
+
+    @property
+    def fault_rate(self) -> float:
+        return self.faults / self.references if self.references else 0.0
+
+
+def simulate_trace(
+    trace: Sequence[Hashable],
+    frames: int,
+    policy: ReplacementPolicy,
+    record_positions: bool = False,
+    writes: Sequence[bool] | None = None,
+) -> SimulationResult:
+    """Run ``trace`` through ``frames`` page frames under ``policy``.
+
+    Parameters
+    ----------
+    trace:
+        Page references in order.
+    frames:
+        Number of equal page frames available.
+    policy:
+        A (fresh or reset) replacement policy.  For
+        :class:`~repro.paging.replacement.belady.BeladyOptimalPolicy` the
+        policy must have been constructed with this same trace.
+    record_positions:
+        Keep the trace indices at which faults occurred (for fault-
+        clustering plots).
+    writes:
+        Optional per-reference write flags (drives modified bits, which
+        the M44 policy's classes depend on).
+    """
+    if frames <= 0:
+        raise ValueError(f"frames must be positive, got {frames}")
+    if writes is not None and len(writes) != len(trace):
+        raise ValueError("writes must align with trace")
+
+    table = FrameTable(frames)
+    faults = 0
+    cold_faults = 0
+    evictions = 0
+    seen: set[Hashable] = set()
+    positions: list[int] = []
+
+    for index, page in enumerate(trace):
+        write = bool(writes[index]) if writes is not None else False
+        if page in table:
+            policy.on_access(page, index, modified=write)
+            continue
+        faults += 1
+        if page not in seen:
+            cold_faults += 1
+            seen.add(page)
+        if record_positions:
+            positions.append(index)
+        if table.is_full():
+            victim = policy.choose_victim(table.resident_pages(), index)
+            if victim not in table:
+                raise RuntimeError(
+                    f"policy {policy.name} chose non-resident victim {victim!r}"
+                )
+            table.release(victim)
+            policy.on_evict(victim)
+            evictions += 1
+        table.acquire(page)
+        policy.on_load(page, index, modified=write)
+
+    return SimulationResult(
+        policy=policy.name,
+        frames=frames,
+        references=len(trace),
+        faults=faults,
+        evictions=evictions,
+        cold_faults=cold_faults,
+        fault_positions=positions,
+    )

@@ -1,0 +1,34 @@
+"""Segmentation: variable units of allocation with segment-level fetch.
+
+"The segment represents a convenient high level notation for creating a
+meaningful structuring of the information used by a program."  On the
+B5000 "the segment is used directly as the unit of allocation.  Each
+segment is fetched when reference is first made to information in the
+segment."
+
+- :class:`~repro.segmentation.segment.Segment` — a dynamic segment:
+  created, destroyed, grown and shrunk by program directives.
+- :class:`~repro.segmentation.codeword.CodewordStore` — the Rice
+  computer's codewords, descriptors carrying an index-register address
+  (Appendix A.4).
+- :class:`~repro.segmentation.manager.SegmentManager` — fetch-on-first-
+  reference segment storage management over any variable-unit allocator,
+  with segment-level replacement and optional compaction.
+
+The descriptor table itself (B5000 PRT) lives in
+:class:`repro.addressing.SegmentTable`, since it is addressing hardware.
+"""
+
+from repro.segmentation.codeword import Codeword, CodewordStore
+from repro.segmentation.manager import SegmentManager, SegmentManagerStats
+from repro.segmentation.matrix import SegmentedMatrix
+from repro.segmentation.segment import Segment
+
+__all__ = [
+    "Codeword",
+    "CodewordStore",
+    "Segment",
+    "SegmentManager",
+    "SegmentManagerStats",
+    "SegmentedMatrix",
+]

@@ -1,0 +1,126 @@
+"""Rice University computer codewords (Appendix A.4).
+
+"Codewords are used to provide a compact characterization of individual
+program or data segments, and are thus approximately analogous to the
+descriptors, or PRT elements, used in the B5000 system.  Probably the
+major difference ... is that codewords contain an index register address.
+When the codeword is used to access a segment, the contents of the
+specified index register are automatically added to the segment base
+address given in the codeword.  The equivalent operation on the B5000
+would have to be programmed explicitly."
+
+The back reference stored in a segment's first storage word points at
+its codeword, so when storage packing moves a segment, the mover can
+find and patch exactly the codeword affected — the operation
+:meth:`CodewordStore.relocate` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import BoundViolation, MissingSegment, SegmentFault
+
+
+@dataclass
+class Codeword:
+    """Compact characterization of one segment."""
+
+    base: int | None       # absolute address; None when not in core
+    size: int
+    index_register: int | None = None
+
+    @property
+    def present(self) -> bool:
+        return self.base is not None
+
+
+class CodewordStore:
+    """All codewords of a program, plus the machine's index registers.
+
+    On the real machine "any word in storage can be used as an index
+    register" (the B8500 inherits this); the simulation provides a
+    numbered register file.
+    """
+
+    def __init__(self, register_count: int = 16) -> None:
+        if register_count <= 0:
+            raise ValueError("register_count must be positive")
+        self._codewords: dict[Hashable, Codeword] = {}
+        self.registers = [0] * register_count
+        self.accesses = 0
+        self.patches = 0
+
+    def declare(
+        self,
+        name: Hashable,
+        size: int,
+        index_register: int | None = None,
+    ) -> Codeword:
+        """Create a codeword for a (not yet placed) segment."""
+        if size <= 0:
+            raise ValueError(f"segment size must be positive, got {size}")
+        if name in self._codewords:
+            raise ValueError(f"codeword for {name!r} already exists")
+        if index_register is not None and not (
+            0 <= index_register < len(self.registers)
+        ):
+            raise ValueError(f"no index register {index_register}")
+        codeword = Codeword(base=None, size=size, index_register=index_register)
+        self._codewords[name] = codeword
+        return codeword
+
+    def codeword(self, name: Hashable) -> Codeword:
+        try:
+            return self._codewords[name]
+        except KeyError:
+            raise MissingSegment(name) from None
+
+    def set_register(self, register: int, value: int) -> None:
+        self.registers[register] = value
+
+    def place(self, name: Hashable, base: int) -> None:
+        self.codeword(name).base = base
+
+    def displace(self, name: Hashable) -> None:
+        self.codeword(name).base = None
+
+    def relocate(self, name: Hashable, new_base: int) -> None:
+        """Patch a codeword after storage packing moved its segment.
+
+        This is what the back reference exists for: one word at the head
+        of the moved block names the codeword, so the mover patches
+        exactly one descriptor, wherever the segment's users are.
+        """
+        codeword = self.codeword(name)
+        if not codeword.present:
+            raise SegmentFault(name)
+        codeword.base = new_base
+        self.patches += 1
+
+    def effective_address(self, name: Hashable, item: int) -> int:
+        """base + index register contents + item, with bound checking.
+
+        The automatic index-register addition is the Rice machine's
+        hallmark; the *indexed* item must still fall inside the segment.
+        """
+        codeword = self.codeword(name)
+        if not codeword.present:
+            raise SegmentFault(name)
+        offset = item
+        if codeword.index_register is not None:
+            offset += self.registers[codeword.index_register]
+        if not 0 <= offset < codeword.size:
+            raise BoundViolation(offset, codeword.size - 1, f"segment {name!r}")
+        self.accesses += 1
+        return codeword.base + offset
+
+    def segments(self) -> list[Hashable]:
+        return list(self._codewords)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._codewords
+
+    def __len__(self) -> int:
+        return len(self._codewords)

@@ -1,0 +1,308 @@
+"""Segment-level storage management.
+
+The B5000 pattern (Appendix A.3): the segment is the unit of allocation,
+fetched on first reference, placed by a placement strategy, displaced by
+a replacement strategy when room must be made.  The manager composes:
+
+- a :class:`~repro.addressing.SegmentTable` (the PRT — mapping + traps),
+- any variable-unit allocator (best-fit free list for the B5000 flavour,
+  :class:`~repro.alloc.RiceAllocator` for the Rice flavour),
+- a :class:`~repro.memory.BackingStore` pricing fetches and write-backs,
+- a replacement policy from :mod:`repro.paging.replacement` (segments are
+  just another kind of opaque unit to replace), and
+- optional compaction when free space is sufficient but shattered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.addressing.segment_table import SegmentTable
+from repro.alloc.base import Allocation
+from repro.alloc.compaction import compact
+from repro.alloc.base import Allocator
+from repro.alloc.freelist import FreeListAllocator
+from repro.clock import Clock
+from repro.errors import OutOfMemory, SegmentFault
+from repro.memory.backing import BackingStore
+from repro.paging.replacement.base import ReplacementPolicy
+
+
+@dataclass
+class SegmentManagerStats:
+    """Counters for one segment-managed run."""
+
+    accesses: int = 0
+    segment_faults: int = 0
+    replacements: int = 0
+    writebacks: int = 0
+    compactions: int = 0
+    words_fetched: int = 0
+    words_written_back: int = 0
+    words_moved_compacting: int = 0
+    fetch_wait_cycles: int = 0
+
+    @property
+    def fault_rate(self) -> float:
+        return self.segment_faults / self.accesses if self.accesses else 0.0
+
+
+class SegmentManager:
+    """Fetch-on-first-reference segment storage over a variable allocator.
+
+    Parameters
+    ----------
+    table:
+        The segment descriptor table (mapping hardware).
+    allocator:
+        Working-storage allocator; its placement policy is the placement
+        strategy ("choosing the smallest available block of sufficient
+        size" reproduces the B5000's effective pairing).  Any allocator
+        satisfying the protocol works — a :class:`~repro.alloc.RiceAllocator`
+        gives the Appendix A.4 machine; compaction requires a
+        :class:`FreeListAllocator`.
+    backing:
+        Backing store holding non-resident segment images.
+    policy:
+        Replacement strategy over resident segment names.
+    clock:
+        Simulation clock.
+    compact_before_replacing:
+        When True, a failed allocation first tries compaction (if total
+        free space suffices) before sacrificing segments — the "corrective
+        data movement" alternative.
+    """
+
+    def __init__(
+        self,
+        table: SegmentTable,
+        allocator: Allocator,
+        backing: BackingStore,
+        policy: ReplacementPolicy,
+        clock: Clock,
+        compact_before_replacing: bool = False,
+    ) -> None:
+        self.table = table
+        self.allocator = allocator
+        self.backing = backing
+        self.policy = policy
+        self.clock = clock
+        self.compact_before_replacing = compact_before_replacing
+        self.stats = SegmentManagerStats()
+        self._allocations: dict[Hashable, Allocation] = {}
+
+    # -- program directives ------------------------------------------------
+
+    def create(self, name: Hashable, extent: int) -> None:
+        """Declare a dynamic segment (not yet resident anywhere)."""
+        self.table.declare(name, extent)
+
+    def destroy(self, name: Hashable) -> None:
+        """The segment ceases to exist; its storage is reclaimed."""
+        descriptor = self.table.destroy(name)
+        if descriptor.present:
+            allocation = self._allocations.pop(name)
+            self.allocator.free(allocation)
+            self.policy.on_evict(name)
+        self.backing.discard(("segment", name))
+
+    def resize(self, name: Hashable, new_extent: int) -> None:
+        """Grow or shrink a segment.
+
+        A resident grown segment is displaced and refetched at the new
+        size (contiguity forces a move unless the adjacent hole happens
+        to fit — the simple, always-correct strategy).
+        """
+        descriptor = self.table.descriptor(name)
+        if descriptor.present and new_extent > descriptor.extent:
+            self._displace(name, writeback=True)
+        self.table.resize(name, new_extent)
+
+    # -- the access path -----------------------------------------------------
+
+    def access(self, name: Hashable, item: int, write: bool = False) -> int:
+        """Reference item ``item`` of segment ``name``; returns the address.
+
+        Faults fetch the segment ("each segment is fetched when reference
+        is first made to information in the segment"), replacing and/or
+        compacting as needed.
+        """
+        self.stats.accesses += 1
+        self.clock.advance(1)   # the reference itself: one core access
+        try:
+            translation = self.table.translate_pair(name, item, write=write)
+        except SegmentFault:
+            self._fetch(name)
+            translation = self.table.translate_pair(name, item, write=write)
+        else:
+            self.table.descriptor(name).last_use = self.clock.now
+            self.policy.on_access(name, self.clock.now, modified=write)
+        return translation.address
+
+    def prefetch(self, name: Hashable) -> bool:
+        """Anticipatory fetch of a segment, without replacement or waiting.
+
+        Used by WILL_NEED advice: if space is free the segment comes in,
+        overlapped with computation (no clock advance); if not, the advice
+        is quietly ignored — never at the expense of resident segments.
+        Returns whether the segment is resident afterwards.
+        """
+        if name in self._allocations:
+            return True
+        extent = self.table.descriptor(name).extent
+        try:
+            allocation = self.allocator.allocate(extent)
+        except OutOfMemory:
+            return False
+        key = ("segment", name)
+        if key in self.backing:
+            self.backing.fetch(key, charge=False)
+        self.stats.words_fetched += extent
+        self._allocations[name] = allocation
+        self.table.place(name, allocation.address, now=self.clock.now)
+        self.policy.on_load(name, self.clock.now)
+        return True
+
+    def flush(self, name: Hashable) -> bool:
+        """Explicitly store a resident segment's image to backing storage.
+
+        The Rice system "permitted explicit requests to fetch or store
+        segments"; a flushed segment stays resident but is clean — its
+        later displacement needs no write-back.  The transfer is charged
+        (the program asked for it).  Returns whether anything was written
+        (a clean segment with a backing copy has nothing to store).
+        """
+        descriptor = self.table.descriptor(name)
+        if not descriptor.present:
+            return False
+        key = ("segment", name)
+        if not descriptor.modified and key in self.backing:
+            return False
+        image = [key] * descriptor.extent
+        self.backing.store(key, image)
+        descriptor.modified = False
+        modified_map = getattr(self.policy, "modified", None)
+        if modified_map is not None and name in modified_map:
+            modified_map[name] = False
+        self.stats.writebacks += 1
+        self.stats.words_written_back += descriptor.extent
+        return True
+
+    # -- fetch / replace ------------------------------------------------------
+
+    def _fetch(self, name: Hashable) -> None:
+        self.stats.segment_faults += 1
+        extent = self.table.descriptor(name).extent
+        allocation = self._allocate_with_replacement(extent, exclude=name)
+        key = ("segment", name)
+        if key in self.backing:
+            _, cycles = self.backing.fetch(key)
+        else:
+            cycles = self.backing.level.transfer_time(extent)
+            self.clock.advance(cycles)
+        self.stats.words_fetched += extent
+        self.stats.fetch_wait_cycles += cycles
+        self._allocations[name] = allocation
+        self.table.place(name, allocation.address, now=self.clock.now)
+        self.policy.on_load(name, self.clock.now)
+
+    def _allocate_with_replacement(
+        self, extent: int, exclude: Hashable
+    ) -> Allocation:
+        try:
+            return self.allocator.allocate(extent)
+        except OutOfMemory:
+            pass
+        can_compact = isinstance(self.allocator, FreeListAllocator)
+        if (
+            self.compact_before_replacing
+            and can_compact
+            and self.allocator.free_words >= extent
+        ):
+            self._compact()
+            try:
+                return self.allocator.allocate(extent)
+            except OutOfMemory:
+                pass
+        # Sacrifice resident segments until the request fits.
+        while True:
+            resident = self._replacement_candidates(incoming=exclude)
+            if not resident:
+                raise OutOfMemory(
+                    extent, "no resident segment left to replace"
+                )
+            victim = self.policy.choose_victim(resident, self.clock.now)
+            self._displace(victim, writeback=True)
+            self.stats.replacements += 1
+            try:
+                return self.allocator.allocate(extent)
+            except OutOfMemory:
+                if (
+                    self.compact_before_replacing
+                    and can_compact
+                    and self.allocator.free_words >= extent
+                ):
+                    self._compact()
+                    try:
+                        return self.allocator.allocate(extent)
+                    except OutOfMemory:
+                        continue
+                continue
+
+    def _replacement_candidates(self, incoming: Hashable) -> list[Hashable]:
+        """Resident segments eligible to be overlayed for ``incoming``.
+
+        Subclasses refine this — the ACSI-MATIC manager filters it
+        through the program description's overlay rules.
+        """
+        return [s for s in self._allocations if s != incoming]
+
+    def _displace(self, name: Hashable, writeback: bool) -> None:
+        snapshot = self.table.displace(name)
+        allocation = self._allocations.pop(name)
+        self.allocator.free(allocation)
+        self.policy.on_evict(name)
+        if writeback and (
+            snapshot.modified or ("segment", name) not in self.backing
+        ):
+            # A modified segment (or one with no backing copy yet) must be
+            # written out — the consideration the Rice replacement
+            # algorithm explicitly weighs.
+            image = [("segment", name)] * snapshot.extent
+            self.backing.store(("segment", name), image)
+            self.stats.writebacks += 1
+            self.stats.words_written_back += snapshot.extent
+
+    def _compact(self) -> None:
+        result = compact(
+            self.allocator,
+            on_relocate=self._on_relocate,
+        )
+        self.stats.compactions += 1
+        self.stats.words_moved_compacting += result.words_moved
+        # Charge the storage-to-storage channel time: one cycle per word.
+        self.clock.advance(result.words_moved)
+
+    def _on_relocate(self, old: Allocation, new: Allocation) -> None:
+        """Patch the descriptor of the moved segment (back-reference walk)."""
+        for name, allocation in self._allocations.items():
+            if allocation.address == old.address:
+                self._allocations[name] = new
+                descriptor = self.table.descriptor(name)
+                descriptor.base = new.address
+                if self.table.tlb is not None:
+                    self.table.tlb.invalidate(name)
+                return
+        raise RuntimeError(f"relocated block at {old.address} has no owner")
+
+    # -- inspection ------------------------------------------------------------
+
+    def resident_segments(self) -> list[Hashable]:
+        return list(self._allocations)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentManager(resident={len(self._allocations)}, "
+            f"faults={self.stats.segment_faults})"
+        )

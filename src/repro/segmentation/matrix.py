@@ -1,0 +1,121 @@
+"""Multidimensional arrays as trees of segments (the B5000 trick).
+
+The paper, on the B5000's 1024-word segment limit: "the maximum size
+vector that an ALGOL programmer can declare is 1024 words.  However by
+virtue of the way the compiler implements multidimensional arrays, the
+programmer can declare, for instance a 1024 x 1024 word matrix.  In
+other words, the limitation is on contiguous naming and not on
+apparently accessible information."
+
+:class:`SegmentedMatrix` is that compiler technique: each row is its own
+segment (within the machine limit), and a *dope vector* segment of row
+descriptors stands for the matrix.  An element access touches the dope
+vector, then the row — two segment references, each fetchable on demand,
+so a matrix vastly larger than working storage is usable while only the
+touched rows occupy core.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.segmentation.manager import SegmentManager
+
+
+class SegmentedMatrix:
+    """A rows x cols matrix built from per-row segments plus a dope vector.
+
+    Parameters
+    ----------
+    manager:
+        The segment manager providing storage (its table's
+        ``max_segment_extent`` bounds the row length, exactly as the
+        B5000's 1024-word limit bounded ALGOL vectors).
+    name:
+        Matrix name; row segments are named ``(name, "row", i)`` and the
+        dope vector ``(name, "dope")``.
+    rows / cols:
+        Matrix shape.  ``cols`` must respect the machine's segment limit;
+        ``rows`` only has to fit the dope vector in one segment.
+    """
+
+    def __init__(
+        self,
+        manager: SegmentManager,
+        name: Hashable,
+        rows: int,
+        cols: int,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        limit = manager.table.max_segment_extent
+        if limit is not None and cols > limit:
+            raise ValueError(
+                f"a row of {cols} words exceeds the machine's "
+                f"{limit}-word segment limit"
+            )
+        if limit is not None and rows > limit:
+            raise ValueError(
+                f"the dope vector of {rows} descriptors exceeds the "
+                f"machine's {limit}-word segment limit"
+            )
+        self.manager = manager
+        self.name = name
+        self.rows = rows
+        self.cols = cols
+        self.dope_vector = (name, "dope")
+        manager.create(self.dope_vector, rows)
+        self._row_created = [False] * rows
+        self.dope_references = 0
+
+    def _row_segment(self, row: int) -> Hashable:
+        return (self.name, "row", row)
+
+    def _require_row(self, row: int) -> Hashable:
+        """Row segments come into existence on first use (dynamic)."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} outside 0..{self.rows - 1}")
+        segment = self._row_segment(row)
+        if not self._row_created[row]:
+            self.manager.create(segment, self.cols)
+            self._row_created[row] = True
+        return segment
+
+    def access(self, row: int, col: int, write: bool = False) -> int:
+        """Touch element (row, col); returns the element's address.
+
+        Two segment references, as the compiled code would make: the dope
+        vector entry for the row, then the row element itself.
+        """
+        if not 0 <= col < self.cols:
+            raise IndexError(f"col {col} outside 0..{self.cols - 1}")
+        segment = self._require_row(row)
+        self.manager.access(self.dope_vector, row)
+        self.dope_references += 1
+        return self.manager.access(segment, col, write=write)
+
+    @property
+    def apparent_words(self) -> int:
+        """The matrix the programmer sees (may dwarf working storage)."""
+        return self.rows * self.cols
+
+    def resident_rows(self) -> list[int]:
+        resident = set(self.manager.resident_segments())
+        return [
+            row for row in range(self.rows)
+            if self._row_segment(row) in resident
+        ]
+
+    def destroy(self) -> None:
+        """Release every row and the dope vector."""
+        for row in range(self.rows):
+            if self._row_created[row]:
+                self.manager.destroy(self._row_segment(row))
+                self._row_created[row] = False
+        self.manager.destroy(self.dope_vector)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedMatrix({self.name!r}, {self.rows}x{self.cols}, "
+            f"resident_rows={len(self.resident_rows())})"
+        )

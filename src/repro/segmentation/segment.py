@@ -1,0 +1,76 @@
+"""Dynamic segments.
+
+"In the most general system the various segments can have different
+extents.  Moreover, the extent of each segment can be varied during
+execution by special program directives.  Furthermore, segments can be
+caused to come into existence, or to cease to exist, by program
+directives.  Segments possessing these attributes will be referred to as
+dynamic segments."
+
+A :class:`Segment` is the program-visible object; where its words
+currently live (working storage, backing storage, nowhere yet) is the
+storage manager's business.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class Segment:
+    """An ordered set of information items declared as one unit.
+
+    >>> stack = Segment("stack", 100)
+    >>> stack.grow(50)
+    >>> stack.extent
+    150
+    """
+
+    def __init__(self, name: Hashable, extent: int) -> None:
+        if extent <= 0:
+            raise ValueError(f"segment extent must be positive, got {extent}")
+        self.name = name
+        self._extent = extent
+        self.alive = True
+        self.resize_count = 0
+
+    @property
+    def extent(self) -> int:
+        return self._extent
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ValueError(f"segment {self.name!r} has ceased to exist")
+
+    def grow(self, words: int) -> None:
+        """Extend the segment (e.g. a growing array or stack)."""
+        self._require_alive()
+        if words <= 0:
+            raise ValueError(f"growth must be positive, got {words}")
+        self._extent += words
+        self.resize_count += 1
+
+    def shrink(self, words: int) -> None:
+        """Give back trailing words; the extent must stay positive."""
+        self._require_alive()
+        if words <= 0:
+            raise ValueError(f"shrinkage must be positive, got {words}")
+        if words >= self._extent:
+            raise ValueError(
+                f"cannot shrink segment of {self._extent} words by {words}"
+            )
+        self._extent -= words
+        self.resize_count += 1
+
+    def destroy(self) -> None:
+        """The program directive by which a segment ceases to exist."""
+        self._require_alive()
+        self.alive = False
+
+    def contains(self, item: int) -> bool:
+        """Bound check: is ``item`` a legal subscript?"""
+        return 0 <= item < self._extent
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"Segment({self.name!r}, extent={self._extent}, {state})"

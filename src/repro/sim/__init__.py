@@ -1,0 +1,44 @@
+"""Multiprogramming simulation and space-time accounting.
+
+"A program which is awaiting arrival of a further page will, unless
+extra page transmission is introduced, continue to occupy working
+storage.  Thus the space-time product will be affected by the time taken
+to fetch pages..." (Figure 3).  And: "A large space-time product will
+not overly affect the performance ... if the time spent on fetching
+pages can normally be overlapped with the execution of other programs."
+
+- :class:`~repro.sim.engine.EventQueue` — a minimal discrete-event core.
+- :class:`~repro.sim.scheduler.RoundRobinScheduler` — the M44/44X's
+  round-robin processor scheduling (and an FCFS variant), kept separate
+  because "storage allocation must be fully integrated with the overall
+  strategies for ... scheduling".
+- :class:`~repro.sim.spacetime.SpaceTimeAccount` — the Figure 3 integral,
+  split into storage held while *active* and while *awaiting pages*.
+- :class:`~repro.sim.multiprogramming.MultiprogrammingSimulator` — N
+  trace-driven programs sharing one processor, each demand-paged in its
+  own core partition, with page waits overlapped by running whoever is
+  ready.
+"""
+
+from repro.sim.engine import EventQueue
+from repro.sim.multiprogramming import (
+    MultiprogrammingSimulator,
+    ProgramResult,
+    ProgramSpec,
+    SimulationSummary,
+    Think,
+)
+from repro.sim.scheduler import FcfsScheduler, RoundRobinScheduler
+from repro.sim.spacetime import SpaceTimeAccount
+
+__all__ = [
+    "EventQueue",
+    "FcfsScheduler",
+    "MultiprogrammingSimulator",
+    "ProgramResult",
+    "ProgramSpec",
+    "RoundRobinScheduler",
+    "SimulationSummary",
+    "SpaceTimeAccount",
+    "Think",
+]

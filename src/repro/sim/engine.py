@@ -1,0 +1,53 @@
+"""A minimal discrete-event kernel.
+
+Events are (time, payload) pairs; ties are served in insertion order so
+simulations are deterministic without payloads needing to be comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+
+class EventQueue:
+    """A time-ordered queue of opaque events.
+
+    >>> queue = EventQueue()
+    >>> queue.schedule(10, "b")
+    >>> queue.schedule(5, "a")
+    >>> queue.pop()
+    (5, 'a')
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Any]] = []
+        self._sequence = itertools.count()
+        self.scheduled = 0
+        self.delivered = 0
+
+    def schedule(self, time: int, payload: Any) -> None:
+        """Add an event at absolute ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, next(self._sequence), payload))
+        self.scheduled += 1
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return the earliest (time, payload)."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        self.delivered += 1
+        return time, payload
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,76 @@
+"""Processor scheduling.
+
+"A system in which entirely independent decisions are taken as to
+processor scheduling and storage allocation is unlikely to perform
+acceptably" — so the multiprogramming simulator takes its scheduler as a
+component.  Round robin is what the M44/44X ran; FCFS is the degenerate
+contrast (a program keeps the processor until it blocks or finishes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+
+class RoundRobinScheduler:
+    """Cyclic ready queue with a fixed quantum.
+
+    Parameters
+    ----------
+    quantum:
+        Processor time (cycles) a program may hold the CPU before being
+        rotated to the tail of the ready queue.
+    """
+
+    name = "round_robin"
+
+    def __init__(self, quantum: int) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        self._ready: deque[Hashable] = deque()
+        self.dispatches = 0
+
+    def make_ready(self, program: Hashable) -> None:
+        """Add a runnable program to the tail of the queue."""
+        if program in self._ready:
+            raise ValueError(f"{program!r} is already ready")
+        self._ready.append(program)
+
+    def next_program(self) -> Hashable | None:
+        """Dispatch the head of the queue (None if nobody is ready)."""
+        if not self._ready:
+            return None
+        self.dispatches += 1
+        return self._ready.popleft()
+
+    def time_slice(self, program: Hashable) -> int:
+        """Processor time the dispatched program may consume."""
+        return self.quantum
+
+    def remove(self, program: Hashable) -> None:
+        """Forget a program (it finished or blocked)."""
+        try:
+            self._ready.remove(program)
+        except ValueError:
+            pass
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(quantum={self.quantum}, ready={len(self._ready)})"
+
+
+class FcfsScheduler(RoundRobinScheduler):
+    """First-come-first-served: an effectively unbounded quantum."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        super().__init__(quantum=1)
+
+    def time_slice(self, program: Hashable) -> int:
+        return 1 << 62   # runs until it blocks or completes

@@ -1,0 +1,138 @@
+"""Reference-trace analysis.
+
+The paper's strategy arguments rest on properties of program reference
+behaviour — how big the working set is, how strong the locality, how
+often the program changes phase.  These functions measure those
+properties on any trace, so experiments can *verify* their workloads
+exhibit the behaviour an argument assumes (and so users can analyze
+their own traces before choosing strategies).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def unique_pages(trace: Sequence[Hashable]) -> int:
+    """Number of distinct pages the trace touches."""
+    return len(set(trace))
+
+
+def working_set_sizes(
+    trace: Sequence[Hashable], window: int
+) -> list[int]:
+    """Denning working-set size |W(t, window)| at each reference.
+
+    ``W(t, window)`` is the set of distinct pages among the last
+    ``window`` references ending at t.  Computed incrementally in
+    O(len(trace)).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    counts: dict[Hashable, int] = {}
+    sizes = []
+    for index, page in enumerate(trace):
+        counts[page] = counts.get(page, 0) + 1
+        if index >= window:
+            old = trace[index - window]
+            counts[old] -= 1
+            if not counts[old]:
+                del counts[old]
+        sizes.append(len(counts))
+    return sizes
+
+
+def mean_working_set(trace: Sequence[Hashable], window: int) -> float:
+    """Average working-set size over the trace (0.0 for an empty trace)."""
+    sizes = working_set_sizes(trace, window)
+    return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+def reuse_distances(trace: Sequence[Hashable]) -> list[int | None]:
+    """LRU stack distance of each reference.
+
+    The number of *distinct* pages referenced since the previous use of
+    the same page; ``None`` for first touches.  A reference with reuse
+    distance d hits in an LRU memory of more than d frames — the bridge
+    between trace shape and the CL-REPL fault curves.
+    """
+    last_position: dict[Hashable, int] = {}
+    distances: list[int | None] = []
+    for index, page in enumerate(trace):
+        previous = last_position.get(page)
+        if previous is None:
+            distances.append(None)
+        else:
+            distances.append(len(set(trace[previous + 1 : index])))
+        last_position[page] = index
+    return distances
+
+
+def lru_fault_curve(
+    trace: Sequence[Hashable], max_frames: int
+) -> list[int]:
+    """Fault counts for LRU memories of 1..max_frames frames, in one pass.
+
+    Uses the stack-distance distribution: a reference faults in an
+    m-frame LRU memory iff its reuse distance is >= m (or a first touch).
+    Index i of the result is the fault count with i+1 frames.
+    """
+    if max_frames <= 0:
+        raise ValueError(f"max_frames must be positive, got {max_frames}")
+    distances = reuse_distances(trace)
+    curve = []
+    for frames in range(1, max_frames + 1):
+        faults = sum(
+            1 for d in distances if d is None or d >= frames
+        )
+        curve.append(faults)
+    return curve
+
+
+def locality_score(trace: Sequence[Hashable], window: int = 50) -> float:
+    """1 - (mean working set / distinct pages): 0 = no locality, →1 = tight.
+
+    A sequentially-scanning or uniformly random trace scores near 0; a
+    program dwelling on small working sets scores near 1.
+    """
+    total = unique_pages(trace)
+    if total <= 1:
+        return 1.0
+    return 1.0 - (mean_working_set(trace, window) / total)
+
+
+def phase_transitions(
+    trace: Sequence[Hashable], window: int = 50, threshold: float = 0.5
+) -> list[int]:
+    """Reference indices where the working set turns over sharply.
+
+    Compares consecutive disjoint windows; a transition is recorded when
+    the overlap (Jaccard similarity) of their page sets falls below
+    ``threshold`` — the phase-change instants that cluster faults.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be a probability")
+    transitions = []
+    previous: set[Hashable] | None = None
+    for start in range(0, len(trace) - window + 1, window):
+        current = set(trace[start : start + window])
+        if previous is not None:
+            union = previous | current
+            overlap = len(previous & current) / len(union) if union else 1.0
+            if overlap < threshold:
+                transitions.append(start)
+        previous = current
+    return transitions
+
+
+__all__ = [
+    "locality_score",
+    "lru_fault_curve",
+    "mean_working_set",
+    "phase_transitions",
+    "reuse_distances",
+    "unique_pages",
+    "working_set_sizes",
+]

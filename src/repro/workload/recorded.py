@@ -1,0 +1,54 @@
+"""Recorded reference traces.
+
+Belady-style replacement studies were run on traces recorded from real
+programs.  These helpers persist and reload traces as plain text (one
+page reference per line, ``#`` comments allowed), so externally gathered
+traces can drive the same experiments as the synthetic generators — and
+experiment inputs can be archived alongside their results.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+
+def save_trace(path: str | Path, trace: Iterable[int], header: str = "") -> int:
+    """Write a trace to ``path``; returns the number of references saved."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="ascii") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for page in trace:
+            if not isinstance(page, int) or isinstance(page, bool):
+                raise TypeError(f"trace entries must be ints, got {page!r}")
+            if page < 0:
+                raise ValueError(f"page numbers must be non-negative, got {page}")
+            handle.write(f"{page}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | Path) -> list[int]:
+    """Read a trace written by :func:`save_trace` (or by hand)."""
+    path = Path(path)
+    trace: list[int] = []
+    with path.open("r", encoding="ascii") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                page = int(line)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: not a page number: {line!r}"
+                ) from None
+            if page < 0:
+                raise ValueError(
+                    f"{path}:{line_number}: negative page number {page}"
+                )
+            trace.append(page)
+    return trace

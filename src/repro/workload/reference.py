@@ -1,0 +1,91 @@
+"""Page-reference trace generators.
+
+Each function returns a list of page numbers.  The phase-structured
+generator is the workhorse: programs exhibit locality — they dwell on a
+small working set, then move to another — which is the behaviour that
+makes "recent history of usage" a useful replacement guide and demand
+paging effective; the uniform random trace is the adversarial contrast.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def sequential_trace(pages: int, sweeps: int = 1) -> list[int]:
+    """0,1,...,pages-1 repeated ``sweeps`` times (a sequential file scan)."""
+    if pages <= 0 or sweeps <= 0:
+        raise ValueError("pages and sweeps must be positive")
+    return list(range(pages)) * sweeps
+
+
+def cyclic_trace(pages: int, length: int) -> list[int]:
+    """A tight loop over ``pages`` pages, ``length`` references long.
+
+    The classic LRU/FIFO worst case when the loop exceeds memory.
+    """
+    if pages <= 0 or length <= 0:
+        raise ValueError("pages and length must be positive")
+    return [i % pages for i in range(length)]
+
+
+def random_trace(pages: int, length: int, seed: int = 0) -> list[int]:
+    """Uniformly random references — no locality at all."""
+    if pages <= 0 or length <= 0:
+        raise ValueError("pages and length must be positive")
+    rng = random.Random(seed)
+    return [rng.randrange(pages) for _ in range(length)]
+
+
+def zipf_trace(pages: int, length: int, skew: float = 1.0, seed: int = 0) -> list[int]:
+    """Zipf-biased references: a few pages dominate (hot code/data).
+
+    ``skew`` of 0 degenerates to uniform; larger values concentrate the
+    mass on low-numbered pages.
+    """
+    if pages <= 0 or length <= 0:
+        raise ValueError("pages and length must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** skew) for rank in range(1, pages + 1)]
+    return rng.choices(range(pages), weights=weights, k=length)
+
+
+def phased_trace(
+    pages: int,
+    length: int,
+    working_set: int = 4,
+    phase_length: int = 100,
+    locality: float = 0.95,
+    seed: int = 0,
+) -> list[int]:
+    """The locality-phase model.
+
+    The program dwells on a working set of ``working_set`` pages for
+    ``phase_length`` references, hitting inside the set with probability
+    ``locality`` (and anywhere, uniformly, otherwise), then jumps to a
+    fresh working set.  This is the trace family on which the paper's
+    "sufficient working storage for each program" condition is
+    well-defined: give a program ≥ ``working_set`` frames and faults are
+    rare; give it fewer and Figure 3's waiting dominates.
+    """
+    if pages <= 0 or length <= 0:
+        raise ValueError("pages and length must be positive")
+    if not 0 < working_set <= pages:
+        raise ValueError("working_set must be in 1..pages")
+    if phase_length <= 0:
+        raise ValueError("phase_length must be positive")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be a probability")
+    rng = random.Random(seed)
+    trace: list[int] = []
+    current_set = rng.sample(range(pages), working_set)
+    for index in range(length):
+        if index and index % phase_length == 0:
+            current_set = rng.sample(range(pages), working_set)
+        if rng.random() < locality:
+            trace.append(rng.choice(current_set))
+        else:
+            trace.append(rng.randrange(pages))
+    return trace

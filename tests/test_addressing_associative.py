@@ -1,0 +1,118 @@
+"""Tests for the associative memory (TLB)."""
+
+import pytest
+
+from repro.addressing import AssociativeMemory
+
+
+class TestBasics:
+    def test_miss_returns_none(self):
+        assert AssociativeMemory(4).lookup("k") is None
+
+    def test_hit_returns_value(self):
+        tlb = AssociativeMemory(4)
+        tlb.insert("k", 7)
+        assert tlb.lookup("k") == 7
+
+    def test_update_existing_key(self):
+        tlb = AssociativeMemory(4)
+        tlb.insert("k", 7)
+        tlb.insert("k", 8)
+        assert tlb.lookup("k") == 8
+        assert len(tlb) == 1
+
+    def test_zero_capacity_never_stores(self):
+        tlb = AssociativeMemory(0)
+        tlb.insert("k", 7)
+        assert tlb.lookup("k") is None
+        assert len(tlb) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            AssociativeMemory(-1)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            AssociativeMemory(4, policy="mru")
+
+    def test_contains(self):
+        tlb = AssociativeMemory(4)
+        tlb.insert("k", 1)
+        assert "k" in tlb
+        assert "z" not in tlb
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_used(self):
+        tlb = AssociativeMemory(2, policy="lru")
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        tlb.lookup("a")          # refresh a
+        tlb.insert("c", 3)        # evicts b
+        assert tlb.lookup("b") is None
+        assert tlb.lookup("a") == 1
+        assert tlb.lookup("c") == 3
+
+    def test_fifo_ignores_recency(self):
+        tlb = AssociativeMemory(2, policy="fifo")
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        tlb.lookup("a")          # does not refresh under FIFO
+        tlb.insert("c", 3)        # evicts a (oldest insertion)
+        assert tlb.lookup("a") is None
+        assert tlb.lookup("b") == 2
+
+    def test_random_eviction_is_seeded(self):
+        results = []
+        for _ in range(2):
+            tlb = AssociativeMemory(2, policy="random", seed=7)
+            tlb.insert("a", 1)
+            tlb.insert("b", 2)
+            tlb.insert("c", 3)
+            results.append(sorted(k for k in ("a", "b", "c") if k in tlb))
+        assert results[0] == results[1]
+
+    def test_capacity_never_exceeded(self):
+        tlb = AssociativeMemory(3)
+        for i in range(10):
+            tlb.insert(i, i)
+        assert len(tlb) == 3
+
+    def test_eviction_counter(self):
+        tlb = AssociativeMemory(1)
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        assert tlb.evictions == 1
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        tlb = AssociativeMemory(4)
+        tlb.insert("a", 1)
+        tlb.lookup("a")
+        tlb.lookup("a")
+        tlb.lookup("z")
+        assert tlb.hits == 2
+        assert tlb.misses == 1
+        assert tlb.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_with_no_lookups(self):
+        assert AssociativeMemory(4).hit_rate == 0.0
+
+
+class TestInvalidation:
+    def test_invalidate_removes_entry(self):
+        tlb = AssociativeMemory(4)
+        tlb.insert("k", 1)
+        tlb.invalidate("k")
+        assert tlb.lookup("k") is None
+
+    def test_invalidate_missing_is_noop(self):
+        AssociativeMemory(4).invalidate("absent")
+
+    def test_flush_clears_everything(self):
+        tlb = AssociativeMemory(4)
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        tlb.flush()
+        assert len(tlb) == 0

@@ -1,0 +1,155 @@
+"""Tests for the single-level page table (Figure 2)."""
+
+import pytest
+
+from repro.addressing import AssociativeMemory, PageTable
+from repro.errors import BoundViolation, PageFault
+
+
+def make_table(page_size=512, pages=8, **kwargs):
+    return PageTable(page_size=page_size, pages=pages, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_page_size(self):
+        with pytest.raises(ValueError):
+            PageTable(page_size=500, pages=4)
+
+    def test_rejects_nonpositive_pages(self):
+        with pytest.raises(ValueError):
+            PageTable(page_size=512, pages=0)
+
+    def test_extent(self):
+        assert make_table(page_size=512, pages=8).extent == 4096
+
+
+class TestSplit:
+    def test_split_by_bit_fields(self):
+        table = make_table(page_size=512, pages=8)
+        assert table.split(0) == (0, 0)
+        assert table.split(511) == (0, 511)
+        assert table.split(512) == (1, 0)
+        assert table.split(1537) == (3, 1)
+
+    def test_split_page_size_one(self):
+        table = PageTable(page_size=1, pages=4)
+        assert table.split(3) == (3, 0)
+
+
+class TestTranslation:
+    def test_fault_when_not_present(self):
+        table = make_table()
+        with pytest.raises(PageFault) as exc_info:
+            table.translate(600)
+        assert exc_info.value.page == 1
+
+    def test_translate_after_map(self):
+        table = make_table(page_size=512, pages=8)
+        table.map(page=1, frame=5)
+        result = table.translate(512 + 17)
+        assert result.address == 5 * 512 + 17
+
+    def test_scattered_frames_give_contiguous_names(self):
+        """FIG1: contiguous names, discontiguous addresses."""
+        table = make_table(page_size=512, pages=4)
+        for page, frame in enumerate([7, 2, 5, 0]):
+            table.map(page, frame)
+        addresses = [table.translate(name).address for name in (0, 512, 1024, 1536)]
+        assert addresses == [7 * 512, 2 * 512, 5 * 512, 0]
+
+    def test_bound_violation_past_extent(self):
+        table = make_table(page_size=512, pages=2)
+        with pytest.raises(BoundViolation):
+            table.translate(1024)
+
+    def test_negative_name_rejected(self):
+        with pytest.raises(BoundViolation):
+            make_table().translate(-1)
+
+    def test_mapping_cycles_charged_per_walk(self):
+        table = make_table(table_access_cycles=2)
+        table.map(0, 0)
+        result = table.translate(0)
+        assert result.mapping_cycles == 2
+        assert table.mapping_cycles_total == 2
+
+    def test_fault_counter(self):
+        table = make_table()
+        for _ in range(3):
+            with pytest.raises(PageFault):
+                table.translate(0)
+        assert table.faults == 3
+
+
+class TestSensors:
+    def test_read_sets_referenced_only(self):
+        table = make_table()
+        table.map(0, 0)
+        table.translate(5)
+        entry = table.entry(0)
+        assert entry.referenced and not entry.modified
+
+    def test_write_sets_modified(self):
+        table = make_table()
+        table.map(0, 0)
+        table.translate(5, write=True)
+        assert table.entry(0).modified
+
+    def test_map_clears_sensors(self):
+        table = make_table()
+        table.map(0, 0)
+        table.translate(0, write=True)
+        table.map(0, 1)
+        entry = table.entry(0)
+        assert not entry.referenced and not entry.modified
+
+    def test_unmap_returns_final_state(self):
+        table = make_table()
+        table.map(0, 3)
+        table.translate(0, write=True)
+        snapshot = table.unmap(0)
+        assert snapshot.modified
+        assert snapshot.frame == 3
+        assert not table.entry(0).present
+
+
+class TestWithAssociativeMemory:
+    def test_hit_skips_table_walk(self):
+        tlb = AssociativeMemory(4)
+        table = make_table(associative_memory=tlb)
+        table.map(0, 2)
+        first = table.translate(0)
+        second = table.translate(1)
+        assert not first.associative_hit and first.mapping_cycles == 1
+        assert second.associative_hit and second.mapping_cycles == 0
+        assert second.address == 2 * 512 + 1
+
+    def test_unmap_invalidates_tlb(self):
+        tlb = AssociativeMemory(4)
+        table = make_table(associative_memory=tlb)
+        table.map(0, 2)
+        table.translate(0)
+        table.unmap(0)
+        with pytest.raises(PageFault):
+            table.translate(0)
+
+    def test_hit_still_updates_sensors(self):
+        tlb = AssociativeMemory(4)
+        table = make_table(associative_memory=tlb)
+        table.map(0, 2)
+        table.translate(0)
+        table.entry(0).clear_sensors()
+        table.translate(0, write=True)   # associative hit
+        assert table.entry(0).modified
+
+
+class TestResidency:
+    def test_resident_pages(self):
+        table = make_table(pages=4)
+        table.map(1, 0)
+        table.map(3, 1)
+        assert table.resident_pages() == [1, 3]
+
+    def test_entry_bounds(self):
+        with pytest.raises(BoundViolation):
+            make_table(pages=4).entry(4)

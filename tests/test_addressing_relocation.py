@@ -1,0 +1,66 @@
+"""Tests for the relocation/limit register pair."""
+
+import pytest
+
+from repro.addressing import RelocationLimitRegister
+from repro.errors import BoundViolation
+
+
+class TestTranslate:
+    def test_adds_base(self):
+        pair = RelocationLimitRegister(base=1000, limit=200)
+        assert pair.translate(5).address == 1005
+
+    def test_name_zero(self):
+        pair = RelocationLimitRegister(base=1000, limit=200)
+        assert pair.translate(0).address == 1000
+
+    def test_last_valid_name(self):
+        pair = RelocationLimitRegister(base=1000, limit=200)
+        assert pair.translate(199).address == 1199
+
+    def test_limit_enforced(self):
+        pair = RelocationLimitRegister(base=1000, limit=200)
+        with pytest.raises(BoundViolation):
+            pair.translate(200)
+
+    def test_negative_name_rejected(self):
+        pair = RelocationLimitRegister(base=0, limit=10)
+        with pytest.raises(BoundViolation):
+            pair.translate(-1)
+
+    def test_no_mapping_cycles(self):
+        """Register mapping consumes no storage references (FIG2 baseline)."""
+        pair = RelocationLimitRegister(base=0, limit=10)
+        assert pair.translate(3).mapping_cycles == 0
+
+    def test_counters(self):
+        pair = RelocationLimitRegister(base=0, limit=10)
+        pair.translate(1)
+        pair.translate(2)
+        with pytest.raises(BoundViolation):
+            pair.translate(99)
+        assert pair.translations == 2
+        assert pair.violations == 1
+
+
+class TestRelocate:
+    def test_relocation_is_one_register_update(self):
+        pair = RelocationLimitRegister(base=1000, limit=100)
+        pair.relocate(5000)
+        assert pair.translate(7).address == 5007
+
+    def test_relocate_rejects_negative(self):
+        pair = RelocationLimitRegister(base=0, limit=10)
+        with pytest.raises(ValueError):
+            pair.relocate(-1)
+
+
+class TestConstruction:
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            RelocationLimitRegister(base=-1, limit=10)
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            RelocationLimitRegister(base=0, limit=0)

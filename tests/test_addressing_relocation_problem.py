@@ -1,0 +1,106 @@
+"""Tests for the stored-absolute-address relocation problem."""
+
+import pytest
+
+from repro.addressing.relocation_problem import (
+    RelocatableImage,
+    RelocationUnsafe,
+)
+from repro.memory import PhysicalMemory
+
+
+def build_image(discipline, track=True, base=100, memory=None):
+    memory = memory or PhysicalMemory(1_000)
+    image = RelocatableImage(
+        memory, base=base, size=20, discipline=discipline,
+        track_address_words=track,
+    )
+    image.store_value(0, "header")
+    image.store_value(5, "payload")
+    image.store_pointer(1, 5)    # word 1 points at word 5
+    image.store_pointer(2, 0)    # word 2 points at word 0
+    return image
+
+
+class TestPointerSemantics:
+    def test_both_disciplines_dereference_identically(self):
+        for discipline in ("absolute", "based"):
+            image = build_image(discipline)
+            assert image.follow_pointer(1) == "payload"
+            assert image.follow_pointer(2) == "header"
+
+    def test_bounds(self):
+        image = build_image("based")
+        with pytest.raises(IndexError):
+            image.store_value(20, "x")
+        with pytest.raises(IndexError):
+            image.store_pointer(0, 20)
+
+
+class TestBasedRelocation:
+    def test_move_patches_nothing(self):
+        image = build_image("based")
+        patched = image.move(500)
+        assert patched == 0
+        assert image.base == 500
+
+    def test_pointers_survive_move(self):
+        image = build_image("based")
+        image.move(500)
+        assert image.follow_pointer(1) == "payload"
+        assert image.follow_pointer(2) == "header"
+
+    def test_many_moves_stay_free(self):
+        image = build_image("based")
+        for new_base in (300, 700, 50, 421):
+            image.move(new_base)
+        assert image.patches_applied == 0
+        assert image.follow_pointer(1) == "payload"
+
+
+class TestAbsoluteRelocation:
+    def test_move_patches_every_address_word(self):
+        image = build_image("absolute")
+        patched = image.move(500)
+        assert patched == 2
+        assert image.follow_pointer(1) == "payload"
+        assert image.follow_pointer(2) == "header"
+
+    def test_unpatched_move_would_dangle(self):
+        """Demonstrate the hazard the patching prevents: raw copy only."""
+        memory = PhysicalMemory(1_000)
+        image = build_image("absolute", memory=memory)
+        # A raw copy without patching (what a naive mover would do):
+        memory.move(image.base, 500, image.size)
+        stale_pointer = memory.read(500 + 1)
+        assert stale_pointer == 100 + 5   # still the OLD absolute address
+
+    def test_untracked_addresses_block_relocation(self):
+        """Without an address map, moving is refused — "often very
+        complex" techniques are needed, or the move cannot happen."""
+        image = build_image("absolute", track=False)
+        with pytest.raises(RelocationUnsafe):
+            image.move(500)
+
+    def test_patch_cost_scales_with_pointer_count(self):
+        memory = PhysicalMemory(4_096)
+        image = RelocatableImage(memory, base=0, size=100,
+                                 discipline="absolute")
+        for offset in range(50):
+            image.store_pointer(offset, 99)
+        assert image.move(200) == 50
+
+    def test_overwriting_pointer_with_value_untracks_it(self):
+        image = build_image("absolute")
+        image.store_value(1, "now plain data")
+        assert image.move(500) == 1   # only word 2 remains an address
+
+
+class TestValidation:
+    def test_unknown_discipline(self):
+        with pytest.raises(ValueError):
+            RelocatableImage(PhysicalMemory(10), 0, 5, discipline="magic")
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            RelocatableImage(PhysicalMemory(10), 0, 0)

@@ -1,0 +1,186 @@
+"""Tests for segment descriptor tables (B5000 PRT style)."""
+
+import pytest
+
+from repro.addressing import AssociativeMemory, SegmentTable
+from repro.errors import BoundViolation, MissingSegment, SegmentFault
+
+
+class TestDeclare:
+    def test_declare_and_lookup(self):
+        table = SegmentTable()
+        table.declare("code", 100)
+        assert table.descriptor("code").extent == 100
+
+    def test_double_declare_rejected(self):
+        table = SegmentTable()
+        table.declare("code", 100)
+        with pytest.raises(ValueError):
+            table.declare("code", 50)
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentTable().declare("code", 0)
+
+    def test_machine_maximum_enforced(self):
+        """B5000: segments have a maximum size of 1024 words."""
+        table = SegmentTable(max_segment_extent=1024)
+        table.declare("ok", 1024)
+        with pytest.raises(ValueError):
+            table.declare("too-big", 1025)
+
+    def test_symbolic_and_integer_names_both_work(self):
+        table = SegmentTable()
+        table.declare("symbolic", 10)
+        table.declare(3, 10)
+        assert "symbolic" in table and 3 in table
+
+
+class TestTranslate:
+    def test_fault_before_placement(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        with pytest.raises(SegmentFault):
+            table.translate_pair("s", 0)
+
+    def test_translate_after_place(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.place("s", base=500)
+        assert table.translate_pair("s", 7).address == 507
+
+    def test_missing_segment(self):
+        with pytest.raises(MissingSegment):
+            SegmentTable().translate_pair("ghost", 0)
+
+    def test_subscript_check(self):
+        """The paper: illegal subscripting intercepted automatically."""
+        table = SegmentTable()
+        table.declare("array", 10)
+        table.place("array", base=0)
+        with pytest.raises(BoundViolation):
+            table.translate_pair("array", 10)
+
+    def test_negative_item_rejected(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.place("s", 0)
+        with pytest.raises(BoundViolation):
+            table.translate_pair("s", -1)
+
+    def test_mapping_cycles(self):
+        table = SegmentTable(table_access_cycles=1)
+        table.declare("s", 10)
+        table.place("s", 0)
+        assert table.translate_pair("s", 0).mapping_cycles == 1
+        assert table.mapping_cycles_total == 1
+
+    def test_fault_counter(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        with pytest.raises(SegmentFault):
+            table.translate_pair("s", 0)
+        assert table.faults == 1
+
+
+class TestDynamicSegments:
+    def test_destroy(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.destroy("s")
+        assert "s" not in table
+
+    def test_destroy_missing(self):
+        with pytest.raises(MissingSegment):
+            SegmentTable().destroy("ghost")
+
+    def test_resize(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.resize("s", 20)
+        assert table.descriptor("s").extent == 20
+
+    def test_resize_respects_machine_maximum(self):
+        table = SegmentTable(max_segment_extent=100)
+        table.declare("s", 10)
+        with pytest.raises(ValueError):
+            table.resize("s", 101)
+
+    def test_grown_segment_accepts_new_items(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.place("s", 0)
+        table.resize("s", 20)
+        assert table.translate_pair("s", 15).address == 15
+
+
+class TestSensorsAndResidency:
+    def test_write_sets_modified(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.place("s", 0)
+        table.translate_pair("s", 0, write=True)
+        assert table.descriptor("s").modified
+
+    def test_displace_returns_state_and_clears(self):
+        table = SegmentTable()
+        table.declare("s", 10)
+        table.place("s", 400)
+        table.translate_pair("s", 1, write=True)
+        snapshot = table.displace("s")
+        assert snapshot.base == 400 and snapshot.modified
+        assert not table.descriptor("s").present
+
+    def test_resident_segments(self):
+        table = SegmentTable()
+        table.declare("a", 10)
+        table.declare("b", 10)
+        table.place("a", 0)
+        assert table.resident_segments() == ["a"]
+
+    def test_len(self):
+        table = SegmentTable()
+        table.declare("a", 10)
+        table.declare("b", 10)
+        assert len(table) == 2
+
+
+class TestWithAssociativeMemory:
+    def test_descriptor_caching(self):
+        """B8500: recently accessed PRT elements retained associatively."""
+        tlb = AssociativeMemory(4)
+        table = SegmentTable(associative_memory=tlb)
+        table.declare("s", 10)
+        table.place("s", 100)
+        assert not table.translate_pair("s", 0).associative_hit
+        hit = table.translate_pair("s", 5)
+        assert hit.associative_hit and hit.address == 105 and hit.mapping_cycles == 0
+
+    def test_cached_descriptor_still_bound_checks(self):
+        tlb = AssociativeMemory(4)
+        table = SegmentTable(associative_memory=tlb)
+        table.declare("s", 10)
+        table.place("s", 100)
+        table.translate_pair("s", 0)
+        with pytest.raises(BoundViolation):
+            table.translate_pair("s", 10)
+
+    def test_displace_invalidates_cache(self):
+        tlb = AssociativeMemory(4)
+        table = SegmentTable(associative_memory=tlb)
+        table.declare("s", 10)
+        table.place("s", 100)
+        table.translate_pair("s", 0)
+        table.displace("s")
+        with pytest.raises(SegmentFault):
+            table.translate_pair("s", 0)
+
+    def test_destroy_invalidates_cache(self):
+        tlb = AssociativeMemory(4)
+        table = SegmentTable(associative_memory=tlb)
+        table.declare("s", 10)
+        table.place("s", 100)
+        table.translate_pair("s", 0)
+        table.destroy("s")
+        with pytest.raises(MissingSegment):
+            table.translate_pair("s", 0)

@@ -1,0 +1,170 @@
+"""Tests for the two-level (Figure 4) mapping scheme."""
+
+import pytest
+
+from repro.addressing import AssociativeMemory, TwoLevelMapper
+from repro.errors import BoundViolation, MissingSegment, PageFault
+
+
+def make_mapper(page_size=1024, **kwargs):
+    return TwoLevelMapper(page_size=page_size, **kwargs)
+
+
+class TestDeclare:
+    def test_page_table_sized_by_extent(self):
+        mapper = make_mapper(page_size=1024)
+        mapper.declare("s", 3000)
+        assert mapper.page_table("s").pages == 3   # ceil(3000/1024)
+
+    def test_extent_recorded(self):
+        mapper = make_mapper()
+        mapper.declare("s", 3000)
+        assert mapper.extent("s") == 3000
+
+    def test_max_extent_enforced(self):
+        """MULTICS: segments have a maximum extent of 256K words."""
+        mapper = make_mapper(max_segment_extent=262_144)
+        mapper.declare("ok", 262_144)
+        with pytest.raises(ValueError):
+            mapper.declare("big", 262_145)
+
+    def test_double_declare_rejected(self):
+        mapper = make_mapper()
+        mapper.declare("s", 100)
+        with pytest.raises(ValueError):
+            mapper.declare("s", 100)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            TwoLevelMapper(page_size=1000)
+
+
+class TestTranslate:
+    def test_two_level_walk(self):
+        mapper = make_mapper(page_size=1024)
+        mapper.declare("s", 4096)
+        mapper.map("s", page=2, frame=7)
+        result = mapper.translate_pair("s", 2 * 1024 + 5)
+        assert result.address == 7 * 1024 + 5
+        assert result.mapping_cycles == 2   # segment table + page table
+
+    def test_page_fault_on_nonresident_page(self):
+        mapper = make_mapper()
+        mapper.declare("s", 4096)
+        with pytest.raises(PageFault) as exc_info:
+            mapper.translate_pair("s", 0)
+        assert exc_info.value.page == 0
+        assert exc_info.value.process == "s"
+
+    def test_missing_segment(self):
+        with pytest.raises(MissingSegment):
+            make_mapper().translate_pair("ghost", 0)
+
+    def test_extent_checked_not_page_count(self):
+        """Names past the declared extent trap even inside the last page."""
+        mapper = make_mapper(page_size=1024)
+        mapper.declare("s", 1500)
+        mapper.map("s", page=1, frame=0)
+        mapper.translate_pair("s", 1499)
+        with pytest.raises(BoundViolation):
+            mapper.translate_pair("s", 1500)
+
+    def test_segment_larger_than_working_storage_is_fine(self):
+        """Artificial contiguity: each segment can exceed physical core."""
+        mapper = make_mapper(page_size=1024)
+        mapper.declare("huge", 1 << 21)    # 2M words
+        mapper.map("huge", page=2047, frame=3)
+        result = mapper.translate_pair("huge", (1 << 21) - 1)
+        assert result.address == 3 * 1024 + 1023
+
+    def test_counters(self):
+        mapper = make_mapper()
+        mapper.declare("s", 2048)
+        with pytest.raises(PageFault):
+            mapper.translate_pair("s", 0)
+        mapper.map("s", 0, 0)
+        mapper.translate_pair("s", 0)
+        assert mapper.page_faults == 1
+        assert mapper.translations == 2
+
+
+class TestAssociativeMemory:
+    def test_hit_costs_nothing(self):
+        tlb = AssociativeMemory(8)
+        mapper = make_mapper(associative_memory=tlb)
+        mapper.declare("s", 2048)
+        mapper.map("s", 0, 4)
+        walk = mapper.translate_pair("s", 0)
+        hit = mapper.translate_pair("s", 1)
+        assert walk.mapping_cycles == 2
+        assert hit.mapping_cycles == 0 and hit.associative_hit
+        assert hit.address == 4 * 1024 + 1
+
+    def test_tlb_keyed_by_segment_and_page(self):
+        tlb = AssociativeMemory(8)
+        mapper = make_mapper(associative_memory=tlb)
+        mapper.declare("a", 2048)
+        mapper.declare("b", 2048)
+        mapper.map("a", 0, 1)
+        mapper.map("b", 0, 2)
+        mapper.translate_pair("a", 0)
+        result = mapper.translate_pair("b", 0)
+        assert not result.associative_hit     # distinct key (b, 0)
+        assert result.address == 2 * 1024
+
+    def test_unmap_invalidates(self):
+        tlb = AssociativeMemory(8)
+        mapper = make_mapper(associative_memory=tlb)
+        mapper.declare("s", 2048)
+        mapper.map("s", 0, 4)
+        mapper.translate_pair("s", 0)
+        mapper.unmap("s", 0)
+        with pytest.raises(PageFault):
+            mapper.translate_pair("s", 0)
+
+    def test_destroy_invalidates_all_pages(self):
+        tlb = AssociativeMemory(8)
+        mapper = make_mapper(associative_memory=tlb)
+        mapper.declare("s", 2048)
+        mapper.map("s", 0, 4)
+        mapper.translate_pair("s", 0)
+        mapper.destroy("s")
+        assert ("s", 0) not in tlb
+
+    def test_hit_updates_sensors(self):
+        tlb = AssociativeMemory(8)
+        mapper = make_mapper(associative_memory=tlb)
+        mapper.declare("s", 2048)
+        mapper.map("s", 0, 4)
+        mapper.translate_pair("s", 0)
+        mapper.page_table("s").entry(0).clear_sensors()
+        mapper.translate_pair("s", 0, write=True)
+        assert mapper.page_table("s").entry(0).modified
+
+
+class TestResidency:
+    def test_resident_pairs(self):
+        mapper = make_mapper()
+        mapper.declare("a", 4096)
+        mapper.declare("b", 4096)
+        mapper.map("a", 1, 0)
+        mapper.map("b", 0, 1)
+        assert set(mapper.resident()) == {("a", 1), ("b", 0)}
+
+    def test_unmap_returns_snapshot(self):
+        mapper = make_mapper()
+        mapper.declare("s", 2048)
+        mapper.map("s", 0, 9)
+        mapper.translate_pair("s", 0, write=True)
+        snapshot = mapper.unmap("s", 0)
+        assert snapshot.frame == 9 and snapshot.modified
+
+    def test_destroy_missing(self):
+        with pytest.raises(MissingSegment):
+            make_mapper().destroy("ghost")
+
+    def test_segments_listing(self):
+        mapper = make_mapper()
+        mapper.declare("a", 10)
+        assert mapper.segments() == ["a"]
+        assert "a" in mapper

@@ -1,0 +1,136 @@
+"""Tests for the ACSI-MATIC description-driven segment manager."""
+
+import pytest
+
+from repro.addressing import SegmentTable
+from repro.advice import (
+    DescribedSegmentManager,
+    ProgramDescription,
+    medium_router,
+)
+from repro.alloc import FreeListAllocator
+from repro.clock import Clock
+from repro.memory import BackingStore, MultiLevelBackingStore, StorageLevel, core_drum_disk
+from repro.paging import LruPolicy
+
+
+def make_manager(description, capacity=1000, multilevel=False):
+    clock = Clock()
+    if multilevel:
+        backing = MultiLevelBackingStore(
+            core_drum_disk(), clock=clock,
+            medium_of=medium_router(description),
+        )
+    else:
+        backing = BackingStore(
+            StorageLevel("drum", 10**6, access_time=100), clock=clock
+        )
+    manager = DescribedSegmentManager(
+        SegmentTable(),
+        FreeListAllocator(capacity, policy="best_fit"),
+        backing,
+        LruPolicy(),
+        clock,
+        description=description,
+    )
+    return manager
+
+
+class TestOverlayRules:
+    def _loaded(self, description, capacity=300):
+        manager = make_manager(description, capacity=capacity)
+        for name in ("a", "b"):
+            manager.create(name, 150)
+            manager.access(name, 0)
+        manager.create("incoming", 150)
+        return manager
+
+    def test_forbidden_victim_spared(self):
+        description = ProgramDescription("job")
+        description.assign_group("a", "protected")
+        description.assign_group("b", "expendable")
+        description.assign_group("incoming", "new")
+        description.forbid_overlay("new", "protected")
+        manager = self._loaded(description)
+        manager.access("incoming", 0)   # LRU would have chosen a
+        assert "a" in manager.resident_segments()
+        assert "b" not in manager.resident_segments()
+        assert manager.overlay_rule_filtered >= 1
+
+    def test_rules_waived_when_nothing_allowed(self):
+        """Advisory rules must never wedge allocation."""
+        description = ProgramDescription("job")
+        for name in ("a", "b"):
+            description.assign_group(name, "protected")
+        description.assign_group("incoming", "new")
+        description.forbid_overlay("new", "protected")
+        manager = self._loaded(description)
+        manager.access("incoming", 0)   # succeeds despite the rules
+        assert "incoming" in manager.resident_segments()
+        assert manager.overlay_rule_waived >= 1
+
+    def test_ungrouped_segments_always_eligible(self):
+        description = ProgramDescription("job")
+        description.assign_group("incoming", "new")
+        manager = self._loaded(description)
+        manager.access("incoming", 0)
+        assert "incoming" in manager.resident_segments()
+        assert manager.overlay_rule_waived == 0
+
+    def test_dynamic_rule_revision(self):
+        """Descriptions 'could be varied dynamically'."""
+        description = ProgramDescription("job")
+        description.assign_group("a", "g1")
+        description.assign_group("incoming", "new")
+        description.forbid_overlay("new", "g1")
+        manager = self._loaded(description)
+        description.permit_overlay("new", "g1")   # revised at run time
+        manager.access("incoming", 0)
+        assert "incoming" in manager.resident_segments()
+
+
+class TestMediumPlacement:
+    def test_displaced_segment_lands_on_preferred_medium(self):
+        description = ProgramDescription("job")
+        description.set_medium("cold", "disk")
+        manager = make_manager(description, capacity=300, multilevel=True)
+        manager.create("cold", 150)
+        manager.create("other", 150)
+        manager.create("incoming", 150)
+        manager.access("cold", 0)
+        manager.access("other", 0)
+        manager.access("incoming", 0)   # displaces 'cold' (LRU)
+        assert manager.backing.level_of(("segment", "cold")) == "disk"
+
+    def test_unstated_medium_uses_nearest(self):
+        description = ProgramDescription("job")
+        manager = make_manager(description, capacity=300, multilevel=True)
+        manager.create("a", 150)
+        manager.create("b", 150)
+        manager.create("c", 150)
+        for name in ("a", "b", "c"):
+            manager.access(name, 0)
+        assert manager.backing.level_of(("segment", "a")) == "drum"
+
+    def test_medium_router_unwraps_keys(self):
+        description = ProgramDescription("job")
+        description.set_medium("seg", "disk")
+        router = medium_router(description)
+        assert router(("segment", "seg")) == "disk"
+        assert router("seg") == "disk"
+        assert router(("segment", "other")) is None
+
+    def test_medium_router_default(self):
+        description = ProgramDescription("job")
+        router = medium_router(description, default="drum")
+        assert router("anything") == "drum"
+
+
+class TestInheritedBehaviour:
+    def test_acts_as_a_segment_manager(self):
+        description = ProgramDescription("job")
+        manager = make_manager(description)
+        manager.create("s", 100)
+        address = manager.access("s", 42)
+        assert address == manager.table.descriptor("s").base + 42
+        assert manager.stats.segment_faults == 1

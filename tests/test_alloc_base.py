@@ -1,0 +1,77 @@
+"""Tests for the shared allocator utilities."""
+
+import pytest
+
+from repro.alloc.base import (
+    Allocation,
+    AllocatorCounters,
+    check_free_known,
+    coalesce,
+)
+from repro.errors import InvalidFree
+
+
+class TestAllocation:
+    def test_end(self):
+        assert Allocation(10, 5).end == 15
+
+    def test_overlap_detection(self):
+        a = Allocation(0, 10)
+        assert a.overlaps(Allocation(9, 5))
+        assert not a.overlaps(Allocation(10, 5))
+        assert Allocation(9, 5).overlaps(a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Allocation(-1, 5)
+        with pytest.raises(ValueError):
+            Allocation(0, 0)
+
+    def test_frozen_and_hashable(self):
+        a = Allocation(0, 10)
+        assert a == Allocation(0, 10)
+        assert hash(a) == hash(Allocation(0, 10))
+        with pytest.raises(AttributeError):
+            a.size = 20
+
+
+class TestCoalesce:
+    def test_merges_adjacent(self):
+        assert coalesce([(0, 10), (10, 5)]) == [(0, 15)]
+
+    def test_keeps_gaps(self):
+        assert coalesce([(0, 10), (11, 5)]) == [(0, 10), (11, 5)]
+
+    def test_unsorted_input(self):
+        assert coalesce([(10, 5), (0, 10)]) == [(0, 15)]
+
+    def test_chain_merge(self):
+        assert coalesce([(0, 1), (1, 1), (2, 1)]) == [(0, 3)]
+
+    def test_empty(self):
+        assert coalesce([]) == []
+
+
+class TestCheckFreeKnown:
+    def test_accepts_known(self):
+        live = {0: Allocation(0, 10)}
+        check_free_known(Allocation(0, 10), live, "test")
+
+    def test_rejects_unknown_address(self):
+        with pytest.raises(InvalidFree):
+            check_free_known(Allocation(5, 10), {}, "test")
+
+    def test_rejects_size_mismatch(self):
+        live = {0: Allocation(0, 10)}
+        with pytest.raises(InvalidFree):
+            check_free_known(Allocation(0, 5), live, "test")
+
+
+class TestCounters:
+    def test_failure_undoes_optimistic_words(self):
+        counters = AllocatorCounters()
+        counters.record_request(100)
+        counters.record_failure(100)
+        assert counters.words_allocated == 0
+        assert counters.requests == 1
+        assert counters.failures == 1

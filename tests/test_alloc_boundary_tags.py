@@ -1,0 +1,164 @@
+"""Tests for the boundary-tag allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import BoundaryTagAllocator
+from repro.alloc.base import Allocation
+from repro.errors import InvalidFree, OutOfMemory
+
+steps = st.lists(
+    st.one_of(st.integers(min_value=1, max_value=120),
+              st.integers(min_value=-50, max_value=-1)),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestBasics:
+    def test_tag_overhead_included(self):
+        allocator = BoundaryTagAllocator(1000)
+        block = allocator.allocate(98)
+        assert block.size == 100
+        assert allocator.tag_overhead_words == 2
+
+    def test_sequential_allocations(self):
+        allocator = BoundaryTagAllocator(1000)
+        a = allocator.allocate(98)
+        b = allocator.allocate(48)
+        assert b.address == a.end
+
+    def test_exhaustion(self):
+        allocator = BoundaryTagAllocator(100)
+        allocator.allocate(98)
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(1)
+
+    def test_small_leftover_absorbed_into_block(self):
+        """A residue too small to carry tags stays with the allocation."""
+        allocator = BoundaryTagAllocator(100)
+        block = allocator.allocate(97)   # gross 99; leftover 1 <= 2 tags
+        assert block.size == 100
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryTagAllocator(2)
+        with pytest.raises(ValueError):
+            BoundaryTagAllocator(100, policy="best_fit")
+        with pytest.raises(ValueError):
+            BoundaryTagAllocator(100).allocate(0)
+
+
+class TestCoalescing:
+    def test_merge_with_next(self):
+        allocator = BoundaryTagAllocator(1000)
+        a = allocator.allocate(98)
+        b = allocator.allocate(98)
+        allocator.allocate(98)
+        allocator.free(b)
+        allocator.free(a)   # merges with the free b
+        assert (0, 200) in allocator.holes()
+        assert allocator.coalesce_operations >= 1
+
+    def test_merge_with_previous(self):
+        allocator = BoundaryTagAllocator(1000)
+        a = allocator.allocate(98)
+        b = allocator.allocate(98)
+        allocator.allocate(98)
+        allocator.free(a)
+        allocator.free(b)
+        assert (0, 200) in allocator.holes()
+
+    def test_merge_both_sides(self):
+        allocator = BoundaryTagAllocator(1000)
+        a = allocator.allocate(98)
+        b = allocator.allocate(98)
+        c = allocator.allocate(98)
+        allocator.allocate(98)
+        allocator.free(a)
+        allocator.free(c)
+        allocator.free(b)
+        assert (0, 300) in allocator.holes()
+
+    def test_full_release_restores_one_hole(self):
+        allocator = BoundaryTagAllocator(1000)
+        blocks = [allocator.allocate(48) for _ in range(6)]
+        for block in blocks:
+            allocator.free(block)
+        assert allocator.holes() == [(0, 1000)]
+
+
+class TestFreeValidation:
+    def test_double_free(self):
+        allocator = BoundaryTagAllocator(1000)
+        block = allocator.allocate(10)
+        allocator.free(block)
+        with pytest.raises(InvalidFree):
+            allocator.free(block)
+
+    def test_unknown_free(self):
+        with pytest.raises(InvalidFree):
+            BoundaryTagAllocator(1000).free(Allocation(0, 12))
+
+
+class TestNextFit:
+    def test_rover_advances(self):
+        allocator = BoundaryTagAllocator(1000, policy="next_fit")
+        a = allocator.allocate(98)
+        allocator.allocate(98)
+        allocator.free(a)
+        # next_fit's rover is past the freed head block; it allocates
+        # from the tail hole first.
+        block = allocator.allocate(98)
+        assert block.address == 200
+
+    def test_wraps_to_head(self):
+        allocator = BoundaryTagAllocator(300, policy="next_fit")
+        a = allocator.allocate(98)
+        allocator.allocate(198)   # fills the rest
+        allocator.free(a)
+        assert allocator.allocate(98).address == 0
+
+
+class TestProperties:
+    def _drive(self, allocator, workload):
+        live = []
+        for step in workload:
+            if step > 0:
+                try:
+                    live.append(allocator.allocate(step))
+                except OutOfMemory:
+                    pass
+            elif live:
+                allocator.free(live.pop((-step) % len(live)))
+        return live
+
+    @given(workload=steps, policy=st.sampled_from(["first_fit", "next_fit"]))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, workload, policy):
+        allocator = BoundaryTagAllocator(512, policy=policy)
+        live = self._drive(allocator, workload)
+        allocator.check_invariants()
+        spans = sorted((a.address, a.end) for a in live)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_freeing_everything_restores_one_hole(self, workload):
+        allocator = BoundaryTagAllocator(512)
+        live = self._drive(allocator, workload)
+        for allocation in live:
+            allocator.free(allocation)
+        assert allocator.holes() == [(0, 512)]
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_balances(self, workload):
+        allocator = BoundaryTagAllocator(512)
+        live = self._drive(allocator, workload)
+        assert allocator.used_words == sum(a.size for a in live)
+        assert allocator.used_words + allocator.free_words == 512

@@ -1,0 +1,124 @@
+"""Tests for the binary buddy allocator."""
+
+import pytest
+
+from repro.alloc import BuddyAllocator
+from repro.alloc.base import Allocation
+from repro.errors import InvalidFree, OutOfMemory
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_capacity(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(100)
+
+    def test_rejects_non_power_of_two_min_block(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(128, min_block=3)
+
+    def test_rejects_min_block_above_capacity(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(128, min_block=256)
+
+
+class TestAllocation:
+    def test_rounds_to_power_of_two(self):
+        allocator = BuddyAllocator(256, min_block=16)
+        block = allocator.allocate(20)
+        assert allocator.block_size(block) == 32
+
+    def test_min_block_floor(self):
+        allocator = BuddyAllocator(256, min_block=16)
+        block = allocator.allocate(1)
+        assert allocator.block_size(block) == 16
+
+    def test_exact_power_not_rounded(self):
+        allocator = BuddyAllocator(256, min_block=16)
+        block = allocator.allocate(64)
+        assert allocator.block_size(block) == 64
+
+    def test_whole_capacity(self):
+        allocator = BuddyAllocator(256)
+        block = allocator.allocate(256)
+        assert block.address == 0
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(1)
+
+    def test_oversized_request(self):
+        with pytest.raises(OutOfMemory):
+            BuddyAllocator(256).allocate(257)
+
+    def test_splitting_produces_aligned_blocks(self):
+        allocator = BuddyAllocator(256, min_block=16)
+        a = allocator.allocate(16)
+        b = allocator.allocate(16)
+        assert a.address % 16 == 0 and b.address % 16 == 0
+        assert a.address != b.address
+
+    def test_external_fragmentation_across_size_classes(self):
+        """Free space exists but no block of the needed order does."""
+        allocator = BuddyAllocator(64, min_block=8)
+        blocks = [allocator.allocate(8) for _ in range(8)]
+        for block in blocks[::2]:
+            allocator.free(block)
+        assert allocator.free_words == 32
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(16)
+
+
+class TestRecombination:
+    def test_buddies_merge(self):
+        allocator = BuddyAllocator(64, min_block=8)
+        a = allocator.allocate(8)
+        b = allocator.allocate(8)
+        allocator.free(a)
+        allocator.free(b)
+        # Fully merged back: a 64-word request succeeds.
+        assert allocator.allocate(64).address == 0
+
+    def test_non_buddies_do_not_merge(self):
+        allocator = BuddyAllocator(32, min_block=8)
+        blocks = [allocator.allocate(8) for _ in range(4)]
+        allocator.free(blocks[1])
+        allocator.free(blocks[2])
+        # 1 and 2 are adjacent but not buddies (1^8=0-block, 2^8=3-block).
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(16)
+
+    def test_cascade_merge(self):
+        allocator = BuddyAllocator(64, min_block=8)
+        blocks = [allocator.allocate(8) for _ in range(8)]
+        for block in blocks:
+            allocator.free(block)
+        assert allocator.holes() == [(0, 64)]
+
+
+class TestBookkeeping:
+    def test_internal_waste(self):
+        allocator = BuddyAllocator(256, min_block=16)
+        allocator.allocate(20)   # reserves 32, wastes 12
+        allocator.allocate(16)   # exact
+        assert allocator.internal_waste == 12
+
+    def test_used_words_counts_reserved(self):
+        allocator = BuddyAllocator(256, min_block=16)
+        allocator.allocate(20)
+        assert allocator.used_words == 32
+
+    def test_double_free_rejected(self):
+        allocator = BuddyAllocator(64)
+        block = allocator.allocate(8)
+        allocator.free(block)
+        with pytest.raises(InvalidFree):
+            allocator.free(block)
+
+    def test_block_size_of_unknown(self):
+        allocator = BuddyAllocator(64)
+        with pytest.raises(InvalidFree):
+            allocator.block_size(Allocation(0, 8))
+
+    def test_failure_counter(self):
+        allocator = BuddyAllocator(64)
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(128)
+        assert allocator.counters.failures == 1

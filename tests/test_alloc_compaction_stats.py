@@ -1,0 +1,148 @@
+"""Tests for compaction and fragmentation statistics."""
+
+import pytest
+
+from repro.alloc import FreeListAllocator, compact, fragmentation_stats
+from repro.alloc.stats import internal_fragmentation, paging_internal_waste
+from repro.memory import PhysicalMemory
+
+
+def fragmented_allocator():
+    """Ten 10-word blocks with every other one freed: 5 shredded holes."""
+    allocator = FreeListAllocator(100)
+    blocks = [allocator.allocate(10) for _ in range(10)]
+    for block in blocks[::2]:
+        allocator.free(block)
+    return allocator, [b for b in blocks[1::2]]
+
+
+class TestCompaction:
+    def test_compaction_consolidates_holes(self):
+        allocator, _ = fragmented_allocator()
+        result = compact(allocator)
+        assert result.hole_count_before == 5
+        assert result.hole_count_after == 1
+        assert allocator.holes() == [(50, 50)]
+
+    def test_live_blocks_slide_down(self):
+        allocator, live = fragmented_allocator()
+        compact(allocator)
+        addresses = [a.address for a in allocator.allocations()]
+        assert addresses == [0, 10, 20, 30, 40]
+
+    def test_words_moved_counted(self):
+        allocator, _ = fragmented_allocator()
+        result = compact(allocator)
+        assert result.words_moved == 50   # all five live blocks moved
+
+    def test_relocation_map(self):
+        allocator, _ = fragmented_allocator()
+        result = compact(allocator)
+        assert result.relocations == {10: 0, 30: 10, 50: 20, 70: 30, 90: 40}
+
+    def test_data_moves_with_blocks(self):
+        memory = PhysicalMemory(100)
+        allocator = FreeListAllocator(100)
+        a = allocator.allocate(10)
+        b = allocator.allocate(10)
+        memory.write_block(b.address, list(range(10)))
+        allocator.free(a)
+        compact(allocator, memory=memory)
+        assert memory.read_block(0, 10) == list(range(10))
+
+    def test_relocate_callback_invoked(self):
+        allocator, _ = fragmented_allocator()
+        seen = []
+        compact(allocator, on_relocate=lambda old, new: seen.append((old.address, new.address)))
+        assert (10, 0) in seen
+
+    def test_unmoved_block_not_reported(self):
+        allocator = FreeListAllocator(100)
+        allocator.allocate(10)   # already at 0
+        result = compact(allocator)
+        assert result.moves == 0 and result.relocations == {}
+
+    def test_compacted_storage_serves_large_request(self):
+        """The point of compaction: a request only the merged hole fits."""
+        allocator, _ = fragmented_allocator()
+        compact(allocator)
+        assert allocator.allocate(50).size == 50
+
+    def test_full_storage_compacts_to_no_hole(self):
+        allocator = FreeListAllocator(20)
+        allocator.allocate(10)
+        allocator.allocate(10)
+        result = compact(allocator)
+        assert allocator.holes() == []
+        assert result.largest_hole_after == 0
+
+    def test_allocator_invariants_after_compaction(self):
+        allocator, _ = fragmented_allocator()
+        compact(allocator)
+        allocator.check_invariants()
+
+
+class TestFragmentationStats:
+    def test_empty_allocator(self):
+        stats = fragmentation_stats(FreeListAllocator(100))
+        assert stats.utilization == 0.0
+        assert stats.external_fragmentation == 0.0
+        assert stats.largest_hole == 100
+
+    def test_shredded_storage(self):
+        allocator, _ = fragmented_allocator()
+        stats = fragmentation_stats(allocator)
+        assert stats.hole_count == 5
+        assert stats.free_words == 50
+        assert stats.largest_hole == 10
+        assert stats.external_fragmentation == pytest.approx(1 - 10 / 50)
+
+    def test_full_storage_has_zero_fragmentation(self):
+        allocator = FreeListAllocator(10)
+        allocator.allocate(10)
+        stats = fragmentation_stats(allocator)
+        assert stats.external_fragmentation == 0.0
+        assert stats.utilization == 1.0
+
+    def test_str_is_readable(self):
+        text = str(fragmentation_stats(FreeListAllocator(100)))
+        assert "util=" in text and "frag=" in text
+
+
+class TestInternalFragmentation:
+    def test_basic(self):
+        assert internal_fragmentation([10, 20], [16, 32]) == pytest.approx(18 / 48)
+
+    def test_empty(self):
+        assert internal_fragmentation([], []) == 0.0
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            internal_fragmentation([1], [])
+
+    def test_reserved_below_requested_rejected(self):
+        with pytest.raises(ValueError):
+            internal_fragmentation([10], [5])
+
+
+class TestPagingInternalWaste:
+    def test_partial_last_page(self):
+        wasted, reserved = paging_internal_waste([100], page_size=64)
+        assert reserved == 128
+        assert wasted == 28
+
+    def test_exact_multiple_wastes_nothing(self):
+        wasted, reserved = paging_internal_waste([128], page_size=64)
+        assert wasted == 0 and reserved == 128
+
+    def test_many_small_requests_waste_most_of_each_frame(self):
+        """The paper: 'many page frames will be only partly used'."""
+        wasted, reserved = paging_internal_waste([1] * 10, page_size=512)
+        assert reserved == 5120
+        assert wasted == 5110
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paging_internal_waste([10], page_size=0)
+        with pytest.raises(ValueError):
+            paging_internal_waste([0], page_size=64)

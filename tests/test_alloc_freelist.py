@@ -1,0 +1,212 @@
+"""Tests for the free-list allocator and its placement policies."""
+
+import pytest
+
+from repro.alloc import Allocation, FreeListAllocator
+from repro.errors import InvalidFree, OutOfMemory
+
+
+class TestBasics:
+    def test_first_allocation_at_zero(self):
+        allocator = FreeListAllocator(100)
+        assert allocator.allocate(10).address == 0
+
+    def test_sequential_allocations_are_adjacent(self):
+        allocator = FreeListAllocator(100)
+        a = allocator.allocate(10)
+        b = allocator.allocate(20)
+        assert b.address == a.end
+
+    def test_exhaustion_raises(self):
+        allocator = FreeListAllocator(100)
+        allocator.allocate(100)
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(1)
+
+    def test_fragmented_space_cannot_serve_large_request(self):
+        """The defining symptom of external fragmentation."""
+        allocator = FreeListAllocator(100)
+        blocks = [allocator.allocate(10) for _ in range(10)]
+        for block in blocks[::2]:
+            allocator.free(block)      # 50 words free, in 10-word shreds
+        assert allocator.free_words == 50
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(11)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(100).allocate(0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(100, policy="magic_fit")
+
+
+class TestFree:
+    def test_free_returns_space(self):
+        allocator = FreeListAllocator(100)
+        block = allocator.allocate(60)
+        allocator.free(block)
+        assert allocator.free_words == 100
+        assert allocator.allocate(100).size == 100
+
+    def test_double_free_rejected(self):
+        allocator = FreeListAllocator(100)
+        block = allocator.allocate(10)
+        allocator.free(block)
+        with pytest.raises(InvalidFree):
+            allocator.free(block)
+
+    def test_free_of_unknown_block_rejected(self):
+        allocator = FreeListAllocator(100)
+        with pytest.raises(InvalidFree):
+            allocator.free(Allocation(5, 10))
+
+    def test_free_with_wrong_size_rejected(self):
+        allocator = FreeListAllocator(100)
+        allocator.allocate(10)
+        with pytest.raises(InvalidFree):
+            allocator.free(Allocation(0, 5))
+
+
+class TestCoalescing:
+    def test_adjacent_frees_merge(self):
+        allocator = FreeListAllocator(100)
+        a = allocator.allocate(30)
+        b = allocator.allocate(30)
+        c = allocator.allocate(40)
+        allocator.free(a)
+        allocator.free(b)
+        # a and b merged with each other (and c still live)
+        assert allocator.holes() == [(0, 60)]
+        allocator.free(c)
+        assert allocator.holes() == [(0, 100)]
+
+    def test_merge_with_successor(self):
+        allocator = FreeListAllocator(100)
+        a = allocator.allocate(30)
+        b = allocator.allocate(30)
+        allocator.allocate(40)
+        allocator.free(b)
+        allocator.free(a)   # merges with the hole after it
+        assert allocator.holes() == [(0, 60)]
+
+    def test_merge_both_sides(self):
+        allocator = FreeListAllocator(90)
+        a = allocator.allocate(30)
+        b = allocator.allocate(30)
+        c = allocator.allocate(30)
+        allocator.free(a)
+        allocator.free(c)
+        allocator.free(b)   # bridges both holes
+        assert allocator.holes() == [(0, 90)]
+
+
+class TestPlacementPolicies:
+    def _with_two_holes(self, policy):
+        """Storage with a 20-word hole at 0 and a 50-word hole at 50."""
+        allocator = FreeListAllocator(100, policy=policy)
+        first = allocator.allocate(20)
+        allocator.allocate(30)
+        rest = allocator.allocate(50)
+        allocator.free(first)
+        allocator.free(rest)
+        assert allocator.holes() == [(0, 20), (50, 50)]
+        return allocator
+
+    def test_first_fit_takes_lowest(self):
+        allocator = self._with_two_holes("first_fit")
+        assert allocator.allocate(10).address == 0
+
+    def test_best_fit_takes_smallest_sufficient(self):
+        allocator = self._with_two_holes("best_fit")
+        assert allocator.allocate(10).address == 0
+        # A 30-word request only fits the big hole.
+        assert allocator.allocate(30).address == 50
+
+    def test_best_fit_prefers_tight_hole_even_if_higher(self):
+        allocator = FreeListAllocator(200, policy="best_fit")
+        big = allocator.allocate(100)
+        allocator.allocate(10)
+        small = allocator.allocate(20)
+        allocator.allocate(10)
+        allocator.free(big)     # hole (0, 100)
+        allocator.free(small)   # hole (110, 20)
+        assert allocator.allocate(20).address == 110
+
+    def test_worst_fit_takes_largest(self):
+        allocator = self._with_two_holes("worst_fit")
+        assert allocator.allocate(10).address == 50
+
+    def test_next_fit_resumes_from_rover(self):
+        allocator = FreeListAllocator(300, policy="next_fit")
+        blocks = [allocator.allocate(100) for _ in range(3)]
+        for block in blocks:
+            allocator.free(block)
+        assert allocator.holes() == [(0, 300)]
+        allocator.allocate(50)   # from (0,300) -> hole (50,250)
+        a = allocator.allocate(50)
+        assert a.address == 50   # continues in the same hole
+
+    def test_best_fit_leaves_less_shredding_than_worst_fit(self):
+        """Classic contrast: worst-fit destroys big holes."""
+        def run(policy):
+            allocator = FreeListAllocator(1000, policy=policy)
+            keep = []
+            for i in range(12):
+                keep.append(allocator.allocate(40))
+            for block in keep[::2]:
+                allocator.free(block)
+            for _ in range(5):
+                allocator.allocate(30)
+            return allocator.largest_hole
+        assert run("best_fit") >= run("worst_fit")
+
+
+class TestCounters:
+    def test_request_and_failure_counts(self):
+        allocator = FreeListAllocator(100)
+        allocator.allocate(60)
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(60)
+        assert allocator.counters.requests == 2
+        assert allocator.counters.failures == 1
+        assert allocator.counters.words_allocated == 60
+
+    def test_search_steps_accumulate(self):
+        allocator = FreeListAllocator(100, policy="best_fit")
+        a = allocator.allocate(10)
+        allocator.allocate(10)
+        allocator.free(a)
+        allocator.allocate(5)    # examines 2 holes
+        assert allocator.counters.search_steps >= 2
+
+    def test_free_counter(self):
+        allocator = FreeListAllocator(100)
+        block = allocator.allocate(10)
+        allocator.free(block)
+        assert allocator.counters.frees == 1
+        assert allocator.counters.words_freed == 10
+
+
+class TestInspection:
+    def test_allocations_sorted(self):
+        allocator = FreeListAllocator(100)
+        allocator.allocate(10)
+        allocator.allocate(10)
+        addresses = [a.address for a in allocator.allocations()]
+        assert addresses == sorted(addresses)
+
+    def test_used_plus_free_is_capacity(self):
+        allocator = FreeListAllocator(100)
+        allocator.allocate(30)
+        assert allocator.used_words + allocator.free_words == 100
+
+    def test_largest_hole_empty_when_full(self):
+        allocator = FreeListAllocator(10)
+        allocator.allocate(10)
+        assert allocator.largest_hole == 0

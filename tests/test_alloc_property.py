@@ -1,0 +1,169 @@
+"""Property-based tests: allocator invariants under arbitrary workloads.
+
+Every allocator must, under any interleaving of allocations and frees:
+
+- never hand out overlapping blocks,
+- never lose or duplicate words (used + free == capacity),
+- keep its internal structures consistent (check_invariants),
+- satisfy any request no larger than its largest hole (free list).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import (
+    BuddyAllocator,
+    FreeListAllocator,
+    RiceAllocator,
+    TwoEndsAllocator,
+)
+from repro.errors import OutOfMemory
+
+# A workload step: positive int = allocate that size; negative = free the
+# (index % live count)-th live allocation.
+steps = st.lists(
+    st.one_of(st.integers(min_value=1, max_value=120),
+              st.integers(min_value=-50, max_value=-1)),
+    min_size=1,
+    max_size=120,
+)
+
+
+def drive(allocator, workload):
+    """Apply a workload, returning live allocations; ignores OutOfMemory."""
+    live = []
+    for step in workload:
+        if step > 0:
+            try:
+                live.append(allocator.allocate(step))
+            except OutOfMemory:
+                pass
+        elif live:
+            index = (-step) % len(live)
+            allocator.free(live.pop(index))
+    return live
+
+
+def assert_no_overlap(allocations):
+    spans = sorted((a.address, a.end) for a in allocations)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert start >= end, f"overlap: {spans}"
+
+
+class TestFreeListProperties:
+    @given(workload=steps, policy=st.sampled_from(
+        ["first_fit", "best_fit", "worst_fit", "next_fit"]))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, workload, policy):
+        allocator = FreeListAllocator(512, policy=policy)
+        live = drive(allocator, workload)
+        allocator.check_invariants()
+        assert_no_overlap(live)
+        assert allocator.used_words == sum(a.size for a in live)
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_request_at_most_largest_hole_succeeds(self, workload):
+        allocator = FreeListAllocator(512, policy="first_fit")
+        drive(allocator, workload)
+        largest = allocator.largest_hole
+        if largest > 0:
+            block = allocator.allocate(largest)
+            assert block.size == largest
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_freeing_everything_restores_one_hole(self, workload):
+        allocator = FreeListAllocator(512)
+        live = drive(allocator, workload)
+        for allocation in live:
+            allocator.free(allocation)
+        assert allocator.holes() == [(0, 512)]
+
+
+class TestTwoEndsProperties:
+    @given(workload=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, workload):
+        allocator = TwoEndsAllocator(512, size_threshold=60)
+        live = drive(allocator, workload)
+        allocator.check_invariants()
+        assert_no_overlap(live)
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_small_below_threshold_large_above(self, workload):
+        allocator = TwoEndsAllocator(2048, size_threshold=60)
+        live = drive(allocator, workload)
+        # Every small block must sit wholly below every large block
+        # allocated straight from the bump pointers; reuse can mix them,
+        # but accounting must still balance.
+        assert allocator.used_words == sum(a.size for a in live)
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_freeing_everything_restores_full_gap(self, workload):
+        allocator = TwoEndsAllocator(512, size_threshold=60)
+        live = drive(allocator, workload)
+        for allocation in live:
+            allocator.free(allocation)
+        assert allocator.free_words == 512
+        assert allocator.holes() == [(0, 512)]
+
+
+class TestBuddyProperties:
+    @given(workload=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, workload):
+        allocator = BuddyAllocator(512, min_block=8)
+        live = drive(allocator, workload)
+        allocator.check_invariants()
+        assert_no_overlap(live)
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_full_recombination(self, workload):
+        allocator = BuddyAllocator(512, min_block=8)
+        live = drive(allocator, workload)
+        for allocation in live:
+            allocator.free(allocation)
+        assert allocator.holes() == [(0, 512)]
+
+    @given(size=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=60, deadline=None)
+    def test_block_is_power_of_two_and_sufficient(self, size):
+        allocator = BuddyAllocator(512, min_block=8)
+        block = allocator.allocate(size)
+        reserved = allocator.block_size(block)
+        assert reserved >= size
+        assert reserved & (reserved - 1) == 0
+        assert reserved >= 8
+
+
+class TestRiceProperties:
+    @given(workload=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, workload):
+        allocator = RiceAllocator(512)
+        live = drive(allocator, workload)
+        allocator.check_invariants()
+        assert_no_overlap(live)
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_combine_never_loses_words(self, workload):
+        allocator = RiceAllocator(512)
+        drive(allocator, workload)
+        before = allocator.free_words
+        allocator.combine_adjacent()
+        assert allocator.free_words == before
+        allocator.check_invariants()
+
+    @given(workload=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_combine_never_increases_chain(self, workload):
+        allocator = RiceAllocator(512)
+        drive(allocator, workload)
+        before = allocator.chain_length
+        allocator.combine_adjacent()
+        assert allocator.chain_length <= before

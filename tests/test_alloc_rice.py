@@ -1,0 +1,170 @@
+"""Tests for the Rice inactive-block-chain allocator (Appendix A.4)."""
+
+import pytest
+
+from repro.alloc import Allocation, RiceAllocator
+from repro.errors import InvalidFree, OutOfMemory
+
+
+class TestSequentialPlacement:
+    def test_segments_placed_sequentially(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(99)
+        b = allocator.allocate(49)
+        assert a.address == 0
+        assert b.address == 100    # 99 + 1 back-reference word
+
+    def test_back_reference_overhead_included(self):
+        allocator = RiceAllocator(1000, back_reference_words=1)
+        block = allocator.allocate(10)
+        assert block.size == 11
+
+    def test_zero_overhead_variant(self):
+        allocator = RiceAllocator(1000, back_reference_words=0)
+        assert allocator.allocate(10).size == 10
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            RiceAllocator(100).allocate(0)
+
+
+class TestInactiveChain:
+    def test_chain_search_is_freed_order(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(99)    # 0..100
+        b = allocator.allocate(99)    # 100..200
+        allocator.allocate(99)        # keeps the pointer forward
+        allocator.free(a)
+        allocator.free(b)             # chain: [b, a]
+        block = allocator.allocate(99)
+        assert block.address == b.address   # head of chain, not lowest address
+
+    def test_leftover_replaces_block_in_chain(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(99)    # gross 100
+        allocator.allocate(99)
+        allocator.free(a)
+        small = allocator.allocate(39)  # gross 40 from the 100-word block
+        assert small.address == 0
+        assert (40, 60) in allocator.holes()
+
+    def test_exact_fit_removes_chain_entry(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(99)
+        allocator.allocate(99)
+        allocator.free(a)
+        allocator.allocate(99)
+        assert allocator.chain_length == 0
+
+    def test_virgin_storage_used_when_chain_insufficient(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(49)    # 0..50
+        allocator.allocate(49)        # 50..100
+        allocator.free(a)
+        big = allocator.allocate(199)
+        assert big.address == 100     # bump pointer, not the 50-word hole
+
+
+class TestCombining:
+    def test_adjacent_blocks_combine(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(49)
+        b = allocator.allocate(49)
+        allocator.allocate(49)
+        allocator.free(a)
+        allocator.free(b)
+        assert allocator.chain_length == 2
+        merges = allocator.combine_adjacent()
+        assert merges == 1
+        assert allocator.chain_length == 1
+        assert (0, 100) in allocator.holes()
+
+    def test_allocate_combines_when_chain_fails(self):
+        allocator = RiceAllocator(300)
+        a = allocator.allocate(99)
+        b = allocator.allocate(99)
+        allocator.allocate(99)        # storage now full
+        allocator.free(a)
+        allocator.free(b)
+        # Neither chain entry alone fits 150 gross=151, combined they do.
+        block = allocator.allocate(150)
+        assert block.address == 0
+
+    def test_combine_returns_space_to_bump_pointer(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(99)
+        allocator.free(a)
+        allocator.combine_adjacent()
+        # The freed block was adjacent to virgin storage: chain is empty.
+        assert allocator.chain_length == 0
+        assert allocator.allocate(499).address == 0
+
+    def test_combine_on_empty_chain(self):
+        assert RiceAllocator(100).combine_adjacent() == 0
+
+
+class TestReplacement:
+    def test_iterative_replacement_releases_until_fit(self):
+        allocator = RiceAllocator(300)
+        segments = [allocator.allocate(99) for _ in range(3)]  # 300 words
+        replaced = []
+        block = allocator.allocate_with_replacement(
+            150,
+            victims=list(segments),
+            on_replace=replaced.append,
+        )
+        # Victims are taken in order until 151 gross words are contiguous:
+        # freeing segment 0 gives 100, freeing 1 gives 200 combined.
+        assert [v.address for v in replaced] == [0, 100]
+        assert block.address == 0
+
+    def test_replacement_not_needed_when_space_exists(self):
+        allocator = RiceAllocator(300)
+        sacrificial = allocator.allocate(99)
+        replaced = []
+        allocator.allocate_with_replacement(
+            99, victims=[sacrificial], on_replace=replaced.append
+        )
+        assert replaced == []
+
+    def test_replacement_exhaustion_raises(self):
+        allocator = RiceAllocator(100)
+        segment = allocator.allocate(50)
+        with pytest.raises(OutOfMemory):
+            allocator.allocate_with_replacement(500, victims=[segment])
+
+    def test_replacement_rounds_counted(self):
+        allocator = RiceAllocator(300)
+        segments = [allocator.allocate(99) for _ in range(3)]
+        allocator.allocate_with_replacement(150, victims=list(segments))
+        assert allocator.replacement_rounds == 2
+
+
+class TestBookkeeping:
+    def test_double_free_rejected(self):
+        allocator = RiceAllocator(100)
+        block = allocator.allocate(10)
+        allocator.free(block)
+        with pytest.raises(InvalidFree):
+            allocator.free(block)
+
+    def test_unknown_free_rejected(self):
+        with pytest.raises(InvalidFree):
+            RiceAllocator(100).free(Allocation(0, 10))
+
+    def test_accounting_balances(self):
+        allocator = RiceAllocator(500)
+        a = allocator.allocate(99)
+        allocator.allocate(49)
+        allocator.free(a)
+        assert allocator.used_words + allocator.free_words == 500
+
+    def test_search_steps_counted(self):
+        allocator = RiceAllocator(1000)
+        a = allocator.allocate(9)
+        b = allocator.allocate(9)
+        allocator.allocate(9)
+        allocator.free(a)
+        allocator.free(b)
+        allocator.allocate(200)   # walks both chain entries, then bumps
+        assert allocator.counters.search_steps >= 2

@@ -1,0 +1,122 @@
+"""Tests for the two-ends placement strategy."""
+
+import pytest
+
+from repro.alloc import TwoEndsAllocator
+from repro.errors import InvalidFree, OutOfMemory
+from repro.alloc.base import Allocation
+
+
+class TestPlacement:
+    def test_small_from_bottom(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        assert allocator.allocate(10).address == 0
+        assert allocator.allocate(10).address == 10
+
+    def test_large_from_top(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        assert allocator.allocate(200).address == 800
+        assert allocator.allocate(100).address == 700
+
+    def test_threshold_boundary_counts_as_large(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        assert allocator.allocate(100).address == 900
+
+    def test_ends_meet(self):
+        allocator = TwoEndsAllocator(100, size_threshold=50)
+        allocator.allocate(40)     # bottom: 0..40
+        allocator.allocate(50)     # top: 50..100
+        allocator.allocate(10)     # exactly fills the gap
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(1)
+
+    def test_crossing_request_fails(self):
+        allocator = TwoEndsAllocator(100, size_threshold=50)
+        allocator.allocate(40)
+        allocator.allocate(50)
+        with pytest.raises(OutOfMemory):
+            allocator.allocate(20)
+
+
+class TestLowBookkeeping:
+    def test_bump_allocations_need_no_search(self):
+        """The paper's 'less bookkeeping' claim, measured."""
+        allocator = TwoEndsAllocator(10_000, size_threshold=100)
+        for _ in range(20):
+            allocator.allocate(10)
+            allocator.allocate(200)
+        assert allocator.counters.search_steps == 0
+
+    def test_reuse_searches_only_own_end(self):
+        allocator = TwoEndsAllocator(10_000, size_threshold=100)
+        small = allocator.allocate(10)
+        allocator.allocate(10)
+        allocator.free(small)
+        allocator.allocate(5)   # one step over the small reuse list
+        assert allocator.counters.search_steps == 1
+
+
+class TestFreeAndReuse:
+    def test_bottom_pointer_retreats(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        a = allocator.allocate(10)
+        b = allocator.allocate(10)
+        allocator.free(b)
+        allocator.free(a)
+        # Whole bottom reclaimed: next small allocation starts at 0.
+        assert allocator.allocate(10).address == 0
+
+    def test_top_pointer_retreats(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        a = allocator.allocate(200)
+        b = allocator.allocate(200)
+        allocator.free(b)
+        allocator.free(a)
+        assert allocator.allocate(300).address == 700
+
+    def test_freed_small_hole_is_reused(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        a = allocator.allocate(10)
+        allocator.allocate(10)
+        allocator.free(a)
+        assert allocator.allocate(10).address == 0
+
+    def test_freed_large_hole_is_reused(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        a = allocator.allocate(200)
+        allocator.allocate(200)
+        allocator.free(a)
+        assert allocator.allocate(150).address == 800
+
+    def test_double_free_rejected(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        a = allocator.allocate(10)
+        allocator.free(a)
+        with pytest.raises(InvalidFree):
+            allocator.free(a)
+
+    def test_unknown_free_rejected(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        with pytest.raises(InvalidFree):
+            allocator.free(Allocation(3, 4))
+
+
+class TestInspection:
+    def test_holes_include_central_gap(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        allocator.allocate(100)   # large -> top (900)
+        allocator.allocate(10)    # small -> bottom
+        assert (10, 890) in allocator.holes()
+
+    def test_accounting(self):
+        allocator = TwoEndsAllocator(1000, size_threshold=100)
+        allocator.allocate(10)
+        allocator.allocate(200)
+        assert allocator.used_words == 210
+        assert allocator.free_words == 790
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            TwoEndsAllocator(0, size_threshold=10)
+        with pytest.raises(ValueError):
+            TwoEndsAllocator(100, size_threshold=0)

@@ -1,0 +1,85 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.clock import Clock, StopWatch
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert Clock(start=42).now == 42
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1)
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(3)
+        clock.advance(4)
+        assert clock.now == 7
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = Clock()
+        clock.advance(0)
+        assert clock.now == 0
+
+    def test_advance_rejects_negative(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_absolute_time(self):
+        clock = Clock()
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_advance_to_rejects_past(self):
+        clock = Clock(start=50)
+        with pytest.raises(ValueError):
+            clock.advance_to(49)
+
+    def test_advance_to_current_time_is_noop(self):
+        clock = Clock(start=50)
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_reset(self):
+        clock = Clock()
+        clock.advance(99)
+        clock.reset()
+        assert clock.now == 0
+
+    def test_repr_mentions_now(self):
+        clock = Clock()
+        clock.advance(5)
+        assert "5" in repr(clock)
+
+
+class TestStopWatch:
+    def test_elapsed_tracks_clock(self):
+        clock = Clock()
+        watch = StopWatch(clock)
+        clock.advance(10)
+        assert watch.elapsed == 10
+
+    def test_elapsed_starts_at_zero(self):
+        assert StopWatch(Clock()).elapsed == 0
+
+    def test_restart_returns_elapsed_and_rebases(self):
+        clock = Clock()
+        watch = StopWatch(clock)
+        clock.advance(7)
+        assert watch.restart() == 7
+        clock.advance(3)
+        assert watch.elapsed == 3
+
+    def test_watch_started_mid_simulation(self):
+        clock = Clock()
+        clock.advance(100)
+        watch = StopWatch(clock)
+        clock.advance(1)
+        assert watch.elapsed == 1

@@ -1,0 +1,91 @@
+"""Tests for the comparative-assessment helpers."""
+
+import pytest
+
+from repro import SystemConfig, build_system, recommended_system
+from repro.core import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+    assess,
+    compare,
+    facility_inventory,
+)
+from repro.core.linear_systems import ResidentLinearSystem
+
+
+def run_workload(system, size=1_000):
+    system.create("unit", size)
+    for offset in range(0, size, 61):
+        system.access("unit", offset, write=(offset % 3 == 0))
+    return system
+
+
+class TestFacilityInventory:
+    def test_paged_system_with_tlb_lists_all_relevant(self):
+        system = build_system(
+            SystemCharacteristics(
+                NameSpaceKind.LINEARLY_SEGMENTED,
+                PredictiveInformation.NONE,
+                Contiguity.ARTIFICIAL,
+                AllocationUnit.UNIFORM,
+            ),
+            SystemConfig(capacity_words=4_096, page_size=256,
+                         associative_memory_size=8),
+        )
+        run_workload(system)
+        facilities = facility_inventory(system)
+        assert "address mapping" in facilities
+        assert any("associative memory" in f for f in facilities)
+        assert any("trapping" in f for f in facilities)
+
+    def test_resident_system_lists_no_traps(self):
+        system = run_workload(ResidentLinearSystem(4_096))
+        facilities = facility_inventory(system)
+        assert not any("trapping" in f for f in facilities)
+
+    def test_compacting_system_lists_packing(self):
+        system = ResidentLinearSystem(100, contiguity=Contiguity.ARTIFICIAL)
+        for index in range(10):
+            system.create(index, 10)
+        for index in range(0, 10, 2):
+            system.destroy(index)
+        system.create("wide", 30)   # forces a compaction
+        assert any("packing" in f for f in facility_inventory(system))
+
+
+class TestAssess:
+    def test_report_mentions_classification_and_stats(self):
+        system = run_workload(recommended_system())
+        report = assess(system, label="hybrid")
+        assert "Assessment of hybrid" in report
+        assert "symbolically segmented" in report
+        assert "fault rate" in report
+
+    def test_report_on_untouched_system(self):
+        report = assess(recommended_system())
+        assert "accesses       : 0" in report
+
+
+class TestCompare:
+    def test_matrix_lines_up_systems(self):
+        paged = build_system(
+            SystemCharacteristics(
+                NameSpaceKind.LINEAR, PredictiveInformation.NONE,
+                Contiguity.ARTIFICIAL, AllocationUnit.UNIFORM,
+            ),
+            SystemConfig(capacity_words=4_096, page_size=256),
+        )
+        resident = ResidentLinearSystem(4_096)
+        for system in (paged, resident):
+            run_workload(system)
+        text = compare({"paged": paged, "resident": resident})
+        assert "paged" in text and "resident" in text
+        lines = text.splitlines()
+        assert len(lines) == 5   # title, header, rule, two rows
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare({})

@@ -1,0 +1,73 @@
+"""Tests for the four-characteristic taxonomy."""
+
+import pytest
+
+from repro.core import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+)
+from repro.errors import ConfigurationError
+
+
+def make(ns=NameSpaceKind.LINEAR, pi=PredictiveInformation.NONE,
+         ct=Contiguity.ARTIFICIAL, au=AllocationUnit.UNIFORM):
+    return SystemCharacteristics(ns, pi, ct, au)
+
+
+class TestValidation:
+    def test_paging_without_mapping_rejected(self):
+        characteristics = make(ct=Contiguity.REAL, au=AllocationUnit.UNIFORM)
+        with pytest.raises(ConfigurationError):
+            characteristics.validate()
+
+    def test_all_other_combinations_valid(self):
+        from itertools import product
+        valid = 0
+        for ns, pi, ct, au in product(
+            NameSpaceKind, PredictiveInformation, Contiguity, AllocationUnit
+        ):
+            characteristics = SystemCharacteristics(ns, pi, ct, au)
+            if au is AllocationUnit.UNIFORM and ct is Contiguity.REAL:
+                continue
+            characteristics.validate()
+            valid += 1
+        assert valid == 18
+
+
+class TestDescription:
+    def test_describe_mentions_all_four(self):
+        text = make().describe()
+        assert "linear name space" in text
+        assert "no predictive information" in text
+        assert "artificial contiguity" in text
+        assert "uniform units" in text
+
+    def test_describe_accepted_advice(self):
+        text = make(pi=PredictiveInformation.ACCEPTED).describe()
+        assert "accepts predictive information" in text
+
+    def test_as_row(self):
+        row = make(ns=NameSpaceKind.SYMBOLICALLY_SEGMENTED).as_row()
+        assert row == ("symbolically_segmented", "none", "artificial", "uniform")
+
+
+class TestSegmentedProperty:
+    def test_linear_is_not_segmented(self):
+        assert not NameSpaceKind.LINEAR.segmented
+
+    def test_both_segmented_kinds(self):
+        assert NameSpaceKind.LINEARLY_SEGMENTED.segmented
+        assert NameSpaceKind.SYMBOLICALLY_SEGMENTED.segmented
+
+
+class TestEquality:
+    def test_frozen_and_hashable(self):
+        a = make()
+        b = make()
+        assert a == b
+        assert hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.name_space = NameSpaceKind.LINEAR

@@ -1,0 +1,387 @@
+"""Tests for the composed storage-allocation systems and the builder."""
+
+from itertools import product
+
+import pytest
+
+from repro.advice import keep_resident, will_need, wont_need
+from repro.core import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+    SystemCharacteristics,
+    SystemConfig,
+    build_system,
+    recommended_characteristics,
+    recommended_system,
+)
+from repro.core.hybrid import HybridSegmentedSystem
+from repro.core.linear_systems import PagedLinearSystem, ResidentLinearSystem
+from repro.core.segmented_systems import (
+    PagedSegmentedSystem,
+    SegmentedResidentSystem,
+)
+from repro.errors import ConfigurationError, OutOfMemory
+
+
+def small_config(**overrides):
+    defaults = dict(capacity_words=8_192, page_size=256, backing_latency=100)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestBuilder:
+    def test_every_valid_combination_builds_and_runs(self):
+        for ns, pi, ct, au in product(
+            NameSpaceKind, PredictiveInformation, Contiguity, AllocationUnit
+        ):
+            characteristics = SystemCharacteristics(ns, pi, ct, au)
+            if au is AllocationUnit.UNIFORM and ct is Contiguity.REAL:
+                with pytest.raises(ConfigurationError):
+                    build_system(characteristics, small_config())
+                continue
+            system = build_system(characteristics, small_config())
+            assert system.characteristics == characteristics
+            system.create("unit", 300)
+            system.access("unit", 150)
+            stats = system.stats()
+            assert stats.accesses == 1
+
+    def test_builder_routes_to_expected_classes(self):
+        cases = [
+            (NameSpaceKind.LINEAR, Contiguity.ARTIFICIAL,
+             AllocationUnit.UNIFORM, PagedLinearSystem),
+            (NameSpaceKind.LINEAR, Contiguity.REAL,
+             AllocationUnit.NONUNIFORM, ResidentLinearSystem),
+            (NameSpaceKind.LINEARLY_SEGMENTED, Contiguity.ARTIFICIAL,
+             AllocationUnit.UNIFORM, PagedSegmentedSystem),
+            (NameSpaceKind.SYMBOLICALLY_SEGMENTED, Contiguity.REAL,
+             AllocationUnit.NONUNIFORM, SegmentedResidentSystem),
+            (NameSpaceKind.SYMBOLICALLY_SEGMENTED, Contiguity.ARTIFICIAL,
+             AllocationUnit.NONUNIFORM, HybridSegmentedSystem),
+        ]
+        for ns, ct, au, expected in cases:
+            system = build_system(
+                SystemCharacteristics(ns, PredictiveInformation.NONE, ct, au),
+                small_config(),
+            )
+            assert isinstance(system, expected), (ns, ct, au)
+
+    def test_advice_refused_when_not_composed_in(self):
+        system = build_system(
+            SystemCharacteristics(
+                NameSpaceKind.LINEAR, PredictiveInformation.NONE,
+                Contiguity.ARTIFICIAL, AllocationUnit.UNIFORM,
+            ),
+            small_config(),
+        )
+        system.create("u", 100)
+        with pytest.raises(ConfigurationError):
+            system.advise(will_need("u"))
+
+
+class TestPagedLinearSystem:
+    def build(self, advice=False):
+        ch = SystemCharacteristics(
+            NameSpaceKind.LINEAR,
+            PredictiveInformation.ACCEPTED if advice
+            else PredictiveInformation.NONE,
+            Contiguity.ARTIFICIAL,
+            AllocationUnit.UNIFORM,
+        )
+        return build_system(ch, small_config())
+
+    def test_virtual_storage_larger_than_core(self):
+        system = self.build()
+        system.create("huge", 100_000)     # far beyond 8192 words of core
+        system.access("huge", 99_999)
+        assert system.stats().faults == 1
+
+    def test_faults_then_hits(self):
+        system = self.build()
+        system.create("u", 100)
+        system.access("u", 0)
+        system.access("u", 50)
+        stats = system.stats()
+        assert stats.faults == 1 and stats.accesses == 2
+
+    def test_internal_waste_measured(self):
+        system = self.build()
+        system.create("odd", 300)   # spans 2 x 256-word pages = 512
+        assert system.stats().internal_waste_words == 212
+
+    def test_destroy_releases_names(self):
+        system = self.build()
+        system.create("a", 100)
+        system.destroy("a")
+        system.create("b", 100)   # reuses the freed names
+
+    def test_advice_fans_out_to_pages(self):
+        system = self.build(advice=True)
+        system.create("u", 600)   # pages 0..2
+        system.advise(will_need("u"))
+        system.access("u", 0)
+        system.access("u", 300)
+        system.access("u", 599)
+        assert system.stats().faults == 0
+
+    def test_keep_resident_protects_under_pressure(self):
+        system = self.build(advice=True)
+        system.create("pinned", 256)
+        system.access("pinned", 0)
+        system.advise(keep_resident("pinned"))
+        system.create("churn", 100_000)
+        for offset in range(0, 100_000, 256):
+            system.access("churn", offset)
+        faults_before = system.stats().faults
+        system.access("pinned", 0)
+        assert system.stats().faults == faults_before
+
+    def test_advice_about_unknown_unit_ignored(self):
+        system = self.build(advice=True)
+        system.advise(wont_need("ghost"))
+
+
+class TestResidentLinearSystem:
+    def test_fragmentation_blocks_without_artificial_contiguity(self):
+        system = ResidentLinearSystem(100, contiguity=Contiguity.REAL)
+        for index in range(10):
+            system.create(index, 10)
+        for index in range(0, 10, 2):
+            system.destroy(index)
+        with pytest.raises(OutOfMemory):
+            system.create("wide", 30)
+
+    def test_artificial_contiguity_compacts(self):
+        system = ResidentLinearSystem(100, contiguity=Contiguity.ARTIFICIAL)
+        for index in range(10):
+            system.create(index, 10)
+        for index in range(0, 10, 2):
+            system.destroy(index)
+        system.create("wide", 30)
+        assert system.compactions == 1
+        assert system.words_moved == 50
+
+    def test_relocated_units_still_accessible(self):
+        system = ResidentLinearSystem(100, contiguity=Contiguity.ARTIFICIAL)
+        for index in range(10):
+            system.create(index, 10)
+        for index in range(0, 10, 2):
+            system.destroy(index)
+        system.create("wide", 30)
+        for survivor in range(1, 10, 2):
+            system.access(survivor, 5)
+
+    def test_access_bound_checked(self):
+        system = ResidentLinearSystem(100)
+        system.create("u", 10)
+        with pytest.raises(IndexError):
+            system.access("u", 10)
+
+    def test_duplicate_create(self):
+        system = ResidentLinearSystem(100)
+        system.create("u", 10)
+        with pytest.raises(ValueError):
+            system.create("u", 10)
+
+    def test_destroy_unknown(self):
+        with pytest.raises(KeyError):
+            ResidentLinearSystem(100).destroy("ghost")
+
+    def test_stats_shape(self):
+        system = ResidentLinearSystem(100)
+        system.create("u", 40)
+        system.access("u", 0)
+        stats = system.stats()
+        assert stats.utilization == 0.4
+        assert stats.faults == 0
+
+
+class TestSegmentedResidentSystem:
+    def build(self, ns=NameSpaceKind.SYMBOLICALLY_SEGMENTED, advice=False):
+        ch = SystemCharacteristics(
+            ns,
+            PredictiveInformation.ACCEPTED if advice
+            else PredictiveInformation.NONE,
+            Contiguity.REAL,
+            AllocationUnit.NONUNIFORM,
+        )
+        return build_system(ch, small_config())
+
+    def test_segment_fetch_and_replace(self):
+        system = self.build()
+        for index in range(4):
+            system.create(f"s{index}", 3_000)
+        for index in range(4):
+            system.access(f"s{index}", 0)
+        stats = system.stats()
+        assert stats.faults == 4
+        assert stats.external_fragmentation >= 0.0
+
+    def test_resize(self):
+        system = self.build()
+        system.create("s", 100)
+        system.access("s", 0)
+        system.resize("s", 200)
+        system.access("s", 150)
+
+    def test_advice_locks_segments(self):
+        system = self.build(advice=True)
+        system.create("pinned", 3_000)
+        system.access("pinned", 0)
+        system.advise(keep_resident("pinned"))
+        for index in range(6):
+            system.create(f"filler{index}", 3_000)
+            system.access(f"filler{index}", 0)
+        faults = system.stats().faults
+        system.access("pinned", 1)
+        assert system.stats().faults == faults
+
+    def test_will_need_prefetches_segment(self):
+        system = self.build(advice=True)
+        system.create("s", 500)
+        system.advise(will_need("s"))
+        system.access("s", 0)
+        assert system.stats().faults == 0
+
+    def test_linearly_segmented_naming_bookkeeping_counted(self):
+        system = self.build(ns=NameSpaceKind.LINEARLY_SEGMENTED)
+        for index in range(5):
+            system.create(f"s{index}", 100)
+        assert system.naming.bookkeeping_steps > 0
+
+    def test_artificial_contiguity_forces_compaction_on(self):
+        ch = SystemCharacteristics(
+            NameSpaceKind.LINEARLY_SEGMENTED,
+            PredictiveInformation.NONE,
+            Contiguity.ARTIFICIAL,
+            AllocationUnit.NONUNIFORM,
+        )
+        system = build_system(ch, small_config())
+        assert system.manager.compact_before_replacing
+
+
+class TestPagedSegmentedSystem:
+    def build(self, advice=False, tlb=0):
+        ch = SystemCharacteristics(
+            NameSpaceKind.LINEARLY_SEGMENTED,
+            PredictiveInformation.ACCEPTED if advice
+            else PredictiveInformation.NONE,
+            Contiguity.ARTIFICIAL,
+            AllocationUnit.UNIFORM,
+        )
+        return build_system(
+            ch, small_config(associative_memory_size=tlb)
+        )
+
+    def test_two_level_walk_cost(self):
+        system = self.build()
+        system.create("s", 1_000)
+        system.access("s", 0)
+        before = system.stats().mapping_cycles
+        system.access("s", 1)
+        # A resident access pays the full two-reference walk (no TLB).
+        assert system.stats().mapping_cycles - before == 2
+
+    def test_tlb_removes_walks(self):
+        system = self.build(tlb=8)
+        system.create("s", 1_000)
+        system.access("s", 0)
+        for _ in range(9):
+            system.access("s", 1)
+        stats = system.stats()
+        assert stats.associative_hit_rate > 0.8
+        assert stats.mapping_cycles <= 4
+
+    def test_internal_waste(self):
+        system = self.build()
+        system.create("s", 300)   # two 256-word pages
+        assert system.stats().internal_waste_words == 212
+
+    def test_destroy_releases_frames(self):
+        system = self.build()
+        system.create("s", 300)
+        system.access("s", 0)
+        resident_before = system.pager.frames.resident_count
+        system.destroy("s")
+        assert system.pager.frames.resident_count < resident_before
+
+    def test_wont_need_advice(self):
+        system = self.build(advice=True)
+        system.create("a", 256)
+        system.create("b", 256)
+        system.access("a", 0)
+        system.access("b", 0)
+        system.advise(wont_need("a"))
+        # Fill the pool; 'a' should go first.
+        system.create("c", 100_000)
+        offset = 0
+        while ("a", 0) if False else True:
+            system.access("c", offset)
+            offset += 256
+            if offset > 8_192:
+                break
+        key_a = system.naming.key("a")
+        assert (key_a, 0) not in system.pager.frames
+
+
+class TestRecommendedSystem:
+    def test_characteristics(self):
+        ch = recommended_characteristics()
+        assert ch.name_space is NameSpaceKind.SYMBOLICALLY_SEGMENTED
+        assert ch.predictive_information is PredictiveInformation.ACCEPTED
+        assert ch.contiguity is Contiguity.ARTIFICIAL
+        assert ch.allocation_unit is AllocationUnit.NONUNIFORM
+        ch.validate()
+
+    def test_small_segments_avoid_page_mapping(self):
+        system = recommended_system()
+        system.create("small", 200)
+        system.access("small", 0)
+        system.access("small", 100)
+        # Only descriptor references, no two-level walk:
+        assert system.mapper.mapping_cycles_total == 0
+
+    def test_large_segments_are_paged(self):
+        system = recommended_system()
+        system.create("large", 50_000)
+        system.access("large", 49_999)
+        assert system.mapper.mapping_cycles_total >= 0
+        assert ("large" in system.mapper.segments())
+
+    def test_threshold_routing(self):
+        system = recommended_system()
+        system.create("at-threshold", 1024)
+        system.create("over-threshold", 1025)
+        assert system._side["at-threshold"] == "small"
+        assert system._side["over-threshold"] == "large"
+
+    def test_resize_across_threshold_migrates(self):
+        system = recommended_system()
+        system.create("s", 500)
+        system.access("s", 0)
+        system.resize("s", 5_000)
+        assert system._side["s"] == "large"
+        system.access("s", 4_999)
+
+    def test_advice_on_both_sides(self):
+        system = recommended_system()
+        system.create("small", 200)
+        system.create("large", 10_000)
+        system.advise(will_need("small"))
+        system.access("small", 0)
+        assert system.small.stats.segment_faults == 0
+        system.access("large", 0)
+        system.advise(keep_resident("large"))
+        system.advise(wont_need("small"))
+
+    def test_stats_merge_both_sides(self):
+        system = recommended_system()
+        system.create("small", 200)
+        system.create("large", 10_000)
+        system.access("small", 0)
+        system.access("large", 0)
+        stats = system.stats()
+        assert stats.accesses == 2
+        assert stats.faults == 2

@@ -1,0 +1,81 @@
+"""Tests for the exception hierarchy (the trap taxonomy)."""
+
+import pytest
+
+from repro.errors import (
+    AddressingError,
+    AllocationError,
+    BoundViolation,
+    ConfigurationError,
+    InvalidFree,
+    MissingSegment,
+    OutOfMemory,
+    PageFault,
+    ReproError,
+    SegmentFault,
+    StorageTrap,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (BoundViolation, PageFault, SegmentFault, MissingSegment,
+                    OutOfMemory, InvalidFree, ConfigurationError):
+            assert issubclass(cls, ReproError)
+
+    def test_traps_are_addressing_errors(self):
+        """Page and segment faults are the 'trapping invalid accesses'
+        facility: addressing events, not allocation failures."""
+        assert issubclass(PageFault, StorageTrap)
+        assert issubclass(SegmentFault, StorageTrap)
+        assert issubclass(StorageTrap, AddressingError)
+        assert not issubclass(PageFault, AllocationError)
+
+    def test_allocation_errors_are_not_traps(self):
+        assert issubclass(OutOfMemory, AllocationError)
+        assert not issubclass(OutOfMemory, AddressingError)
+
+
+class TestPayloads:
+    def test_bound_violation_carries_context(self):
+        error = BoundViolation(150, 99, "segment 'array'")
+        assert error.name == 150
+        assert error.limit == 99
+        assert "segment 'array'" in str(error)
+
+    def test_page_fault_carries_page(self):
+        error = PageFault(7)
+        assert error.page == 7
+        assert "7" in str(error)
+
+    def test_segment_fault_carries_segment(self):
+        error = SegmentFault("code")
+        assert error.segment == "code"
+
+    def test_missing_segment_carries_name(self):
+        error = MissingSegment(("group", 3))
+        assert error.segment == ("group", 3)
+
+    def test_out_of_memory_carries_request(self):
+        error = OutOfMemory(512, "largest hole 100")
+        assert error.requested == 512
+        assert "largest hole 100" in str(error)
+
+    def test_catching_traps_distinctly_from_errors(self):
+        """The demand-fetch pattern: traps are caught and serviced,
+        genuine errors propagate."""
+        def faulty():
+            raise PageFault(3)
+
+        serviced = False
+        try:
+            faulty()
+        except StorageTrap:
+            serviced = True
+        assert serviced
+
+        with pytest.raises(BoundViolation):
+            try:
+                raise BoundViolation(10, 5)
+            except StorageTrap:   # pragma: no cover - must not catch
+                pass

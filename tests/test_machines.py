@@ -1,0 +1,258 @@
+"""Tests for the appendix machine models (A.1–A.7)."""
+
+import pytest
+
+from repro.core import (
+    AllocationUnit,
+    Contiguity,
+    NameSpaceKind,
+    PredictiveInformation,
+)
+from repro.errors import BoundViolation, ConfigurationError
+from repro.machines import (
+    all_machines,
+    atlas,
+    b5000,
+    b8500,
+    m44_44x,
+    model67,
+    multics,
+    rice,
+    survey_matrix,
+)
+from repro.workload import phased_trace
+
+
+class TestSurvey:
+    def test_seven_machines_in_appendix_order(self):
+        machines = all_machines()
+        assert [m.appendix for m in machines] == [
+            "A.1", "A.2", "A.3", "A.4", "A.5", "A.6", "A.7"
+        ]
+
+    def test_matrix_renders_all(self):
+        text = survey_matrix(all_machines())
+        for fragment in ("ATLAS", "M44/44X", "B5000", "Rice", "B8500",
+                         "MULTICS", "Model 67"):
+            assert fragment in text
+
+    def test_classifications_match_the_paper(self):
+        by_appendix = {m.appendix: m.classification for m in all_machines()}
+        # A.1 ATLAS: linear, no advice, artificial, uniform.
+        assert by_appendix["A.1"].name_space is NameSpaceKind.LINEAR
+        assert by_appendix["A.1"].allocation_unit is AllocationUnit.UNIFORM
+        # A.2 M44/44X: accepts advice.
+        assert (by_appendix["A.2"].predictive_information
+                is PredictiveInformation.ACCEPTED)
+        # A.3 B5000: symbolically segmented, nonuniform, real contiguity.
+        assert (by_appendix["A.3"].name_space
+                is NameSpaceKind.SYMBOLICALLY_SEGMENTED)
+        assert by_appendix["A.3"].contiguity is Contiguity.REAL
+        assert by_appendix["A.3"].allocation_unit is AllocationUnit.NONUNIFORM
+        # A.6 MULTICS: linearly segmented, advice, artificial, and —
+        # because of the two page sizes — NONUNIFORM units.
+        assert (by_appendix["A.6"].name_space
+                is NameSpaceKind.LINEARLY_SEGMENTED)
+        assert by_appendix["A.6"].allocation_unit is AllocationUnit.NONUNIFORM
+        # A.7 360/67: linearly segmented, no advice, uniform.
+        assert (by_appendix["A.7"].name_space
+                is NameSpaceKind.LINEARLY_SEGMENTED)
+        assert by_appendix["A.7"].allocation_unit is AllocationUnit.UNIFORM
+
+    def test_every_machine_runs_a_common_workload(self):
+        trace = phased_trace(pages=6, length=200, working_set=3, seed=1)
+        for machine in all_machines():
+            system = machine.system
+            for index in range(6):
+                system.create(f"seg{index}", 400)
+            for position, segment in enumerate(trace):
+                system.access(f"seg{segment}", (position * 13) % 400)
+            stats = system.stats()
+            assert stats.accesses == 200, machine.name
+            # At least the cold faults: 6 on segment-allocated machines;
+            # the 2400 words span as few as 3 pages on 1024-word-page
+            # linear machines (name regions share pages).
+            assert stats.faults >= 3, machine.name
+
+
+class TestAtlas:
+    def test_published_parameters(self):
+        machine = atlas()
+        system = machine.system
+        assert system.page_size == 512
+        assert system.pager.frames.frame_count == 32   # 16384 / 512
+        assert system.names.extent >= 1 << 24
+
+    def test_learning_replacement_in_use(self):
+        machine = atlas()
+        assert machine.system.pager.policy.name == "atlas"
+
+    def test_no_advice(self):
+        machine = atlas()
+        with pytest.raises(ConfigurationError):
+            from repro.advice import will_need
+            machine.system.advise(will_need("x"))
+
+
+class TestM44:
+    def test_page_size_variable_at_startup(self):
+        small = m44_44x(page_size=512)
+        large = m44_44x(page_size=4_096)
+        assert small.system.page_size == 512
+        assert large.system.page_size == 4_096
+
+    def test_accepts_the_two_instructions(self):
+        from repro.advice import will_need, wont_need
+        machine = m44_44x()
+        system = machine.system
+        system.create("u", 2_000)
+        system.advise(will_need("u"))
+        system.access("u", 0)
+        assert system.stats().faults == 0   # prefetched
+        system.advise(wont_need("u"))
+
+    def test_class_random_replacement(self):
+        assert m44_44x().system.pager.policy.base.name == "m44"
+
+
+class TestB5000:
+    def test_segment_size_limit_enforced(self):
+        machine = b5000()
+        with pytest.raises(ValueError):
+            machine.system.create("too-big", 1_025)
+
+    def test_segment_is_the_unit(self):
+        machine = b5000()
+        machine.system.create("s", 1_000)
+        machine.system.access("s", 0)
+        assert machine.system.manager.allocator.used_words == 1_000
+
+    def test_bound_checking(self):
+        machine = b5000()
+        machine.system.create("array", 100)
+        machine.system.access("array", 0)
+        with pytest.raises(BoundViolation):
+            machine.system.access("array", 100)
+
+    def test_cyclical_replacement(self):
+        assert b5000().system.manager.policy.name == "clock"
+
+
+class TestRice:
+    def test_uses_the_chain_allocator(self):
+        from repro.alloc import RiceAllocator
+        machine = rice()
+        assert isinstance(machine.system.manager.allocator, RiceAllocator)
+
+    def test_back_reference_overhead_charged(self):
+        machine = rice()
+        machine.system.create("s", 100)
+        machine.system.access("s", 0)
+        assert machine.system.manager.allocator.used_words == 101
+
+    def test_chain_reuse_after_destroy(self):
+        machine = rice()
+        system = machine.system
+        system.create("a", 100)
+        system.access("a", 0)
+        system.create("b", 100)
+        system.access("b", 0)
+        system.destroy("a")
+        allocator = system.manager.allocator
+        assert allocator.chain_length == 1
+        system.create("c", 100)
+        system.access("c", 0)
+        assert allocator.chain_length == 0   # chain block reused
+
+
+class TestB8500:
+    def test_prt_scratchpad_reduces_descriptor_references(self):
+        plain = b5000()
+        scratch = b8500()
+        for machine in (plain, scratch):
+            machine.system.create("s", 500)
+            for index in range(100):
+                machine.system.access("s", index % 500)
+        assert (
+            scratch.system.stats().mapping_cycles
+            < plain.system.stats().mapping_cycles
+        )
+
+    def test_tlb_size_is_24_prt_words(self):
+        machine = b8500()
+        assert machine.system.manager.table.tlb.capacity == 24
+
+
+class TestMultics:
+    def test_dual_page_sizes(self):
+        machine = multics()
+        system = machine.system
+        system.create("tiny", 100)
+        system.create("huge", 50_000)
+        assert system.page_size_of("tiny") == 64
+        assert system.page_size_of("huge") == 1_024
+
+    def test_small_pages_reduce_internal_waste(self):
+        machine = multics()
+        system = machine.system
+        system.create("tiny", 100)
+        # 100 words in 64-word pages: 2 pages = 128 words, waste 28 — not
+        # the 924 a 1024-word page would waste.
+        assert system.internal_waste_words() == 28
+
+    def test_segment_extent_limit(self):
+        machine = multics()
+        with pytest.raises(ValueError):
+            machine.system.create("over", 262_145)
+
+    def test_three_directives(self):
+        from repro.advice import keep_resident, will_need, wont_need
+        machine = multics()
+        system = machine.system
+        system.create("s", 2_000)
+        system.access("s", 0)
+        system.advise(keep_resident("s"))
+        system.advise(wont_need("s"))
+        system.advise(will_need("s"))   # accepted (may be a no-op)
+
+    def test_runs_workload_on_both_regions(self):
+        machine = multics()
+        system = machine.system
+        system.create("small", 500)
+        system.create("large", 20_000)
+        for index in range(50):
+            system.access("small", index % 500)
+            system.access("large", (index * 997) % 20_000)
+        stats = system.stats()
+        assert stats.accesses == 100
+        assert stats.faults > 0
+
+
+class TestModel67:
+    def test_addressing_versions(self):
+        assert model67(addressing_bits=24).name.endswith("(24-bit)")
+        assert model67(addressing_bits=32).name.endswith("(32-bit)")
+        with pytest.raises(ValueError):
+            model67(addressing_bits=16)
+
+    def test_24_bit_version_has_16_segments(self):
+        machine = model67(addressing_bits=24)
+        system = machine.system
+        for index in range(16):
+            system.create(f"s{index}", 100)
+        from repro.errors import OutOfMemory
+        with pytest.raises(OutOfMemory):
+            system.create("seventeenth", 100)
+
+    def test_32_bit_version_has_4096_segments(self):
+        machine = model67(addressing_bits=32)
+        assert machine.system.naming._numbers.max_segments == 4_096
+
+    def test_eight_entry_associative_memory(self):
+        machine = model67()
+        assert machine.system.mapper.tlb.capacity == 8
+
+    def test_segment_maximum(self):
+        machine = model67()
+        with pytest.raises(ValueError):
+            machine.system.create("big", 262_145)

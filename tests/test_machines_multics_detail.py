@@ -1,0 +1,95 @@
+"""Deeper tests for the MULTICS dual-page-size system."""
+
+import pytest
+
+from repro.advice import will_need
+from repro.errors import MissingSegment
+from repro.machines import multics
+from repro.machines.multics import MAX_SEGMENTS, MulticsDualPageSystem
+
+
+class TestLifecycle:
+    def test_destroy_small_segment(self):
+        system = multics().system
+        system.create("s", 200)
+        system.access("s", 0)
+        system.destroy("s")
+        with pytest.raises(KeyError):
+            system.access("s", 0)
+
+    def test_destroy_large_segment_releases_frames(self):
+        system = multics().system
+        system.create("big", 10_000)
+        system.access("big", 0)
+        system.access("big", 5_000)
+        resident_before = system._pagers["large"].frames.resident_count
+        system.destroy("big")
+        assert system._pagers["large"].frames.resident_count < resident_before
+
+    def test_segment_numbers_recycled_after_destroy(self):
+        system = multics().system
+        system.create("a", 100)
+        system.destroy("a")
+        system.create("a", 100)   # the name is reusable
+        system.access("a", 99)
+
+    def test_routing_boundary(self):
+        system = multics().system
+        system.create("at", 1_024)
+        system.create("over", 1_025)
+        assert system._side["at"] == "small"
+        assert system._side["over"] == "large"
+
+    def test_duplicate_create_rejected(self):
+        system = multics().system
+        system.create("s", 100)
+        with pytest.raises(ValueError):
+            system.create("s", 100)
+
+
+class TestAdviceRouting:
+    def test_advice_for_unknown_segment_ignored(self):
+        system = multics().system
+        system.advise(will_need("ghost"))   # silently dropped
+
+    def test_keep_resident_small_segment(self):
+        from repro.advice import keep_resident
+        system = multics().system
+        system.create("pinned", 500)
+        system.access("pinned", 0)
+        system.advise(keep_resident("pinned"))
+        # Flood the small region.
+        for index in range(600):
+            name = f"flood{index}"
+            system.create(name, 1_000)
+            system.access(name, 0)
+        key = system.naming.key("pinned")
+        small = system._pagers["small"]
+        assert any(unit[0] == key for unit in small.frames.resident_pages())
+
+
+class TestStats:
+    def test_dual_region_stats_merge(self):
+        system = multics().system
+        system.create("small", 300)
+        system.create("large", 5_000)
+        system.access("small", 0)
+        system.access("large", 0)
+        stats = system.stats()
+        assert stats.accesses == 2
+        assert stats.faults == 2
+        assert stats.internal_waste_words > 0
+
+    def test_page_size_of(self):
+        system = multics().system
+        system.create("tiny", 64)
+        system.create("huge", 100_000)
+        assert system.page_size_of("tiny") == 64
+        assert system.page_size_of("huge") == 1_024
+
+    def test_small_pages_bound_waste(self):
+        """Per small segment, waste < 64 words (one small frame)."""
+        system = multics().system
+        for index, size in enumerate((65, 100, 1_000)):
+            system.create(f"s{index}", size)
+        assert system.internal_waste_words() < 3 * 64

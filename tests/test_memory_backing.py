@@ -1,0 +1,114 @@
+"""Tests for the backing store."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+
+
+def make_store(capacity=10_000, latency=100, clock=None):
+    level = StorageLevel("drum", capacity, access_time=latency, transfer_rate=1.0)
+    return BackingStore(level, clock=clock)
+
+
+class TestStoreFetch:
+    def test_roundtrip(self):
+        store = make_store()
+        store.store("page-1", [1, 2, 3])
+        image, _ = store.fetch("page-1")
+        assert image == [1, 2, 3]
+
+    def test_fetch_returns_copy(self):
+        store = make_store()
+        store.store("page-1", [1, 2, 3])
+        image, _ = store.fetch("page-1")
+        image[0] = 99
+        assert store.fetch("page-1")[0] == [1, 2, 3]
+
+    def test_store_copies_input(self):
+        store = make_store()
+        data = [1, 2, 3]
+        store.store("k", data)
+        data[0] = 99
+        assert store.fetch("k")[0] == [1, 2, 3]
+
+    def test_fetch_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_store().fetch("absent")
+
+    def test_image_survives_fetch(self):
+        store = make_store()
+        store.store("k", [5])
+        store.fetch("k")
+        assert "k" in store
+
+    def test_overwrite_replaces_image(self):
+        store = make_store()
+        store.store("k", [1, 2])
+        store.store("k", [3])
+        assert store.fetch("k")[0] == [3]
+        assert store.used_words == 1
+
+    def test_capacity_enforced(self):
+        store = make_store(capacity=10)
+        store.store("a", [0] * 6)
+        with pytest.raises(ValueError):
+            store.store("b", [0] * 6)
+
+    def test_overwrite_frees_old_space_for_capacity_check(self):
+        store = make_store(capacity=10)
+        store.store("a", [0] * 8)
+        store.store("a", [0] * 10)  # fine: replaces the old 8
+        assert store.used_words == 10
+
+
+class TestTiming:
+    def test_store_charges_transfer_time(self):
+        clock = Clock()
+        store = make_store(latency=100, clock=clock)
+        cycles = store.store("k", [0] * 50)
+        assert cycles == 150
+        assert clock.now == 150
+
+    def test_fetch_charges_transfer_time(self):
+        clock = Clock()
+        store = make_store(latency=100, clock=clock)
+        store.store("k", [0] * 50)
+        clock.reset()
+        _, cycles = store.fetch("k")
+        assert cycles == 150
+        assert clock.now == 150
+
+
+class TestBookkeeping:
+    def test_counters(self):
+        store = make_store()
+        store.store("a", [1, 2])
+        store.store("b", [3])
+        store.fetch("a")
+        assert store.stores == 2
+        assert store.fetches == 1
+        assert store.words_out == 3
+        assert store.words_in == 2
+
+    def test_discard(self):
+        store = make_store()
+        store.store("k", [1])
+        store.discard("k")
+        assert "k" not in store
+
+    def test_discard_missing_is_noop(self):
+        make_store().discard("absent")
+
+    def test_keys_and_len(self):
+        store = make_store()
+        store.store("a", [1])
+        store.store("b", [2])
+        assert store.keys() == {"a", "b"}
+        assert len(store) == 2
+
+    def test_used_words(self):
+        store = make_store()
+        store.store("a", [1, 2, 3])
+        store.store("b", [4])
+        assert store.used_words == 4

@@ -1,0 +1,123 @@
+"""Tests for storage levels and hierarchies."""
+
+import pytest
+
+from repro.memory import (
+    StorageHierarchy,
+    StorageLevel,
+    core_disk,
+    core_drum,
+    core_drum_disk,
+)
+
+
+def make_core(capacity=1024):
+    return StorageLevel(
+        "core", capacity, access_time=1, transfer_rate=1.0, directly_addressable=True
+    )
+
+
+class TestStorageLevel:
+    def test_transfer_time_includes_latency(self):
+        drum = StorageLevel("drum", 1000, access_time=100, transfer_rate=0.5)
+        # 100 latency + 512 / 0.5 words per cycle = 100 + 1024
+        assert drum.transfer_time(512) == 1124
+
+    def test_transfer_time_zero_words(self):
+        drum = StorageLevel("drum", 1000, access_time=100)
+        assert drum.transfer_time(0) == 0
+
+    def test_transfer_time_minimum_one_cycle_burst(self):
+        fast = StorageLevel("fast", 1000, access_time=0, transfer_rate=100.0)
+        assert fast.transfer_time(1) == 1
+
+    def test_transfer_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_core().transfer_time(-1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            StorageLevel("x", 0, access_time=1)
+
+    def test_rejects_negative_access_time(self):
+        with pytest.raises(ValueError):
+            StorageLevel("x", 10, access_time=-1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            StorageLevel("x", 10, access_time=1, transfer_rate=0)
+
+    def test_frozen(self):
+        level = make_core()
+        with pytest.raises(AttributeError):
+            level.capacity = 99
+
+
+class TestStorageHierarchy:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            StorageHierarchy([])
+
+    def test_fastest_must_be_addressable(self):
+        drum = StorageLevel("drum", 1000, access_time=100)
+        with pytest.raises(ValueError):
+            StorageHierarchy([drum])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            StorageHierarchy([make_core(), make_core()])
+
+    def test_working_storage_is_first(self):
+        hierarchy = core_drum()
+        assert hierarchy.working_storage.name == "core"
+
+    def test_level_lookup(self):
+        hierarchy = core_drum()
+        assert hierarchy.level("drum").name == "drum"
+
+    def test_level_lookup_missing(self):
+        with pytest.raises(KeyError):
+            core_drum().level("tape")
+
+    def test_contains(self):
+        hierarchy = core_drum()
+        assert "drum" in hierarchy
+        assert "disk" not in hierarchy
+
+    def test_iteration_and_len(self):
+        hierarchy = core_drum_disk()
+        assert len(hierarchy) == 3
+        assert [level.name for level in hierarchy] == ["core", "drum", "disk"]
+
+    def test_fetch_time_delegates(self):
+        hierarchy = core_drum(drum_latency=100, drum_rate=1.0)
+        assert hierarchy.fetch_time("drum", 512) == 100 + 512
+
+    def test_store_time_matches_fetch_time(self):
+        hierarchy = core_drum()
+        assert hierarchy.store_time("drum", 512) == hierarchy.fetch_time("drum", 512)
+
+    def test_backing_levels(self):
+        hierarchy = core_drum_disk()
+        assert [level.name for level in hierarchy.backing_levels()] == ["drum", "disk"]
+
+
+class TestFactories:
+    def test_atlas_shape(self):
+        hierarchy = core_drum()
+        assert hierarchy.working_storage.capacity == 16_384
+        assert hierarchy.level("drum").capacity == 98_304
+
+    def test_m44_shape(self):
+        hierarchy = core_disk()
+        assert hierarchy.working_storage.capacity == 200_000
+        assert hierarchy.level("disk").capacity == 9_000_000
+
+    def test_multics_shape(self):
+        hierarchy = core_drum_disk()
+        assert hierarchy.working_storage.capacity == 131_072
+        assert hierarchy.level("disk").capacity == 16_000_000
+
+    def test_drum_is_faster_than_disk(self):
+        hierarchy = core_drum_disk()
+        assert hierarchy.fetch_time("drum", 1024) < hierarchy.fetch_time("disk", 1024)

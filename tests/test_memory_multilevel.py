@@ -1,0 +1,133 @@
+"""Tests for the multi-level backing store."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.memory import (
+    MultiLevelBackingStore,
+    StorageHierarchy,
+    StorageLevel,
+    core_drum_disk,
+)
+
+
+def make_store(medium_of=None, clock=None):
+    return MultiLevelBackingStore(
+        core_drum_disk(), clock=clock, medium_of=medium_of
+    )
+
+
+class TestRouting:
+    def test_default_routes_to_nearest(self):
+        store = make_store()
+        store.store("k", [1, 2, 3])
+        assert store.level_of("k") == "drum"
+
+    def test_preference_respected(self):
+        store = make_store(medium_of=lambda key: "disk")
+        store.store("k", [1])
+        assert store.level_of("k") == "disk"
+
+    def test_unknown_preference_falls_back(self):
+        store = make_store(medium_of=lambda key: "tape")
+        store.store("k", [1])
+        assert store.level_of("k") == "drum"
+        assert store.misroutes == 1
+
+    def test_none_preference_is_default(self):
+        store = make_store(medium_of=lambda key: None)
+        store.store("k", [1])
+        assert store.level_of("k") == "drum"
+
+    def test_overflow_spills_to_next_level(self):
+        hierarchy = StorageHierarchy([
+            StorageLevel("core", 100, access_time=1,
+                         directly_addressable=True),
+            StorageLevel("drum", 10, access_time=10),
+            StorageLevel("disk", 1000, access_time=100),
+        ])
+        store = MultiLevelBackingStore(hierarchy)
+        store.store("big", [0] * 50)
+        assert store.level_of("big") == "disk"
+
+    def test_unit_lives_on_one_level(self):
+        preferences = {"k": "disk"}
+        store = make_store(medium_of=lambda key: preferences.get(key))
+        store.store("k", [1])
+        preferences["k"] = "drum"
+        store.store("k", [2])
+        assert store.level_of("k") == "drum"
+        assert store.store_for("disk").contains("k") is False
+
+
+class TestFetch:
+    def test_fetch_finds_whichever_level(self):
+        store = make_store(medium_of=lambda key: "disk")
+        store.store("k", [7, 8])
+        image, cycles = store.fetch("k")
+        assert image == [7, 8]
+        assert cycles > 0
+
+    def test_fetch_missing(self):
+        with pytest.raises(KeyError):
+            make_store().fetch("ghost")
+
+    def test_disk_fetch_slower_than_drum(self):
+        drum_store = make_store()
+        disk_store = make_store(medium_of=lambda key: "disk")
+        drum_store.store("k", [0] * 100)
+        disk_store.store("k", [0] * 100)
+        _, drum_cycles = drum_store.fetch("k")
+        _, disk_cycles = disk_store.fetch("k")
+        assert disk_cycles > drum_cycles
+
+    def test_clock_charged(self):
+        clock = Clock()
+        store = make_store(clock=clock)
+        store.store("k", [0] * 10)
+        assert clock.now > 0
+
+    def test_uncharged_fetch(self):
+        clock = Clock()
+        store = make_store(clock=clock)
+        store.store("k", [0] * 10)
+        before = clock.now
+        store.fetch("k", charge=False)
+        assert clock.now == before
+
+
+class TestCompatibilitySurface:
+    def test_contains_and_discard(self):
+        store = make_store()
+        store.store("k", [1])
+        assert "k" in store
+        store.discard("k")
+        assert "k" not in store
+
+    def test_level_property_is_nearest(self):
+        assert make_store().level.name == "drum"
+
+    def test_aggregate_counters(self):
+        store = make_store(medium_of=lambda key: "disk" if key == "d" else None)
+        store.store("a", [1])
+        store.store("d", [2])
+        store.fetch("a")
+        assert store.stores == 2
+        assert store.fetches == 1
+
+    def test_requires_backing_levels(self):
+        core_only = StorageHierarchy([
+            StorageLevel("core", 100, access_time=1, directly_addressable=True)
+        ])
+        with pytest.raises(ValueError):
+            MultiLevelBackingStore(core_only)
+
+    def test_impossible_store_raises(self):
+        hierarchy = StorageHierarchy([
+            StorageLevel("core", 100, access_time=1,
+                         directly_addressable=True),
+            StorageLevel("drum", 10, access_time=10),
+        ])
+        store = MultiLevelBackingStore(hierarchy)
+        with pytest.raises(ValueError):
+            store.store("big", [0] * 50)

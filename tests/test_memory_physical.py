@@ -1,0 +1,155 @@
+"""Tests for the word-addressed physical memory."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.errors import BoundViolation
+from repro.memory import PhysicalMemory
+
+
+class TestConstruction:
+    def test_size(self):
+        assert PhysicalMemory(128).size == 128
+
+    def test_len(self):
+        assert len(PhysicalMemory(128)) == 128
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+        with pytest.raises(ValueError):
+            PhysicalMemory(-5)
+
+    def test_rejects_negative_access_time(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(10, access_time=-1)
+
+    def test_initially_empty(self):
+        memory = PhysicalMemory(4)
+        assert memory.snapshot() == [None] * 4
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        memory = PhysicalMemory(16)
+        memory.write(3, "value")
+        assert memory.read(3) == "value"
+
+    def test_out_of_bounds_read(self):
+        memory = PhysicalMemory(16)
+        with pytest.raises(BoundViolation):
+            memory.read(16)
+
+    def test_out_of_bounds_write(self):
+        memory = PhysicalMemory(16)
+        with pytest.raises(BoundViolation):
+            memory.write(-1, 0)
+
+    def test_access_counters(self):
+        memory = PhysicalMemory(16)
+        memory.write(0, 1)
+        memory.write(1, 2)
+        memory.read(0)
+        assert memory.writes == 2
+        assert memory.reads == 1
+
+    def test_clock_charged_per_access(self):
+        clock = Clock()
+        memory = PhysicalMemory(16, clock=clock, access_time=2)
+        memory.write(0, 1)
+        memory.read(0)
+        assert clock.now == 4
+
+    def test_untimed_memory_needs_no_clock(self):
+        memory = PhysicalMemory(16)
+        memory.write(0, 1)
+        assert memory.read(0) == 1
+
+
+class TestBlockOperations:
+    def test_block_roundtrip(self):
+        memory = PhysicalMemory(16)
+        memory.write_block(4, [10, 20, 30])
+        assert memory.read_block(4, 3) == [10, 20, 30]
+
+    def test_empty_block_ops(self):
+        memory = PhysicalMemory(16)
+        memory.write_block(0, [])
+        assert memory.read_block(0, 0) == []
+
+    def test_block_bounds_checked(self):
+        memory = PhysicalMemory(16)
+        with pytest.raises(BoundViolation):
+            memory.write_block(14, [1, 2, 3])
+        with pytest.raises(BoundViolation):
+            memory.read_block(14, 3)
+
+    def test_negative_count_rejected(self):
+        memory = PhysicalMemory(16)
+        with pytest.raises(ValueError):
+            memory.read_block(0, -1)
+
+    def test_block_access_charges_per_word(self):
+        clock = Clock()
+        memory = PhysicalMemory(16, clock=clock, access_time=1)
+        memory.write_block(0, [1, 2, 3])
+        assert clock.now == 3
+
+
+class TestMove:
+    def test_simple_move(self):
+        memory = PhysicalMemory(16)
+        memory.write_block(0, [1, 2, 3])
+        memory.move(0, 8, 3)
+        assert memory.read_block(8, 3) == [1, 2, 3]
+
+    def test_overlapping_move_down(self):
+        memory = PhysicalMemory(16)
+        memory.write_block(4, [1, 2, 3, 4])
+        memory.move(4, 2, 4)
+        assert memory.read_block(2, 4) == [1, 2, 3, 4]
+
+    def test_overlapping_move_up(self):
+        memory = PhysicalMemory(16)
+        memory.write_block(2, [1, 2, 3, 4])
+        memory.move(2, 4, 4)
+        assert memory.read_block(4, 4) == [1, 2, 3, 4]
+
+    def test_move_counts_words(self):
+        memory = PhysicalMemory(16)
+        memory.move(0, 8, 5)
+        assert memory.words_moved == 5
+
+    def test_move_charges_move_time(self):
+        clock = Clock()
+        memory = PhysicalMemory(16, clock=clock, access_time=1, move_time=3)
+        memory.move(0, 8, 2)
+        assert clock.now == 6
+
+    def test_move_zero_words(self):
+        memory = PhysicalMemory(16)
+        memory.move(0, 8, 0)
+        assert memory.words_moved == 0
+
+    def test_move_bounds_checked(self):
+        memory = PhysicalMemory(16)
+        with pytest.raises(BoundViolation):
+            memory.move(0, 14, 4)
+
+
+class TestFill:
+    def test_fill_sets_values(self):
+        memory = PhysicalMemory(8)
+        memory.fill(2, 3, "x")
+        assert memory.snapshot()[2:5] == ["x", "x", "x"]
+
+    def test_fill_has_no_timing_cost(self):
+        clock = Clock()
+        memory = PhysicalMemory(8, clock=clock)
+        memory.fill(0, 8, 0)
+        assert clock.now == 0
+
+    def test_fill_bounds_checked(self):
+        memory = PhysicalMemory(8)
+        with pytest.raises(BoundViolation):
+            memory.fill(6, 3)

@@ -1,0 +1,103 @@
+"""Tests for metric series and report rendering."""
+
+import pytest
+
+from repro.metrics import TimeSeries, ascii_bar, format_table
+
+
+class TestTimeSeries:
+    def test_sampling_and_mean(self):
+        series = TimeSeries("util")
+        series.sample(0, 0.5)
+        series.sample(10, 0.7)
+        assert series.mean() == pytest.approx(0.6)
+        assert len(series) == 2
+
+    def test_time_ordering_enforced(self):
+        series = TimeSeries("x")
+        series.sample(10, 1.0)
+        with pytest.raises(ValueError):
+            series.sample(5, 2.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries("x")
+        series.sample(5, 1.0)
+        series.sample(5, 2.0)
+        assert len(series) == 2
+
+    def test_time_weighted_mean(self):
+        series = TimeSeries("x")
+        series.sample(0, 1.0)    # holds for 10
+        series.sample(10, 3.0)   # holds for 90
+        series.sample(100, 99.0)  # zero weight
+        assert series.time_weighted_mean() == pytest.approx((10 + 270) / 100)
+
+    def test_time_weighted_mean_single_sample(self):
+        series = TimeSeries("x")
+        series.sample(0, 4.0)
+        assert series.time_weighted_mean() == 4.0
+
+    def test_empty_mean(self):
+        assert TimeSeries("x").mean() == 0.0
+
+    def test_min_max_final(self):
+        series = TimeSeries("x")
+        for t, v in enumerate([3.0, 1.0, 2.0]):
+            series.sample(t, v)
+        assert series.minimum() == 1.0
+        assert series.maximum() == 3.0
+        assert series.final() == 2.0
+
+    def test_empty_extremes_raise(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").minimum()
+        with pytest.raises(ValueError):
+            TimeSeries("x").final()
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "long-name" in lines[3]
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Experiment")
+        assert text.splitlines()[0] == "Experiment"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestAsciiBar:
+    def test_proportional(self):
+        assert ascii_bar(5, 10, width=10) == "#####....."
+
+    def test_full_and_empty(self):
+        assert ascii_bar(10, 10, width=4) == "####"
+        assert ascii_bar(0, 10, width=4) == "...."
+
+    def test_clamps_over_maximum(self):
+        assert ascii_bar(20, 10, width=4) == "####"
+
+    def test_zero_maximum(self):
+        assert ascii_bar(1, 0) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar(-1, 10)

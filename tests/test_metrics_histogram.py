@@ -1,0 +1,75 @@
+"""Tests for the histogram (Wald-style request analysis)."""
+
+import pytest
+
+from repro.metrics import Histogram
+from repro.workload import exponential_requests
+
+
+class TestBinning:
+    def test_counts_partition_values(self):
+        histogram = Histogram.from_values([1, 2, 2, 9], bins=2)
+        assert [bin.count for bin in histogram.bins] == [3, 1]
+        assert histogram.count == 4
+
+    def test_maximum_lands_in_last_bin(self):
+        histogram = Histogram.from_values([0, 10], bins=5)
+        assert histogram.bins[-1].count == 1
+
+    def test_single_value_collapses_to_one_bin(self):
+        histogram = Histogram.from_values([5, 5, 5], bins=10)
+        assert len(histogram.bins) == 1
+        assert histogram.bins[0].count == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([], bins=3)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([1], bins=0)
+
+    def test_total_count_preserved(self):
+        values = list(range(100))
+        histogram = Histogram.from_values(values, bins=7)
+        assert sum(bin.count for bin in histogram.bins) == 100
+
+
+class TestStatistics:
+    def test_mean_and_variance(self):
+        histogram = Histogram.from_values([2, 4, 4, 4, 5, 5, 7, 9])
+        assert histogram.mean == 5.0
+        assert histogram.variance == 4.0
+
+    def test_percentiles(self):
+        histogram = Histogram.from_values(list(range(1, 101)))
+        assert histogram.percentile(0.0) == 1
+        assert histogram.percentile(0.5) == 51
+        assert histogram.percentile(1.0) == 100
+
+    def test_percentile_validation(self):
+        histogram = Histogram.from_values([1])
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+
+class TestRendering:
+    def test_render_has_one_line_per_bin(self):
+        histogram = Histogram.from_values(list(range(50)), bins=5)
+        assert len(histogram.render().splitlines()) == 5
+
+    def test_peak_bin_has_longest_bar(self):
+        histogram = Histogram.from_values([1] * 10 + [9], bins=2)
+        lines = histogram.render(width=20).splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+
+class TestOnRequestStreams:
+    def test_exponential_sizes_are_skewed(self):
+        """The distributional fact Wald-style analysis rests on."""
+        requests = exponential_requests(2_000, mean_size=200,
+                                        mean_lifetime=50, seed=3)
+        histogram = Histogram.from_values([r.size for r in requests], bins=10)
+        # Most mass in the low bins; a long thin tail.
+        assert histogram.bins[0].count > histogram.count / 3
+        assert histogram.percentile(0.5) < histogram.mean

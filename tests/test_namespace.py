@@ -1,0 +1,190 @@
+"""Tests for name spaces and their bookkeeping costs."""
+
+import pytest
+
+from repro.errors import MissingSegment, OutOfMemory
+from repro.namespace import (
+    LinearNameSpace,
+    LinearlySegmentedNameSpace,
+    SymbolicallySegmentedNameSpace,
+)
+
+
+class TestLinearNameSpace:
+    def test_contiguous_name_allocation(self):
+        names = LinearNameSpace(1000)
+        assert names.allocate("a", 100) == 0
+        assert names.allocate("b", 100) == 100
+
+    def test_name_of_uses_address_arithmetic(self):
+        names = LinearNameSpace(1000)
+        names.allocate("array", 100)
+        assert names.name_of("array", 7) == 7
+        names.allocate("other", 50)
+        assert names.name_of("other", 3) == 103
+
+    def test_name_of_bound_checked(self):
+        names = LinearNameSpace(1000)
+        names.allocate("a", 10)
+        with pytest.raises(IndexError):
+            names.name_of("a", 10)
+
+    def test_name_space_fragments(self):
+        """Free names exist but no contiguous run — the paper's point
+        about name allocation problems in a single linear space."""
+        names = LinearNameSpace(100)
+        structures = [names.allocate(i, 10) for i in range(10)]
+        for i in range(0, 10, 2):
+            names.release(i)
+        assert names.free_names == 50
+        assert names.largest_free_run == 10
+        with pytest.raises(OutOfMemory):
+            names.allocate("wide", 11)
+        assert names.fragmentation() > 0
+
+    def test_release_unknown(self):
+        with pytest.raises(KeyError):
+            LinearNameSpace(10).release("ghost")
+
+    def test_duplicate_structure(self):
+        names = LinearNameSpace(100)
+        names.allocate("a", 10)
+        with pytest.raises(ValueError):
+            names.allocate("a", 10)
+
+    def test_structures_listing(self):
+        names = LinearNameSpace(100)
+        names.allocate("a", 10)
+        assert names.structures() == ["a"]
+
+
+class TestSymbolicNameSpace:
+    def test_groups_create_unordered_names(self):
+        space = SymbolicallySegmentedNameSpace()
+        names = space.create_group("lib", [10, 20, 30])
+        assert len(names) == 3
+        assert space.segment_count == 3
+
+    def test_no_bookkeeping(self):
+        """The paper: 'far less bookkeeping' — zero searches, zero
+        reallocations, no matter the churn."""
+        space = SymbolicallySegmentedNameSpace()
+        for round_ in range(50):
+            space.create_group(f"g{round_}", [10] * 5)
+            if round_ % 2:
+                space.destroy_group(f"g{round_ - 1}")
+        assert space.search_steps == 0
+        assert space.reallocations == 0
+
+    def test_address_two_part_names(self):
+        space = SymbolicallySegmentedNameSpace()
+        (name,) = space.create_group("g", [100])
+        assert space.address(name, 42) == (name, 42)
+
+    def test_address_bound_checked(self):
+        space = SymbolicallySegmentedNameSpace()
+        (name,) = space.create_group("g", [10])
+        with pytest.raises(IndexError):
+            space.address(name, 10)
+
+    def test_missing_segment(self):
+        with pytest.raises(MissingSegment):
+            SymbolicallySegmentedNameSpace().address(("ghost", 0), 0)
+
+    def test_destroy_group_counts(self):
+        space = SymbolicallySegmentedNameSpace()
+        space.create_group("g", [10, 10])
+        assert space.destroy_group("g") == 2
+        assert space.segment_count == 0
+
+    def test_duplicate_rejected(self):
+        space = SymbolicallySegmentedNameSpace()
+        space.create_group("g", [10])
+        with pytest.raises(ValueError):
+            space.create_group("g", [10])
+
+
+class TestLinearlySegmentedNameSpace:
+    def test_groups_get_contiguous_numbers(self):
+        space = LinearlySegmentedNameSpace(segment_name_bits=4)
+        numbers = space.create_group("lib", [10, 20, 30])
+        assert numbers == [0, 1, 2]
+        assert space.create_group("app", [5])[0] == 3
+
+    def test_packed_address(self):
+        space = LinearlySegmentedNameSpace(segment_name_bits=4)
+        (number,) = space.create_group("g", [100])
+        assert space.address(number, 42) == (number << 24) | 42
+
+    def test_dictionary_fragments(self):
+        space = LinearlySegmentedNameSpace(segment_name_bits=3,
+                                           auto_reallocate=False)
+        for index in range(4):
+            space.create_group(f"g{index}", [1, 1])
+        space.destroy_group("g0")
+        space.destroy_group("g2")
+        # 4 numbers free, but no run of 3.
+        with pytest.raises(OutOfMemory):
+            space.create_group("wide", [1, 1, 1])
+        assert space.fragmentation() > 0
+
+    def test_reallocation_renames_segments(self):
+        """The heavyweight bookkeeping symbolic naming avoids."""
+        space = LinearlySegmentedNameSpace(segment_name_bits=3,
+                                           auto_reallocate=True)
+        for index in range(4):
+            space.create_group(f"g{index}", [1, 1])
+        space.destroy_group("g0")
+        space.destroy_group("g2")
+        numbers = space.create_group("wide", [1, 1, 1])
+        assert len(numbers) == 3
+        assert space.reallocations == 1
+        assert space.segments_renamed > 0
+
+    def test_renamed_segments_keep_extents(self):
+        space = LinearlySegmentedNameSpace(segment_name_bits=3)
+        space.create_group("a", [11, 22])
+        space.create_group("b", [33])
+        space.destroy_group("a")
+        space.create_group("c", [44, 55, 66])   # may trigger reallocation
+        (b_number,) = space.group_numbers("b")
+        assert space.address(b_number, 32) == (b_number << 24) | 32
+        with pytest.raises(IndexError):
+            space.address(b_number, 33)
+
+    def test_search_steps_accumulate(self):
+        space = LinearlySegmentedNameSpace(segment_name_bits=6)
+        for index in range(8):
+            space.create_group(f"g{index}", [1])
+        assert space.search_steps >= 8
+
+    def test_capacity_limit(self):
+        space = LinearlySegmentedNameSpace(segment_name_bits=2,
+                                           auto_reallocate=False)
+        space.create_group("g", [1, 1, 1, 1])
+        with pytest.raises(OutOfMemory):
+            space.create_group("h", [1])
+
+    def test_destroy_unknown_group(self):
+        with pytest.raises(KeyError):
+            LinearlySegmentedNameSpace(4).destroy_group("ghost")
+
+    def test_missing_number(self):
+        with pytest.raises(MissingSegment):
+            LinearlySegmentedNameSpace(4).address(3, 0)
+
+
+class TestBookkeepingComparison:
+    def test_symbolic_beats_linear_under_churn(self):
+        """CL-NAMES in miniature: identical group workloads."""
+        symbolic = SymbolicallySegmentedNameSpace()
+        linear = LinearlySegmentedNameSpace(segment_name_bits=6)
+        for round_ in range(12):
+            for space in (symbolic, linear):
+                space.create_group(f"g{round_}", [4] * 4)
+            if round_ >= 2 and round_ % 2 == 0:
+                for space in (symbolic, linear):
+                    space.destroy_group(f"g{round_ - 2}")
+        assert symbolic.search_steps == 0
+        assert linear.search_steps > 0
+        assert symbolic.reallocations == 0

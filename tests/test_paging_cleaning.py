@@ -1,0 +1,110 @@
+"""Tests for the page cleaner (deferred write-back)."""
+
+import pytest
+
+from repro.addressing import PageTable
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.paging import DemandPager, FrameTable, LruPolicy, PageCleaner
+
+
+def make_pager(frames=4, latency=1000):
+    clock = Clock()
+    table = PageTable(page_size=512, pages=32)
+    backing = BackingStore(
+        StorageLevel("drum", 10**7, access_time=latency, transfer_rate=1.0),
+        clock=clock,
+    )
+    pager = DemandPager(table, FrameTable(frames), backing, LruPolicy(), clock)
+    return pager, clock
+
+
+class TestDirtyTracking:
+    def test_dirty_pages_listed(self):
+        pager, _ = make_pager()
+        pager.access_page(0, write=True)
+        pager.access_page(1)
+        assert PageCleaner(pager).dirty_pages() == [0]
+
+    def test_clean_clears_modified_bits(self):
+        pager, _ = make_pager()
+        pager.access_page(0, write=True)
+        cleaner = PageCleaner(pager)
+        assert cleaner.clean() == 1
+        assert not pager.page_table.entry(0).modified
+        assert cleaner.dirty_pages() == []
+
+    def test_clean_writes_image_to_backing(self):
+        pager, _ = make_pager()
+        pager.access_page(0, write=True)
+        PageCleaner(pager).clean()
+        assert ("page", 0) in pager.backing
+
+    def test_max_pages_respected(self):
+        pager, _ = make_pager()
+        for page in range(3):
+            pager.access_page(page, write=True)
+        cleaner = PageCleaner(pager)
+        assert cleaner.clean(max_pages=2) == 2
+        assert len(cleaner.dirty_pages()) == 1
+
+    def test_negative_budget_rejected(self):
+        pager, _ = make_pager()
+        with pytest.raises(ValueError):
+            PageCleaner(pager).clean(max_pages=-1)
+
+
+class TestOverlap:
+    def test_cleaning_costs_no_program_time(self):
+        pager, clock = make_pager()
+        pager.access_page(0, write=True)
+        before = clock.now
+        PageCleaner(pager).clean()
+        assert clock.now == before
+
+    def test_cleaned_page_evicts_without_writeback(self):
+        pager, _ = make_pager(frames=1)
+        pager.access_page(0, write=True)
+        PageCleaner(pager).clean()
+        pager.access_page(1)   # evicts the cleaned page 0
+        assert pager.stats.writebacks == 0
+
+    def test_redirtied_page_writes_back_again(self):
+        pager, _ = make_pager(frames=1)
+        pager.access_page(0, write=True)
+        PageCleaner(pager).clean()
+        pager.access_page(0, write=True)   # dirty again
+        pager.access_page(1)
+        assert pager.stats.writebacks == 1
+
+    def test_cleaning_reduces_blocked_time(self):
+        """The point of the strategy: eviction leaves the critical path."""
+        def run(clean_between_phases: bool) -> int:
+            pager, clock = make_pager(frames=4, latency=1000)
+            cleaner = PageCleaner(pager)
+            for phase in range(6):
+                base = phase * 4
+                for step in range(40):
+                    pager.access_page(base + step % 4, write=True)
+                if clean_between_phases:
+                    cleaner.clean()
+            return pager.stats.writeback_cycles
+
+        assert run(True) == 0
+        assert run(False) > 0
+
+    def test_counters(self):
+        pager, _ = make_pager()
+        pager.access_page(0, write=True)
+        pager.access_page(1, write=True)
+        cleaner = PageCleaner(pager)
+        cleaner.clean()
+        assert cleaner.pages_cleaned == 2
+        assert cleaner.words_cleaned == 2 * 512
+        assert cleaner.sweeps == 1
+
+    def test_policy_dirty_view_synced(self):
+        pager, _ = make_pager()
+        pager.access_page(0, write=True)
+        PageCleaner(pager).clean()
+        assert pager.policy.modified[0] is False

@@ -1,0 +1,74 @@
+"""Tests for the ATLAS keep-one-vacant discipline."""
+
+import pytest
+
+from repro.addressing import PageTable
+from repro.clock import Clock
+from repro.machines import atlas
+from repro.memory import BackingStore, StorageLevel
+from repro.paging import DemandPager, FrameTable, LruPolicy
+
+
+def make_pager(frames=3, keep_vacant=True, latency=500):
+    clock = Clock()
+    pager = DemandPager(
+        PageTable(page_size=128, pages=32),
+        FrameTable(frames),
+        BackingStore(
+            StorageLevel("drum", 10**7, access_time=latency,
+                         transfer_rate=1.0),
+            clock=clock,
+        ),
+        LruPolicy(),
+        clock,
+        keep_one_vacant=keep_vacant,
+    )
+    return pager, clock
+
+
+class TestKeepOneVacant:
+    def test_frame_kept_vacant_after_each_fault(self):
+        pager, _ = make_pager(frames=3)
+        for page in range(6):
+            pager.access_page(page)
+            assert pager.frames.free_count >= 1
+
+    def test_effective_capacity_is_one_less(self):
+        pager, _ = make_pager(frames=3)
+        for page in (0, 1, 0, 1, 0, 1):
+            pager.access_page(page)
+        # Two hot pages fit in the 2 usable frames: no refaults.
+        assert pager.stats.faults == 2
+
+    def test_preevicted_dirty_writeback_is_overlapped(self):
+        vacant, vacant_clock = make_pager(frames=2, keep_vacant=True)
+        demand, demand_clock = make_pager(frames=2, keep_vacant=False)
+        for pager in (vacant, demand):
+            pager.access_page(0, write=True)
+            pager.access_page(1, write=True)
+            pager.access_page(2, write=True)
+        # Both wrote back dirty victims...
+        assert vacant.stats.writebacks >= 1
+        assert demand.stats.writebacks >= 1
+        # ...but only the demand pager charged it to the program.
+        assert vacant.stats.writeback_cycles == 0
+        assert demand.stats.writeback_cycles > 0
+        assert vacant_clock.now < demand_clock.now
+
+    def test_images_still_reach_backing(self):
+        pager, _ = make_pager(frames=2)
+        pager.access_page(0, write=True)
+        pager.access_page(1)   # pre-evicts dirty 0
+        assert ("page", 0) in pager.backing
+
+    def test_atlas_machine_uses_it(self):
+        machine = atlas()
+        assert machine.system.pager.keep_one_vacant
+
+    def test_atlas_keeps_a_frame_free_under_load(self):
+        machine = atlas()
+        system = machine.system
+        system.create("sweep", 512 * 40)
+        for page in range(40):
+            system.access("sweep", page * 512)
+        assert system.pager.frames.free_count >= 1

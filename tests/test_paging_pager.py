@@ -1,0 +1,168 @@
+"""Tests for the demand-paging engine and prefetch."""
+
+import pytest
+
+from repro.addressing import PageTable
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.paging import (
+    DemandPager,
+    FrameTable,
+    LruPolicy,
+    SequentialPrefetcher,
+)
+
+
+def make_pager(frames=4, pages=32, page_size=512, latency=1000,
+               prefetcher=None, clock=None):
+    clock = clock if clock is not None else Clock()
+    table = PageTable(page_size=page_size, pages=pages)
+    backing = BackingStore(
+        StorageLevel("drum", 10**7, access_time=latency, transfer_rate=1.0),
+        clock=clock,
+    )
+    pager = DemandPager(
+        table, FrameTable(frames), backing, LruPolicy(), clock,
+        prefetcher=prefetcher,
+    )
+    return pager, clock
+
+
+class TestDemandFetch:
+    def test_first_access_faults_and_resolves(self):
+        pager, _ = make_pager()
+        address = pager.access(5)
+        assert pager.stats.faults == 1
+        frame = pager.page_table.entry(0).frame
+        assert address == frame * 512 + 5
+
+    def test_repeat_access_hits(self):
+        pager, _ = make_pager()
+        pager.access(5)
+        pager.access(6)
+        assert pager.stats.faults == 1
+        assert pager.stats.accesses == 2
+
+    def test_fault_blocks_for_fetch_time(self):
+        pager, clock = make_pager(latency=1000, page_size=512)
+        pager.access(0)
+        # 1 reference cycle + latency 1000 + 512 words at rate 1.0
+        assert clock.now == 1513
+        assert pager.stats.fetch_wait_cycles == 1512
+
+    def test_hit_costs_only_the_reference(self):
+        pager, clock = make_pager()
+        pager.access(0)
+        before = clock.now
+        pager.access(1)
+        assert clock.now == before + 1
+        assert pager.stats.fetch_wait_cycles == pager.backing.level.transfer_time(512)
+
+    def test_replacement_when_frames_full(self):
+        pager, _ = make_pager(frames=2)
+        for page in (0, 1, 2):
+            pager.access_page(page)
+        assert pager.stats.evictions == 1
+        assert pager.frames.resident_count == 2
+
+    def test_lru_victim_chosen(self):
+        pager, _ = make_pager(frames=2)
+        pager.access_page(0)
+        pager.access_page(1)
+        pager.access_page(0)   # 0 recent
+        pager.access_page(2)   # evicts 1
+        assert 1 not in pager.frames
+        assert 0 in pager.frames
+
+
+class TestWriteback:
+    def test_dirty_page_written_back(self):
+        pager, _ = make_pager(frames=1)
+        pager.access_page(0, write=True)
+        pager.access_page(1)
+        assert pager.stats.writebacks == 1
+        assert ("page", 0) in pager.backing
+
+    def test_clean_page_not_written_back(self):
+        pager, _ = make_pager(frames=1)
+        pager.access_page(0)
+        pager.access_page(1)
+        assert pager.stats.writebacks == 0
+
+    def test_written_back_page_refetched(self):
+        pager, _ = make_pager(frames=1)
+        pager.access_page(0, write=True)
+        pager.access_page(1)
+        pager.access_page(0)
+        assert pager.backing.fetches == 1   # the refetch of page 0
+
+
+class TestResidencyAccounting:
+    def test_residency_cycles_accumulate(self):
+        pager, clock = make_pager(frames=2, latency=100)
+        pager.access_page(0)
+        clock.advance(1000)
+        assert pager.residency_cycles() == 1000
+
+    def test_eviction_freezes_contribution(self):
+        pager, clock = make_pager(frames=1, latency=100)
+        pager.access_page(0)
+        loaded_at = clock.now
+        clock.advance(500)
+        pager.access_page(1)   # evicts 0; one reference cycle precedes it
+        assert pager.stats.frame_cycles_resident == (500 + 1)
+        assert pager.residency_cycles() > 500
+        assert loaded_at > 0
+
+
+class TestPrefetch:
+    def test_sequential_prefetch_brings_next_page(self):
+        pager, _ = make_pager(frames=4, prefetcher=SequentialPrefetcher(depth=1))
+        pager.access_page(0)
+        assert 1 in pager.frames
+        assert pager.stats.prefetches == 1
+
+    def test_prefetch_charges_no_wait(self):
+        plain, clock_plain = make_pager(frames=4)
+        fetching, clock_fetch = make_pager(
+            frames=4, prefetcher=SequentialPrefetcher(depth=2)
+        )
+        plain.access_page(0)
+        fetching.access_page(0)
+        assert clock_fetch.now == clock_plain.now
+
+    def test_prefetch_never_evicts(self):
+        pager, _ = make_pager(frames=1, prefetcher=SequentialPrefetcher(depth=3))
+        pager.access_page(0)
+        assert pager.frames.resident_count == 1
+        assert 0 in pager.frames
+
+    def test_prefetch_avoids_later_fault(self):
+        pager, _ = make_pager(frames=4, prefetcher=SequentialPrefetcher(depth=1))
+        pager.access_page(0)
+        pager.access_page(1)   # already prefetched
+        assert pager.stats.faults == 1
+
+    def test_prefetcher_respects_table_bounds(self):
+        prefetcher = SequentialPrefetcher(depth=5)
+        table = PageTable(page_size=512, pages=3)
+        assert list(prefetcher.suggest(2, table)) == []
+
+    def test_prefetcher_skips_resident(self):
+        prefetcher = SequentialPrefetcher(depth=2)
+        table = PageTable(page_size=512, pages=8)
+        table.map(1, 0)
+        assert list(prefetcher.suggest(0, table)) == [2]
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            SequentialPrefetcher(depth=0)
+
+
+class TestNameInterface:
+    def test_access_by_name_and_page_agree(self):
+        pager_a, _ = make_pager()
+        pager_b, _ = make_pager()
+        pager_a.access(3 * 512 + 7)
+        pager_b.access_page(3)
+        assert pager_a.stats.faults == pager_b.stats.faults == 1

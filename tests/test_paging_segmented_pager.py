@@ -1,0 +1,151 @@
+"""Tests for the segmented pager (two-level mapped demand paging)."""
+
+import pytest
+
+from repro.addressing import AssociativeMemory, TwoLevelMapper
+from repro.clock import Clock
+from repro.errors import BoundViolation, MissingSegment
+from repro.memory import BackingStore, StorageLevel
+from repro.paging import FrameTable, LruPolicy
+from repro.paging.segmented_pager import SegmentedPager
+
+
+def make_pager(frames=4, page_size=256, latency=500, tlb=None):
+    clock = Clock()
+    mapper = TwoLevelMapper(page_size=page_size, associative_memory=tlb)
+    pager = SegmentedPager(
+        mapper,
+        FrameTable(frames),
+        BackingStore(
+            StorageLevel("drum", 10**7, access_time=latency,
+                         transfer_rate=1.0),
+            clock=clock,
+        ),
+        LruPolicy(),
+        clock,
+    )
+    return pager, clock
+
+
+class TestAccess:
+    def test_fault_then_hit(self):
+        pager, _ = make_pager()
+        pager.declare("s", 1_000)
+        pager.access("s", 0)
+        pager.access("s", 100)
+        assert pager.stats.faults == 1
+        assert pager.stats.accesses == 2
+
+    def test_address_arithmetic(self):
+        pager, _ = make_pager(page_size=256)
+        pager.declare("s", 1_000)
+        address = pager.access("s", 300)   # page 1, offset 44
+        frame = pager.frames.frame_of(("s", 1))
+        assert address == frame * 256 + 44
+
+    def test_pages_of_different_segments_coexist(self):
+        pager, _ = make_pager(frames=4)
+        pager.declare("a", 500)
+        pager.declare("b", 500)
+        pager.access("a", 0)
+        pager.access("b", 0)
+        assert ("a", 0) in pager.frames and ("b", 0) in pager.frames
+
+    def test_bound_violation_propagates(self):
+        pager, _ = make_pager()
+        pager.declare("s", 100)
+        with pytest.raises(BoundViolation):
+            pager.access("s", 100)
+
+    def test_missing_segment(self):
+        pager, _ = make_pager()
+        with pytest.raises(MissingSegment):
+            pager.access("ghost", 0)
+
+    def test_replacement_across_segments(self):
+        pager, _ = make_pager(frames=2)
+        pager.declare("a", 300)
+        pager.declare("b", 300)
+        pager.access("a", 0)      # (a,0)
+        pager.access("a", 280)    # (a,1) — pool full
+        pager.access("b", 0)      # evicts LRU = (a,0)
+        assert ("a", 0) not in pager.frames
+        assert ("b", 0) in pager.frames
+        assert pager.stats.evictions == 1
+
+    def test_fetch_blocks_for_transfer(self):
+        pager, clock = make_pager(latency=500, page_size=256)
+        pager.declare("s", 256)
+        pager.access("s", 0)
+        # 1 reference + 500 latency + 256 words
+        assert clock.now == 757
+
+
+class TestWriteback:
+    def test_dirty_page_written_back(self):
+        pager, _ = make_pager(frames=1)
+        pager.declare("s", 600)
+        pager.access("s", 0, write=True)
+        pager.access("s", 300)
+        assert pager.stats.writebacks == 1
+        assert ("page", "s", 0) in pager.backing
+
+    def test_clean_page_skips_writeback(self):
+        pager, _ = make_pager(frames=1)
+        pager.declare("s", 600)
+        pager.access("s", 0)
+        pager.access("s", 300)
+        assert pager.stats.writebacks == 0
+
+
+class TestDestroy:
+    def test_destroy_vacates_frames_and_backing(self):
+        pager, _ = make_pager()
+        pager.declare("s", 600)
+        pager.access("s", 0, write=True)
+        pager.access("s", 300)
+        pager.access("s", 0)   # keep page 0 in
+        pager.destroy("s")
+        assert pager.frames.resident_count == 0
+        assert ("page", "s", 0) not in pager.backing
+        with pytest.raises(MissingSegment):
+            pager.access("s", 0)
+
+    def test_destroy_frees_room_for_others(self):
+        pager, _ = make_pager(frames=2)
+        pager.declare("a", 600)
+        pager.access("a", 0)
+        pager.access("a", 300)
+        pager.destroy("a")
+        pager.declare("b", 600)
+        pager.access("b", 0)
+        pager.access("b", 300)
+        assert pager.stats.evictions == 0
+
+
+class TestResidency:
+    def test_residency_cycles(self):
+        pager, clock = make_pager()
+        pager.declare("s", 256)
+        pager.access("s", 0)
+        clock.advance(1_000)
+        assert pager.residency_cycles() == 1_000
+
+    def test_with_tlb(self):
+        tlb = AssociativeMemory(4)
+        pager, _ = make_pager(tlb=tlb)
+        pager.declare("s", 600)
+        pager.access("s", 0)
+        pager.access("s", 1)
+        assert tlb.hits >= 1
+
+    def test_reference_time_validation(self):
+        clock = Clock()
+        mapper = TwoLevelMapper(page_size=256)
+        with pytest.raises(ValueError):
+            SegmentedPager(
+                mapper, FrameTable(2),
+                BackingStore(StorageLevel("d", 10**6, access_time=1),
+                             clock=clock),
+                LruPolicy(), clock, reference_time=0,
+            )

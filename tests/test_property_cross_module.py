@@ -1,0 +1,168 @@
+"""Cross-module property-based tests.
+
+These pin down invariants that only hold when several components
+cooperate correctly: compaction moving real data, the pager respecting
+its frame budget, OPT's optimality against realizable policies, and the
+segment manager surviving arbitrary create/access/destroy interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addressing import PageTable, SegmentTable
+from repro.alloc import FreeListAllocator, compact
+from repro.clock import Clock
+from repro.errors import OutOfMemory
+from repro.memory import BackingStore, PhysicalMemory, StorageLevel
+from repro.paging import (
+    BeladyOptimalPolicy,
+    DemandPager,
+    FrameTable,
+    LruPolicy,
+    make_policy,
+    simulate_trace,
+)
+from repro.segmentation import SegmentManager
+
+
+class TestCompactionPreservesData:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=40), min_size=2,
+                       max_size=20),
+        free_mask=st.lists(st.booleans(), min_size=2, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_survivor_contents_identical_after_compaction(self, sizes, free_mask):
+        memory = PhysicalMemory(1_024)
+        allocator = FreeListAllocator(1_024)
+        blocks = []
+        for index, size in enumerate(sizes):
+            try:
+                block = allocator.allocate(size)
+            except OutOfMemory:
+                break
+            memory.write_block(
+                block.address, [(index, offset) for offset in range(size)]
+            )
+            blocks.append((index, block))
+        survivors = []
+        for position, (index, block) in enumerate(blocks):
+            if free_mask[position % len(free_mask)]:
+                allocator.free(block)
+            else:
+                survivors.append((index, block))
+        relocations = {}
+        compact(memory=memory, allocator=allocator,
+                on_relocate=lambda old, new: relocations.update(
+                    {old.address: new.address}))
+        for index, block in survivors:
+            address = relocations.get(block.address, block.address)
+            expected = [(index, offset) for offset in range(block.size)]
+            assert memory.read_block(address, block.size) == expected
+        allocator.check_invariants()
+
+
+class TestPagerBudget:
+    @given(trace=st.lists(st.integers(min_value=0, max_value=20),
+                          min_size=1, max_size=150),
+           frames=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_residency_never_exceeds_frames(self, trace, frames):
+        clock = Clock()
+        pager = DemandPager(
+            PageTable(page_size=64, pages=32),
+            FrameTable(frames),
+            BackingStore(StorageLevel("d", 10**7, access_time=10),
+                         clock=clock),
+            LruPolicy(),
+            clock,
+        )
+        for page in trace:
+            pager.access_page(page, write=(page % 3 == 0))
+            assert pager.frames.resident_count <= frames
+        # The page table and the frame table agree about residency.
+        assert (
+            set(pager.page_table.resident_pages())
+            == set(pager.frames.resident_pages())
+        )
+        assert pager.stats.accesses == len(trace)
+        assert pager.stats.faults <= pager.stats.accesses
+
+
+class TestOptimalityProperty:
+    @given(trace=st.lists(st.integers(min_value=0, max_value=9),
+                          min_size=1, max_size=120),
+           frames=st.integers(min_value=1, max_value=5),
+           rival=st.sampled_from(["fifo", "lru", "clock", "random", "lfu",
+                                  "atlas", "m44"]))
+    @settings(max_examples=80, deadline=None)
+    def test_opt_never_loses(self, trace, frames, rival):
+        opt_faults = simulate_trace(
+            trace, frames, BeladyOptimalPolicy(trace)
+        ).faults
+        rival_faults = simulate_trace(trace, frames, make_policy(rival)).faults
+        assert opt_faults <= rival_faults
+
+    @given(trace=st.lists(st.integers(min_value=0, max_value=9),
+                          min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_fault_floor_is_distinct_page_count(self, trace):
+        faults = simulate_trace(
+            trace, 10, BeladyOptimalPolicy(trace)
+        ).faults
+        assert faults == len(set(trace))
+
+
+def segment_workload():
+    """Steps: (op, segment index, size-or-offset)."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["create", "access", "write", "destroy"]),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=1, max_value=120),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+
+
+class TestSegmentManagerChaos:
+    @given(steps=segment_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_interleavings_stay_consistent(self, steps):
+        clock = Clock()
+        manager = SegmentManager(
+            table=SegmentTable(),
+            allocator=FreeListAllocator(512, policy="best_fit"),
+            backing=BackingStore(
+                StorageLevel("d", 10**7, access_time=10), clock=clock
+            ),
+            policy=LruPolicy(),
+            clock=clock,
+        )
+        extents: dict[str, int] = {}
+        for op, index, number in steps:
+            name = f"s{index}"
+            if op == "create" and name not in extents:
+                if number <= 256:   # segments must fit half of storage
+                    manager.create(name, number)
+                    extents[name] = number
+            elif op in ("access", "write") and name in extents:
+                try:
+                    manager.access(
+                        name, number % extents[name], write=(op == "write")
+                    )
+                except OutOfMemory:
+                    pass   # legitimately unservable at this instant
+            elif op == "destroy" and name in extents:
+                manager.destroy(name)
+                del extents[name]
+            # Core invariants after every step:
+            allocator = manager.allocator
+            assert allocator.used_words + allocator.free_words == 512
+            for resident in manager.resident_segments():
+                assert resident in extents
+        # Every allocator block belongs to a live resident segment.
+        assert len(manager.allocator.allocations()) == len(
+            manager.resident_segments()
+        )

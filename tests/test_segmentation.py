@@ -1,0 +1,336 @@
+"""Tests for segments, codewords, and the segment manager."""
+
+import pytest
+
+from repro.addressing import SegmentTable
+from repro.alloc import FreeListAllocator, RiceAllocator
+from repro.clock import Clock
+from repro.errors import BoundViolation, MissingSegment, OutOfMemory, SegmentFault
+from repro.memory import BackingStore, StorageLevel
+from repro.paging import ClockPolicy, LruPolicy
+from repro.segmentation import Codeword, CodewordStore, Segment, SegmentManager
+
+
+class TestSegment:
+    def test_creation(self):
+        segment = Segment("stack", 100)
+        assert segment.extent == 100 and segment.alive
+
+    def test_grow_and_shrink(self):
+        segment = Segment("stack", 100)
+        segment.grow(50)
+        assert segment.extent == 150
+        segment.shrink(100)
+        assert segment.extent == 50
+        assert segment.resize_count == 2
+
+    def test_shrink_to_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Segment("s", 10).shrink(10)
+
+    def test_destroy_prevents_further_use(self):
+        segment = Segment("s", 10)
+        segment.destroy()
+        with pytest.raises(ValueError):
+            segment.grow(1)
+
+    def test_double_destroy_rejected(self):
+        segment = Segment("s", 10)
+        segment.destroy()
+        with pytest.raises(ValueError):
+            segment.destroy()
+
+    def test_contains(self):
+        segment = Segment("s", 10)
+        assert segment.contains(9)
+        assert not segment.contains(10)
+        assert not segment.contains(-1)
+
+    def test_bad_extent(self):
+        with pytest.raises(ValueError):
+            Segment("s", 0)
+
+
+class TestCodewords:
+    def test_declare_and_place(self):
+        store = CodewordStore()
+        store.declare("data", 100)
+        store.place("data", 4000)
+        assert store.effective_address("data", 7) == 4007
+
+    def test_automatic_index_register_addition(self):
+        """The Rice hallmark: the index register adds automatically."""
+        store = CodewordStore()
+        store.declare("vector", 100, index_register=3)
+        store.place("vector", 1000)
+        store.set_register(3, 40)
+        assert store.effective_address("vector", 2) == 1042
+
+    def test_indexed_access_still_bound_checked(self):
+        store = CodewordStore()
+        store.declare("vector", 100, index_register=0)
+        store.place("vector", 1000)
+        store.set_register(0, 99)
+        with pytest.raises(BoundViolation):
+            store.effective_address("vector", 1)
+
+    def test_absent_segment_faults(self):
+        store = CodewordStore()
+        store.declare("s", 10)
+        with pytest.raises(SegmentFault):
+            store.effective_address("s", 0)
+
+    def test_missing_codeword(self):
+        with pytest.raises(MissingSegment):
+            CodewordStore().codeword("ghost")
+
+    def test_relocate_patches_base(self):
+        """Storage packing finds the codeword via the back reference."""
+        store = CodewordStore()
+        store.declare("s", 10)
+        store.place("s", 500)
+        store.relocate("s", 100)
+        assert store.effective_address("s", 0) == 100
+        assert store.patches == 1
+
+    def test_relocate_nonresident_rejected(self):
+        store = CodewordStore()
+        store.declare("s", 10)
+        with pytest.raises(SegmentFault):
+            store.relocate("s", 0)
+
+    def test_bad_register(self):
+        with pytest.raises(ValueError):
+            CodewordStore(register_count=4).declare("s", 10, index_register=4)
+
+    def test_duplicate_declare(self):
+        store = CodewordStore()
+        store.declare("s", 10)
+        with pytest.raises(ValueError):
+            store.declare("s", 10)
+
+    def test_presence(self):
+        codeword = Codeword(base=None, size=10)
+        assert not codeword.present
+        codeword.base = 5
+        assert codeword.present
+
+
+def make_manager(capacity=1000, policy=None, compaction=False, latency=100,
+                 allocator=None):
+    clock = Clock()
+    backing = BackingStore(
+        StorageLevel("drum", 10**6, access_time=latency, transfer_rate=1.0),
+        clock=clock,
+    )
+    manager = SegmentManager(
+        table=SegmentTable(),
+        allocator=allocator or FreeListAllocator(capacity, policy="best_fit"),
+        backing=backing,
+        policy=policy or LruPolicy(),
+        clock=clock,
+        compact_before_replacing=compaction,
+    )
+    return manager, clock
+
+
+class TestSegmentManagerFetch:
+    def test_fetch_on_first_reference(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        manager.access("s", 0)
+        assert manager.stats.segment_faults == 1
+        assert "s" in manager.resident_segments()
+
+    def test_second_reference_hits(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        manager.access("s", 0)
+        manager.access("s", 50)
+        assert manager.stats.segment_faults == 1
+        assert manager.stats.accesses == 2
+
+    def test_fetch_blocks_for_transfer(self):
+        manager, clock = make_manager(latency=100)
+        manager.create("s", 50)
+        manager.access("s", 0)
+        # 1 reference + 100 latency + 50 words
+        assert clock.now == 151
+
+    def test_address_is_base_plus_item(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        address = manager.access("s", 42)
+        base = manager.table.descriptor("s").base
+        assert address == base + 42
+
+    def test_bound_check(self):
+        manager, _ = make_manager()
+        manager.create("s", 10)
+        manager.access("s", 0)
+        with pytest.raises(BoundViolation):
+            manager.access("s", 10)
+
+
+class TestSegmentManagerReplacement:
+    def test_replacement_frees_room(self):
+        manager, _ = make_manager(capacity=250)
+        for name in ("a", "b", "c"):
+            manager.create(name, 100)
+        manager.access("a", 0)
+        manager.access("b", 0)
+        manager.access("c", 0)   # must displace a (LRU)
+        assert manager.stats.replacements >= 1
+        assert "c" in manager.resident_segments()
+        assert "a" not in manager.resident_segments()
+
+    def test_displaced_segment_written_back_when_no_copy(self):
+        manager, _ = make_manager(capacity=150)
+        manager.create("a", 100)
+        manager.create("b", 100)
+        manager.access("a", 0)
+        manager.access("b", 0)
+        assert manager.stats.writebacks == 1
+        assert ("segment", "a") in manager.backing
+
+    def test_clean_segment_with_copy_not_rewritten(self):
+        manager, _ = make_manager(capacity=150)
+        manager.create("a", 100)
+        manager.create("b", 100)
+        manager.access("a", 0)
+        manager.access("b", 0)   # a displaced, written (no copy yet)
+        manager.access("a", 0)   # b displaced, written; a refetched clean
+        manager.access("b", 0)   # a displaced again: copy exists, clean
+        assert manager.stats.writebacks == 2
+
+    def test_modified_segment_rewritten(self):
+        manager, _ = make_manager(capacity=150)
+        manager.create("a", 100)
+        manager.create("b", 100)
+        manager.access("a", 0, write=True)
+        manager.access("b", 0)
+        manager.access("a", 0, write=True)
+        manager.access("b", 0)
+        assert manager.stats.writebacks == 3
+
+    def test_impossible_request(self):
+        manager, _ = make_manager(capacity=100)
+        manager.create("big", 100)
+        manager.create("bigger", 100)
+        manager.access("big", 0)
+        # 'bigger' can replace 'big'.
+        manager.access("bigger", 0)
+        manager.create("huge", 101)
+        with pytest.raises(OutOfMemory):
+            manager.access("huge", 0)
+
+
+class TestSegmentManagerCompaction:
+    def test_compaction_beats_fragmentation(self):
+        manager, _ = make_manager(capacity=300, compaction=True)
+        for name in ("a", "b", "c"):
+            manager.create(name, 100)
+            manager.access(name, 0)
+        manager.destroy("a")
+        manager.destroy("c")
+        # Free space: 100 at each end; a 150-word segment needs packing.
+        manager.create("wide", 150)
+        manager.access("wide", 0)
+        assert manager.stats.compactions == 1
+        assert manager.stats.replacements == 0
+
+    def test_descriptor_patched_after_move(self):
+        manager, _ = make_manager(capacity=300, compaction=True)
+        for name in ("a", "b", "c"):
+            manager.create(name, 100)
+            manager.access(name, 0)
+        manager.destroy("a")
+        manager.destroy("c")
+        manager.create("wide", 150)
+        manager.access("wide", 0)
+        # b moved to 0; its descriptor must follow.
+        assert manager.table.descriptor("b").base == 0
+        assert manager.access("b", 5) == 5
+
+    def test_without_compaction_replacement_happens(self):
+        manager, _ = make_manager(capacity=300, compaction=False)
+        for name in ("a", "b", "c"):
+            manager.create(name, 100)
+            manager.access(name, 0)
+        manager.destroy("a")
+        manager.destroy("c")
+        manager.create("wide", 150)
+        manager.access("wide", 0)
+        assert manager.stats.replacements >= 1
+
+
+class TestSegmentManagerLifecycle:
+    def test_destroy_releases_storage(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        manager.access("s", 0)
+        manager.destroy("s")
+        assert manager.allocator.free_words == 1000
+        assert ("segment", "s") not in manager.backing
+
+    def test_destroy_nonresident(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        manager.destroy("s")
+        assert manager.allocator.free_words == 1000
+
+    def test_resize_grow_displaces(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        manager.access("s", 0)
+        manager.resize("s", 200)
+        assert "s" not in manager.resident_segments()
+        manager.access("s", 150)
+        assert manager.table.descriptor("s").extent == 200
+
+    def test_resize_shrink_in_place(self):
+        manager, _ = make_manager()
+        manager.create("s", 100)
+        manager.access("s", 0)
+        manager.resize("s", 50)
+        assert "s" in manager.resident_segments()
+
+    def test_prefetch_when_room(self):
+        manager, clock = make_manager()
+        manager.create("s", 100)
+        before = clock.now
+        assert manager.prefetch("s")
+        assert clock.now == before   # overlapped: no wait
+        manager.access("s", 0)
+        assert manager.stats.segment_faults == 0
+
+    def test_prefetch_declines_when_full(self):
+        manager, _ = make_manager(capacity=100)
+        manager.create("a", 100)
+        manager.create("b", 100)
+        manager.access("a", 0)
+        assert not manager.prefetch("b")
+        assert "a" in manager.resident_segments()
+
+
+class TestSegmentManagerWithRiceAllocator:
+    def test_rice_allocator_drives_manager(self):
+        allocator = RiceAllocator(1000)
+        manager, _ = make_manager(allocator=allocator, policy=ClockPolicy())
+        for name in ("a", "b", "c"):
+            manager.create(name, 200)
+            manager.access(name, 0)
+        assert len(manager.resident_segments()) == 3
+        # Gross sizes include back references.
+        assert allocator.used_words == 3 * 201
+
+    def test_rice_replacement_iterates(self):
+        allocator = RiceAllocator(450)
+        manager, _ = make_manager(allocator=allocator, policy=ClockPolicy())
+        for name in ("a", "b"):
+            manager.create(name, 200)
+            manager.access(name, 0)
+        manager.create("wide", 300)
+        manager.access("wide", 0)
+        assert manager.stats.replacements >= 1
+        assert "wide" in manager.resident_segments()

@@ -1,0 +1,117 @@
+"""Tests for the segmented matrix (the B5000 multidimensional-array trick)."""
+
+import pytest
+
+from repro.addressing import SegmentTable
+from repro.alloc import FreeListAllocator
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.paging import ClockPolicy
+from repro.segmentation import SegmentedMatrix, SegmentManager
+
+
+def make_manager(capacity=24_000, max_segment=1_024):
+    clock = Clock()
+    return SegmentManager(
+        table=SegmentTable(max_segment_extent=max_segment),
+        allocator=FreeListAllocator(capacity, policy="best_fit"),
+        backing=BackingStore(
+            StorageLevel("drum", 10**8, access_time=200, transfer_rate=1.0),
+            clock=clock,
+        ),
+        policy=ClockPolicy(),
+        clock=clock,
+    )
+
+
+class TestTheB5000Claim:
+    def test_matrix_larger_than_any_segment_is_declarable(self):
+        """1024x1024 words under a 1024-word segment limit."""
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=1_024, cols=1_024)
+        assert matrix.apparent_words == 1_024 * 1_024
+        matrix.access(1_000, 1_000)
+        matrix.access(0, 0, write=True)
+
+    def test_single_vector_beyond_the_limit_is_not(self):
+        """The limitation is on contiguous naming..."""
+        manager = make_manager()
+        with pytest.raises(ValueError):
+            manager.create("vector", 1_025)
+
+    def test_matrix_row_beyond_the_limit_is_not_either(self):
+        manager = make_manager()
+        with pytest.raises(ValueError):
+            SegmentedMatrix(manager, "M", rows=4, cols=1_025)
+
+    def test_matrix_larger_than_working_storage(self):
+        """...and not on apparently accessible information."""
+        manager = make_manager(capacity=24_000)
+        matrix = SegmentedMatrix(manager, "M", rows=1_024, cols=1_024)
+        assert matrix.apparent_words > manager.allocator.capacity
+        for row in range(0, 1_024, 128):
+            matrix.access(row, row % 1_024)
+        # Only the touched rows (plus the dope vector) occupy core.
+        assert len(matrix.resident_rows()) <= 8
+
+
+class TestMechanics:
+    def test_two_references_per_element(self):
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=8, cols=8)
+        matrix.access(2, 3)
+        assert manager.stats.accesses == 2   # dope vector + row
+        assert matrix.dope_references == 1
+
+    def test_rows_created_lazily(self):
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=100, cols=100)
+        matrix.access(5, 5)
+        assert len(manager.table) == 2   # dope vector + one row
+
+    def test_bound_checks(self):
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=4, cols=4)
+        with pytest.raises(IndexError):
+            matrix.access(4, 0)
+        with pytest.raises(IndexError):
+            matrix.access(0, 4)
+
+    def test_elements_of_a_row_are_contiguous(self):
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=4, cols=16)
+        first = matrix.access(1, 0)
+        last = matrix.access(1, 15)
+        assert last - first == 15
+
+    def test_different_rows_need_not_be_adjacent(self):
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=4, cols=16)
+        a = matrix.access(0, 0)
+        b = matrix.access(1, 0)
+        assert a != b
+
+    def test_destroy_releases_everything(self):
+        manager = make_manager()
+        matrix = SegmentedMatrix(manager, "M", rows=8, cols=64)
+        for row in range(8):
+            matrix.access(row, 0)
+        matrix.destroy()
+        assert manager.allocator.used_words == 0
+        assert len(manager.table) == 0
+
+    def test_row_sweep_under_pressure_replaces_rows(self):
+        manager = make_manager(capacity=3_000)
+        matrix = SegmentedMatrix(manager, "M", rows=16, cols=1_000)
+        for row in range(16):
+            matrix.access(row, 500)
+        assert manager.stats.replacements > 0
+        # The matrix remains fully usable afterwards.
+        matrix.access(0, 999, write=True)
+
+    def test_shape_validation(self):
+        manager = make_manager()
+        with pytest.raises(ValueError):
+            SegmentedMatrix(manager, "M", rows=0, cols=4)
+        with pytest.raises(ValueError):
+            SegmentedMatrix(manager, "M", rows=2_000, cols=4)   # dope too big

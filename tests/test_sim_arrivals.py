@@ -1,0 +1,79 @@
+"""Tests for program arrivals (the open-system model)."""
+
+import pytest
+
+from repro.paging import LruPolicy
+from repro.sim import MultiprogrammingSimulator, ProgramSpec, RoundRobinScheduler
+from repro.workload import cyclic_trace
+
+
+def spec(name, length=100, arrival=0, frames=4):
+    return ProgramSpec(
+        name, cyclic_trace(pages=3, length=length), frames, LruPolicy(),
+        arrival=arrival,
+    )
+
+
+class TestArrivals:
+    def test_late_arrival_starts_no_earlier(self):
+        summary = MultiprogrammingSimulator(
+            [spec("early"), spec("late", arrival=5_000)],
+            RoundRobinScheduler(50),
+            fetch_time=100,
+        ).run()
+        by_name = {p.name: p for p in summary.programs}
+        assert by_name["late"].completion_time > 5_000
+        assert by_name["early"].completion_time < 5_000
+
+    def test_processor_idles_until_first_arrival(self):
+        summary = MultiprogrammingSimulator(
+            [spec("only", arrival=1_000)],
+            RoundRobinScheduler(50),
+            fetch_time=100,
+        ).run()
+        assert summary.cpu_idle >= 1_000
+
+    def test_arrival_while_another_runs(self):
+        """The newcomer joins the ready queue, no idling involved."""
+        summary = MultiprogrammingSimulator(
+            [spec("long", length=5_000), spec("newcomer", arrival=200)],
+            RoundRobinScheduler(50),
+            fetch_time=100,
+        ).run()
+        assert all(p.references for p in summary.programs)
+        by_name = {p.name: p for p in summary.programs}
+        assert by_name["newcomer"].completion_time > 200
+
+    def test_late_arrival_accrues_no_early_space_time(self):
+        """Storage is occupied only after arrival."""
+        summary = MultiprogrammingSimulator(
+            [spec("early", length=2_000), spec("late", arrival=100_000)],
+            RoundRobinScheduler(50),
+            fetch_time=100,
+        ).run()
+        by_name = {p.name: p for p in summary.programs}
+        # The late program's space-time covers only its own run, which is
+        # far shorter than the idle gap before it.
+        own_run = by_name["late"].completion_time - 100_000
+        assert by_name["late"].space_time.total <= own_run * 4 * 512
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            spec("p", arrival=-1)
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(ValueError):
+            MultiprogrammingSimulator(
+                [spec("arrival")], RoundRobinScheduler(10), fetch_time=1
+            )
+
+    def test_arrivals_with_shared_pool(self):
+        summary = MultiprogrammingSimulator(
+            [spec("a"), spec("b", arrival=500)],
+            RoundRobinScheduler(50),
+            fetch_time=100,
+            shared_frames=8,
+            shared_policy=LruPolicy(),
+        ).run()
+        assert len(summary.programs) == 2
+        assert all(p.completion_time > 0 for p in summary.programs)

@@ -1,0 +1,113 @@
+"""Tests for interactive programs (think times, response times)."""
+
+import pytest
+
+from repro.paging import LruPolicy
+from repro.sim import (
+    MultiprogrammingSimulator,
+    ProgramSpec,
+    RoundRobinScheduler,
+    Think,
+)
+
+
+def interactive_trace(interactions=3, burst=20, think=500):
+    """burst references on 2 pages, then think, repeated."""
+    trace = []
+    for index in range(interactions):
+        trace.extend([0, 1] * (burst // 2))
+        if index < interactions - 1:
+            trace.append(Think(think))
+    return trace
+
+
+def spec(name, trace, frames=4, arrival=0):
+    return ProgramSpec(name, trace, frames, LruPolicy(), arrival=arrival)
+
+
+def run(specs, fetch_time=100, quantum=50, **kwargs):
+    return MultiprogrammingSimulator(
+        specs, RoundRobinScheduler(quantum), fetch_time=fetch_time, **kwargs
+    ).run()
+
+
+class TestThinkSentinel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Think(0)
+
+    def test_think_time_not_compute_or_wait(self):
+        summary = run([spec("u", interactive_trace(interactions=2))])
+        result = summary.programs[0]
+        assert result.think_cycles == 500
+        assert result.compute_cycles == 40   # 2 bursts of 20
+        assert result.wait_cycles < 500 + result.compute_cycles
+
+    def test_references_exclude_markers(self):
+        summary = run([spec("u", interactive_trace(interactions=3))])
+        assert summary.programs[0].references == 60
+
+    def test_storage_stays_resident_while_thinking(self):
+        """The reason coexistence matters: a thinking user's program
+        still occupies working storage."""
+        summary = run([spec("u", interactive_trace(interactions=2))])
+        result = summary.programs[0]
+        # Occupancy continued through the 500 thinking cycles: total
+        # space-time well above the compute-only span.
+        assert result.space_time.total > 500 * 2 * 512
+
+    def test_completion_after_all_interactions(self):
+        summary = run([spec("u", interactive_trace(interactions=2,
+                                                   think=1_000))])
+        assert summary.programs[0].completion_time > 1_000
+
+
+class TestResponseTimes:
+    def test_one_response_per_interaction(self):
+        summary = run([spec("u", interactive_trace(interactions=3))])
+        assert len(summary.programs[0].response_times) == 3
+
+    def test_solo_response_time_is_burst_cost(self):
+        summary = run([spec("u", interactive_trace(interactions=2,
+                                                   burst=20))])
+        result = summary.programs[0]
+        first = result.response_times[0]
+        # 20 references + 2 cold faults at 100 cycles.
+        assert first == 20 + 2 * 100
+        # The second interaction refinds its pages resident: faster.
+        assert result.response_times[1] <= first
+
+    def test_mean_response_time(self):
+        summary = run([spec("u", interactive_trace(interactions=2))])
+        result = summary.programs[0]
+        assert result.mean_response_time == pytest.approx(
+            sum(result.response_times) / 2
+        )
+
+    def test_contention_stretches_response_times(self):
+        """More coexisting users, slower responses — the time-sharing
+        trade the paper's motivation section describes."""
+        def mean_response(users):
+            specs = [
+                spec(f"u{i}", interactive_trace(interactions=4, burst=40),
+                     frames=2)
+                for i in range(users)
+            ]
+            summary = run(specs, fetch_time=400, quantum=10)
+            return sum(p.mean_response_time for p in summary.programs) / users
+
+        assert mean_response(4) > mean_response(1)
+
+    def test_thinking_program_frees_the_processor(self):
+        """While one user thinks, another computes: think time should
+        not show up as processor idleness when work exists."""
+        long_think = [0, 1, Think(10_000), 0, 1]
+        busy = [2, 3] * 2_000
+        summary = run([spec("thinker", long_think), spec("worker", busy)])
+        # The worker's 4000 references filled most of the thinker's gap.
+        assert summary.cpu_busy >= 4_000
+
+    def test_no_response_recorded_for_empty_interaction(self):
+        trace = [0, 1, Think(100)]   # ends thinking: one interaction
+        summary = run([spec("u", trace)])
+        assert len(summary.programs[0].response_times) == 1

@@ -1,0 +1,132 @@
+"""Tests for reference-trace analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import LruPolicy, simulate_trace
+from repro.workload import (
+    cyclic_trace,
+    locality_score,
+    lru_fault_curve,
+    mean_working_set,
+    phase_transitions,
+    phased_trace,
+    random_trace,
+    reuse_distances,
+    sequential_trace,
+    unique_pages,
+    working_set_sizes,
+)
+
+traces = st.lists(st.integers(min_value=0, max_value=12), min_size=1,
+                  max_size=200)
+
+
+class TestWorkingSet:
+    def test_sizes_simple(self):
+        assert working_set_sizes([1, 1, 2, 1], window=2) == [1, 1, 2, 2]
+
+    def test_window_larger_than_trace(self):
+        assert working_set_sizes([1, 2, 3], window=100) == [1, 2, 3]
+
+    def test_window_one_is_always_one(self):
+        assert working_set_sizes([5, 6, 5, 7], window=1) == [1, 1, 1, 1]
+
+    def test_mean(self):
+        assert mean_working_set([1, 1, 1, 1], window=2) == 1.0
+
+    def test_empty_trace_mean(self):
+        assert mean_working_set([], window=5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_set_sizes([1], window=0)
+
+    @given(trace=traces, window=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_matches_naive(self, trace, window):
+        naive = [
+            len(set(trace[max(0, i - window + 1): i + 1]))
+            for i in range(len(trace))
+        ]
+        assert working_set_sizes(trace, window) == naive
+
+
+class TestReuseDistances:
+    def test_first_touches_are_none(self):
+        assert reuse_distances([1, 2, 3]) == [None, None, None]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([1, 1]) == [None, 0]
+
+    def test_distance_counts_distinct_pages(self):
+        # 1, 2, 2, 1: the second 1 saw {2} in between -> distance 1.
+        assert reuse_distances([1, 2, 2, 1]) == [None, None, 0, 1]
+
+
+class TestLruFaultCurve:
+    def test_matches_simulation(self):
+        trace = phased_trace(pages=10, length=300, working_set=4, seed=13)
+        curve = lru_fault_curve(trace, max_frames=6)
+        for frames in range(1, 7):
+            simulated = simulate_trace(trace, frames, LruPolicy()).faults
+            assert curve[frames - 1] == simulated, frames
+
+    def test_monotone_nonincreasing(self):
+        trace = random_trace(8, 200, seed=5)
+        curve = lru_fault_curve(trace, max_frames=8)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_enough_frames_leaves_cold_faults(self):
+        trace = cyclic_trace(pages=4, length=100)
+        assert lru_fault_curve(trace, max_frames=5)[-1] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lru_fault_curve([1], max_frames=0)
+
+    @given(trace=traces, frames=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_stack_distance_equivalence_property(self, trace, frames):
+        curve = lru_fault_curve(trace, max_frames=frames)
+        simulated = simulate_trace(trace, frames, LruPolicy()).faults
+        assert curve[frames - 1] == simulated
+
+
+class TestLocality:
+    def test_phased_trace_scores_high(self):
+        trace = phased_trace(pages=64, length=1_000, working_set=4,
+                             locality=0.98, seed=21)
+        assert locality_score(trace) > 0.8
+
+    def test_random_trace_scores_low(self):
+        trace = random_trace(30, 2_000, seed=21)
+        assert locality_score(trace) < 0.5
+
+    def test_single_page_trace(self):
+        assert locality_score([0, 0, 0]) == 1.0
+
+    def test_unique_pages(self):
+        assert unique_pages([3, 1, 3, 2]) == 3
+
+
+class TestPhaseTransitions:
+    def test_detects_disjoint_phases(self):
+        trace = [0, 1] * 50 + [10, 11] * 50
+        transitions = phase_transitions(trace, window=20, threshold=0.5)
+        assert transitions == [100]
+
+    def test_stable_trace_has_none(self):
+        trace = [0, 1, 2] * 100
+        assert phase_transitions(trace, window=30) == []
+
+    def test_sequential_scan_transitions_constantly(self):
+        trace = sequential_trace(pages=200)
+        assert len(phase_transitions(trace, window=20)) > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase_transitions([1], window=0)
+        with pytest.raises(ValueError):
+            phase_transitions([1], window=10, threshold=2.0)
