@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Perf trajectory suite — wrapper around :mod:`repro.bench`.
+
+Usage from a source checkout (no install needed)::
+
+    python benchmarks/perf_suite.py [--quick] [-o BENCH_perf.json]
+
+This is the same suite as ``python -m repro.bench``; see that module for
+what is measured and the shape of the JSON report.  Named without a
+``test_`` prefix on purpose: the experiment benchmarks in this directory
+regenerate the paper's *figures*, while this file tracks the simulator's
+own *throughput* across PRs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench import main
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,8 @@
 ``python -m repro survey``   the same, plus hardware facilities.
 ``python -m repro space``    prints the characteristic design space.
 ``python -m repro policies`` lists the strategy registries.
+``python -m repro bench``    runs the perf trajectory suite (see
+                             :mod:`repro.bench`; accepts ``--quick``).
 """
 
 from __future__ import annotations
@@ -72,6 +74,10 @@ def main(argv: list[str] | None = None) -> int:
         _print_space()
     elif command == "policies":
         _print_policies()
+    elif command == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(arguments[1:])
     else:
         print(__doc__)
         return 1

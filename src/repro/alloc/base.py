@@ -14,7 +14,7 @@ from typing import Iterator, Protocol, runtime_checkable
 from repro.errors import InvalidFree, OutOfMemory
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Allocation:
     """A block of contiguous storage granted to a request."""
 
@@ -66,6 +66,15 @@ class AllocatorCounters:
     "bookkeeping" cost the paper trades off between placement strategies
     (best-fit searches the whole list; two-ends touches one pointer).
     """
+
+    __slots__ = (
+        "requests",
+        "failures",
+        "frees",
+        "search_steps",
+        "words_allocated",
+        "words_freed",
+    )
 
     def __init__(self) -> None:
         self.requests = 0

@@ -78,12 +78,11 @@ def compact(
         cursor += allocation.size
 
     # Rebuild the allocator's free list: one hole from the cursor up.
-    allocator._live = new_live
     if cursor < allocator.capacity:
-        allocator._holes = [(cursor, allocator.capacity - cursor)]
+        holes = [(cursor, allocator.capacity - cursor)]
     else:
-        allocator._holes = []
-    allocator._rover = 0
+        holes = []
+    allocator.rebuild(new_live, holes)
 
     return CompactionResult(
         moves=moves,

@@ -13,8 +13,21 @@ Strategies" section over one free list:
   the experiments).
 
 Frees coalesce with both neighbours immediately, so the free list always
-holds maximal holes.  ``search_steps`` counts holes examined, making the
-bookkeeping cost of each policy measurable (CL-PLACE).
+holds maximal holes.
+
+Two storage backends are available:
+
+- **linear** (default, the "accounting mode"): an address-sorted list
+  scanned per request.  ``search_steps`` counts holes examined exactly
+  as the paper's bookkeeping-cost discussion assumes — best fit examines
+  every hole — which is what the CL-PLACE experiments measure.
+- **indexed** (``indexed=True``): a :class:`repro.fastpath.holes.HoleIndex`
+  — power-of-two size-class bins plus an end-address map for O(1)
+  coalescing — making ``best_fit`` sublinear per request.  Allocation
+  *addresses* are bit-identical to the linear mode (verified by the
+  differential property tests); only ``search_steps`` differs, counting
+  the holes the index actually examines.  ``next_fit`` is inherently a
+  positional scan and requires the linear backend.
 """
 
 from __future__ import annotations
@@ -34,6 +47,10 @@ class FreeListAllocator:
         Words of storage managed (addresses 0 .. capacity-1).
     policy:
         One of ``first_fit``, ``best_fit``, ``worst_fit``, ``next_fit``.
+    indexed:
+        Use the size-segregated hole index instead of the linear list.
+        Same addresses, sublinear searches, fast-path ``search_steps``
+        accounting.  Not available for ``next_fit``.
 
     >>> allocator = FreeListAllocator(100, policy="best_fit")
     >>> block = allocator.allocate(30)
@@ -41,21 +58,39 @@ class FreeListAllocator:
     (0, 30)
     """
 
-    def __init__(self, capacity: int, policy: str = "first_fit") -> None:
+    def __init__(
+        self, capacity: int, policy: str = "first_fit", indexed: bool = False
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if policy not in _POLICIES:
             raise ValueError(f"unknown placement policy {policy!r}; choose from {_POLICIES}")
+        if indexed and policy == "next_fit":
+            raise ValueError(
+                "next_fit's rover walks the linear free list; "
+                "use indexed=False for next_fit"
+            )
         self.capacity = capacity
         self.policy = policy
-        self._holes: list[tuple[int, int]] = [(0, capacity)]  # sorted by address
+        self.indexed = indexed
         self._live: dict[int, Allocation] = {}
         self._rover = 0  # index into _holes for next_fit
         self.counters = AllocatorCounters()
+        if indexed:
+            from repro.fastpath.holes import HoleIndex
+
+            self._index = HoleIndex()
+            self._index.insert(0, capacity)
+            self._holes: list[tuple[int, int]] = []
+        else:
+            self._index = None
+            self._holes = [(0, capacity)]  # sorted by address
 
     # -- inspection ------------------------------------------------------
 
     def holes(self) -> list[tuple[int, int]]:
+        if self._index is not None:
+            return self._index.holes_sorted()
         return list(self._holes)
 
     def allocations(self) -> list[Allocation]:
@@ -63,6 +98,8 @@ class FreeListAllocator:
 
     @property
     def free_words(self) -> int:
+        if self._index is not None:
+            return self._index.free_words
         return sum(size for _, size in self._holes)
 
     @property
@@ -71,6 +108,8 @@ class FreeListAllocator:
 
     @property
     def largest_hole(self) -> int:
+        if self._index is not None:
+            return self._index.largest_hole
         return max((size for _, size in self._holes), default=0)
 
     # -- placement -------------------------------------------------------
@@ -110,10 +149,36 @@ class FreeListAllocator:
                 chosen, chosen_size = index, hole_size
         return chosen
 
+    def _allocate_indexed(self, size: int) -> Allocation | None:
+        """Place via the hole index; returns None when nothing fits."""
+        if self.policy == "first_fit":
+            found = self._index.find_first(size)
+        elif self.policy == "best_fit":
+            found = self._index.find_best(size)
+        else:  # worst_fit
+            found = self._index.find_worst(size)
+        if found is None:
+            return None
+        address, _, examined = found
+        self.counters.search_steps += examined
+        self._index.take(address, size)
+        return Allocation(address, size)
+
     def allocate(self, size: int) -> Allocation:
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         self.counters.record_request(size)
+        if self._index is not None:
+            allocation = self._allocate_indexed(size)
+            if allocation is None:
+                self.counters.record_failure(size)
+                raise OutOfMemory(
+                    size,
+                    f"largest hole {self.largest_hole} of {self.free_words} "
+                    f"free words ({self.policy})",
+                )
+            self._live[allocation.address] = allocation
+            return allocation
         index = self._choose_hole(size)
         if index is None:
             self.counters.record_failure(size)
@@ -141,6 +206,9 @@ class FreeListAllocator:
         check_free_known(allocation, self._live, "FreeListAllocator")
         del self._live[allocation.address]
         self.counters.record_free(allocation.size)
+        if self._index is not None:
+            self._index.insert(allocation.address, allocation.size)
+            return
         self._insert_hole(allocation.address, allocation.size)
 
     def _insert_hole(self, address: int, size: int) -> None:
@@ -170,12 +238,32 @@ class FreeListAllocator:
         if self._rover > len(self._holes):
             self._rover = 0
 
+    # -- bulk state rebuild (compaction) ----------------------------------
+
+    def rebuild(
+        self, live: dict[int, Allocation], holes: list[tuple[int, int]]
+    ) -> None:
+        """Replace the allocator's state wholesale (post-compaction).
+
+        ``holes`` must be maximal, non-overlapping, address-ascending.
+        Works identically for both backends; the next-fit rover restarts
+        at the list head.
+        """
+        self._live = live
+        self._rover = 0
+        if self._index is not None:
+            self._index.clear()
+            for address, size in holes:
+                self._index.insert(address, size)
+        else:
+            self._holes = list(holes)
+
     # -- integrity (used by property tests) ------------------------------
 
     def check_invariants(self) -> None:
         """Raise AssertionError if internal state is inconsistent."""
         previous_end = None
-        for address, size in self._holes:
+        for address, size in self.holes():
             assert size > 0, "zero-size hole"
             assert 0 <= address and address + size <= self.capacity, "hole out of range"
             if previous_end is not None:
@@ -183,7 +271,7 @@ class FreeListAllocator:
             previous_end = address + size
         spans = sorted(
             [(a.address, a.end) for a in self._live.values()]
-            + [(addr, addr + size) for addr, size in self._holes]
+            + [(addr, addr + size) for addr, size in self.holes()]
         )
         cursor = 0
         for start, end in spans:
@@ -192,9 +280,12 @@ class FreeListAllocator:
         assert (
             self.free_words + sum(a.size for a in self._live.values()) == self.capacity
         ), "words lost or duplicated"
+        if self._index is not None:
+            self._index.check_invariants()
 
     def __repr__(self) -> str:
         return (
             f"FreeListAllocator(capacity={self.capacity}, policy={self.policy!r}, "
-            f"used={self.used_words}, holes={len(self._holes)})"
+            f"used={self.used_words}, holes={len(self.holes())}"
+            f"{', indexed' if self.indexed else ''})"
         )

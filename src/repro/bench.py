@@ -1,0 +1,261 @@
+"""The performance benchmark trajectory (``python -m repro.bench``).
+
+Times the reproduction's two hottest loops — trace-driven replacement
+replay and free-list allocator churn — in both their reference and
+:mod:`repro.fastpath` forms, verifies the fast paths are result-identical
+in the same run, and writes a machine-readable ``BENCH_perf.json`` so
+successive PRs can track throughput like the experiments track fault
+rates.
+
+Run it as::
+
+    python -m repro.bench             # full sizes (a 1M-reference trace)
+    python -m repro.bench --quick     # CI smoke sizes
+    python -m repro bench             # same, via the package CLI
+    python benchmarks/perf_suite.py   # same, from a source checkout
+
+Metrics reported per replacement policy: references replayed per second
+(reference vs. batched kernel) and the speedup; per placement policy:
+allocate/free operations per second (linear vs. indexed free list) and
+the speedup.  Every timed pair is cross-checked — identical fault counts
+and victim sequences for replay, identical address sequences and failure
+counts for allocation — so a speedup can never be bought with a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+from repro.alloc.freelist import FreeListAllocator
+from repro.errors import OutOfMemory
+from repro.paging.replacement import make_policy
+from repro.paging.replacement.belady import BeladyOptimalPolicy
+from repro.paging.simulate import SimulationResult, simulate_trace
+from repro.workload.reference import Trace, phased_trace
+from repro.workload.requests import exponential_requests, request_schedule
+
+REPLAY_POLICIES = ("lru", "fifo", "clock", "opt")
+ALLOC_POLICIES = ("best_fit", "first_fit", "worst_fit")
+
+
+def _timed(fn: Callable[[], object]) -> tuple[object, float]:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+# -- trace replay ---------------------------------------------------------
+
+
+def _replay_policy(name: str, trace: Trace) -> object:
+    if name == "opt":
+        return BeladyOptimalPolicy(trace)
+    return make_policy(name)
+
+
+def bench_replay(length: int, frames: int, pages: int) -> dict:
+    """Reference vs. batched-kernel replay over one phased trace."""
+    trace = phased_trace(
+        pages=pages,
+        length=length,
+        working_set=frames,
+        phase_length=max(200, length // 500),
+        locality=0.95,
+        seed=1967,
+    )
+    policies: dict[str, dict] = {}
+    for name in REPLAY_POLICIES:
+        reference, reference_s = _timed(
+            lambda: simulate_trace(
+                trace, frames, _replay_policy(name, trace),
+                record_evictions=True, fast=False,
+            )
+        )
+        fast, fast_s = _timed(
+            lambda: simulate_trace(
+                trace, frames, _replay_policy(name, trace),
+                record_evictions=True, fast=True,
+            )
+        )
+        assert isinstance(reference, SimulationResult)
+        assert isinstance(fast, SimulationResult)
+        if (
+            fast.faults != reference.faults
+            or fast.cold_faults != reference.cold_faults
+            or fast.victims != reference.victims
+        ):
+            raise AssertionError(
+                f"fastpath mismatch for {name}: "
+                f"{fast.faults}/{fast.cold_faults} faults vs "
+                f"reference {reference.faults}/{reference.cold_faults}"
+            )
+        policies[name] = {
+            "faults": reference.faults,
+            "reference_s": round(reference_s, 4),
+            "fast_s": round(fast_s, 4),
+            "speedup": round(reference_s / fast_s, 2) if fast_s else None,
+            "reference_refs_per_s": round(length / reference_s),
+            "fast_refs_per_s": round(length / fast_s),
+        }
+    return {
+        "references": length,
+        "frames": frames,
+        "pages": pages,
+        "policies": policies,
+    }
+
+
+# -- allocator churn ------------------------------------------------------
+
+
+def _drive_allocator(
+    allocator: FreeListAllocator, requests
+) -> tuple[int, int, list[int]]:
+    """(ops, failures, address sequence) of one full request schedule."""
+    live: dict[int, object] = {}
+    ops = failures = 0
+    addresses: list[int] = []
+    for _, action, request in request_schedule(requests):
+        if action == "allocate":
+            ops += 1
+            try:
+                allocation = allocator.allocate(request.size)
+            except OutOfMemory:
+                failures += 1
+                addresses.append(-1)
+            else:
+                live[id(request)] = allocation
+                addresses.append(allocation.address)
+        elif id(request) in live:
+            ops += 1
+            allocator.free(live.pop(id(request)))
+    return ops, failures, addresses
+
+
+def bench_alloc(count: int, capacity: int, mean_lifetime: int) -> dict:
+    """Linear vs. indexed free list over one churning request stream."""
+    requests = exponential_requests(
+        count,
+        mean_size=60,
+        mean_lifetime=mean_lifetime,
+        max_size=2_000,
+        seed=1967,
+    )
+    policies: dict[str, dict] = {}
+    for name in ALLOC_POLICIES:
+        (linear_run, linear_s) = _timed(
+            lambda: _drive_allocator(
+                FreeListAllocator(capacity, policy=name), requests
+            )
+        )
+        (indexed_run, indexed_s) = _timed(
+            lambda: _drive_allocator(
+                FreeListAllocator(capacity, policy=name, indexed=True), requests
+            )
+        )
+        ops, failures, linear_addresses = linear_run
+        _, indexed_failures, indexed_addresses = indexed_run
+        if linear_addresses != indexed_addresses or failures != indexed_failures:
+            raise AssertionError(
+                f"indexed allocator diverged from linear for {name}"
+            )
+        policies[name] = {
+            "failures": failures,
+            "linear_s": round(linear_s, 4),
+            "indexed_s": round(indexed_s, 4),
+            "speedup": round(linear_s / indexed_s, 2) if indexed_s else None,
+            "linear_ops_per_s": round(ops / linear_s),
+            "indexed_ops_per_s": round(ops / indexed_s),
+            "ops": ops,
+        }
+    return {
+        "requests": count,
+        "capacity": capacity,
+        "mean_lifetime": mean_lifetime,
+        "policies": policies,
+    }
+
+
+# -- harness --------------------------------------------------------------
+
+
+def run_suite(quick: bool = False) -> dict:
+    if quick:
+        replay = bench_replay(length=60_000, frames=24, pages=256)
+        alloc = bench_alloc(count=2_000, capacity=80_000, mean_lifetime=400)
+    else:
+        replay = bench_replay(length=1_000_000, frames=32, pages=512)
+        alloc = bench_alloc(count=12_000, capacity=200_000, mean_lifetime=2_000)
+    return {
+        "schema": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "replay": replay,
+        "alloc": alloc,
+    }
+
+
+def _print_report(report: dict, stream=sys.stdout) -> None:
+    replay = report["replay"]
+    print(
+        f"trace replay — {replay['references']:,} references, "
+        f"{replay['frames']} frames, {replay['pages']} pages",
+        file=stream,
+    )
+    for name, row in replay["policies"].items():
+        print(
+            f"  {name:<10} ref {row['reference_refs_per_s']:>12,}/s   "
+            f"fast {row['fast_refs_per_s']:>12,}/s   "
+            f"speedup {row['speedup']:>6}x",
+            file=stream,
+        )
+    alloc = report["alloc"]
+    print(
+        f"allocator churn — {alloc['requests']:,} requests, "
+        f"capacity {alloc['capacity']:,} words",
+        file=stream,
+    )
+    for name, row in alloc["policies"].items():
+        print(
+            f"  {name:<10} linear {row['linear_ops_per_s']:>10,} ops/s   "
+            f"indexed {row['indexed_ops_per_s']:>10,} ops/s   "
+            f"speedup {row['speedup']:>6}x",
+            file=stream,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output", "-o", type=Path, default=Path("BENCH_perf.json"),
+        help="where to write the JSON report (default: ./BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print the report but do not write the JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(quick=args.quick)
+    _print_report(report)
+    if not args.no_write:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Performance layer: batched kernels bit-identical to the reference paths.
+
+The reproduction's quantitative experiments are driven by two hot loops:
+
+- per-reference replacement simulation (:mod:`repro.paging.simulate`),
+  which dispatches every page reference through the
+  :class:`~repro.paging.replacement.base.ReplacementPolicy` observer
+  interface and a :class:`~repro.paging.frame.FrameTable`; and
+- per-request hole search (:mod:`repro.alloc.freelist`), which scans a
+  linear free list on every allocation.
+
+This package provides drop-in fast paths for both:
+
+- :mod:`repro.fastpath.replay` — whole-trace replay kernels for the
+  FIFO, LRU, CLOCK and Belady-OPT policies that consume the trace in one
+  tight loop over dict/array state instead of per-access dispatch.
+  ``simulate_trace(..., fast=True)`` auto-selects them.
+- :mod:`repro.fastpath.holes` — :class:`HoleIndex`, a size-segregated
+  power-of-two bin index with O(1) coalescing (an end-address map) that
+  makes ``best_fit`` placement sublinear.  ``FreeListAllocator(...,
+  indexed=True)`` runs on it.
+
+The contract (tested by ``tests/test_fastpath_equivalence.py``): every
+fast path produces **bit-identical observable results** to its reference
+implementation — the same fault counts, fault positions, eviction
+sequences, and allocation addresses — differing only in wall-clock time
+and in `search_steps` accounting (the indexed allocator counts the holes
+it actually examines, which is the point).  When exact reference
+accounting is needed (the CL-PLACE bookkeeping-cost experiments), use the
+default linear mode.
+"""
+
+from repro.fastpath.holes import HoleIndex
+from repro.fastpath.replay import (
+    FAST_KERNELS,
+    fast_kernel_for,
+    replay_clock,
+    replay_fifo,
+    replay_lru,
+    replay_opt,
+    run_fast,
+)
+
+__all__ = [
+    "FAST_KERNELS",
+    "HoleIndex",
+    "fast_kernel_for",
+    "replay_clock",
+    "replay_fifo",
+    "replay_lru",
+    "replay_opt",
+    "run_fast",
+]

@@ -1,0 +1,215 @@
+"""Size-segregated free-hole index.
+
+The reference free list is an address-sorted Python list scanned linearly
+on every allocation: best fit examines every hole, first fit every hole
+up to the first sufficient one.  This index replaces the scans with:
+
+- ``_size_at``   — start address -> hole size (the holes themselves);
+- ``_end_to_start`` — end address -> start address, giving **O(1)
+  coalescing** on free (the classic boundary-map trick: the predecessor
+  hole, if any, is the one whose end equals the freed block's start);
+- ``_bins``      — power-of-two size classes (class ``c`` holds holes of
+  size in ``[2**c, 2**(c+1))``), the size-segregated structure of
+  production allocators.
+
+Because the classes partition sizes into disjoint, increasing ranges, the
+smallest sufficient hole for a request of size ``s`` lives either in
+class ``floor(log2 s)`` (filtered by size) or in the *first* non-empty
+class above it — so best fit touches one or two bins, not the whole list.
+Worst fit reads the top non-empty bin.  First fit (lowest sufficient
+address) must still consider every candidate bin, but skips all holes too
+small to matter.
+
+Tie-breaking matches the reference scans exactly: among equal-size best
+(or worst) candidates the lowest address wins, which is what the linear
+scan's strict comparison over an address-sorted list produces.  The
+differential tests assert address-identical allocation sequences.
+
+Every ``find_*`` returns ``(address, size, examined)`` where ``examined``
+counts holes actually inspected — the indexed mode's ``search_steps``
+accounting.  For the paper-exact linear accounting (CL-PLACE's
+bookkeeping-cost tables) use the allocator's default linear mode.
+"""
+
+from __future__ import annotations
+
+
+class HoleIndex:
+    """Free extents indexed by size class and end address."""
+
+    __slots__ = ("_size_at", "_end_to_start", "_bins", "_free_words")
+
+    def __init__(self) -> None:
+        self._size_at: dict[int, int] = {}
+        self._end_to_start: dict[int, int] = {}
+        self._bins: dict[int, set[int]] = {}
+        self._free_words = 0
+
+    # -- primitive add/remove (no coalescing) ----------------------------
+
+    @staticmethod
+    def _class_of(size: int) -> int:
+        return size.bit_length() - 1
+
+    def _add(self, address: int, size: int) -> None:
+        self._size_at[address] = size
+        self._end_to_start[address + size] = address
+        self._bins.setdefault(size.bit_length() - 1, set()).add(address)
+        self._free_words += size
+
+    def _remove(self, address: int) -> int:
+        size = self._size_at.pop(address)
+        del self._end_to_start[address + size]
+        bucket = self._bins[size.bit_length() - 1]
+        bucket.discard(address)
+        if not bucket:
+            del self._bins[size.bit_length() - 1]
+        self._free_words -= size
+        return size
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, address: int, size: int) -> None:
+        """Add a freed extent, coalescing with both neighbours in O(1)."""
+        predecessor = self._end_to_start.get(address)
+        if predecessor is not None:
+            address, size = predecessor, self._remove(predecessor) + size
+        if address + size in self._size_at:
+            size += self._remove(address + size)
+        self._add(address, size)
+
+    def take(self, address: int, size: int) -> None:
+        """Allocate ``size`` words from the front of the hole at ``address``."""
+        hole_size = self._remove(address)
+        if hole_size > size:
+            # The remainder cannot touch another hole (holes are maximal),
+            # so no coalescing check is needed.
+            self._add(address + size, hole_size - size)
+
+    def clear(self) -> None:
+        self._size_at.clear()
+        self._end_to_start.clear()
+        self._bins.clear()
+        self._free_words = 0
+
+    # -- placement queries ----------------------------------------------
+
+    def find_first(self, size: int) -> tuple[int, int, int] | None:
+        """Lowest-addressed sufficient hole: (address, size, examined)."""
+        examined = 0
+        best_address = None
+        start_class = size.bit_length() - 1
+        size_at = self._size_at
+        for cls, bucket in self._bins.items():
+            if cls < start_class:
+                continue
+            if cls == start_class:
+                for address in bucket:
+                    examined += 1
+                    if size_at[address] >= size and (
+                        best_address is None or address < best_address
+                    ):
+                        best_address = address
+            else:
+                examined += len(bucket)
+                smallest = min(bucket)
+                if best_address is None or smallest < best_address:
+                    best_address = smallest
+        if best_address is None:
+            return None
+        return best_address, size_at[best_address], examined
+
+    def find_best(self, size: int) -> tuple[int, int, int] | None:
+        """Smallest sufficient hole, lowest address on ties."""
+        examined = 0
+        start_class = size.bit_length() - 1
+        best_address = best_size = None
+        size_at = self._size_at
+        bucket = self._bins.get(start_class)
+        if bucket:
+            for address in bucket:
+                examined += 1
+                hole_size = size_at[address]
+                if hole_size < size:
+                    continue
+                if (
+                    best_size is None
+                    or hole_size < best_size
+                    or (hole_size == best_size and address < best_address)
+                ):
+                    best_address, best_size = address, hole_size
+        if best_address is None:
+            # Every hole in the next non-empty class beats every hole in
+            # any class above it, so one bin scan suffices.
+            higher = [c for c in self._bins if c > start_class]
+            if higher:
+                for address in self._bins[min(higher)]:
+                    examined += 1
+                    hole_size = size_at[address]
+                    if (
+                        best_size is None
+                        or hole_size < best_size
+                        or (hole_size == best_size and address < best_address)
+                    ):
+                        best_address, best_size = address, hole_size
+        if best_address is None:
+            return None
+        return best_address, best_size, examined
+
+    def find_worst(self, size: int) -> tuple[int, int, int] | None:
+        """Largest hole (lowest address on ties), if it fits ``size``."""
+        if not self._bins:
+            return None
+        examined = 0
+        best_address = best_size = None
+        size_at = self._size_at
+        for address in self._bins[max(self._bins)]:
+            examined += 1
+            hole_size = size_at[address]
+            if (
+                best_size is None
+                or hole_size > best_size
+                or (hole_size == best_size and address < best_address)
+            ):
+                best_address, best_size = address, hole_size
+        if best_size is None or best_size < size:
+            return None
+        return best_address, best_size, examined
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def free_words(self) -> int:
+        return self._free_words
+
+    @property
+    def largest_hole(self) -> int:
+        if not self._bins:
+            return 0
+        return max(
+            self._size_at[address] for address in self._bins[max(self._bins)]
+        )
+
+    def holes_sorted(self) -> list[tuple[int, int]]:
+        """(address, size) ascending by address — the inspection surface."""
+        return sorted(self._size_at.items())
+
+    def __len__(self) -> int:
+        return len(self._size_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"HoleIndex(holes={len(self._size_at)}, "
+            f"free_words={self._free_words}, bins={len(self._bins)})"
+        )
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the maps and bins disagree."""
+        assert self._free_words == sum(self._size_at.values()), "free_words drift"
+        assert len(self._end_to_start) == len(self._size_at), "end map drift"
+        for address, size in self._size_at.items():
+            assert size > 0, "zero-size hole"
+            assert self._end_to_start.get(address + size) == address, "end map wrong"
+            assert address in self._bins[size.bit_length() - 1], "hole missing from bin"
+        total_binned = sum(len(bucket) for bucket in self._bins.values())
+        assert total_binned == len(self._size_at), "bins drift"

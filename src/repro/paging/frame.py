@@ -25,6 +25,8 @@ class FrameTable:
     'page-A'
     """
 
+    __slots__ = ("_owners", "_frame_of", "_free")
+
     def __init__(self, frame_count: int) -> None:
         if frame_count <= 0:
             raise ValueError(f"frame_count must be positive, got {frame_count}")

@@ -25,7 +25,7 @@ from repro.paging.prefetch import SequentialPrefetcher
 from repro.paging.replacement.base import ReplacementPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class PagerStats:
     """Counters a demand-paging run accumulates."""
 

@@ -19,6 +19,8 @@ from typing import Hashable
 class ReplacementPolicy(ABC):
     """Observer-and-oracle interface shared by every replacement strategy."""
 
+    __slots__ = ()
+
     name: str = "base"
 
     @abstractmethod
@@ -54,6 +56,8 @@ class TrackingPolicy(ReplacementPolicy):
     modified flag — the data the paper's "information gathering" hardware
     sensors provide.
     """
+
+    __slots__ = ("loaded_at", "last_use", "use_count", "modified")
 
     def __init__(self) -> None:
         self.loaded_at: dict[Hashable, int] = {}

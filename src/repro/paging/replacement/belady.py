@@ -35,6 +35,8 @@ class BeladyOptimalPolicy(ReplacementPolicy):
         the provided :func:`repro.paging.simulate.simulate_trace` does.
     """
 
+    __slots__ = ("_trace", "_positions", "_cursor")
+
     name = "opt"
 
     def __init__(self, trace: Sequence[Hashable]) -> None:
@@ -78,3 +80,16 @@ class BeladyOptimalPolicy(ReplacementPolicy):
     @property
     def cursor(self) -> int:
         return self._cursor
+
+    def matches_trace(self, trace: Sequence[Hashable]) -> bool:
+        """True when this policy was built for exactly ``trace``.
+
+        The batched OPT kernel (:func:`repro.fastpath.replay.replay_opt`)
+        recomputes next-use indices from the driver's trace, so it may
+        only replace the reference path when the two traces agree —
+        otherwise the reference loop must run and raise its usual
+        mismatch error.
+        """
+        if len(trace) != len(self._trace):
+            return False
+        return all(a == b for a, b in zip(self._trace, trace))

@@ -20,6 +20,8 @@ from repro.paging.replacement.base import ReplacementPolicy
 class ClockPolicy(ReplacementPolicy):
     """Second-chance replacement with a cyclic hand."""
 
+    __slots__ = ("_ring", "_hand", "_referenced")
+
     name = "clock"
 
     def __init__(self) -> None:

@@ -19,6 +19,8 @@ class FifoPolicy(TrackingPolicy):
     history of usage" should "guide the allocator".
     """
 
+    __slots__ = ()
+
     name = "fifo"
 
     def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
@@ -28,6 +30,8 @@ class FifoPolicy(TrackingPolicy):
 class LruPolicy(TrackingPolicy):
     """Evict the least recently used page."""
 
+    __slots__ = ()
+
     name = "lru"
 
     def choose_victim(self, resident: list[Hashable], now: int) -> Hashable:
@@ -36,6 +40,8 @@ class LruPolicy(TrackingPolicy):
 
 class LfuPolicy(TrackingPolicy):
     """Evict the least frequently used page (ties broken by last use)."""
+
+    __slots__ = ()
 
     name = "lfu"
 
@@ -48,6 +54,8 @@ class LfuPolicy(TrackingPolicy):
 
 class RandomPolicy(TrackingPolicy):
     """Evict a uniformly random resident page (seeded for repeatability)."""
+
+    __slots__ = ("_seed", "_rng")
 
     name = "random"
 

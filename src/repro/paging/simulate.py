@@ -8,6 +8,12 @@ frames, a policy, and a trace of page references.
 Timing is in reference counts ("virtual time"), the standard measure for
 replacement studies, so results are independent of fetch latency — the
 latency-dependent picture is the space-time experiment's job (FIG3).
+
+For the policies whose decisions are pure functions of the reference
+string (FIFO, LRU, CLOCK, Belady-OPT), :mod:`repro.fastpath.replay`
+provides batched whole-trace kernels that are bit-identical to the loop
+below; ``fast=True`` (the default) auto-selects one when available and
+falls back to the reference loop otherwise.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from repro.paging.frame import FrameTable
 from repro.paging.replacement.base import ReplacementPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Outcome of one trace-driven run."""
 
@@ -30,6 +36,8 @@ class SimulationResult:
     evictions: int
     cold_faults: int
     fault_positions: list[int] = field(default_factory=list, repr=False)
+    victims: list[Hashable] = field(default_factory=list, repr=False)
+    """Eviction sequence, in order — populated when ``record_evictions``."""
 
     @property
     def fault_rate(self) -> float:
@@ -42,6 +50,8 @@ def simulate_trace(
     policy: ReplacementPolicy,
     record_positions: bool = False,
     writes: Sequence[bool] | None = None,
+    record_evictions: bool = False,
+    fast: bool = True,
 ) -> SimulationResult:
     """Run ``trace`` through ``frames`` page frames under ``policy``.
 
@@ -61,11 +71,33 @@ def simulate_trace(
     writes:
         Optional per-reference write flags (drives modified bits, which
         the M44 policy's classes depend on).
+    record_evictions:
+        Keep the victim sequence (for differential testing of the fast
+        kernels against this loop).
+    fast:
+        Use a batched :mod:`repro.fastpath.replay` kernel when the policy
+        has one.  Results are bit-identical; the only observable
+        difference is that the kernel does not mutate ``policy``'s
+        internal bookkeeping (the policy object stays fresh).  Pass
+        ``fast=False`` to force the reference per-access loop.
     """
     if frames <= 0:
         raise ValueError(f"frames must be positive, got {frames}")
     if writes is not None and len(writes) != len(trace):
         raise ValueError("writes must align with trace")
+
+    if fast:
+        from repro.fastpath.replay import run_fast
+
+        result = run_fast(
+            trace,
+            frames,
+            policy,
+            record_positions=record_positions,
+            record_evictions=record_evictions,
+        )
+        if result is not None:
+            return result
 
     table = FrameTable(frames)
     faults = 0
@@ -73,6 +105,7 @@ def simulate_trace(
     evictions = 0
     seen: set[Hashable] = set()
     positions: list[int] = []
+    victims: list[Hashable] = []
 
     for index, page in enumerate(trace):
         write = bool(writes[index]) if writes is not None else False
@@ -94,6 +127,8 @@ def simulate_trace(
             table.release(victim)
             policy.on_evict(victim)
             evictions += 1
+            if record_evictions:
+                victims.append(victim)
         table.acquire(page)
         policy.on_load(page, index, modified=write)
 
@@ -105,4 +140,5 @@ def simulate_trace(
         evictions=evictions,
         cold_faults=cold_faults,
         fault_positions=positions,
+        victims=victims,
     )

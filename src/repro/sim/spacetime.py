@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpaceTimeBreakdown:
     """The integral, decomposed as in Figure 3."""
 
@@ -38,6 +38,8 @@ class SpaceTimeBreakdown:
 
 class SpaceTimeAccount:
     """Piecewise integrator of storage occupancy over time."""
+
+    __slots__ = ("_active", "_waiting", "intervals")
 
     def __init__(self) -> None:
         self._active = 0

@@ -50,6 +50,7 @@ def overlay_phases_trace(
     shared_pages: int = 1,
     references_per_phase: int = 200,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[int]:
     """An overlay-structured program.
 
@@ -57,13 +58,14 @@ def overlay_phases_trace(
     runs in phases, each needing its own group of pages plus a small
     shared root (pages 0..shared_pages-1 — the resident overlay driver).
     Under demand paging the overlay structure becomes simply a phase
-    trace; this generator produces it.
+    trace; this generator produces it.  Pass ``rng`` to draw from a
+    shared generator (it takes precedence over ``seed``).
     """
     if phases <= 0 or pages_per_phase <= 0 or references_per_phase <= 0:
         raise ValueError("phases, pages_per_phase, references_per_phase must be positive")
     if shared_pages < 0:
         raise ValueError("shared_pages must be non-negative")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     trace = []
     for phase in range(phases):
         base = shared_pages + phase * pages_per_phase

@@ -1,43 +1,137 @@
 """Page-reference trace generators.
 
-Each function returns a list of page numbers.  The phase-structured
-generator is the workhorse: programs exhibit locality — they dwell on a
-small working set, then move to another — which is the behaviour that
-makes "recent history of usage" a useful replacement guide and demand
-paging effective; the uniform random trace is the adversarial contrast.
+Each function returns a :class:`Trace` — an array-backed, list-compatible
+container of page numbers.  The phase-structured generator is the
+workhorse: programs exhibit locality — they dwell on a small working set,
+then move to another — which is the behaviour that makes "recent history
+of usage" a useful replacement guide and demand paging effective; the
+uniform random trace is the adversarial contrast.
+
+Randomized generators accept either a ``seed`` (fresh generator per call,
+the historical interface) or an explicit ``rng`` — a caller-owned
+:class:`random.Random` — so composite experiments can draw every trace
+from one reproducible stream without touching the module-global
+``random`` state.  When ``rng`` is given it takes precedence over
+``seed``.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
+from collections.abc import Sequence
+from typing import Iterable, Iterator
 
 
-def sequential_trace(pages: int, sweeps: int = 1) -> list[int]:
+class Trace(Sequence):
+    """An immutable page-reference string backed by a machine array.
+
+    Compared with a plain ``list[int]``, the backing ``array('q')`` holds
+    eight bytes per reference instead of a pointer to a boxed int —
+    roughly a 4–10× smaller footprint for long traces, which is what lets
+    the perf suite replay million-reference strings comfortably.  The
+    container compares equal to lists/tuples with the same references, so
+    existing call sites and tests are unaffected.
+
+    >>> Trace([1, 2, 3]) == [1, 2, 3]
+    True
+    >>> len(Trace([1, 2, 3])[1:])
+    2
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, references: Iterable[int] = ()) -> None:
+        data = references._data if isinstance(references, Trace) else references
+        self._data = array("q", data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            trace = Trace.__new__(Trace)
+            trace._data = self._data[index]
+            return trace
+        return self._data[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __contains__(self, page: object) -> bool:
+        return page in self._data
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Trace):
+            return self._data == other._data
+        if isinstance(other, (list, tuple)):
+            return len(self._data) == len(other) and all(
+                a == b for a, b in zip(self._data, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent container: unhashable, like list
+
+    def __add__(self, other: "Trace | list[int] | tuple[int, ...]") -> "Trace":
+        joined = Trace.__new__(Trace)
+        if isinstance(other, Trace):
+            joined._data = self._data + other._data
+        else:
+            joined._data = self._data + array("q", other)
+        return joined
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(p) for p in self._data[:8])
+        ellipsis = ", ..." if len(self._data) > 8 else ""
+        return f"Trace([{preview}{ellipsis}], length={len(self._data)})"
+
+    def as_list(self) -> list[int]:
+        """Escape hatch: the trace as a plain list of ints."""
+        return self._data.tolist()
+
+    def as_array(self) -> array:
+        """The backing ``array('q')`` itself (do not mutate)."""
+        return self._data
+
+
+def _resolve_rng(rng: random.Random | None, seed: int) -> random.Random:
+    return rng if rng is not None else random.Random(seed)
+
+
+def sequential_trace(pages: int, sweeps: int = 1) -> Trace:
     """0,1,...,pages-1 repeated ``sweeps`` times (a sequential file scan)."""
     if pages <= 0 or sweeps <= 0:
         raise ValueError("pages and sweeps must be positive")
-    return list(range(pages)) * sweeps
+    return Trace(list(range(pages)) * sweeps)
 
 
-def cyclic_trace(pages: int, length: int) -> list[int]:
+def cyclic_trace(pages: int, length: int) -> Trace:
     """A tight loop over ``pages`` pages, ``length`` references long.
 
     The classic LRU/FIFO worst case when the loop exceeds memory.
     """
     if pages <= 0 or length <= 0:
         raise ValueError("pages and length must be positive")
-    return [i % pages for i in range(length)]
+    return Trace(i % pages for i in range(length))
 
 
-def random_trace(pages: int, length: int, seed: int = 0) -> list[int]:
+def random_trace(
+    pages: int, length: int, seed: int = 0, rng: random.Random | None = None
+) -> Trace:
     """Uniformly random references — no locality at all."""
     if pages <= 0 or length <= 0:
         raise ValueError("pages and length must be positive")
-    rng = random.Random(seed)
-    return [rng.randrange(pages) for _ in range(length)]
+    generator = _resolve_rng(rng, seed)
+    return Trace(generator.randrange(pages) for _ in range(length))
 
 
-def zipf_trace(pages: int, length: int, skew: float = 1.0, seed: int = 0) -> list[int]:
+def zipf_trace(
+    pages: int,
+    length: int,
+    skew: float = 1.0,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Trace:
     """Zipf-biased references: a few pages dominate (hot code/data).
 
     ``skew`` of 0 degenerates to uniform; larger values concentrate the
@@ -47,9 +141,9 @@ def zipf_trace(pages: int, length: int, skew: float = 1.0, seed: int = 0) -> lis
         raise ValueError("pages and length must be positive")
     if skew < 0:
         raise ValueError("skew must be non-negative")
-    rng = random.Random(seed)
+    generator = _resolve_rng(rng, seed)
     weights = [1.0 / (rank ** skew) for rank in range(1, pages + 1)]
-    return rng.choices(range(pages), weights=weights, k=length)
+    return Trace(generator.choices(range(pages), weights=weights, k=length))
 
 
 def phased_trace(
@@ -59,7 +153,8 @@ def phased_trace(
     phase_length: int = 100,
     locality: float = 0.95,
     seed: int = 0,
-) -> list[int]:
+    rng: random.Random | None = None,
+) -> Trace:
     """The locality-phase model.
 
     The program dwells on a working set of ``working_set`` pages for
@@ -78,14 +173,14 @@ def phased_trace(
         raise ValueError("phase_length must be positive")
     if not 0.0 <= locality <= 1.0:
         raise ValueError("locality must be a probability")
-    rng = random.Random(seed)
+    generator = _resolve_rng(rng, seed)
     trace: list[int] = []
-    current_set = rng.sample(range(pages), working_set)
+    current_set = generator.sample(range(pages), working_set)
     for index in range(length):
         if index and index % phase_length == 0:
-            current_set = rng.sample(range(pages), working_set)
-        if rng.random() < locality:
-            trace.append(rng.choice(current_set))
+            current_set = generator.sample(range(pages), working_set)
+        if generator.random() < locality:
+            trace.append(generator.choice(current_set))
         else:
-            trace.append(rng.randrange(pages))
-    return trace
+            trace.append(generator.randrange(pages))
+    return Trace(trace)

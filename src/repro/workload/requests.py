@@ -43,15 +43,20 @@ def uniform_requests(
     mean_lifetime: int,
     interarrival: int = 1,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[AllocationRequest]:
-    """Sizes uniform in [min_size, max_size], geometric lifetimes."""
+    """Sizes uniform in [min_size, max_size], geometric lifetimes.
+
+    Pass ``rng`` to draw from a shared generator (it takes precedence
+    over ``seed``); otherwise a fresh ``random.Random(seed)`` is used.
+    """
     if count <= 0:
         raise ValueError("count must be positive")
     if not 0 < min_size <= max_size:
         raise ValueError("need 0 < min_size <= max_size")
     if mean_lifetime <= 0 or interarrival <= 0:
         raise ValueError("mean_lifetime and interarrival must be positive")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     requests = []
     for index in range(count):
         requests.append(
@@ -71,16 +76,19 @@ def exponential_requests(
     interarrival: int = 1,
     max_size: int | None = None,
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[AllocationRequest]:
     """Exponentially distributed sizes — many small, occasional large.
 
     The regime where "the average allocation request involves an amount
     of storage that is quite small compared with the extent of physical
     storage" and accepting fragmentation "is often quite reasonable".
+    Pass ``rng`` to draw from a shared generator (it takes precedence
+    over ``seed``).
     """
     if count <= 0 or mean_size <= 0 or mean_lifetime <= 0 or interarrival <= 0:
         raise ValueError("count, mean_size, mean_lifetime, interarrival must be positive")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     requests = []
     for index in range(count):
         size = max(1, round(rng.expovariate(1.0 / mean_size)))

@@ -210,3 +210,57 @@ class TestInspection:
         allocator = FreeListAllocator(10)
         allocator.allocate(10)
         assert allocator.largest_hole == 0
+
+
+class TestNextFitRover:
+    """Pin the rover's corner cases: wraparound and invalidation.
+
+    Knuth's roving pointer resumes each search where the last one ended;
+    the free list under it shifts as holes are consumed and coalesced,
+    so the rover must wrap past the end and survive its hole vanishing.
+    """
+
+    def test_search_wraps_past_end_of_free_list(self):
+        allocator = FreeListAllocator(100, policy="next_fit")
+        a = allocator.allocate(10)           # 0..10
+        allocator.allocate(30)               # 10..40
+        c = allocator.allocate(30)           # 40..70
+        allocator.allocate(10)               # 70..80
+        e = allocator.allocate(10)           # 80..90
+        allocator.allocate(10)               # 90..100
+        for block in (a, c, e):
+            allocator.free(block)
+        # holes: [(0,10), (40,30), (80,10)], rover at 0.
+        assert allocator.allocate(20).address == 40   # skips the 10-word hole
+        assert allocator.allocate(10).address == 60   # resumes in the same hole
+        # Rover now sits past the consumed middle hole; first_fit would
+        # return 0 here, next_fit must resume at the high hole...
+        assert allocator.allocate(10).address == 80
+        # ...and wrap around the end of the list for the last one.
+        assert allocator.allocate(10).address == 0
+        allocator.check_invariants()
+
+    def test_rover_survives_hole_coalesced_away(self):
+        allocator = FreeListAllocator(60, policy="next_fit")
+        blocks = [allocator.allocate(10) for _ in range(6)]
+        for index in (0, 2, 4):
+            allocator.free(blocks[index])
+        # holes: [(0,10), (20,10), (40,10)], rover at 0.
+        assert allocator.allocate(7).address == 0
+        h = allocator.allocate(7)            # 20..27, rover -> hole 1
+        assert h.address == 20
+        i = allocator.allocate(7)            # 40..47, rover -> hole 2 (last)
+        assert i.address == 40
+        # Free everything between: each bridging free merges two holes
+        # into one, shrinking the list under the rover until it points
+        # past the end and must be reset.
+        allocator.free(blocks[1])            # (7,3)+(10,10) -> (7,13)
+        allocator.free(h)                    # bridges into (7,23)
+        allocator.free(blocks[3])            # (7,33)
+        allocator.free(i)                    # bridges into (7,43): one hole
+        assert allocator.holes() == [(7, 43)]
+        allocator.check_invariants()
+        # The next search must not index past the shrunken list.
+        assert allocator.allocate(5).address == 7
+        assert allocator.holes() == [(12, 38)]
+        allocator.check_invariants()

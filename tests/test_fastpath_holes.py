@@ -1,0 +1,187 @@
+"""Unit tests for the size-class hole index behind ``indexed=True``.
+
+The linear free list's behaviour is pinned by ``test_alloc_freelist``;
+here we pin the index itself — coalescing, bin migration, tie-breaks,
+and the ``examined`` counts that feed ``search_steps`` accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fastpath.holes import HoleIndex
+
+
+def make_index(*holes: tuple[int, int]) -> HoleIndex:
+    index = HoleIndex()
+    for address, size in holes:
+        index.insert(address, size)
+    index.check_invariants()
+    return index
+
+
+class TestInsertCoalesce:
+    def test_disjoint_holes_stay_separate(self):
+        index = make_index((0, 10), (20, 10))
+        assert index.holes_sorted() == [(0, 10), (20, 10)]
+        assert len(index) == 2
+        assert index.free_words == 20
+
+    def test_merge_with_predecessor(self):
+        index = make_index((0, 10))
+        index.insert(10, 5)
+        assert index.holes_sorted() == [(0, 15)]
+        index.check_invariants()
+
+    def test_merge_with_successor(self):
+        index = make_index((10, 5))
+        index.insert(0, 10)
+        assert index.holes_sorted() == [(0, 15)]
+        index.check_invariants()
+
+    def test_merge_bridges_both_sides(self):
+        index = make_index((0, 10), (15, 10))
+        index.insert(10, 5)
+        assert index.holes_sorted() == [(0, 25)]
+        assert len(index) == 1
+        index.check_invariants()
+
+    def test_merge_migrates_size_class(self):
+        # Two class-2 holes (sizes 4..7) merge into a class-3 hole: the
+        # merged extent must be findable at its NEW class, and the old
+        # fragments must be gone from the old one.
+        index = make_index((0, 6), (6, 6))
+        assert index.holes_sorted() == [(0, 12)]
+        found = index.find_best(9)
+        assert found is not None and found[:2] == (0, 12)
+        assert index.largest_hole == 12
+        index.check_invariants()
+
+
+class TestTake:
+    def test_take_whole_hole(self):
+        index = make_index((0, 10), (20, 10))
+        index.take(20, 10)
+        assert index.holes_sorted() == [(0, 10)]
+        index.check_invariants()
+
+    def test_take_prefix_leaves_remainder(self):
+        index = make_index((0, 16))
+        index.take(0, 5)
+        assert index.holes_sorted() == [(5, 11)]
+        index.check_invariants()
+
+    def test_remainder_changes_size_class(self):
+        index = make_index((0, 16))   # class 4
+        index.take(0, 13)             # remainder 3: class 1
+        assert index.holes_sorted() == [(13, 3)]
+        assert index.find_first(4) is None
+        found = index.find_first(3)
+        assert found is not None and found[:2] == (13, 3)
+        index.check_invariants()
+
+    def test_remainder_does_not_coalesce_forward(self):
+        # take() splits in place; the remainder abuts nothing new.
+        index = make_index((0, 10), (10, 10))   # coalesces to (0, 20)
+        index.take(0, 7)
+        assert index.holes_sorted() == [(7, 13)]
+        index.check_invariants()
+
+
+class TestFinders:
+    def test_first_fit_is_lowest_address(self):
+        index = make_index((40, 8), (0, 8), (20, 8))
+        found = index.find_first(5)
+        assert found is not None and found[:2] == (0, 8)
+
+    def test_best_fit_prefers_tightest(self):
+        index = make_index((0, 50), (60, 7), (70, 9))
+        found = index.find_best(6)
+        assert found is not None and found[:2] == (60, 7)
+
+    def test_best_fit_tie_breaks_lowest_address(self):
+        index = make_index((30, 8), (0, 8), (15, 8))
+        found = index.find_best(8)
+        assert found is not None and found[:2] == (0, 8)
+
+    def test_worst_fit_tie_breaks_lowest_address(self):
+        index = make_index((30, 8), (0, 8), (15, 4))
+        found = index.find_worst(2)
+        assert found is not None and found[:2] == (0, 8)
+
+    def test_finders_return_none_when_nothing_fits(self):
+        index = make_index((0, 4), (10, 4))
+        assert index.find_first(5) is None
+        assert index.find_best(5) is None
+        assert index.find_worst(5) is None
+
+    def test_examined_counts_are_positive_and_bounded(self):
+        index = make_index((0, 4), (10, 8), (30, 8), (50, 64))
+        for finder in (index.find_first, index.find_best, index.find_worst):
+            found = finder(5)
+            assert found is not None
+            examined = found[2]
+            assert 1 <= examined <= len(index)
+
+    def test_best_fit_skips_undersized_bins(self):
+        # A thousand tiny holes must not be examined when asking for a
+        # large block — that is the whole point of the index.
+        index = HoleIndex()
+        for i in range(1000):
+            index.insert(i * 2, 1)
+        index.insert(5000, 512)
+        found = index.find_best(100)
+        assert found is not None and found[:2] == (5000, 512)
+        assert found[2] < 10
+
+
+class TestMaintenance:
+    def test_clear(self):
+        index = make_index((0, 10), (20, 10))
+        index.clear()
+        assert len(index) == 0
+        assert index.free_words == 0
+        assert index.largest_hole == 0
+        assert index.find_first(1) is None
+        index.check_invariants()
+
+    def test_check_invariants_catches_corruption(self):
+        index = make_index((0, 10))
+        index._size_at[0] = 99   # lie about the size; bins now disagree
+        with pytest.raises(AssertionError):
+            index.check_invariants()
+
+    def test_randomized_churn_matches_brute_force(self):
+        rng = random.Random(1967)
+        index = HoleIndex()
+        shadow: dict[int, int] = {}
+
+        def shadow_insert(address: int, size: int) -> None:
+            follower = address + size
+            if follower in shadow:
+                size += shadow.pop(follower)
+            for start, extent in list(shadow.items()):
+                if start + extent == address:
+                    shadow.pop(start)
+                    address, size = start, extent + size
+                    break
+            shadow[address] = size
+
+        cursor = 0
+        for _ in range(500):
+            if shadow and rng.random() < 0.5:
+                start = rng.choice(list(shadow))
+                extent = shadow.pop(start)
+                cut = rng.randint(1, extent)
+                index.take(start, cut)
+                if cut < extent:
+                    shadow[start + cut] = extent - cut
+            else:
+                size = rng.randint(1, 40)
+                index.insert(cursor, size)
+                shadow_insert(cursor, size)
+                cursor += size + rng.randint(1, 20)
+            index.check_invariants()
+            assert index.holes_sorted() == sorted(shadow.items())

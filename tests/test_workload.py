@@ -169,3 +169,43 @@ class TestRequestSchedule:
             uniform_requests(1, 5, 2, 3)
         with pytest.raises(ValueError):
             exponential_requests(1, 0, 3)
+
+
+class TestExplicitRng:
+    """Generators accept a shared ``rng`` that wins over ``seed``."""
+
+    def test_rng_matches_equivalent_seed(self):
+        import random
+
+        assert random_trace(16, 50, rng=random.Random(7)) == random_trace(
+            16, 50, seed=7
+        )
+        assert zipf_trace(16, 50, rng=random.Random(7)) == zipf_trace(
+            16, 50, seed=7
+        )
+        assert phased_trace(16, 50, rng=random.Random(7)) == phased_trace(
+            16, 50, seed=7
+        )
+        assert overlay_phases_trace(3, 4, rng=random.Random(7)) == (
+            overlay_phases_trace(3, 4, seed=7)
+        )
+        assert uniform_requests(5, 1, 9, 3, rng=random.Random(7)) == (
+            uniform_requests(5, 1, 9, 3, seed=7)
+        )
+        assert exponential_requests(5, 10, 3, rng=random.Random(7)) == (
+            exponential_requests(5, 10, 3, seed=7)
+        )
+
+    def test_rng_takes_precedence_over_seed(self):
+        import random
+
+        with_rng = random_trace(16, 50, seed=999, rng=random.Random(7))
+        assert with_rng == random_trace(16, 50, seed=7)
+
+    def test_shared_rng_advances_between_calls(self):
+        import random
+
+        rng = random.Random(7)
+        first = random_trace(16, 50, rng=rng)
+        second = random_trace(16, 50, rng=rng)
+        assert first != second   # the stream continued, not restarted
