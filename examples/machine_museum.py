@@ -31,10 +31,14 @@ def show_museum() -> None:
     print("=" * 72)
     print("Special hardware facilities")
     print("=" * 72)
-    for machine in machines:
-        print(f"  {machine.appendix}  {machine.name}")
-        for facility in machine.hardware_facilities:
-            print(f"        - {facility}")
+    print(format_table(
+        ["appendix", "machine", "facility"],
+        [
+            (machine.appendix, machine.name, facility)
+            for machine in machines
+            for facility in machine.hardware_facilities
+        ],
+    ))
     print()
 
     print("=" * 72)

@@ -27,6 +27,7 @@ from repro import (
     recommended_system,
 )
 from repro.advice import keep_resident, will_need, wont_need
+from repro.metrics import format_table, kv_table
 
 
 def demo_recommended_system() -> None:
@@ -53,13 +54,15 @@ def demo_recommended_system() -> None:
     system.advise(wont_need("source-text"))
 
     stats = system.stats()
-    print(f"  accesses            : {stats.accesses}")
-    print(f"  faults              : {stats.faults}")
-    print(f"  fault rate          : {stats.fault_rate:.4f}")
-    print(f"  fetch wait (cycles) : {stats.fetch_wait_cycles}")
-    print(f"  mapping references  : {stats.mapping_cycles}")
-    print(f"  TLB hit rate        : {stats.associative_hit_rate:.3f}")
-    print(f"  internal waste      : {stats.internal_waste_words} words")
+    print(kv_table([
+        ("accesses", stats.accesses),
+        ("faults", stats.faults),
+        ("fault rate", stats.fault_rate),
+        ("fetch wait (cycles)", stats.fetch_wait_cycles),
+        ("mapping references", stats.mapping_cycles),
+        ("TLB hit rate", stats.associative_hit_rate),
+        ("internal waste (words)", stats.internal_waste_words),
+    ]))
     print()
     print("  Small segments avoided the page map entirely; the large")
     print("  segment was paged — the paper's point (iii): artificial")
@@ -73,6 +76,7 @@ def demo_characteristic_space() -> None:
     print("=" * 72)
     config = SystemConfig(capacity_words=8_192, page_size=256)
     built = rejected = 0
+    rows = []
     for name_space, advice, contiguity, unit in product(
         NameSpaceKind, PredictiveInformation, Contiguity, AllocationUnit
     ):
@@ -83,13 +87,14 @@ def demo_characteristic_space() -> None:
             system = build_system(characteristics, config)
         except ConfigurationError:
             rejected += 1
-            print(f"  INVALID  {characteristics.describe()}")
+            rows.append(("INVALID", characteristics.describe()))
             continue
         built += 1
         # Prove the composition runs.
         system.create("unit", 500)
         system.access("unit", 250)
-        print(f"  {type(system).__name__:26s}  {characteristics.describe()}")
+        rows.append((type(system).__name__, characteristics.describe()))
+    print(format_table(["system", "characteristics"], rows))
     print()
     print(f"  {built} valid combinations built and exercised; "
           f"{rejected} impossible corners rejected")

@@ -6,6 +6,9 @@
 ``python -m repro policies`` lists the strategy registries.
 ``python -m repro bench``    runs the perf trajectory suite (see
                              :mod:`repro.bench`; accepts ``--quick``).
+``python -m repro trace``    replays a workload with event tracing on
+                             and writes a JSONL trace plus a summary
+                             report (see :mod:`repro.observe.cli`).
 """
 
 from __future__ import annotations
@@ -78,6 +81,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(arguments[1:])
+    elif command == "trace":
+        from repro.observe.cli import main as trace_main
+
+        return trace_main(arguments[1:])
     else:
         print(__doc__)
         return 1

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from repro.addressing.associative import AssociativeMemory
 from repro.addressing.mapper import Translation
 from repro.errors import BoundViolation, PageFault
+from repro.observe.events import MapLookup
+from repro.observe.tracer import Tracer, as_tracer
 
 
 @dataclass
@@ -58,6 +60,10 @@ class PageTable:
         a dedicated mapping store, more if the table itself lives in core).
     associative_memory:
         Optional :class:`AssociativeMemory` short-circuiting the lookup.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving one
+        ``MapLookup`` event per successful translation (timestamped by
+        the running translation count — the mapper keeps no clock).
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class PageTable:
         pages: int,
         table_access_cycles: int = 1,
         associative_memory: AssociativeMemory | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if page_size <= 0 or page_size & (page_size - 1):
             raise ValueError(f"page_size must be a power of two, got {page_size}")
@@ -77,6 +84,7 @@ class PageTable:
         self.pages = pages
         self.table_access_cycles = table_access_cycles
         self.tlb = associative_memory
+        self.tracer = as_tracer(tracer)
         self._entries = [PageTableEntry() for _ in range(pages)]
         self._offset_bits = page_size.bit_length() - 1
         self.translations = 0
@@ -113,6 +121,11 @@ class PageTable:
             frame = self.tlb.lookup(page)
             if frame is not None:
                 self._touch(page, write)
+                if self.tracer.enabled:
+                    self.tracer.emit(MapLookup(
+                        time=self.translations, unit=page,
+                        mapping_cycles=0, associative_hit=True,
+                    ))
                 return Translation(
                     address=frame * self.page_size + offset,
                     mapping_cycles=0,
@@ -127,6 +140,11 @@ class PageTable:
         self._touch(page, write)
         if self.tlb is not None:
             self.tlb.insert(page, entry.frame)
+        if self.tracer.enabled:
+            self.tracer.emit(MapLookup(
+                time=self.translations, unit=page,
+                mapping_cycles=self.table_access_cycles,
+            ))
         return Translation(
             address=entry.frame * self.page_size + offset,
             mapping_cycles=self.table_access_cycles,

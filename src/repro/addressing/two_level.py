@@ -21,6 +21,8 @@ from repro.addressing.associative import AssociativeMemory
 from repro.addressing.mapper import Translation
 from repro.addressing.page_table import PageTable
 from repro.errors import BoundViolation, MissingSegment, PageFault
+from repro.observe.events import MapLookup
+from repro.observe.tracer import Tracer, as_tracer
 
 
 class TwoLevelMapper:
@@ -37,6 +39,10 @@ class TwoLevelMapper:
         Storage references per table level per walk.
     associative_memory:
         Optional TLB keyed by ``(segment, page)`` holding frame numbers.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving one
+        ``MapLookup`` event per successful translation, with the unit
+        as the (segment, page) pair.
     """
 
     def __init__(
@@ -45,6 +51,7 @@ class TwoLevelMapper:
         max_segment_extent: int | None = None,
         table_access_cycles: int = 1,
         associative_memory: AssociativeMemory | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if page_size <= 0 or page_size & (page_size - 1):
             raise ValueError(f"page_size must be a power of two, got {page_size}")
@@ -52,6 +59,7 @@ class TwoLevelMapper:
         self.max_segment_extent = max_segment_extent
         self.table_access_cycles = table_access_cycles
         self.tlb = associative_memory
+        self.tracer = as_tracer(tracer)
         self._page_tables: dict[Hashable, PageTable] = {}
         self._extents: dict[Hashable, int] = {}
         self.translations = 0
@@ -123,6 +131,11 @@ class TwoLevelMapper:
                 entry.referenced = True
                 if write:
                     entry.modified = True
+                if self.tracer.enabled:
+                    self.tracer.emit(MapLookup(
+                        time=self.translations, unit=(segment, page),
+                        mapping_cycles=0, associative_hit=True,
+                    ))
                 return Translation(
                     address=frame * self.page_size + offset,
                     mapping_cycles=0,
@@ -144,6 +157,11 @@ class TwoLevelMapper:
             entry.modified = True
         if self.tlb is not None:
             self.tlb.insert((segment, page), entry.frame)
+        if self.tracer.enabled:
+            self.tracer.emit(MapLookup(
+                time=self.translations, unit=(segment, page),
+                mapping_cycles=walk_cycles,
+            ))
         return Translation(
             address=entry.frame * self.page_size + offset,
             mapping_cycles=walk_cycles,

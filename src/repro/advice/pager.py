@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.advice.directives import Advice, AdviceKind
+from repro.observe.events import Advice as AdviceEvent
 from repro.paging.pager import DemandPager
 from repro.paging.replacement.base import ReplacementPolicy
 
@@ -117,8 +118,20 @@ class AdvisedPager:
         self.pager.access_page(page, write=write)
 
     def advise(self, advice: Advice) -> None:
-        """Apply one directive (advisory: may be a no-op)."""
+        """Apply one directive (advisory: may be a no-op).
+
+        Emits an ``Advice`` event through the wrapped pager's tracer, so
+        trace analysis can correlate directives with the faults and
+        evictions they did (or did not) avert.
+        """
         self.advice_received += 1
+        tracer = self.pager.tracer
+        if tracer.enabled:
+            tracer.emit(AdviceEvent(
+                time=self.pager.clock.now,
+                directive=advice.kind.name.lower(),
+                unit=advice.unit,
+            ))
         page = advice.unit
         if advice.kind is AdviceKind.KEEP_RESIDENT:
             self.policy.lock(page)

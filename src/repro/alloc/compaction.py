@@ -20,6 +20,8 @@ from typing import Callable
 from repro.alloc.base import Allocation
 from repro.alloc.freelist import FreeListAllocator
 from repro.memory.physical import PhysicalMemory
+from repro.observe.events import Compact
+from repro.observe.tracer import Tracer, as_tracer
 
 
 @dataclass(frozen=True)
@@ -40,6 +42,7 @@ def compact(
     allocator: FreeListAllocator,
     memory: PhysicalMemory | None = None,
     on_relocate: Callable[[Allocation, Allocation], None] | None = None,
+    tracer: Tracer | None = None,
 ) -> CompactionResult:
     """Slide all live allocations down to make one maximal hole at the top.
 
@@ -48,6 +51,9 @@ def compact(
     ``on_relocate(old, new)`` is invoked per moved block so segment tables
     or codewords can be updated, mirroring the Rice back-reference whose
     whole purpose is to find the codeword that must be patched.
+
+    ``tracer`` (defaulting to the allocator's own) receives one
+    ``Compact`` event summarizing the pass.
 
     The allocator's internal state is rebuilt in place; the allocation
     objects handed out earlier become stale for moved blocks (use the
@@ -83,6 +89,16 @@ def compact(
     else:
         holes = []
     allocator.rebuild(new_live, holes)
+
+    active = as_tracer(tracer) if tracer is not None else allocator.tracer
+    if active.enabled:
+        active.emit(Compact(
+            time=allocator.counters.requests + allocator.counters.frees,
+            moves=moves,
+            words_moved=words_moved,
+            holes_before=len(holes_before),
+            holes_after=len(allocator.holes()),
+        ))
 
     return CompactionResult(
         moves=moves,

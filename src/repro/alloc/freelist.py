@@ -34,6 +34,8 @@ from __future__ import annotations
 
 from repro.alloc.base import Allocation, AllocatorCounters, check_free_known
 from repro.errors import OutOfMemory
+from repro.observe.events import Free, Place
+from repro.observe.tracer import Tracer, as_tracer
 
 _POLICIES = ("first_fit", "best_fit", "worst_fit", "next_fit")
 
@@ -51,6 +53,11 @@ class FreeListAllocator:
         Use the size-segregated hole index instead of the linear list.
         Same addresses, sublinear searches, fast-path ``search_steps``
         accounting.  Not available for ``next_fit``.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving a
+        ``Place`` event per successful allocation and a ``Free`` per
+        release, timestamped by the running request+free count (the
+        allocator keeps no clock).
 
     >>> allocator = FreeListAllocator(100, policy="best_fit")
     >>> block = allocator.allocate(30)
@@ -59,7 +66,11 @@ class FreeListAllocator:
     """
 
     def __init__(
-        self, capacity: int, policy: str = "first_fit", indexed: bool = False
+        self,
+        capacity: int,
+        policy: str = "first_fit",
+        indexed: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -73,6 +84,7 @@ class FreeListAllocator:
         self.capacity = capacity
         self.policy = policy
         self.indexed = indexed
+        self.tracer = as_tracer(tracer)
         self._live: dict[int, Allocation] = {}
         self._rover = 0  # index into _holes for next_fit
         self.counters = AllocatorCounters()
@@ -178,6 +190,8 @@ class FreeListAllocator:
                     f"free words ({self.policy})",
                 )
             self._live[allocation.address] = allocation
+            if self.tracer.enabled:
+                self._emit_place(allocation)
             return allocation
         index = self._choose_hole(size)
         if index is None:
@@ -198,7 +212,18 @@ class FreeListAllocator:
                 self._rover = index
         allocation = Allocation(address, size)
         self._live[address] = allocation
+        if self.tracer.enabled:
+            self._emit_place(allocation)
         return allocation
+
+    def _emit_place(self, allocation: Allocation) -> None:
+        self.tracer.emit(Place(
+            time=self.counters.requests + self.counters.frees,
+            unit=allocation.address,
+            where=allocation.address,
+            size=allocation.size,
+            policy=self.policy,
+        ))
 
     # -- release ---------------------------------------------------------
 
@@ -206,6 +231,12 @@ class FreeListAllocator:
         check_free_known(allocation, self._live, "FreeListAllocator")
         del self._live[allocation.address]
         self.counters.record_free(allocation.size)
+        if self.tracer.enabled:
+            self.tracer.emit(Free(
+                time=self.counters.requests + self.counters.frees,
+                address=allocation.address,
+                size=allocation.size,
+            ))
         if self._index is not None:
             self._index.insert(allocation.address, allocation.size)
             return

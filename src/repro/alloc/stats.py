@@ -15,6 +15,11 @@ The paper's fragmentation discussion is twofold:
 ``fragmentation_stats`` works over any object with the allocator
 inspection surface (holes / allocations / capacity), so every allocator
 and the frame-level view of a pager can be measured identically.
+
+These are *point-in-time* measures; the allocator's own running tallies
+(requests, failures, search steps) live on
+``FreeListAllocator.counters`` and fold into a run-wide registry via
+:func:`repro.observe.counters.absorb_allocator_counters`.
 """
 
 from __future__ import annotations
@@ -56,7 +61,14 @@ class FragmentationStats:
 
 
 def fragmentation_stats(allocator: _Inspectable) -> FragmentationStats:
-    """Measure an allocator's current fragmentation."""
+    """Measure an allocator's current fragmentation.
+
+    Works on anything exposing ``capacity`` plus ``holes()`` /
+    ``allocations()`` — every allocator in :mod:`repro.alloc`, in both
+    linear and indexed free-list modes, and the frame-level view of a
+    pager.  The result is a frozen snapshot; call again after further
+    requests to sample a series.
+    """
     holes = allocator.holes()
     free_words = sum(size for _, size in holes)
     largest = max((size for _, size in holes), default=0)

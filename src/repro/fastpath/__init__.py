@@ -28,6 +28,16 @@ and in `search_steps` accounting (the indexed allocator counts the holes
 it actually examines, which is the point).  When exact reference
 accounting is needed (the CL-PLACE bookkeeping-cost experiments), use the
 default linear mode.
+
+Observability rides the same contract: when ``simulate_trace`` is given
+a :class:`~repro.observe.counters.Counters` registry, a batched kernel
+reports its aggregate ``replay.*`` totals from the
+:class:`~repro.paging.simulate.SimulationResult` it computed — identical
+to the totals the reference loop increments one event at a time (the
+differential tests in ``tests/test_observe_differential.py`` pin this
+over 100 seeds).  Per-event *tracing*, by contrast, inherently needs the
+per-access loop, so an enabled tracer disables kernel dispatch for that
+call.
 """
 
 from repro.fastpath.holes import HoleIndex

@@ -46,6 +46,25 @@ def format_table(
     return "\n".join(lines)
 
 
+def kv_table(
+    pairs: Sequence[tuple[str, object]], title: str = ""
+) -> str:
+    """Render (name, value) pairs as an aligned two-column table.
+
+    The shared output path for point measurements: the trace CLI's run
+    summary, the examples' stats blocks, and ad-hoc experiment printing
+    all route through here so they line up the same way.
+
+    >>> print(kv_table([("faults", 3), ("fault rate", 0.015)]))
+    ... # doctest: +NORMALIZE_WHITESPACE
+    metric      value
+    ----------  ------
+    faults      3
+    fault rate  0.0150
+    """
+    return format_table(["metric", "value"], pairs, title=title)
+
+
 def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
     """A proportional bar, for eyeballing series in terminal output."""
     if maximum <= 0:

@@ -1,0 +1,100 @@
+"""Structured observability: event tracing, run-wide counters, exporters.
+
+The paper's quantitative claims are all measurements of internal events
+— faults, placements, evictions, compactions, map lookups, advice.
+This package makes those events first-class:
+
+- :mod:`~repro.observe.events` — the typed event taxonomy (``Fault``,
+  ``Place``, ``Evict``, ``Free``, ``Compact``, ``MapLookup``,
+  ``Advice``) with a lossless JSON form.
+- :mod:`~repro.observe.tracer` — :class:`Tracer` fans events out to
+  pluggable sinks; :data:`NULL_TRACER` is the shared zero-cost disabled
+  form every instrumented subsystem defaults to.
+- :mod:`~repro.observe.sinks` — ring buffer, JSONL file, callback.
+- :mod:`~repro.observe.counters` — one flat :class:`Counters` registry,
+  with ``absorb_*`` adapters folding every existing per-subsystem stats
+  record (pager, allocator, TLB, space-time, replay) into it.
+- :mod:`~repro.observe.export` — counters/events as aligned tables
+  (via :mod:`repro.metrics.report`), JSON, and CSV.
+- :mod:`~repro.observe.cli` — ``python -m repro trace <workload>``:
+  replay a workload with tracing on, write a JSONL trace, print the
+  summary tables.
+
+Instrumented constructors (``tracer=`` keyword): the demand pager, the
+segmented pager, the free-list allocator, compaction, the page table and
+two-level mapper, and the multiprogramming simulator; the advised pager
+emits through its wrapped pager's tracer.  The overhead contract and the
+full taxonomy live in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.observe.counters import (
+    NULL_COUNTERS,
+    Counters,
+    absorb_allocator_counters,
+    absorb_associative_memory,
+    absorb_pager_stats,
+    absorb_simulation_result,
+    absorb_spacetime,
+)
+from repro.observe.events import (
+    EVENT_TYPES,
+    Advice,
+    Compact,
+    Event,
+    Evict,
+    Fault,
+    Free,
+    MapLookup,
+    Place,
+    event_from_dict,
+)
+from repro.observe.export import (
+    counters_csv,
+    counters_json,
+    counters_table,
+    event_counts,
+    events_csv,
+    events_table,
+)
+from repro.observe.sinks import (
+    CallbackSink,
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+    read_jsonl,
+)
+from repro.observe.tracer import NULL_TRACER, Tracer, as_tracer
+
+__all__ = [
+    "Advice",
+    "CallbackSink",
+    "Compact",
+    "Counters",
+    "EVENT_TYPES",
+    "Event",
+    "Evict",
+    "Fault",
+    "Free",
+    "JsonlSink",
+    "MapLookup",
+    "NULL_COUNTERS",
+    "NULL_TRACER",
+    "Place",
+    "RingBufferSink",
+    "Sink",
+    "Tracer",
+    "absorb_allocator_counters",
+    "absorb_associative_memory",
+    "absorb_pager_stats",
+    "absorb_simulation_result",
+    "absorb_spacetime",
+    "as_tracer",
+    "counters_csv",
+    "counters_json",
+    "counters_table",
+    "event_counts",
+    "event_from_dict",
+    "events_csv",
+    "events_table",
+    "read_jsonl",
+]

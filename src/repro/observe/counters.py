@@ -1,0 +1,212 @@
+"""Run-wide counters and timers.
+
+The subsystems each keep their own stats records —
+:class:`~repro.paging.pager.PagerStats`,
+:class:`~repro.alloc.base.AllocatorCounters`, the associative memory's
+hit/miss counts, :class:`~repro.sim.spacetime.SpaceTimeAccount` — which
+is right for their unit tests but wrong for a *run*: an experiment wants
+one flat, mergeable, exportable registry.  :class:`Counters` is that
+registry; the ``absorb_*`` adapters pull every existing per-subsystem
+record into it under dotted names (``pager.faults``, ``alloc.requests``,
+``tlb.hits``, ``spacetime.waiting`` ...) without those subsystems
+changing shape.
+
+Like the tracer, counters have a zero-cost disabled form:
+:data:`NULL_COUNTERS` accepts every call and records nothing, so hot
+loops can increment unconditionally through one attribute they already
+hold.  (The replay driver goes further and skips even the call when its
+``counters`` argument is ``None`` — see
+:func:`repro.paging.simulate.simulate_trace`.)
+
+>>> counters = Counters()
+>>> counters.increment("pager.faults")
+>>> counters.increment("pager.faults", 2)
+>>> counters.value("pager.faults")
+3
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:   # import cycle guards: adapters name these types only
+    from repro.addressing.associative import AssociativeMemory
+    from repro.alloc.base import AllocatorCounters
+    from repro.paging.pager import PagerStats
+    from repro.paging.simulate import SimulationResult
+    from repro.sim.spacetime import SpaceTimeAccount, SpaceTimeBreakdown
+
+
+class Counters:
+    """A flat registry of named integer counters and float timers."""
+
+    __slots__ = ("_values", "_timers", "enabled")
+
+    def __init__(self) -> None:
+        self._values: dict[str, int | float] = {}
+        self._timers: dict[str, float] = {}
+        self.enabled = True
+
+    # -- recording -----------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def record(self, name: str, value: int | float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._values[name] = value
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds spent in the ``with`` body.
+
+        Timer totals appear in :meth:`snapshot` under ``name`` with a
+        ``_seconds`` suffix.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timers[name] = self._timers.get(name, 0.0) + elapsed
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, name: str) -> int | float:
+        """Current value of ``name`` (0 if never touched)."""
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int | float]:
+        """All counters and timers, sorted by name; safe to mutate."""
+        merged = dict(self._values)
+        for name, seconds in self._timers.items():
+            merged[f"{name}_seconds"] = round(seconds, 6)
+        return dict(sorted(merged.items()))
+
+    def __len__(self) -> int:
+        return len(self._values) + len(self._timers)
+
+    # -- combination ---------------------------------------------------------
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another registry's counts into this one (sums)."""
+        for name, value in other._values.items():
+            self._values[name] = self._values.get(name, 0) + value
+        for name, seconds in other._timers.items():
+            self._timers[name] = self._timers.get(name, 0.0) + seconds
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:
+        return f"Counters({len(self)} names)"
+
+
+class _NullCounters(Counters):
+    """The disabled registry: accepts everything, records nothing."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def record(self, name: str, value: int | float) -> None:
+        pass
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        yield
+
+    def merge(self, other: Counters) -> None:
+        raise ValueError("NULL_COUNTERS is shared and immutable; build Counters()")
+
+
+NULL_COUNTERS: Counters = _NullCounters()
+"""The shared no-op registry, for call sites that always pass counters."""
+
+
+# -- adapters over the existing per-subsystem stats records -----------------
+
+
+def absorb_pager_stats(
+    counters: Counters, stats: "PagerStats", prefix: str = "pager"
+) -> None:
+    """Fold a pager's :class:`~repro.paging.pager.PagerStats` in."""
+    counters.increment(f"{prefix}.accesses", stats.accesses)
+    counters.increment(f"{prefix}.faults", stats.faults)
+    counters.increment(f"{prefix}.evictions", stats.evictions)
+    counters.increment(f"{prefix}.writebacks", stats.writebacks)
+    counters.increment(f"{prefix}.prefetches", stats.prefetches)
+    counters.increment(f"{prefix}.fetch_wait_cycles", stats.fetch_wait_cycles)
+    counters.increment(f"{prefix}.writeback_cycles", stats.writeback_cycles)
+    counters.increment(
+        f"{prefix}.frame_cycles_resident", stats.frame_cycles_resident
+    )
+
+
+def absorb_allocator_counters(
+    counters: Counters, stats: "AllocatorCounters", prefix: str = "alloc"
+) -> None:
+    """Fold an allocator's :class:`~repro.alloc.base.AllocatorCounters` in."""
+    counters.increment(f"{prefix}.requests", stats.requests)
+    counters.increment(f"{prefix}.failures", stats.failures)
+    counters.increment(f"{prefix}.frees", stats.frees)
+    counters.increment(f"{prefix}.search_steps", stats.search_steps)
+    counters.increment(f"{prefix}.words_allocated", stats.words_allocated)
+    counters.increment(f"{prefix}.words_freed", stats.words_freed)
+
+
+def absorb_associative_memory(
+    counters: Counters, memory: "AssociativeMemory", prefix: str = "tlb"
+) -> None:
+    """Fold an associative memory's hit/miss/eviction counts in."""
+    counters.increment(f"{prefix}.hits", memory.hits)
+    counters.increment(f"{prefix}.misses", memory.misses)
+    counters.increment(f"{prefix}.evictions", memory.evictions)
+
+
+def absorb_spacetime(
+    counters: Counters,
+    account: "SpaceTimeAccount | SpaceTimeBreakdown",
+    prefix: str = "spacetime",
+) -> None:
+    """Fold a space-time account (or its breakdown) in, in word-cycles."""
+    breakdown = getattr(account, "breakdown", account)
+    counters.increment(f"{prefix}.active", breakdown.active)
+    counters.increment(f"{prefix}.waiting", breakdown.waiting)
+
+
+def absorb_simulation_result(
+    counters: Counters, result: "SimulationResult", prefix: str = "replay"
+) -> None:
+    """Fold a trace-replay :class:`~repro.paging.simulate.SimulationResult` in.
+
+    This is how the batched :mod:`repro.fastpath.replay` kernels report
+    aggregate counters despite skipping the per-access loop: the kernel's
+    result carries the totals, and they land under exactly the names the
+    reference loop increments one event at a time — asserted identical by
+    the differential tests.
+    """
+    counters.increment(f"{prefix}.references", result.references)
+    counters.increment(f"{prefix}.faults", result.faults)
+    counters.increment(f"{prefix}.cold_faults", result.cold_faults)
+    counters.increment(f"{prefix}.evictions", result.evictions)
+
+
+__all__ = [
+    "Counters",
+    "NULL_COUNTERS",
+    "absorb_allocator_counters",
+    "absorb_associative_memory",
+    "absorb_pager_stats",
+    "absorb_simulation_result",
+    "absorb_spacetime",
+]

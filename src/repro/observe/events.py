@@ -1,0 +1,198 @@
+"""The event taxonomy.
+
+Every measurement the experiments make — fault rates, space-time
+products, mapping overhead, fragmentation recovered by compaction — is
+an aggregate over a small set of *internal events*.  This module names
+those events as typed records so a run can be observed at full
+resolution (stream the events) or at summary resolution (count them),
+with one vocabulary for both.
+
+The taxonomy (see ``docs/OBSERVABILITY.md`` for the full contract):
+
+========== ==============================================================
+kind       emitted when
+========== ==============================================================
+fault      a reference misses working storage and a fetch begins
+place      an information unit lands somewhere (a page in a frame, a
+           block at an address)
+evict      a resident unit is displaced (replacement, pre-eviction,
+           pool contention)
+free       a variable-unit allocation is returned by the program
+compact    a compaction pass finishes (moves and words-moved totals)
+map_lookup an address mapping is exercised (table walk or associative
+           hit)
+advice     a predictive directive is offered to the system
+========== ==============================================================
+
+Events are frozen dataclasses with ``slots`` so emitting one costs a
+single small allocation; ``to_dict`` / :func:`event_from_dict` give the
+lossless JSON form the JSONL sink writes and reads back.
+
+>>> event = Fault(time=3, unit=7, write=True)
+>>> event_from_dict(event.to_dict()) == event
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base record: something happened at simulated ``time``.
+
+    ``time`` is in whatever clock the emitting subsystem keeps — cycle
+    counts for pagers, reference indices for trace replay, translation
+    counts for mappers.  Within one emitter it is non-decreasing.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    time: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """The event as a flat JSON-serializable dict (``event`` = kind)."""
+        record: dict[str, Any] = {"event": self.kind}
+        for field in fields(self):
+            record[field.name] = getattr(self, field.name)
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class Fault(Event):
+    """A reference missed working storage; a fetch is beginning."""
+
+    kind: ClassVar[str] = "fault"
+
+    unit: Hashable = None
+    """The missing unit: a page number, or a (segment, page) pair
+    serialized as a list in JSON form."""
+    write: bool = False
+    program: str | None = None
+    """Owning program, in multiprogrammed runs."""
+
+
+@dataclass(frozen=True, slots=True)
+class Place(Event):
+    """A unit landed in working storage."""
+
+    kind: ClassVar[str] = "place"
+
+    unit: Hashable = None
+    where: int = 0
+    """Frame number (paging) or word address (variable units)."""
+    size: int | None = None
+    """Words granted, for variable-unit placements."""
+    policy: str | None = None
+    """Placement policy that chose ``where``, when one did."""
+    prefetch: bool = False
+    """True when the unit arrived ahead of demand (anticipatory fetch)."""
+    program: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Evict(Event):
+    """A resident unit was displaced."""
+
+    kind: ClassVar[str] = "evict"
+
+    unit: Hashable = None
+    writeback: bool = False
+    """True when the unit was dirty and had to reach backing store."""
+    overlapped: bool = False
+    """True when the write-back ran at the device's convenience
+    (keep-one-vacant pre-eviction) rather than on the critical path."""
+    program: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Free(Event):
+    """A variable-unit allocation was returned."""
+
+    kind: ClassVar[str] = "free"
+
+    address: int = 0
+    size: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Compact(Event):
+    """A compaction pass completed."""
+
+    kind: ClassVar[str] = "compact"
+
+    moves: int = 0
+    words_moved: int = 0
+    holes_before: int = 0
+    holes_after: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MapLookup(Event):
+    """An address mapping was exercised.
+
+    ``time`` is the mapper's running translation count — mappers keep no
+    clock of their own.
+    """
+
+    kind: ClassVar[str] = "map_lookup"
+
+    unit: Hashable = None
+    mapping_cycles: int = 0
+    associative_hit: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Advice(Event):
+    """A predictive directive was offered."""
+
+    kind: ClassVar[str] = "advice"
+
+    directive: str = ""
+    unit: Hashable = None
+
+
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (Fault, Place, Evict, Free, Compact, MapLookup, Advice)
+}
+"""Registry of every event kind, for deserialization and docs."""
+
+
+def _revive_unit(value: Any) -> Any:
+    """JSON turns tuple units — (segment, page) — into lists; undo that."""
+    return tuple(value) if isinstance(value, list) else value
+
+
+def event_from_dict(record: dict[str, Any]) -> Event:
+    """Reconstruct a typed event from its ``to_dict`` form.
+
+    Raises ``ValueError`` for an unknown kind, so readers fail loudly on
+    a taxonomy mismatch instead of silently dropping data.
+    """
+    try:
+        cls = EVENT_TYPES[record["event"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind {record.get('event')!r}") from None
+    payload = {
+        key: _revive_unit(value)
+        for key, value in record.items()
+        if key != "event"
+    }
+    return cls(**payload)
+
+
+__all__ = [
+    "Advice",
+    "Compact",
+    "Event",
+    "EVENT_TYPES",
+    "Evict",
+    "Fault",
+    "Free",
+    "MapLookup",
+    "Place",
+    "event_from_dict",
+]

@@ -1,0 +1,134 @@
+"""Pluggable event sinks.
+
+A sink is anything with ``accept(event)``; a tracer fans each emitted
+event out to every attached sink.  Three are provided:
+
+- :class:`RingBufferSink` — the last N events, wrapping around; the
+  flight recorder for "what just happened" reports.
+- :class:`JsonlSink` — one JSON object per line, the offline-analysis
+  format; :func:`read_jsonl` reads a file back into typed events.
+- :class:`CallbackSink` — call any function per event (assertions in
+  tests, live dashboards, custom aggregation).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Callable, Protocol, runtime_checkable
+
+from repro.observe.events import Event, event_from_dict
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """The sink contract: receive events, optionally close."""
+
+    def accept(self, event: Event) -> None: ...
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events, discarding the oldest.
+
+    >>> from repro.observe.events import Fault
+    >>> ring = RingBufferSink(capacity=2)
+    >>> for t in range(3):
+    ...     ring.accept(Fault(time=t, unit=t))
+    >>> [event.time for event in ring.events()]
+    [1, 2]
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self.accepted = 0
+
+    def accept(self, event: Event) -> None:
+        self._buffer.append(event)
+        self.accepted += 1
+
+    def events(self) -> list[Event]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Events that have wrapped out of the buffer."""
+        return self.accepted - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"RingBufferSink(capacity={self.capacity}, "
+            f"held={len(self._buffer)}, dropped={self.dropped})"
+        )
+
+
+class JsonlSink:
+    """Append events to a file as JSON Lines.
+
+    Accepts a path (opened and owned by the sink — call :meth:`close`,
+    or use the sink as a context manager) or an already-open text stream
+    (borrowed; left open).
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.written = 0
+
+    def accept(self, event: Event) -> None:
+        json.dump(event.to_dict(), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink(written={self.written})"
+
+
+class CallbackSink:
+    """Invoke ``callback(event)`` for every event."""
+
+    def __init__(self, callback: Callable[[Event], None]) -> None:
+        self.callback = callback
+
+    def accept(self, event: Event) -> None:
+        self.callback(event)
+
+
+def read_jsonl(path: str | Path) -> list[Event]:
+    """Read a JSONL trace file back into typed events.
+
+    The round-trip is lossless: ``read_jsonl(p)`` after a
+    :class:`JsonlSink` wrote to ``p`` reproduces the emitted events
+    exactly (tuple units included).
+    """
+    events: list[Event] = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+__all__ = ["CallbackSink", "JsonlSink", "RingBufferSink", "Sink", "read_jsonl"]

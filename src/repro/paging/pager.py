@@ -20,6 +20,8 @@ from repro.addressing.page_table import PageTable
 from repro.clock import Clock
 from repro.errors import PageFault
 from repro.memory.backing import BackingStore
+from repro.observe.events import Evict, Fault, Place
+from repro.observe.tracer import Tracer, as_tracer
 from repro.paging.frame import FrameTable
 from repro.paging.prefetch import SequentialPrefetcher
 from repro.paging.replacement.base import ReplacementPolicy
@@ -78,6 +80,11 @@ class DemandPager:
     reference_time:
         Processor cycles each reference itself consumes (a core access);
         keeps recency timestamps distinct and compute time measurable.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving
+        ``Fault`` / ``Place`` / ``Evict`` events as the pager works
+        (``docs/OBSERVABILITY.md``).  Defaults to the zero-cost disabled
+        tracer.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class DemandPager:
         reference_time: int = 1,
         prefetch_evicts: bool = False,
         keep_one_vacant: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         self.page_table = page_table
         self.frames = frames
@@ -103,6 +111,7 @@ class DemandPager:
         if reference_time <= 0:
             raise ValueError("reference_time must be positive")
         self.reference_time = reference_time
+        self.tracer = as_tracer(tracer)
         self.stats = PagerStats()
         self._loaded_at: dict[Hashable, int] = {}
 
@@ -138,6 +147,8 @@ class DemandPager:
 
     def _handle_fault(self, page: int, write: bool) -> None:
         self.stats.faults += 1
+        if self.tracer.enabled:
+            self.tracer.emit(Fault(time=self.clock.now, unit=page, write=write))
         self._ensure_free_frame()
         self._load(page, modified=write)
         if self.prefetcher is not None:
@@ -169,6 +180,11 @@ class DemandPager:
         self.frames.release(page)
         self.policy.on_evict(page)
         self.stats.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(Evict(
+                time=self.clock.now, unit=page,
+                writeback=snapshot.modified, overlapped=overlapped,
+            ))
         loaded = self._loaded_at.pop(page, self.clock.now)
         self.stats.frame_cycles_resident += self.clock.now - loaded
         if snapshot.modified:
@@ -203,6 +219,10 @@ class DemandPager:
             self.stats.fetch_wait_cycles += cycles
         frame = self.frames.acquire(page)
         self.page_table.map(page, frame, now=self.clock.now)
+        if self.tracer.enabled:
+            self.tracer.emit(Place(
+                time=self.clock.now, unit=page, where=frame, prefetch=prefetch,
+            ))
         self._loaded_at[page] = self.clock.now
         self.policy.on_load(page, self.clock.now, modified=modified)
 

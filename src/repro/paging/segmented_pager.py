@@ -14,13 +14,19 @@ from repro.addressing.two_level import TwoLevelMapper
 from repro.clock import Clock
 from repro.errors import PageFault
 from repro.memory.backing import BackingStore
+from repro.observe.events import Evict, Fault, Place
+from repro.observe.tracer import Tracer, as_tracer
 from repro.paging.frame import FrameTable
 from repro.paging.pager import PagerStats
 from repro.paging.replacement.base import ReplacementPolicy
 
 
 class SegmentedPager:
-    """Demand paging of segments through a :class:`TwoLevelMapper`."""
+    """Demand paging of segments through a :class:`TwoLevelMapper`.
+
+    An optional ``tracer`` receives ``Fault`` / ``Place`` / ``Evict``
+    events whose unit is the (segment, page) pair.
+    """
 
     def __init__(
         self,
@@ -30,6 +36,7 @@ class SegmentedPager:
         policy: ReplacementPolicy,
         clock: Clock,
         reference_time: int = 1,
+        tracer: Tracer | None = None,
     ) -> None:
         if reference_time <= 0:
             raise ValueError("reference_time must be positive")
@@ -39,6 +46,7 @@ class SegmentedPager:
         self.backing = backing
         self.policy = policy
         self.clock = clock
+        self.tracer = as_tracer(tracer)
         self.stats = PagerStats()
         self._loaded_at: dict[tuple[Hashable, int], int] = {}
 
@@ -73,6 +81,10 @@ class SegmentedPager:
 
     def _handle_fault(self, segment: Hashable, page: int, write: bool) -> None:
         self.stats.faults += 1
+        if self.tracer.enabled:
+            self.tracer.emit(Fault(
+                time=self.clock.now, unit=(segment, page), write=write,
+            ))
         if self.frames.is_full():
             victim = self.policy.choose_victim(
                 self.frames.resident_pages(), self.clock.now
@@ -88,6 +100,8 @@ class SegmentedPager:
         self.stats.fetch_wait_cycles += cycles
         frame = self.frames.acquire(unit)
         self.mapper.map(segment, page, frame, now=self.clock.now)
+        if self.tracer.enabled:
+            self.tracer.emit(Place(time=self.clock.now, unit=unit, where=frame))
         self._loaded_at[unit] = self.clock.now
         self.policy.on_load(unit, self.clock.now, modified=write)
 
@@ -97,6 +111,10 @@ class SegmentedPager:
         self.frames.release(unit)
         self.policy.on_evict(unit)
         self.stats.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(Evict(
+                time=self.clock.now, unit=unit, writeback=snapshot.modified,
+            ))
         loaded = self._loaded_at.pop(unit, self.clock.now)
         self.stats.frame_cycles_resident += self.clock.now - loaded
         if snapshot.modified:

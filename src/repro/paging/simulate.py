@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
+from repro.observe.counters import Counters, absorb_simulation_result
+from repro.observe.events import Evict, Fault
+from repro.observe.tracer import Tracer
 from repro.paging.frame import FrameTable
 from repro.paging.replacement.base import ReplacementPolicy
 
@@ -52,6 +55,8 @@ def simulate_trace(
     writes: Sequence[bool] | None = None,
     record_evictions: bool = False,
     fast: bool = True,
+    tracer: Tracer | None = None,
+    counters: Counters | None = None,
 ) -> SimulationResult:
     """Run ``trace`` through ``frames`` page frames under ``policy``.
 
@@ -80,13 +85,26 @@ def simulate_trace(
         difference is that the kernel does not mutate ``policy``'s
         internal bookkeeping (the policy object stays fresh).  Pass
         ``fast=False`` to force the reference per-access loop.
+    tracer:
+        Optional enabled :class:`~repro.observe.tracer.Tracer` receiving
+        ``Fault`` / ``Evict`` events timestamped by reference index
+        (virtual time).  Per-event tracing requires the per-access loop,
+        so an *enabled* tracer forces the reference path regardless of
+        ``fast``.
+    counters:
+        Optional :class:`~repro.observe.counters.Counters` registry
+        receiving the run's aggregate totals under ``replay.*`` names.
+        The reference loop increments event counters inline; a batched
+        kernel reports the same totals from its result — the
+        differential tests assert the two are identical.
     """
     if frames <= 0:
         raise ValueError(f"frames must be positive, got {frames}")
     if writes is not None and len(writes) != len(trace):
         raise ValueError("writes must align with trace")
 
-    if fast:
+    tracing = tracer is not None and tracer.enabled
+    if fast and not tracing:
         from repro.fastpath.replay import run_fast
 
         result = run_fast(
@@ -97,8 +115,11 @@ def simulate_trace(
             record_evictions=record_evictions,
         )
         if result is not None:
+            if counters is not None:
+                absorb_simulation_result(counters, result)
             return result
 
+    counting = counters is not None and counters.enabled
     table = FrameTable(frames)
     faults = 0
     cold_faults = 0
@@ -113,9 +134,16 @@ def simulate_trace(
             policy.on_access(page, index, modified=write)
             continue
         faults += 1
-        if page not in seen:
+        cold = page not in seen
+        if cold:
             cold_faults += 1
             seen.add(page)
+        if counting:
+            counters.increment("replay.faults")
+            if cold:
+                counters.increment("replay.cold_faults")
+        if tracing:
+            tracer.emit(Fault(time=index, unit=page, write=write))
         if record_positions:
             positions.append(index)
         if table.is_full():
@@ -127,11 +155,17 @@ def simulate_trace(
             table.release(victim)
             policy.on_evict(victim)
             evictions += 1
+            if counting:
+                counters.increment("replay.evictions")
+            if tracing:
+                tracer.emit(Evict(time=index, unit=victim))
             if record_evictions:
                 victims.append(victim)
         table.acquire(page)
         policy.on_load(page, index, modified=write)
 
+    if counting:
+        counters.increment("replay.references", len(trace))
     return SimulationResult(
         policy=policy.name,
         frames=frames,

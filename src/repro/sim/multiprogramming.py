@@ -39,6 +39,8 @@ class Think:
         if self.duration <= 0:
             raise ValueError("think duration must be positive")
 
+from repro.observe.events import Evict, Fault, Place
+from repro.observe.tracer import Tracer, as_tracer
 from repro.paging.frame import FrameTable
 from repro.paging.replacement.base import ReplacementPolicy
 from repro.sim.engine import EventQueue
@@ -196,6 +198,11 @@ class MultiprogrammingSimulator:
         of per-program partitions — global vs. local replacement, the
         storage-allocation/scheduling coupling of conclusion (i).  In
         this mode each spec's ``frames`` and ``policy`` are unused.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving
+        ``Fault`` / ``Place`` / ``Evict`` events tagged with the owning
+        program's name, in global simulated-time order — the
+        multiprogrammed interleaving the per-program results can't show.
     """
 
     def __init__(
@@ -206,6 +213,7 @@ class MultiprogrammingSimulator:
         page_size: int = 512,
         shared_frames: int | None = None,
         shared_policy: ReplacementPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not specs:
             raise ValueError("need at least one program")
@@ -226,6 +234,7 @@ class MultiprogrammingSimulator:
         self.scheduler = scheduler
         self.fetch_time = fetch_time
         self.page_size = page_size
+        self.tracer = as_tracer(tracer)
         self._programs = {
             spec.name: _Program(spec, page_size) for spec in specs
         }
@@ -325,12 +334,20 @@ class MultiprogrammingSimulator:
             # contended meanwhile).
             program.faults += 1
             program.settle(self.now)
+            if self.tracer.enabled:
+                self.tracer.emit(Fault(
+                    time=self.now, unit=page, program=spec.name,
+                ))
             if self._pool is None and program.frames.is_full():
                 victim = spec.policy.choose_victim(
                     program.frames.resident_pages(), self.now
                 )
                 program.frames.release(victim)
                 spec.policy.on_evict(victim)
+                if self.tracer.enabled:
+                    self.tracer.emit(Evict(
+                        time=self.now, unit=victim, program=spec.name,
+                    ))
             program.state = _State.WAITING
             self._events.schedule(
                 self.now + self.fetch_time, (spec.name, page)
@@ -348,12 +365,20 @@ class MultiprogrammingSimulator:
             if unit not in self._pool:
                 if self._pool.is_full():
                     self._evict_from_pool(time)
-                self._pool.acquire(unit)
+                frame = self._pool.acquire(unit)
                 program.external_resident += 1
                 self._pool_policy.on_load(unit, time)
+                if self.tracer.enabled:
+                    self.tracer.emit(Place(
+                        time=time, unit=page, where=frame, program=name,
+                    ))
         else:
-            program.frames.acquire(page)
+            frame = program.frames.acquire(page)
             program.spec.policy.on_load(page, time)
+            if self.tracer.enabled:
+                self.tracer.emit(Place(
+                    time=time, unit=page, where=frame, program=name,
+                ))
         program.state = _State.READY
         program.settle(time)   # zero-length, but refreshes occupancy basis
         self.scheduler.make_ready(name)
@@ -386,6 +411,10 @@ class MultiprogrammingSimulator:
         self._pool.release(victim)
         owner.external_resident -= 1
         self._pool_policy.on_evict(victim)
+        if self.tracer.enabled:
+            self.tracer.emit(Evict(
+                time=time, unit=victim[1], program=victim[0],
+            ))
 
     def _finish(self, program: _Program) -> None:
         program.settle(self.now)

@@ -10,6 +10,16 @@ pages".
 
 :class:`SpaceTimeAccount` integrates ``occupied_words × dt`` piecewise,
 attributing each interval to the active or the waiting component.
+
+For run-wide reporting, fold an account into a counters registry with
+:func:`repro.observe.counters.absorb_spacetime`, which records the two
+components under ``spacetime.active`` / ``spacetime.waiting``:
+
+>>> account = SpaceTimeAccount()
+>>> account.accumulate(words=1024, duration=10, waiting=False)
+>>> account.accumulate(words=1024, duration=40, waiting=True)
+>>> account.breakdown.waiting_share
+0.8
 """
 
 from __future__ import annotations
@@ -37,7 +47,13 @@ class SpaceTimeBreakdown:
 
 
 class SpaceTimeAccount:
-    """Piecewise integrator of storage occupancy over time."""
+    """Piecewise integrator of storage occupancy over time.
+
+    Call :meth:`accumulate` once per interval during which the words
+    held stayed constant; read the result from :attr:`breakdown`.  The
+    account never resets — integrate one program (or one run) per
+    instance.
+    """
 
     __slots__ = ("_active", "_waiting", "intervals")
 

@@ -1,0 +1,85 @@
+"""The ``python -m repro trace`` command, end to end on tiny workloads."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.observe.cli import build_parser, main, make_workload, run_trace
+from repro.observe.sinks import read_jsonl
+
+
+def run_cli(tmp_path, *extra):
+    output = tmp_path / "trace.jsonl"
+    args = build_parser().parse_args([
+        "phased", "--length", "300", "--pages", "32", "--frames", "8",
+        "--output", str(output), *extra,
+    ])
+    stream = io.StringIO()
+    status = run_trace(args, stream=stream)
+    return status, output, stream.getvalue()
+
+
+def test_writes_jsonl_and_prints_report(tmp_path):
+    status, output, report = run_cli(tmp_path)
+    assert status == 0
+    events = read_jsonl(output)
+    assert events, "the trace file must hold events"
+    kinds = {event.kind for event in events}
+    assert {"fault", "place"} <= kinds
+    # the printed report carries all three tables
+    assert "trace replay" in report
+    assert "run counters" in report
+    assert "pager.faults" in report
+    assert "events" in report
+
+
+def test_report_counters_match_the_trace_file(tmp_path):
+    _, output, report = run_cli(tmp_path)
+    faults_in_file = sum(1 for e in read_jsonl(output) if e.kind == "fault")
+    for line in report.splitlines():
+        if line.startswith("events.fault"):
+            assert int(line.split()[-1]) == faults_in_file
+            break
+    else:
+        pytest.fail("events.fault missing from the report")
+
+
+def test_export_json(tmp_path):
+    exported = tmp_path / "counters.json"
+    run_cli(tmp_path, "--export-json", str(exported))
+    payload = json.loads(exported.read_text())
+    assert payload["pager.accesses"] == 300
+
+
+def test_saved_trace_replays(tmp_path):
+    from repro.workload import save_trace
+
+    path = tmp_path / "workload.trace"
+    save_trace(path, [0, 1, 2, 1, 0, 3] * 10)
+    args = build_parser().parse_args([
+        str(path), "--frames", "2",
+        "--output", str(tmp_path / "out.jsonl"),
+    ])
+    status = run_trace(args, stream=io.StringIO())
+    assert status == 0
+
+
+def test_unknown_workload_fails_loudly():
+    with pytest.raises(SystemExit):
+        make_workload("made-up-name", length=10, pages=4, seed=0)
+
+
+def test_main_rejects_nonpositive_sizes():
+    with pytest.raises(SystemExit):
+        main(["phased", "--length", "0"])
+
+
+def test_every_named_workload_resolves():
+    from repro.observe.cli import WORKLOADS
+
+    for name in WORKLOADS:
+        trace = make_workload(name, length=64, pages=16, seed=1)
+        assert len(trace) > 0

@@ -1,0 +1,136 @@
+"""Counters registry: recording, null no-op mode, and the absorb adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import FreeListAllocator
+from repro.observe import (
+    NULL_COUNTERS,
+    Counters,
+    absorb_allocator_counters,
+    absorb_associative_memory,
+    absorb_pager_stats,
+    absorb_spacetime,
+)
+from repro.sim.spacetime import SpaceTimeAccount
+
+
+class TestRegistry:
+    def test_increment_and_value(self):
+        counters = Counters()
+        counters.increment("pager.faults")
+        counters.increment("pager.faults", 4)
+        assert counters.value("pager.faults") == 5
+        assert counters.value("never.touched") == 0
+
+    def test_record_is_last_write_wins(self):
+        counters = Counters()
+        counters.record("clock.cycles", 10)
+        counters.record("clock.cycles", 99)
+        assert counters.value("clock.cycles") == 99
+
+    def test_snapshot_is_sorted_and_detached(self):
+        counters = Counters()
+        counters.increment("b", 2)
+        counters.increment("a", 1)
+        snap = counters.snapshot()
+        assert list(snap) == ["a", "b"]
+        snap["a"] = 1000
+        assert counters.value("a") == 1
+
+    def test_timer_accumulates_under_seconds_suffix(self):
+        counters = Counters()
+        with counters.timer("replay"):
+            pass
+        with counters.timer("replay"):
+            pass
+        snap = counters.snapshot()
+        assert "replay_seconds" in snap
+        assert snap["replay_seconds"] >= 0.0
+
+    def test_merge_sums(self):
+        left, right = Counters(), Counters()
+        left.increment("x", 3)
+        right.increment("x", 4)
+        right.increment("y", 1)
+        left.merge(right)
+        assert left.value("x") == 7
+        assert left.value("y") == 1
+
+
+class TestNullCounters:
+    def test_records_nothing(self):
+        NULL_COUNTERS.increment("anything", 100)
+        NULL_COUNTERS.record("gauge", 5)
+        with NULL_COUNTERS.timer("t"):
+            pass
+        assert len(NULL_COUNTERS) == 0
+        assert NULL_COUNTERS.snapshot() == {}
+
+    def test_disabled_flag_supports_hot_path_guards(self):
+        assert NULL_COUNTERS.enabled is False
+        assert Counters().enabled is True
+
+    def test_merge_into_null_rejected(self):
+        with pytest.raises(ValueError):
+            NULL_COUNTERS.merge(Counters())
+
+
+class TestAdapters:
+    def test_absorb_allocator(self):
+        allocator = FreeListAllocator(capacity=1024, policy="first_fit")
+        block = allocator.allocate(100)
+        allocator.allocate(50)
+        allocator.free(block)
+        counters = Counters()
+        absorb_allocator_counters(counters, allocator.counters)
+        assert counters.value("alloc.requests") == 2
+        assert counters.value("alloc.frees") == 1
+        assert counters.value("alloc.words_allocated") == 150
+
+    def test_absorb_pager(self):
+        from repro.paging.pager import PagerStats
+
+        stats = PagerStats()
+        stats.accesses = 10
+        stats.faults = 3
+        counters = Counters()
+        absorb_pager_stats(counters, stats)
+        assert counters.value("pager.accesses") == 10
+        assert counters.value("pager.faults") == 3
+
+    def test_absorb_tlb(self):
+        from repro.addressing.associative import AssociativeMemory
+
+        tlb = AssociativeMemory(2)
+        tlb.insert(1, 10)
+        assert tlb.lookup(1) == 10
+        assert tlb.lookup(2) is None
+        counters = Counters()
+        absorb_associative_memory(counters, tlb)
+        assert counters.value("tlb.hits") == 1
+        assert counters.value("tlb.misses") == 1
+
+    def test_absorb_spacetime_accepts_account_or_breakdown(self):
+        account = SpaceTimeAccount()
+        account.accumulate(words=100, duration=5, waiting=False)
+        account.accumulate(words=100, duration=3, waiting=True)
+        via_account, via_breakdown = Counters(), Counters()
+        absorb_spacetime(via_account, account)
+        absorb_spacetime(via_breakdown, account.breakdown)
+        assert via_account.snapshot() == via_breakdown.snapshot()
+        assert via_account.value("spacetime.active") == 500
+        assert via_account.value("spacetime.waiting") == 300
+
+    def test_adapters_merge_across_subsystems(self):
+        """Dotted prefixes keep one registry per run, not per subsystem."""
+        allocator = FreeListAllocator(capacity=256, policy="best_fit")
+        allocator.allocate(16)
+        counters = Counters()
+        absorb_allocator_counters(counters, allocator.counters)
+        account = SpaceTimeAccount()
+        account.accumulate(words=16, duration=4, waiting=False)
+        absorb_spacetime(counters, account)
+        names = set(counters.snapshot())
+        assert {"alloc.requests", "spacetime.active"} <= names

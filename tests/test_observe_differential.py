@@ -1,0 +1,94 @@
+"""Fastpath and reference replay must report identical aggregate counters.
+
+The batched kernels (``repro.fastpath.replay``) skip the per-access loop,
+so they cannot increment counters event by event; instead they absorb
+their ``SimulationResult`` totals.  The reference loop increments inline
+as each fault/eviction happens.  These are two independent accounting
+mechanisms, and this suite pins them to each other across 100 seeds —
+the observability half of the fastpath bit-identity contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import Counters, RingBufferSink, Tracer
+from repro.paging import make_policy, simulate_trace
+from repro.workload import phased_trace, random_trace, zipf_trace
+
+SEEDS = range(100)
+FAST_POLICIES = ("lru", "fifo", "clock", "opt")
+
+REPLAY_NAMES = (
+    "replay.references", "replay.faults", "replay.cold_faults",
+    "replay.evictions",
+)
+
+
+def make_trace(seed):
+    generator = (phased_trace, random_trace, zipf_trace)[seed % 3]
+    return generator(pages=48, length=400, seed=seed)
+
+
+def run(trace, policy_name, frames, fast):
+    if policy_name == "opt":
+        policy = make_policy("opt", trace=trace)
+    else:
+        policy = make_policy(policy_name)
+    counters = Counters()
+    result = simulate_trace(
+        trace, frames=frames, policy=policy, fast=fast, counters=counters,
+    )
+    return result, counters.snapshot()
+
+
+@pytest.mark.parametrize("policy_name", FAST_POLICIES)
+def test_counter_totals_identical_across_100_seeds(policy_name):
+    for seed in SEEDS:
+        trace = make_trace(seed)
+        frames = 4 + seed % 13
+        fast_result, fast_counts = run(trace, policy_name, frames, fast=True)
+        ref_result, ref_counts = run(trace, policy_name, frames, fast=False)
+        assert fast_counts == ref_counts, (
+            f"counter divergence: policy={policy_name} seed={seed} "
+            f"frames={frames}"
+        )
+        assert fast_result.faults == ref_result.faults
+
+
+def test_counters_cover_every_replay_name():
+    trace = make_trace(7)
+    _, counts = run(trace, "lru", frames=8, fast=True)
+    assert set(counts) == set(REPLAY_NAMES)
+    assert counts["replay.references"] == len(trace)
+    assert counts["replay.cold_faults"] <= counts["replay.faults"]
+
+
+def test_enabled_tracer_forces_reference_loop_with_same_counters():
+    """Tracing needs per-event resolution, so the kernel is bypassed —
+    but the counter totals must not change."""
+    trace = make_trace(11)
+    ring = RingBufferSink(8192)
+    traced_counters = Counters()
+    traced = simulate_trace(
+        trace, frames=8, policy=make_policy("lru"), fast=True,
+        tracer=Tracer([ring]), counters=traced_counters,
+    )
+    _, kernel_counts = run(trace, "lru", frames=8, fast=True)
+    assert traced_counters.snapshot() == kernel_counts
+    faults = [e for e in ring.events() if e.kind == "fault"]
+    evicts = [e for e in ring.events() if e.kind == "evict"]
+    assert len(faults) == traced.faults
+    assert len(evicts) == traced.evictions
+
+
+def test_counters_accumulate_across_runs():
+    """One registry can hold a whole experiment: totals sum over calls."""
+    trace = make_trace(3)
+    counters = Counters()
+    a = simulate_trace(trace, frames=6, policy=make_policy("fifo"),
+                       counters=counters)
+    b = simulate_trace(trace, frames=12, policy=make_policy("fifo"),
+                       counters=counters)
+    assert counters.value("replay.references") == 2 * len(trace)
+    assert counters.value("replay.faults") == a.faults + b.faults

@@ -1,0 +1,73 @@
+"""Event taxonomy: construction, serialization, lossless round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import (
+    EVENT_TYPES,
+    Advice,
+    Compact,
+    Evict,
+    Fault,
+    Free,
+    MapLookup,
+    Place,
+    event_from_dict,
+)
+
+ALL_EVENTS = [
+    Fault(time=3, unit=7, write=True, program="alpha"),
+    Place(time=4, unit=7, where=2, size=512, policy="lru",
+          prefetch=False, program="alpha"),
+    Evict(time=9, unit=1, writeback=True, overlapped=False, program="beta"),
+    Free(time=5, address=1024, size=96),
+    Compact(time=6, moves=3, words_moved=288, holes_before=4, holes_after=1),
+    MapLookup(time=2, unit=(1, 7), mapping_cycles=1, associative_hit=False),
+    Advice(time=8, directive="release", unit=(0, 3)),
+]
+
+
+def test_registry_covers_every_event_type():
+    assert set(EVENT_TYPES) == {
+        "fault", "place", "evict", "free", "compact", "map_lookup", "advice",
+    }
+    for kind, cls in EVENT_TYPES.items():
+        assert cls.kind == kind
+
+
+@pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+def test_round_trip_is_lossless(event):
+    payload = event.to_dict()
+    assert payload["event"] == event.kind
+    revived = event_from_dict(payload)
+    assert revived == event
+    assert type(revived) is type(event)
+
+
+def test_segment_page_units_survive_json():
+    """JSON turns tuples into lists; deserialization must revive them."""
+    import json
+
+    event = MapLookup(time=1, unit=(2, 9), mapping_cycles=2,
+                      associative_hit=False)
+    wire = json.loads(json.dumps(event.to_dict()))
+    assert wire["unit"] == [2, 9]
+    assert event_from_dict(wire).unit == (2, 9)
+
+
+def test_events_are_immutable():
+    fault = Fault(time=0, unit=1)
+    with pytest.raises(AttributeError):
+        fault.unit = 2
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        event_from_dict({"event": "teleport", "time": 0})
+
+
+def test_defaults_keep_construction_terse():
+    fault = Fault(time=10, unit=4)
+    assert fault.write is False
+    assert fault.program is None

@@ -1,0 +1,92 @@
+"""Sinks: ring-buffer wraparound, JSONL round-trip, callbacks."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.observe import (
+    CallbackSink,
+    Evict,
+    Fault,
+    JsonlSink,
+    RingBufferSink,
+    Tracer,
+    read_jsonl,
+)
+
+
+def events(n):
+    return [Fault(time=i, unit=i % 5) for i in range(n)]
+
+
+class TestRingBuffer:
+    def test_retains_newest_on_wraparound(self):
+        ring = RingBufferSink(4)
+        for event in events(10):
+            ring.accept(event)
+        held = ring.events()
+        assert [e.time for e in held] == [6, 7, 8, 9]
+        assert len(ring) == 4
+        assert ring.accepted == 10
+        assert ring.dropped == 6
+
+    def test_under_capacity_drops_nothing(self):
+        ring = RingBufferSink(16)
+        for event in events(3):
+            ring.accept(event)
+        assert [e.time for e in ring.events()] == [0, 1, 2]
+        assert ring.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonl:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        originals = [
+            Fault(time=1, unit=(0, 3), write=True),
+            Evict(time=2, unit=(0, 1), writeback=True),
+        ]
+        with JsonlSink(path) as sink:
+            for event in originals:
+                sink.accept(event)
+        assert read_jsonl(path) == originals
+
+    def test_borrowed_stream_left_open(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.accept(Fault(time=0, unit=9))
+        sink.close()
+        assert not stream.closed
+        line = stream.getvalue().strip()
+        assert line.startswith('{"event":"fault"')
+
+    def test_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for event in events(7):
+                sink.accept(event)
+        assert len(path.read_text().splitlines()) == 7
+
+
+def test_callback_sink_forwards_every_event():
+    seen = []
+    sink = CallbackSink(seen.append)
+    for event in events(5):
+        sink.accept(event)
+    assert len(seen) == 5
+
+
+def test_tracer_fans_out_to_all_sinks():
+    ring = RingBufferSink(8)
+    counted = []
+    tracer = Tracer([ring, CallbackSink(counted.append)])
+    for event in events(3):
+        tracer.emit(event)
+    assert tracer.emitted == 3
+    assert len(ring) == 3
+    assert len(counted) == 3

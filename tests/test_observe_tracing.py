@@ -1,0 +1,132 @@
+"""Instrumented subsystems emit the right events — and nothing when off."""
+
+from __future__ import annotations
+
+from repro.addressing import PageTable
+from repro.addressing.associative import AssociativeMemory
+from repro.advice import AdvisedPager, wont_need
+from repro.alloc import FreeListAllocator, compact
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.observe import NULL_TRACER, RingBufferSink, Tracer
+from repro.paging import DemandPager, FrameTable, LruPolicy
+
+
+def make_tracer(capacity=256):
+    ring = RingBufferSink(capacity)
+    return Tracer([ring]), ring
+
+
+def make_pager(tracer, frames=2, pages=16, tlb=None, trace_mapper=False):
+    clock = Clock()
+    table = PageTable(page_size=512, pages=pages, associative_memory=tlb,
+                      tracer=tracer if trace_mapper else None)
+    backing = BackingStore(
+        StorageLevel("drum", 10**7, access_time=100), clock=clock,
+    )
+    return DemandPager(
+        table, FrameTable(frames), backing, LruPolicy(), clock, tracer=tracer,
+    )
+
+
+def kinds(ring):
+    return [event.kind for event in ring.events()]
+
+
+class TestPagerEmission:
+    def test_fault_place_evict_sequence(self):
+        tracer, ring = make_tracer()
+        pager = make_pager(tracer, frames=2)
+        pager.access_page(0)
+        pager.access_page(1)
+        pager.access_page(2)            # displaces page 0
+        assert kinds(ring) == [
+            "fault", "place", "fault", "place", "fault", "evict", "place",
+        ]
+        evict = ring.events()[5]
+        assert evict.unit == 0
+        assert evict.writeback is False
+
+    def test_dirty_eviction_flags_writeback(self):
+        tracer, ring = make_tracer()
+        pager = make_pager(tracer, frames=1)
+        pager.access_page(0, write=True)
+        pager.access_page(1)
+        evicts = [e for e in ring.events() if e.kind == "evict"]
+        assert evicts[0].writeback is True
+
+    def test_event_times_follow_the_clock(self):
+        tracer, ring = make_tracer()
+        pager = make_pager(tracer)
+        pager.access_page(0)
+        times = [event.time for event in ring.events()]
+        assert times == sorted(times)
+        assert times[-1] <= pager.clock.now
+
+
+class TestMapperEmission:
+    def test_walks_and_associative_hits(self):
+        tracer, ring = make_tracer()
+        pager = make_pager(tracer, tlb=AssociativeMemory(4),
+                           trace_mapper=True)
+        pager.access_page(3)
+        pager.access_page(3)
+        lookups = [e for e in ring.events() if e.kind == "map_lookup"]
+        assert len(lookups) == 2
+        assert lookups[0].associative_hit is False
+        assert lookups[0].mapping_cycles > 0
+        assert lookups[1].associative_hit is True
+        assert lookups[1].mapping_cycles == 0
+
+
+class TestAllocatorEmission:
+    def test_place_free_compact(self):
+        tracer, ring = make_tracer()
+        allocator = FreeListAllocator(
+            capacity=1024, policy="first_fit", tracer=tracer,
+        )
+        keep = allocator.allocate(100)
+        victim = allocator.allocate(100)
+        allocator.allocate(100)
+        allocator.free(victim)
+        compact(allocator)
+        assert kinds(ring) == ["place", "place", "place", "free", "compact"]
+        compaction = ring.events()[-1]
+        assert compaction.moves >= 1
+        assert compaction.holes_after == 1
+        place = ring.events()[0]
+        assert place.unit == keep.address
+        assert place.size == 100
+        assert place.policy == "first_fit"
+
+
+class TestAdviceEmission:
+    def test_directives_reach_the_trace(self):
+        tracer, ring = make_tracer()
+        advised = AdvisedPager.wrap(make_pager(tracer, frames=4))
+        advised.pager.access_page(0)
+        advised.advise(wont_need(0))
+        advice = [e for e in ring.events() if e.kind == "advice"]
+        assert len(advice) == 1
+        assert advice[0].directive == "wont_need"
+        assert advice[0].unit == 0
+
+
+class TestDisabledTracing:
+    def test_null_tracer_emits_nothing(self):
+        pager = make_pager(None, frames=2)
+        assert pager.tracer is NULL_TRACER
+        pager.access_page(0)
+        pager.access_page(1)
+        pager.access_page(2)
+        assert pager.tracer.emitted == 0
+        assert pager.stats.faults == 3      # behaviour itself is unchanged
+
+    def test_traced_and_untraced_runs_agree(self):
+        tracer, _ = make_tracer()
+        traced, silent = make_pager(tracer), make_pager(None)
+        for page in [0, 1, 2, 0, 3, 1, 2]:
+            traced.access_page(page)
+            silent.access_page(page)
+        assert traced.stats.faults == silent.stats.faults
+        assert traced.clock.now == silent.clock.now

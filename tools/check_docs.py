@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Execute the ``python`` code blocks in README.md and docs/*.md.
+
+Documentation that cannot run rots silently; this keeps every fenced
+``python`` block a working program against the current source tree.
+
+Rules:
+
+- Only blocks fenced exactly as ```` ```python ```` are executed; bash,
+  text, and output blocks are ignored.
+- A block preceded (within two lines) by the marker comment
+  ``<!-- check-docs: skip -->`` is skipped — for illustrative fragments
+  that are deliberately incomplete.
+- Each block runs in a fresh namespace, in a temporary working
+  directory so example output files don't litter the checkout.
+- Blocks are found with the same regex per file; a file with no python
+  blocks passes trivially.
+
+Exit status is the number of failing blocks (0 = all good).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SKIP_MARKER = "<!-- check-docs: skip -->"
+FENCE = re.compile(r"^```python[ \t]*$")
+
+
+def python_blocks(text: str):
+    """Yield (start_line, source) for each runnable ```python block."""
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        if FENCE.match(lines[index]):
+            recent = "\n".join(lines[max(0, index - 2):index])
+            start = index + 1
+            body = []
+            index += 1
+            while index < len(lines) and lines[index].rstrip() != "```":
+                body.append(lines[index])
+                index += 1
+            if SKIP_MARKER not in recent:
+                yield start + 1, "\n".join(body)
+        index += 1
+
+
+def run_block(path: Path, line: int, source: str) -> bool:
+    label = f"{path.relative_to(ROOT)}:{line}"
+    try:
+        code = compile(source, str(label), "exec")
+        with tempfile.TemporaryDirectory() as scratch:
+            cwd = os.getcwd()
+            os.chdir(scratch)
+            try:
+                with contextlib.redirect_stdout(open(os.devnull, "w")):
+                    exec(code, {"__name__": "__check_docs__"})
+            finally:
+                os.chdir(cwd)
+    except Exception:
+        print(f"FAIL {label}")
+        traceback.print_exc()
+        return False
+    print(f"ok   {label}")
+    return True
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    targets = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    failures = 0
+    for path in targets:
+        if not path.exists():
+            continue
+        for line, source in python_blocks(path.read_text(encoding="utf-8")):
+            if not run_block(path, line, source):
+                failures += 1
+    print(f"{failures} failing block(s)" if failures else "all doc blocks ran")
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
