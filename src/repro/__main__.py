@@ -9,6 +9,12 @@
 ``python -m repro trace``    replays a workload with event tracing on
                              and writes a JSONL trace plus a summary
                              report (see :mod:`repro.observe.cli`).
+``python -m repro analyze``  derives windowed time-series, interval
+                             summaries and sparklines from a JSONL
+                             trace (see :mod:`repro.observe.analysis`).
+``python -m repro trace-diff`` aligns two JSONL traces and reports the
+                             divergence point and per-kind deltas;
+                             exits 1 when the traces differ.
 """
 
 from __future__ import annotations
@@ -85,6 +91,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.observe.cli import main as trace_main
 
         return trace_main(arguments[1:])
+    elif command == "analyze":
+        from repro.observe.analysis.cli import main_analyze
+
+        return main_analyze(arguments[1:])
+    elif command == "trace-diff":
+        from repro.observe.analysis.cli import main_diff
+
+        return main_diff(arguments[1:])
     else:
         print(__doc__)
         return 1

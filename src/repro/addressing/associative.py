@@ -22,12 +22,23 @@ import random
 from collections import OrderedDict
 from typing import Hashable
 
+from repro.observe.events import MapLookup
+from repro.observe.tracer import Tracer, as_tracer
+
 
 class AssociativeMemory:
     """A fixed-capacity key→value store searched associatively.
 
     A ``capacity`` of 0 models a machine with no associative memory: every
     lookup misses.
+
+    An optional ``tracer`` receives one ``MapLookup`` per lookup with
+    ``associative_hit`` set accordingly, timestamped by the running
+    lookup count (the memory keeps no clock).  Mappers that *contain* an
+    associative memory (:class:`~repro.addressing.page_table.PageTable`,
+    the two-level mapper) emit their own ``MapLookup`` per translation —
+    wire a tracer to one layer or the other, not both, unless you want
+    the translation and the TLB probe as separate events.
 
     >>> tlb = AssociativeMemory(capacity=2)
     >>> tlb.insert("page-3", 7)
@@ -42,6 +53,7 @@ class AssociativeMemory:
         capacity: int,
         policy: str = "lru",
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
@@ -51,6 +63,7 @@ class AssociativeMemory:
         self.policy = policy
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._rng = random.Random(seed)
+        self.tracer = as_tracer(tracer)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -65,8 +78,18 @@ class AssociativeMemory:
             self.hits += 1
             if self.policy == "lru":
                 self._entries.move_to_end(key)
+            if self.tracer.enabled:
+                self.tracer.emit(MapLookup(
+                    time=self.hits + self.misses, unit=key,
+                    mapping_cycles=0, associative_hit=True,
+                ))
             return self._entries[key]
         self.misses += 1
+        if self.tracer.enabled:
+            self.tracer.emit(MapLookup(
+                time=self.hits + self.misses, unit=key,
+                mapping_cycles=0, associative_hit=False,
+            ))
         return None
 
     def insert(self, key: Hashable, value: object) -> None:

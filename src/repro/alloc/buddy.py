@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from repro.alloc.base import Allocation, AllocatorCounters, check_free_known
 from repro.errors import InvalidFree, OutOfMemory
+from repro.observe.events import Free, Place
+from repro.observe.tracer import Tracer, as_tracer
 
 
 def _round_up_pow2(n: int) -> int:
@@ -31,6 +33,12 @@ class BuddyAllocator:
         Words managed; must itself be a power of two.
     min_block:
         Smallest block ever handed out (grain of the size classes).
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving a
+        ``Place`` per allocation (``size`` is the *rounded* block
+        actually reserved, so occupancy analysis sees the internal
+        fragmentation) and a ``Free`` per release, timestamped by the
+        running request+free count.
 
     >>> allocator = BuddyAllocator(256, min_block=16)
     >>> block = allocator.allocate(20)      # rounded up to 32
@@ -38,7 +46,12 @@ class BuddyAllocator:
     32
     """
 
-    def __init__(self, capacity: int, min_block: int = 1) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        min_block: int = 1,
+        tracer: Tracer | None = None,
+    ) -> None:
         if capacity <= 0 or capacity & (capacity - 1):
             raise ValueError(f"capacity must be a power of two, got {capacity}")
         if min_block <= 0 or min_block & (min_block - 1):
@@ -56,6 +69,7 @@ class BuddyAllocator:
         self._live: dict[int, Allocation] = {}      # address -> requested size
         self._block_orders: dict[int, int] = {}     # address -> order granted
         self.counters = AllocatorCounters()
+        self.tracer = as_tracer(tracer)
 
     def _order_for(self, size: int) -> int:
         rounded = max(_round_up_pow2(size), self.min_block)
@@ -88,6 +102,11 @@ class BuddyAllocator:
         allocation = Allocation(address, size)
         self._live[address] = allocation
         self._block_orders[address] = order
+        if self.tracer.enabled:
+            self.tracer.emit(Place(
+                time=self.counters.requests + self.counters.frees,
+                unit=address, where=address, size=1 << order, policy="buddy",
+            ))
         return allocation
 
     def free(self, allocation: Allocation) -> None:
@@ -95,6 +114,11 @@ class BuddyAllocator:
         del self._live[allocation.address]
         order = self._block_orders.pop(allocation.address)
         self.counters.record_free(allocation.size)
+        if self.tracer.enabled:
+            self.tracer.emit(Free(
+                time=self.counters.requests + self.counters.frees,
+                address=allocation.address, size=1 << order,
+            ))
         address = allocation.address
         max_order = self.capacity.bit_length() - 1
         while order < max_order:

@@ -29,6 +29,8 @@ from typing import Callable, Iterable
 
 from repro.alloc.base import Allocation, AllocatorCounters, check_free_known
 from repro.errors import OutOfMemory
+from repro.observe.events import Free, Place
+from repro.observe.tracer import Tracer, as_tracer
 
 
 class RiceAllocator:
@@ -41,6 +43,11 @@ class RiceAllocator:
     back_reference_words:
         Overhead words prepended to every active block (1 in the paper:
         the back reference to the codeword).
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving a
+        ``Place`` per granted block (``size`` is the gross extent,
+        back reference included) and a ``Free`` per block designated
+        inactive, timestamped by the running request+free count.
 
     >>> allocator = RiceAllocator(1000)
     >>> block = allocator.allocate(99)
@@ -50,7 +57,12 @@ class RiceAllocator:
     0
     """
 
-    def __init__(self, capacity: int, back_reference_words: int = 1) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        back_reference_words: int = 1,
+        tracer: Tracer | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if back_reference_words < 0:
@@ -61,6 +73,7 @@ class RiceAllocator:
         self._chain: list[tuple[int, int]] = []   # inactive blocks, freed order
         self._live: dict[int, Allocation] = {}
         self.counters = AllocatorCounters()
+        self.tracer = as_tracer(tracer)
         self.combines = 0
         self.replacement_rounds = 0
 
@@ -92,6 +105,11 @@ class RiceAllocator:
             )
         allocation = Allocation(address, gross)
         self._live[address] = allocation
+        if self.tracer.enabled:
+            self.tracer.emit(Place(
+                time=self.counters.requests + self.counters.frees,
+                unit=address, where=address, size=gross, policy="rice",
+            ))
         return allocation
 
     def _take(self, gross: int) -> int | None:
@@ -119,6 +137,11 @@ class RiceAllocator:
         check_free_known(allocation, self._live, "RiceAllocator")
         del self._live[allocation.address]
         self.counters.record_free(allocation.size)
+        if self.tracer.enabled:
+            self.tracer.emit(Free(
+                time=self.counters.requests + self.counters.frees,
+                address=allocation.address, size=allocation.size,
+            ))
         self._chain.insert(0, (allocation.address, allocation.size))
 
     def combine_adjacent(self) -> int:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from repro.alloc.base import Allocation, AllocatorCounters, check_free_known, coalesce
 from repro.errors import OutOfMemory
+from repro.observe.events import Free, Place
+from repro.observe.tracer import Tracer, as_tracer
 
 
 class TwoEndsAllocator:
@@ -27,6 +29,10 @@ class TwoEndsAllocator:
         Words managed.
     size_threshold:
         Requests of at least this many words count as "large".
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving a
+        ``Place`` per allocation and a ``Free`` per release,
+        timestamped by the running request+free count.
 
     >>> allocator = TwoEndsAllocator(1000, size_threshold=100)
     >>> allocator.allocate(10).address        # small: from the bottom
@@ -35,7 +41,12 @@ class TwoEndsAllocator:
     800
     """
 
-    def __init__(self, capacity: int, size_threshold: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        size_threshold: int,
+        tracer: Tracer | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if size_threshold <= 0:
@@ -48,6 +59,7 @@ class TwoEndsAllocator:
         self._large_free: list[tuple[int, int]] = []
         self._live: dict[int, Allocation] = {}
         self.counters = AllocatorCounters()
+        self.tracer = as_tracer(tracer)
 
     def _is_large(self, size: int) -> bool:
         return size >= self.size_threshold
@@ -66,6 +78,11 @@ class TwoEndsAllocator:
             )
         allocation = Allocation(address, size)
         self._live[address] = allocation
+        if self.tracer.enabled:
+            self.tracer.emit(Place(
+                time=self.counters.requests + self.counters.frees,
+                unit=address, where=address, size=size, policy="two_ends",
+            ))
         return allocation
 
     def _take_from_reuse(self, size: int) -> int | None:
@@ -95,6 +112,11 @@ class TwoEndsAllocator:
         check_free_known(allocation, self._live, "TwoEndsAllocator")
         del self._live[allocation.address]
         self.counters.record_free(allocation.size)
+        if self.tracer.enabled:
+            self.tracer.emit(Free(
+                time=self.counters.requests + self.counters.frees,
+                address=allocation.address, size=allocation.size,
+            ))
         if self._is_large(allocation.size):
             self._large_free.append((allocation.address, allocation.size))
             self._large_free = coalesce(self._large_free)

@@ -7,10 +7,20 @@ in the same run, and writes a machine-readable ``BENCH_perf.json`` so
 successive PRs can track throughput like the experiments track fault
 rates.
 
+``BENCH_perf.json`` keeps latest-run semantics (one report, overwritten
+each run); the *trajectory* lives in ``BENCH_history.jsonl``, which gets
+one appended record per run — timestamp, git revision, quick/full flag,
+and the flat throughput metrics — so successive runs never overwrite
+each other.  ``--compare`` checks the current run against the last
+recorded run of the same size class and exits nonzero when any
+throughput metric regressed by more than ``--threshold`` (default 15%)
+— the CI-facing half of the observability story.
+
 Run it as::
 
     python -m repro.bench             # full sizes (a 1M-reference trace)
     python -m repro.bench --quick     # CI smoke sizes
+    python -m repro.bench --quick --compare   # regression-gate mode
     python -m repro bench             # same, via the package CLI
     python benchmarks/perf_suite.py   # same, from a source checkout
 
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from datetime import datetime, timezone
@@ -183,6 +194,105 @@ def bench_alloc(count: int, capacity: int, mean_lifetime: int) -> dict:
     }
 
 
+# -- the regression trajectory --------------------------------------------
+
+#: Throughput metrics compared by ``--compare`` — higher is better.
+THROUGHPUT_KEYS = ("reference_refs_per_s", "fast_refs_per_s")
+ALLOC_THROUGHPUT_KEYS = ("linear_ops_per_s", "indexed_ops_per_s")
+
+
+def git_revision() -> str | None:
+    """The checkout's short commit hash, or None outside a git repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def history_record(report: dict, rev: str | None = None) -> dict:
+    """One ``BENCH_history.jsonl`` line: provenance + flat throughputs."""
+    metrics: dict[str, int] = {}
+    for name, row in report["replay"]["policies"].items():
+        for key in THROUGHPUT_KEYS:
+            metrics[f"replay.{name}.{key}"] = row[key]
+    for name, row in report["alloc"]["policies"].items():
+        for key in ALLOC_THROUGHPUT_KEYS:
+            metrics[f"alloc.{name}.{key}"] = row[key]
+    return {
+        "schema": 1,
+        "created": report["created"],
+        "rev": rev,
+        "quick": report["quick"],
+        "metrics": metrics,
+    }
+
+
+def append_history(record: dict, path: Path) -> None:
+    """Append one record; the file is never rewritten, only grown."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_history(path: Path) -> list[dict]:
+    """All recorded runs, oldest first; damaged lines are skipped."""
+    if not path.exists():
+        return []
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "metrics" in record:
+                records.append(record)
+    return records
+
+
+def last_comparable(records: list[dict], quick: bool) -> dict | None:
+    """The most recent record of the same size class (quick vs. full)."""
+    for record in reversed(records):
+        if bool(record.get("quick")) == quick:
+            return record
+    return None
+
+
+def compare_records(
+    current: dict, baseline: dict, threshold: float = 0.15
+) -> list[dict]:
+    """Throughput regressions of ``current`` against ``baseline``.
+
+    Returns one entry per shared metric whose throughput dropped by more
+    than ``threshold`` (fractional): ``{"metric", "baseline", "current",
+    "change"}`` with ``change`` negative.  Improvements and sub-threshold
+    noise return nothing.
+    """
+    regressions = []
+    baseline_metrics = baseline.get("metrics", {})
+    for metric, value in sorted(current.get("metrics", {}).items()):
+        recorded = baseline_metrics.get(metric)
+        if not recorded or not value:
+            continue
+        change = value / recorded - 1.0
+        if change < -threshold:
+            regressions.append({
+                "metric": metric,
+                "baseline": recorded,
+                "current": value,
+                "change": round(change, 4),
+            })
+    return regressions
+
+
 # -- harness --------------------------------------------------------------
 
 
@@ -231,6 +341,17 @@ def _print_report(report: dict, stream=sys.stdout) -> None:
         )
 
 
+def _print_regressions(regressions: list[dict], baseline: dict) -> None:
+    provenance = baseline.get("rev") or baseline.get("created") or "unknown"
+    print(f"throughput vs. last recorded run ({provenance}):")
+    for row in regressions:
+        print(
+            f"  REGRESSION {row['metric']:<36} "
+            f"{row['baseline']:>12,} -> {row['current']:>12,}  "
+            f"({row['change'] * 100:+.1f}%)"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__.splitlines()[0]
@@ -247,14 +368,63 @@ def main(argv: list[str] | None = None) -> int:
         "--no-write", action="store_true",
         help="print the report but do not write the JSON file",
     )
+    parser.add_argument(
+        "--history", type=Path, default=Path("BENCH_history.jsonl"),
+        help="append-only run trajectory (default: ./BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the history file",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="compare against the last recorded run of the same size "
+             "class; exit nonzero on any regression past --threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="fractional throughput drop that counts as a regression "
+             "(default 0.15 = 15%%)",
+    )
     args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        raise SystemExit("--threshold must be a fraction in (0, 1)")
 
     report = run_suite(quick=args.quick)
     _print_report(report)
+    record = history_record(report, rev=git_revision())
+
+    status = 0
+    if args.compare:
+        baseline = last_comparable(read_history(args.history), args.quick)
+        if baseline is None:
+            print(
+                f"no comparable {'quick' if args.quick else 'full'} run in "
+                f"{args.history}; recording this one as the baseline"
+            )
+        else:
+            regressions = compare_records(
+                record, baseline, threshold=args.threshold
+            )
+            if regressions:
+                _print_regressions(regressions, baseline)
+                status = 1
+            else:
+                provenance = (
+                    baseline.get("rev") or baseline.get("created") or "unknown"
+                )
+                print(
+                    f"no regressions past {args.threshold:.0%} vs. last "
+                    f"recorded run ({provenance})"
+                )
+
+    if not args.no_history:
+        append_history(record, args.history)
+        print(f"appended run to {args.history}")
     if not args.no_write:
         args.output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.output}")
-    return 0
+    return status
 
 
 if __name__ == "__main__":

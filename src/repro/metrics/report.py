@@ -73,3 +73,42 @@ def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
         raise ValueError("value must be non-negative")
     filled = round(width * min(value, maximum) / maximum)
     return "#" * filled + "." * (width - filled)
+
+
+#: Sparkline glyphs, lowest to highest — plain ASCII so every terminal
+#: and log file renders them.
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line ASCII shape of a series, scaled min→max.
+
+    Series longer than ``width`` are downsampled by bucket means, so the
+    line always fits a report column.  A flat (or single-sample) series
+    renders at the lowest ink level rather than blank.
+
+    >>> sparkline([0, 1, 2, 3], width=4)
+    ' -*@'
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample: mean of each roughly-equal slice.
+        condensed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            condensed.append(sum(chunk) / len(chunk))
+        values = condensed
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return SPARK_LEVELS[1] * len(values)
+    scale = len(SPARK_LEVELS) - 1
+    return "".join(
+        SPARK_LEVELS[round((value - low) / (high - low) * scale)]
+        for value in values
+    )

@@ -19,6 +19,11 @@ This package makes those events first-class:
 - :mod:`~repro.observe.cli` — ``python -m repro trace <workload>``:
   replay a workload with tracing on, write a JSONL trace, print the
   summary tables.
+- :mod:`~repro.observe.analysis` — the analytics tier over the event
+  stream: windowed time-series (fault rate, resident set, occupancy,
+  cumulative space-time), fault→evict / place→free interval summaries,
+  cross-run trace diffing, and the ``python -m repro analyze`` /
+  ``trace-diff`` commands.
 
 Instrumented constructors (``tracer=`` keyword): the demand pager, the
 segmented pager, the free-list allocator, compaction, the page table and
@@ -27,6 +32,14 @@ emits through its wrapped pager's tracer.  The overhead contract and the
 full taxonomy live in ``docs/OBSERVABILITY.md``.
 """
 
+from repro.observe.analysis import (
+    EventStream,
+    TraceAnalytics,
+    TraceAnalyzer,
+    TraceDiff,
+    analyze_events,
+    diff_traces,
+)
 from repro.observe.counters import (
     NULL_COUNTERS,
     Counters,
@@ -39,6 +52,7 @@ from repro.observe.counters import (
 from repro.observe.events import (
     EVENT_TYPES,
     Advice,
+    Clean,
     Compact,
     Event,
     Evict,
@@ -68,10 +82,12 @@ from repro.observe.tracer import NULL_TRACER, Tracer, as_tracer
 __all__ = [
     "Advice",
     "CallbackSink",
+    "Clean",
     "Compact",
     "Counters",
     "EVENT_TYPES",
     "Event",
+    "EventStream",
     "Evict",
     "Fault",
     "Free",
@@ -82,7 +98,12 @@ __all__ = [
     "Place",
     "RingBufferSink",
     "Sink",
+    "TraceAnalytics",
+    "TraceAnalyzer",
+    "TraceDiff",
     "Tracer",
+    "analyze_events",
+    "diff_traces",
     "absorb_allocator_counters",
     "absorb_associative_memory",
     "absorb_pager_stats",

@@ -1,0 +1,278 @@
+"""``python -m repro analyze`` and ``python -m repro trace-diff``.
+
+``analyze`` derives the windowed time-series (fault rate, resident set,
+occupancy, cumulative space-time), the residency-span and
+block-lifetime percentile summaries, and the per-kind event counts from
+one JSONL trace, rendering everything through the same
+:mod:`repro.metrics.report` tables the rest of the tooling prints —
+with an ASCII sparkline per series so a trace's shape is visible
+without leaving the terminal.
+
+``trace-diff`` aligns two traces and reports the divergence point plus
+per-event-type deltas; its exit status (0 identical, 1 diverged) makes
+it usable as a CI equivalence check.
+
+Examples::
+
+    python -m repro trace phased --length 20000 -o trace.jsonl
+    python -m repro analyze trace.jsonl
+    python -m repro trace-diff trace_a.jsonl trace_b.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.metrics.report import format_table, kv_table, sparkline
+from repro.observe.analysis.stream import EventStream
+from repro.observe.analysis.timeseries import (
+    TraceAnalytics,
+    TraceAnalyzer,
+    pick_window,
+)
+from repro.observe.analysis.diff import diff_traces
+
+#: Series printed by ``analyze``, in report order.
+SERIES_ORDER = (
+    "faults", "fault_rate", "resident", "used_words", "free_words",
+    "holes", "spacetime",
+)
+
+
+def analyze_file(
+    path: str | Path, window: int | None = None, strict: bool = False
+) -> TraceAnalytics:
+    """Analyze one JSONL trace file; auto-sizes the window when None.
+
+    Auto-sizing needs the trace's time span, so it buffers the events of
+    one pass; pass an explicit ``window`` to stream with constant
+    memory instead.
+    """
+    stream = EventStream(path, strict=strict)
+    if window is None:
+        events = list(stream)
+        if events:
+            lowest = min(event.time for event in events)
+            highest = max(event.time for event in events)
+            window = pick_window(lowest, highest)
+        else:
+            window = 1
+        analyzer = TraceAnalyzer(window=window)
+        for event in events:
+            analyzer.accept(event)
+    else:
+        analyzer = TraceAnalyzer(window=window)
+        for event in stream:
+            analyzer.accept(event)
+    analytics = analyzer.finish()
+    analytics.corrupt_lines = stream.corrupt_lines
+    return analytics
+
+
+def _series_rows(analytics: TraceAnalytics) -> list[tuple]:
+    rows = []
+    named = dict(analytics.series)
+    for name, series in sorted(analytics.spacetime_by_program.items()):
+        named[series.name] = series
+    order = [name for name in SERIES_ORDER if name in named]
+    order += [name for name in sorted(named) if name not in order]
+    for name in order:
+        series = named[name]
+        if not len(series):
+            continue
+        rows.append((
+            name,
+            series.minimum(),
+            round(series.mean(), 4),
+            series.maximum(),
+            series.final(),
+            sparkline(series.values, width=40),
+        ))
+    return rows
+
+
+def _summary_rows(analytics: TraceAnalytics) -> list[tuple]:
+    rows = []
+    for label, summary in (
+        ("residency (fault→evict)", analytics.residency_summary()),
+        ("block lifetime (place→free)", analytics.lifetime_summary()),
+    ):
+        rows.append((
+            label, summary.count, summary.open_count,
+            round(summary.mean, 2), summary.percentiles[50],
+            summary.percentiles[90], summary.percentiles[99],
+            summary.maximum,
+        ))
+    return rows
+
+
+def _analytics_json(analytics: TraceAnalytics) -> dict:
+    return {
+        "window": analytics.window,
+        "events": analytics.events,
+        "first_time": analytics.first_time,
+        "last_time": analytics.last_time,
+        "corrupt_lines": analytics.corrupt_lines,
+        "kind_counts": dict(sorted(analytics.kind_counts.items())),
+        "series": {
+            name: {"times": series.times, "values": series.values}
+            for name, series in {
+                **analytics.series,
+                **{s.name: s for s in analytics.spacetime_by_program.values()},
+            }.items()
+        },
+        "residency": {
+            "count": analytics.residency_summary().count,
+            "open": analytics.residency_summary().open_count,
+            "percentiles": analytics.residency_summary().percentiles,
+        },
+        "block_lifetime": {
+            "count": analytics.lifetime_summary().count,
+            "open": analytics.lifetime_summary().open_count,
+            "percentiles": analytics.lifetime_summary().percentiles,
+        },
+        "unmatched_evicts": analytics.unmatched_evicts,
+        "unmatched_frees": analytics.unmatched_frees,
+    }
+
+
+def run_analyze(args: argparse.Namespace, stream=None) -> int:
+    stream = sys.stdout if stream is None else stream
+    analytics = analyze_file(args.trace, window=args.window)
+    print(kv_table([
+        ("trace", str(args.trace)),
+        ("events", analytics.events),
+        ("corrupt lines skipped", analytics.corrupt_lines),
+        ("time span", f"{analytics.first_time}..{analytics.last_time}"
+                      if analytics.events else "(empty)"),
+        ("window", analytics.window),
+        ("residency spans", len(analytics.residency_spans)),
+        ("block lifetimes", len(analytics.block_lifetimes)),
+        ("unmatched evicts", analytics.unmatched_evicts),
+        ("unmatched frees", analytics.unmatched_frees),
+    ], title="trace analysis"), file=stream)
+    print(file=stream)
+    if analytics.kind_counts:
+        print(format_table(
+            ["kind", "count"],
+            sorted(analytics.kind_counts.items()),
+            title="events by kind",
+        ), file=stream)
+        print(file=stream)
+    rows = _series_rows(analytics)
+    if rows:
+        print(format_table(
+            ["series", "min", "mean", "max", "last", "shape"],
+            rows, title=f"windowed series (window={analytics.window})",
+        ), file=stream)
+        print(file=stream)
+    print(format_table(
+        ["intervals", "count", "open", "mean", "p50", "p90", "p99", "max"],
+        _summary_rows(analytics), title="interval summaries",
+    ), file=stream)
+    if args.export_json:
+        Path(args.export_json).write_text(
+            json.dumps(_analytics_json(analytics), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.export_json}", file=stream)
+    return 0
+
+
+def run_diff(args: argparse.Namespace, stream=None) -> int:
+    stream = sys.stdout if stream is None else stream
+    diff = diff_traces(EventStream(args.a), EventStream(args.b))
+    divergence = []
+    if not diff.identical:
+        divergence = [
+            ("divergence index", diff.divergence_index),
+            ("a at divergence", _describe(diff.a_at_divergence)),
+            ("b at divergence", _describe(diff.b_at_divergence)),
+        ]
+    print(kv_table([
+        ("trace a", str(args.a)),
+        ("trace b", str(args.b)),
+        ("events in a", diff.a_events),
+        ("events in b", diff.b_events),
+        ("common prefix", diff.common_prefix),
+        ("identical", "yes" if diff.identical else "no"),
+        *divergence,
+    ], title="trace diff"), file=stream)
+    print(file=stream)
+    rows = [
+        (kind, diff.counts_a.get(kind, 0), diff.counts_b.get(kind, 0), delta)
+        for kind, delta in diff.deltas.items()
+    ]
+    if rows:
+        print(format_table(
+            ["kind", "a", "b", "delta"], rows, title="events by kind",
+        ), file=stream)
+    return 0 if diff.identical else 1
+
+
+def _describe(event) -> str:
+    if event is None:
+        return "(trace ended)"
+    record = event.to_dict()
+    detail = "  ".join(
+        f"{key}={value}" for key, value in record.items() if key != "event"
+    )
+    return f"{record['event']}  {detail}"
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("trace", type=Path, help="JSONL trace file "
+                        "(as written by `python -m repro trace`)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="window width in the trace's own time units "
+                             "(default: auto, about 60 windows)")
+    parser.add_argument("--export-json", type=Path, default=None,
+                        help="also write the series and summaries as JSON")
+    return parser
+
+
+def build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace-diff",
+        description="Align two JSONL traces; exit 0 when identical, "
+                    "1 at the first divergence.",
+    )
+    parser.add_argument("a", type=Path)
+    parser.add_argument("b", type=Path)
+    return parser
+
+
+def main_analyze(argv: Sequence[str] | None = None) -> int:
+    args = build_analyze_parser().parse_args(argv)
+    if args.window is not None and args.window <= 0:
+        raise SystemExit("--window must be positive")
+    if not args.trace.exists():
+        raise SystemExit(f"no such trace file: {args.trace}")
+    return run_analyze(args)
+
+
+def main_diff(argv: Sequence[str] | None = None) -> int:
+    args = build_diff_parser().parse_args(argv)
+    for path in (args.a, args.b):
+        if not path.exists():
+            raise SystemExit(f"no such trace file: {path}")
+    return run_diff(args)
+
+
+__all__ = [
+    "analyze_file",
+    "build_analyze_parser",
+    "build_diff_parser",
+    "main_analyze",
+    "main_diff",
+    "run_analyze",
+    "run_diff",
+]

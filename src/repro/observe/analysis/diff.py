@@ -1,0 +1,91 @@
+"""Cross-run trace diffing.
+
+Two runs that *should* be equivalent — reference loop vs. fastpath
+kernel, before vs. after a refactor, two seeds that ought to match —
+leave JSONL traces; :func:`diff_traces` aligns them event by event and
+reports where and how they part ways:
+
+- the **divergence point**: the index of the first differing event and
+  the two events found there (or the point where one trace simply ends
+  short of the other);
+- **per-event-type deltas**: each trace's counts per kind and the
+  difference, which localizes *what* diverged (a missing eviction reads
+  very differently from a missing map lookup) even when the divergence
+  point is deep.
+
+Events compare by value (frozen dataclass equality), so a diff of a
+trace against a lossless round-trip of itself is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Iterable
+
+from repro.observe.events import Event
+
+
+@dataclass
+class TraceDiff:
+    """The alignment of two event streams."""
+
+    a_events: int = 0
+    b_events: int = 0
+    common_prefix: int = 0
+    """Events identical from the start, before any divergence."""
+    divergence_index: int | None = None
+    """Index of the first differing position (None when identical)."""
+    a_at_divergence: Event | None = None
+    b_at_divergence: Event | None = None
+    """The two events at the divergence point; one is None when a trace
+    ended early."""
+    counts_a: dict[str, int] = field(default_factory=dict)
+    counts_b: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence_index is None
+
+    @property
+    def deltas(self) -> dict[str, int]:
+        """Per-kind ``b - a`` count differences (union of kinds, sorted)."""
+        kinds = sorted(set(self.counts_a) | set(self.counts_b))
+        return {
+            kind: self.counts_b.get(kind, 0) - self.counts_a.get(kind, 0)
+            for kind in kinds
+        }
+
+
+def diff_traces(a: Iterable[Event], b: Iterable[Event]) -> TraceDiff:
+    """Align two event streams; single pass, constant memory.
+
+    >>> from repro.observe.events import Evict, Fault
+    >>> one = [Fault(time=0, unit=1), Evict(time=3, unit=1)]
+    >>> two = [Fault(time=0, unit=1), Evict(time=4, unit=1)]
+    >>> diff = diff_traces(one, two)
+    >>> (diff.identical, diff.divergence_index, diff.common_prefix)
+    (False, 1, 1)
+    >>> diff_traces(one, list(one)).identical
+    True
+    """
+    diff = TraceDiff()
+    for index, (left, right) in enumerate(zip_longest(a, b)):
+        if left is not None:
+            diff.a_events += 1
+            diff.counts_a[left.kind] = diff.counts_a.get(left.kind, 0) + 1
+        if right is not None:
+            diff.b_events += 1
+            diff.counts_b[right.kind] = diff.counts_b.get(right.kind, 0) + 1
+        if diff.divergence_index is None and left != right:
+            diff.divergence_index = index
+            diff.a_at_divergence = left
+            diff.b_at_divergence = right
+    if diff.divergence_index is None:
+        diff.common_prefix = diff.a_events
+    else:
+        diff.common_prefix = diff.divergence_index
+    return diff
+
+
+__all__ = ["TraceDiff", "diff_traces"]

@@ -1,0 +1,109 @@
+"""Interval analyses: residency spans and block lifetimes.
+
+Two pairings turn a flat event stream into durations:
+
+- ``fault`` → ``evict`` on the same unit is a *page-residency span*:
+  the interval a unit spent occupying working storage.  A unit that is
+  never evicted is *still resident* — its span stays open and is
+  measured up to the end of the trace.
+- ``place`` (with a ``size``) → ``free`` at the same address is a
+  *block lifetime*: how long a variable-unit allocation lived.
+
+Both kinds of spans summarize the same way: count, mean, extremes, and
+nearest-rank percentiles — the shape of Figure 3's residency argument
+and of the allocator papers' lifetime distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One interval: a unit resident (or a block live) from start to end.
+
+    ``end`` is ``None`` while the span is still open (no matching evict
+    or free was seen); :meth:`duration` then measures up to ``at``.
+    """
+
+    unit: Hashable
+    start: int
+    end: int | None = None
+    program: str | None = None
+    size: int | None = None
+    """Words held, for block lifetimes; None for page residencies."""
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def duration(self, at: int | None = None) -> int:
+        """The span's length; open spans measure up to ``at``."""
+        if self.end is not None:
+            return self.end - self.start
+        if at is None:
+            raise ValueError("open span needs an `at` time to measure")
+        return max(0, at - self.start)
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalSummary:
+    """Percentile summary of a set of spans."""
+
+    count: int
+    open_count: int
+    """Spans still open at the end of the trace (still resident/live)."""
+    mean: float
+    minimum: int
+    maximum: int
+    percentiles: dict[int, int]
+    """Nearest-rank percentile → duration, e.g. ``{50: 3, 90: 12}``."""
+
+    @property
+    def total(self) -> int:
+        """Closed plus open spans."""
+        return self.count
+
+
+def percentile(sorted_values: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of an ascending sequence (q in 0..100)."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile rank must be in 0..100, got {q}")
+    rank = max(1, -(-int(q * len(sorted_values)) // 100))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def summarize_spans(
+    spans: Sequence[Span],
+    end_time: int,
+    ranks: Sequence[int] = (50, 90, 99),
+) -> IntervalSummary:
+    """Summarize closed *and* open spans; open ones measure to ``end_time``.
+
+    >>> spans = [Span("a", 0, 4), Span("b", 2, 10), Span("c", 5, None)]
+    >>> summary = summarize_spans(spans, end_time=9)
+    >>> (summary.count, summary.open_count, summary.percentiles[50])
+    (3, 1, 4)
+    """
+    durations = sorted(span.duration(at=end_time) for span in spans)
+    open_count = sum(1 for span in spans if span.open)
+    if not durations:
+        return IntervalSummary(
+            count=0, open_count=0, mean=0.0, minimum=0, maximum=0,
+            percentiles={rank: 0 for rank in ranks},
+        )
+    return IntervalSummary(
+        count=len(durations),
+        open_count=open_count,
+        mean=sum(durations) / len(durations),
+        minimum=durations[0],
+        maximum=durations[-1],
+        percentiles={rank: percentile(durations, rank) for rank in ranks},
+    )
+
+
+__all__ = ["IntervalSummary", "Span", "percentile", "summarize_spans"]

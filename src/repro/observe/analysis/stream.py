@@ -1,0 +1,95 @@
+"""Tolerant streaming reader for JSONL event traces.
+
+:func:`repro.observe.sinks.read_jsonl` is the strict form: it loads a
+whole trace and raises on the first malformed line, which is right for
+round-trip tests.  Analysis wants the opposite posture — a trace cut
+short by a crashed run, a truncated final line, or a corrupted byte in
+the middle should still yield every readable event, with the damage
+*counted* rather than fatal.  :class:`EventStream` is that reader: it
+iterates lazily (constant memory over arbitrarily long traces) and
+tallies what it had to skip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.observe.events import Event, event_from_dict
+
+
+class EventStream:
+    """Lazily iterate the typed events in a JSONL trace file.
+
+    Parameters
+    ----------
+    path:
+        The trace file (one JSON object per line, as written by
+        :class:`~repro.observe.sinks.JsonlSink`).
+    strict:
+        When True, malformed lines raise ``ValueError`` (the
+        ``read_jsonl`` posture); when False (the default), they are
+        skipped and counted in :attr:`corrupt_lines`.
+
+    The stream may be iterated more than once; counters reflect the most
+    recent full or partial pass.
+
+    >>> import tempfile, os
+    >>> fd, name = tempfile.mkstemp(); os.close(fd)
+    >>> _ = Path(name).write_text(
+    ...     '{"event":"fault","time":0,"unit":1,"write":false,"program":null}\\n'
+    ...     'not json at all\\n'
+    ...     '{"event":"evict","time":4,"unit":1,"writeback":false,'
+    ...     '"overlapped":false,"program":null}\\n'
+    ...     '{"event":"fault","ti'       # truncated mid-write
+    ... )
+    >>> stream = EventStream(name)
+    >>> [event.kind for event in stream]
+    ['fault', 'evict']
+    >>> (stream.lines, stream.corrupt_lines)
+    (4, 2)
+    >>> os.unlink(name)
+    """
+
+    def __init__(self, path: str | Path, strict: bool = False) -> None:
+        self.path = Path(path)
+        self.strict = strict
+        self.lines = 0
+        self.events = 0
+        self.corrupt_lines = 0
+
+    def __iter__(self) -> Iterator[Event]:
+        self.lines = 0
+        self.events = 0
+        self.corrupt_lines = 0
+        with open(self.path, encoding="utf-8", errors="replace") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                self.lines += 1
+                try:
+                    event = event_from_dict(json.loads(line))
+                except (ValueError, TypeError, KeyError) as error:
+                    # json decoding errors, unknown event kinds, and
+                    # field mismatches all land here: the line is
+                    # damaged, not the stream.
+                    if self.strict:
+                        raise ValueError(
+                            f"{self.path}:{number}: unreadable event line "
+                            f"({error})"
+                        ) from error
+                    self.corrupt_lines += 1
+                    continue
+                self.events += 1
+                yield event
+
+    def __repr__(self) -> str:
+        return (
+            f"EventStream({str(self.path)!r}, events={self.events}, "
+            f"corrupt={self.corrupt_lines})"
+        )
+
+
+__all__ = ["EventStream"]

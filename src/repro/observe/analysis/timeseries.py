@@ -1,0 +1,358 @@
+"""The streaming trace-analytics engine.
+
+Every quantitative figure in the paper is a *derived* series — fault
+rate over time, resident set, free and fragmented space, the cumulative
+space-time product — and :class:`TraceAnalyzer` derives them all in one
+streaming pass over an event stream.  It is a sink (``accept(event)``),
+so it can ride live on a :class:`~repro.observe.tracer.Tracer` beside
+the JSONL file, or be fed afterwards from
+:class:`~repro.observe.analysis.stream.EventStream`.
+
+Windowing buckets events by ``time // window`` in the emitting
+subsystem's own clock (cycles for pagers, reference indices for trace
+replay).  Per window the analyzer keeps:
+
+- ``faults`` / ``fault_rate`` — fault count, and count per time unit;
+- ``resident`` — resident-set size at the window's close (units arrive
+  on ``fault`` or page-``place``, depart on ``evict``);
+- ``used_words`` / ``free_words`` / ``holes`` — variable-unit occupancy
+  from sized ``place``/``free`` events: words live, words in gaps below
+  the high-water mark, and the gap count (external fragmentation);
+- ``spacetime`` — the cumulative space-time product, integrated as
+  resident-set size × elapsed time (unit-cycles), also split per
+  program when events carry one.
+
+Interval pairing (``fault``→``evict`` residency spans, sized
+``place``→``free`` block lifetimes) accumulates alongside; see
+:mod:`repro.observe.analysis.intervals`.
+
+Two standing caveats, both by construction of the event taxonomy:
+block-occupancy modelling cannot see compaction moves (a ``compact``
+event reports totals, not relocations), so hole/used series are exact
+only up to the last compaction; and gauges assume each emitter's clock
+is non-decreasing (out-of-order times are clamped forward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.metrics.series import TimeSeries
+from repro.observe.analysis.intervals import IntervalSummary, Span, summarize_spans
+from repro.observe.events import Event
+
+#: Key used for events that carry no ``program`` attribution.
+RUN = "(run)"
+
+
+@dataclass
+class TraceAnalytics:
+    """Everything one analysis pass derived from a trace."""
+
+    window: int
+    events: int = 0
+    first_time: int | None = None
+    last_time: int | None = None
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+    spacetime_by_program: dict[str, TimeSeries] = field(default_factory=dict)
+    residency_spans: list[Span] = field(default_factory=list)
+    block_lifetimes: list[Span] = field(default_factory=list)
+    unmatched_evicts: int = 0
+    unmatched_frees: int = 0
+    corrupt_lines: int = 0
+    """Damaged JSONL lines skipped by the reader (0 for live streams)."""
+
+    @property
+    def span(self) -> int:
+        """Trace extent in the emitter's time units (0 when empty)."""
+        if self.first_time is None or self.last_time is None:
+            return 0
+        return self.last_time - self.first_time
+
+    def residency_summary(
+        self, ranks: tuple[int, ...] = (50, 90, 99)
+    ) -> IntervalSummary:
+        """Percentiles over fault→evict spans (open spans measure to the
+        trace end)."""
+        return summarize_spans(
+            self.residency_spans, end_time=self.last_time or 0, ranks=ranks
+        )
+
+    def lifetime_summary(
+        self, ranks: tuple[int, ...] = (50, 90, 99)
+    ) -> IntervalSummary:
+        """Percentiles over place→free block lifetimes."""
+        return summarize_spans(
+            self.block_lifetimes, end_time=self.last_time or 0, ranks=ranks
+        )
+
+
+class TraceAnalyzer:
+    """Single-pass derivation of windowed series and interval spans.
+
+    Feed events through :meth:`accept` (the sink protocol) and read the
+    result from :meth:`finish`.  One analyzer analyzes one trace.
+
+    >>> from repro.observe.events import Evict, Fault
+    >>> analyzer = TraceAnalyzer(window=4)
+    >>> for event in [Fault(time=0, unit=1), Fault(time=2, unit=2),
+    ...               Evict(time=5, unit=1), Fault(time=6, unit=3)]:
+    ...     analyzer.accept(event)
+    >>> analytics = analyzer.finish()
+    >>> analytics.series["faults"].values
+    [2.0, 1.0]
+    >>> analytics.series["resident"].values       # at each window's close
+    [2.0, 2.0]
+    >>> analytics.residency_spans[0].duration()   # unit 1: fault@0→evict@5
+    5
+    """
+
+    def __init__(self, window: int = 1000) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._result = TraceAnalytics(window=window)
+        self._finished = False
+        # residency state (uniform units)
+        self._resident: set[Hashable] = set()
+        self._resident_by_program: dict[str, set[Hashable]] = {}
+        self._open_residency: dict[Hashable, tuple[int, str | None]] = {}
+        # block state (variable units)
+        self._blocks: dict[int, int] = {}            # address -> words
+        self._open_blocks: dict[int, int] = {}       # address -> placed at
+        self._used_words = 0
+        # integration
+        self._spacetime: dict[str, int] = {RUN: 0}
+        # per-window accumulators (bucket index -> value)
+        self._fault_counts: dict[int, int] = {}
+        self._resident_close: dict[int, int] = {}
+        self._used_close: dict[int, int] = {}
+        self._holes_close: dict[int, tuple[int, int]] = {}  # (count, words)
+        self._spacetime_close: dict[int, dict[str, int]] = {}
+        self._bucket: int | None = None
+
+    # -- the sink protocol -------------------------------------------------
+
+    def accept(self, event: Event) -> None:
+        """Fold one event in.  Usable directly as a tracer sink."""
+        if self._finished:
+            raise ValueError("analyzer already finished; build a new one")
+        result = self._result
+        time = event.time
+        if result.last_time is not None and time < result.last_time:
+            time = result.last_time     # clamp a regressing clock forward
+        if result.first_time is None:
+            result.first_time = time
+        # Integrate the space-time product over the elapsed interval
+        # *before* this event changes the resident set.
+        if result.last_time is not None and time > result.last_time:
+            elapsed = time - result.last_time
+            self._spacetime[RUN] += len(self._resident) * elapsed
+            for program, units in self._resident_by_program.items():
+                if units:
+                    self._spacetime[program] = (
+                        self._spacetime.get(program, 0) + len(units) * elapsed
+                    )
+        bucket = time // self.window
+        if self._bucket is None:
+            self._bucket = bucket
+        elif bucket > self._bucket:
+            # The expensive gauge (hole scan) is computed once per
+            # window, at the moment the window closes.
+            self._holes_close[self._bucket] = self._hole_scan()
+            self._bucket = bucket
+        result.last_time = time
+        result.events += 1
+        kind = event.kind
+        result.kind_counts[kind] = result.kind_counts.get(kind, 0) + 1
+
+        if kind == "fault":
+            self._fault_counts[bucket] = self._fault_counts.get(bucket, 0) + 1
+            self._arrive(event.unit, time, event.program)
+        elif kind == "place":
+            if event.size is None:
+                self._arrive(event.unit, time, event.program)
+            else:
+                self._place_block(event.where, event.size, time)
+        elif kind == "evict":
+            self._depart(event.unit, time, event.program)
+        elif kind == "free":
+            self._free_block(event.address, time)
+        # clean / compact / map_lookup / advice contribute to kind
+        # counts and window boundaries only.
+
+        self._resident_close[bucket] = len(self._resident)
+        self._used_close[bucket] = self._used_words
+        self._spacetime_close[bucket] = dict(self._spacetime)
+
+    # -- state transitions -------------------------------------------------
+
+    def _arrive(self, unit: Hashable, time: int, program: str | None) -> None:
+        self._resident.add(unit)
+        if program is not None:
+            self._resident_by_program.setdefault(program, set()).add(unit)
+        if unit not in self._open_residency:
+            self._open_residency[unit] = (time, program)
+
+    def _depart(self, unit: Hashable, time: int, program: str | None) -> None:
+        self._resident.discard(unit)
+        if program is not None:
+            units = self._resident_by_program.get(program)
+            if units is not None:
+                units.discard(unit)
+        opened = self._open_residency.pop(unit, None)
+        if opened is None:
+            self._result.unmatched_evicts += 1
+            return
+        start, opened_program = opened
+        self._result.residency_spans.append(Span(
+            unit=unit, start=start, end=time,
+            program=opened_program if opened_program is not None else program,
+        ))
+
+    def _place_block(self, address: int, size: int, time: int) -> None:
+        previous = self._blocks.get(address)
+        if previous is not None:
+            # A re-place at a live address (should not happen in a clean
+            # trace): supersede the old block.
+            self._used_words -= previous
+            self._open_blocks.pop(address, None)
+        self._blocks[address] = size
+        self._used_words += size
+        self._open_blocks[address] = time
+
+    def _free_block(self, address: int, time: int) -> None:
+        size = self._blocks.pop(address, None)
+        if size is None:
+            self._result.unmatched_frees += 1
+            return
+        self._used_words -= size
+        start = self._open_blocks.pop(address)
+        self._result.block_lifetimes.append(Span(
+            unit=address, start=start, end=time, size=size,
+        ))
+
+    def _hole_scan(self) -> tuple[int, int]:
+        """(gap count, gap words) between live blocks, below high water."""
+        if not self._blocks:
+            return (0, 0)
+        holes = 0
+        hole_words = 0
+        cursor = 0
+        for address in sorted(self._blocks):
+            if address > cursor:
+                holes += 1
+                hole_words += address - cursor
+            cursor = max(cursor, address + self._blocks[address])
+        return (holes, hole_words)
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> TraceAnalytics:
+        """Close the pass and materialize the windowed series.
+
+        Idempotent: repeated calls return the same analytics object.
+        Open residency spans and live blocks stay open (``end=None``) —
+        the still-resident tail the summaries measure to the trace end.
+        """
+        if self._finished:
+            return self._result
+        self._finished = True
+        result = self._result
+        if self._bucket is not None:
+            self._holes_close[self._bucket] = self._hole_scan()
+        for unit, (start, program) in self._open_residency.items():
+            result.residency_spans.append(Span(
+                unit=unit, start=start, end=None, program=program,
+            ))
+        for address, start in self._open_blocks.items():
+            result.block_lifetimes.append(Span(
+                unit=address, start=start, end=None,
+                size=self._blocks[address],
+            ))
+        if result.first_time is None:
+            return result
+
+        first = result.first_time // self.window
+        last = (result.last_time or result.first_time) // self.window
+        buckets = range(first, last + 1)
+        times = [bucket * self.window for bucket in buckets]
+
+        def counts(per_bucket: dict[int, int]) -> list[float]:
+            return [float(per_bucket.get(bucket, 0)) for bucket in buckets]
+
+        def gauge(per_bucket: dict[int, int]) -> list[float]:
+            held = 0.0
+            values = []
+            for bucket in buckets:
+                if bucket in per_bucket:
+                    held = float(per_bucket[bucket])
+                values.append(held)
+            return values
+
+        def build(name: str, values: list[float]) -> TimeSeries:
+            series = TimeSeries(name)
+            for time, value in zip(times, values):
+                series.sample(time, value)
+            return series
+
+        faults = counts(self._fault_counts)
+        result.series["faults"] = build("faults", faults)
+        result.series["fault_rate"] = build(
+            "fault_rate", [count / self.window for count in faults]
+        )
+        result.series["resident"] = build(
+            "resident", gauge(self._resident_close)
+        )
+        result.series["used_words"] = build(
+            "used_words", gauge(self._used_close)
+        )
+        result.series["holes"] = build(
+            "holes",
+            gauge({b: count for b, (count, _) in self._holes_close.items()}),
+        )
+        result.series["free_words"] = build(
+            "free_words",
+            gauge({b: words for b, (_, words) in self._holes_close.items()}),
+        )
+        spacetime_gauges: dict[str, dict[int, int]] = {}
+        for bucket, snapshot in self._spacetime_close.items():
+            for program, value in snapshot.items():
+                spacetime_gauges.setdefault(program, {})[bucket] = value
+        result.series["spacetime"] = build(
+            "spacetime", gauge(spacetime_gauges.get(RUN, {}))
+        )
+        for program, per_bucket in sorted(spacetime_gauges.items()):
+            if program == RUN:
+                continue
+            result.spacetime_by_program[program] = build(
+                f"spacetime[{program}]", gauge(per_bucket)
+            )
+        return result
+
+
+def analyze_events(
+    events: Iterable[Event], window: int = 1000
+) -> TraceAnalytics:
+    """One-shot analysis of an event iterable (stream or list)."""
+    analyzer = TraceAnalyzer(window=window)
+    for event in events:
+        analyzer.accept(event)
+    return analyzer.finish()
+
+
+def pick_window(first_time: int, last_time: int, target: int = 60) -> int:
+    """A window width giving about ``target`` windows over the span."""
+    span = max(0, last_time - first_time)
+    return max(1, span // target + (1 if span % target else 0))
+
+
+__all__ = [
+    "RUN",
+    "TraceAnalytics",
+    "TraceAnalyzer",
+    "analyze_events",
+    "pick_window",
+]

@@ -21,6 +21,8 @@ free       a variable-unit allocation is returned by the program
 compact    a compaction pass finishes (moves and words-moved totals)
 map_lookup an address mapping is exercised (table walk or associative
            hit)
+clean      a dirty page reaches backing storage at the system's
+           convenience (overlapped write-back; the page stays resident)
 advice     a predictive directive is offered to the system
 ========== ==============================================================
 
@@ -130,6 +132,19 @@ class Compact(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class Clean(Event):
+    """A dirty resident page reached backing storage at the system's
+    convenience (overlapped cleaning, not an eviction — the page stays
+    resident with a clear modified bit)."""
+
+    kind: ClassVar[str] = "clean"
+
+    unit: Hashable = None
+    words: int = 0
+    """Words transferred (the page size)."""
+
+
+@dataclass(frozen=True, slots=True)
 class MapLookup(Event):
     """An address mapping was exercised.
 
@@ -156,7 +171,7 @@ class Advice(Event):
 
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
-    for cls in (Fault, Place, Evict, Free, Compact, MapLookup, Advice)
+    for cls in (Fault, Place, Evict, Free, Compact, Clean, MapLookup, Advice)
 }
 """Registry of every event kind, for deserialization and docs."""
 
@@ -186,6 +201,7 @@ def event_from_dict(record: dict[str, Any]) -> Event:
 
 __all__ = [
     "Advice",
+    "Clean",
     "Compact",
     "Event",
     "EVENT_TYPES",

@@ -15,6 +15,8 @@ difference.
 
 from __future__ import annotations
 
+from repro.observe.events import Clean
+from repro.observe.tracer import Tracer, as_tracer
 from repro.paging.pager import DemandPager
 
 
@@ -25,10 +27,17 @@ class PageCleaner:
     ----------
     pager:
         The demand pager whose resident pages are swept.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving one
+        ``Clean`` event per page written back, timestamped by the
+        pager's clock.  Defaults to the pager's own tracer (the same
+        convention the advised pager uses), so a traced pager's cleaner
+        is traced for free.
     """
 
-    def __init__(self, pager: DemandPager) -> None:
+    def __init__(self, pager: DemandPager, tracer: Tracer | None = None) -> None:
         self.pager = pager
+        self.tracer = as_tracer(tracer) if tracer is not None else pager.tracer
         self.pages_cleaned = 0
         self.words_cleaned = 0
         self.sweeps = 0
@@ -68,6 +77,10 @@ class PageCleaner:
             cleaned += 1
             self.pages_cleaned += 1
             self.words_cleaned += page_size
+            if self.tracer.enabled:
+                self.tracer.emit(Clean(
+                    time=self.pager.clock.now, unit=page, words=page_size,
+                ))
         return cleaned
 
     def __repr__(self) -> str:

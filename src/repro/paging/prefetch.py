@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.addressing.page_table import PageTable
+from repro.observe.events import Advice
+from repro.observe.tracer import Tracer, as_tracer
 
 
 class SequentialPrefetcher:
@@ -26,12 +28,21 @@ class SequentialPrefetcher:
     ----------
     depth:
         How many successor pages to suggest per fault (lookahead).
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving one
+        ``Advice(directive="prefetch")`` event per suggested page,
+        timestamped by the running suggestion count (the prefetcher
+        keeps no clock).  The pager separately emits the ``Place``
+        (with ``prefetch=True``) if and when a suggestion is acted on —
+        the two together measure how much advice was *taken*.
     """
 
-    def __init__(self, depth: int = 1) -> None:
+    def __init__(self, depth: int = 1, tracer: Tracer | None = None) -> None:
         if depth <= 0:
             raise ValueError(f"depth must be positive, got {depth}")
         self.depth = depth
+        self.tracer = as_tracer(tracer)
+        self.suggestions = 0
 
     def suggest(self, faulting_page: int, page_table: PageTable) -> Iterable[int]:
         """Pages worth bringing in alongside ``faulting_page``."""
@@ -40,6 +51,12 @@ class SequentialPrefetcher:
             if candidate >= page_table.pages:
                 break
             if not page_table.entry(candidate).present:
+                self.suggestions += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(Advice(
+                        time=self.suggestions, directive="prefetch",
+                        unit=candidate,
+                    ))
                 yield candidate
 
     def __repr__(self) -> str:

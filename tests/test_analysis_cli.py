@@ -1,0 +1,119 @@
+"""End-to-end CLI tests: trace → analyze, and trace-diff."""
+
+import io
+import json
+
+import pytest
+
+from repro.observe.analysis.cli import (
+    build_analyze_parser,
+    build_diff_parser,
+    main_analyze,
+    main_diff,
+    run_analyze,
+    run_diff,
+)
+from repro.observe.cli import build_parser as build_trace_parser
+from repro.observe.cli import run_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """A real JSONL trace written by ``python -m repro trace``."""
+    path = tmp_path / "trace.jsonl"
+    args = build_trace_parser().parse_args([
+        "phased", "--length", "2000", "--pages", "64", "--frames", "8",
+        "--output", str(path),
+    ])
+    assert run_trace(args, stream=io.StringIO()) == 0
+    return path
+
+
+class TestAnalyze:
+    def test_end_to_end_report(self, trace_file):
+        out = io.StringIO()
+        args = build_analyze_parser().parse_args([str(trace_file)])
+        assert run_analyze(args, stream=out) == 0
+        report = out.getvalue()
+        assert "trace analysis" in report
+        assert "events by kind" in report
+        assert "windowed series" in report
+        assert "interval summaries" in report
+        for series in ("fault_rate", "resident", "spacetime"):
+            assert series in report
+        assert "residency (fault→evict)" in report
+
+    def test_explicit_window_respected(self, trace_file, capsys):
+        assert main_analyze([str(trace_file), "--window", "250"]) == 0
+        assert "window=250" in capsys.readouterr().out
+
+    def test_export_json(self, trace_file, tmp_path, capsys):
+        export = tmp_path / "analysis.json"
+        assert main_analyze([str(trace_file),
+                             "--export-json", str(export)]) == 0
+        payload = json.loads(export.read_text())
+        assert payload["events"] > 0
+        assert "fault_rate" in payload["series"]
+        assert payload["kind_counts"]["fault"] == sum(
+            payload["series"]["faults"]["values"]
+        )
+        assert set(payload["residency"]) == {"count", "open", "percentiles"}
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main_analyze([str(tmp_path / "absent.jsonl")])
+
+    def test_nonpositive_window_rejected(self, trace_file):
+        with pytest.raises(SystemExit, match="--window"):
+            main_analyze([str(trace_file), "--window", "0"])
+
+    def test_package_cli_routes_analyze(self, trace_file, capsys):
+        from repro.__main__ import main
+
+        assert main(["analyze", str(trace_file)]) == 0
+        assert "trace analysis" in capsys.readouterr().out
+
+
+class TestTraceDiff:
+    def test_identical_traces_exit_zero(self, trace_file, tmp_path, capsys):
+        copy = tmp_path / "copy.jsonl"
+        copy.write_text(trace_file.read_text())
+        assert main_diff([str(trace_file), str(copy)]) == 0
+        report = capsys.readouterr().out
+        assert "trace diff" in report
+        assert "divergence index" not in report
+
+    def test_divergent_traces_exit_nonzero(self, trace_file, tmp_path):
+        lines = trace_file.read_text().splitlines()
+        record = json.loads(lines[5])
+        record["time"] = record["time"] + 999
+        lines[5] = json.dumps(record)
+        other = tmp_path / "other.jsonl"
+        other.write_text("\n".join(lines) + "\n")
+        out = io.StringIO()
+        args = build_diff_parser().parse_args([str(trace_file), str(other)])
+        assert run_diff(args, stream=out) == 1
+        report = out.getvalue()
+        assert "divergence index" in report
+        assert "5" in report
+
+    def test_shorter_trace_reports_early_end(self, trace_file, tmp_path):
+        short = tmp_path / "short.jsonl"
+        lines = trace_file.read_text().splitlines()
+        short.write_text("\n".join(lines[:10]) + "\n")
+        out = io.StringIO()
+        args = build_diff_parser().parse_args([str(trace_file), str(short)])
+        assert run_diff(args, stream=out) == 1
+        assert "(trace ended)" in out.getvalue()
+
+    def test_missing_file_rejected(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main_diff([str(trace_file), str(tmp_path / "absent.jsonl")])
+
+    def test_package_cli_routes_trace_diff(self, trace_file, tmp_path, capsys):
+        from repro.__main__ import main
+
+        copy = tmp_path / "copy.jsonl"
+        copy.write_text(trace_file.read_text())
+        assert main(["trace-diff", str(trace_file), str(copy)]) == 0
+        assert "trace diff" in capsys.readouterr().out

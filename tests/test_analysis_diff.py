@@ -1,0 +1,71 @@
+"""Cross-run trace diffing: divergence points and per-kind deltas."""
+
+from repro.observe import Evict, Fault, JsonlSink, Place, Tracer
+from repro.observe.analysis import EventStream, diff_traces
+
+
+def events_a():
+    return [
+        Fault(time=0, unit=1),
+        Place(time=1, unit=1, where=0),
+        Fault(time=4, unit=2),
+        Evict(time=5, unit=1),
+    ]
+
+
+class TestIdentical:
+    def test_same_list_twice(self):
+        diff = diff_traces(events_a(), events_a())
+        assert diff.identical
+        assert diff.divergence_index is None
+        assert diff.common_prefix == 4
+        assert diff.deltas == {"evict": 0, "fault": 0, "place": 0}
+
+    def test_empty_vs_empty(self):
+        diff = diff_traces([], [])
+        assert diff.identical
+        assert diff.common_prefix == 0
+
+    def test_jsonl_round_trip_diffs_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer([sink])
+            for event in events_a():
+                tracer.emit(event)
+        diff = diff_traces(events_a(), EventStream(path))
+        assert diff.identical
+
+
+class TestDivergence:
+    def test_field_level_difference_located(self):
+        changed = events_a()
+        changed[2] = Fault(time=4, unit=9)    # same kind, different unit
+        diff = diff_traces(events_a(), changed)
+        assert not diff.identical
+        assert diff.divergence_index == 2
+        assert diff.common_prefix == 2
+        assert diff.a_at_divergence.unit == 2
+        assert diff.b_at_divergence.unit == 9
+
+    def test_short_trace_diverges_where_it_ends(self):
+        diff = diff_traces(events_a(), events_a()[:2])
+        assert diff.divergence_index == 2
+        assert diff.a_at_divergence is not None
+        assert diff.b_at_divergence is None
+
+    def test_empty_vs_nonempty(self):
+        diff = diff_traces([], events_a())
+        assert diff.divergence_index == 0
+        assert diff.a_at_divergence is None
+
+    def test_counts_complete_past_divergence(self):
+        """Per-kind tallies cover whole traces, not just the prefix."""
+        diff = diff_traces(events_a(), events_a()[:1])
+        assert diff.counts_a == {"fault": 2, "place": 1, "evict": 1}
+        assert diff.counts_b == {"fault": 1}
+        assert diff.deltas == {"evict": -1, "fault": -1, "place": -1}
+
+    def test_events_counted_on_both_sides(self):
+        diff = diff_traces(events_a(), events_a()[:3])
+        assert diff.a_events == 4
+        assert diff.b_events == 3

@@ -1,0 +1,125 @@
+"""Analysis edge cases: empty, tiny, unmatched, and damaged traces."""
+
+import pytest
+
+from repro.observe import Evict, Fault, Free, JsonlSink, Tracer
+from repro.observe.analysis import EventStream, analyze_events
+from repro.observe.analysis.cli import analyze_file
+
+
+def write_trace(path, events):
+    with JsonlSink(path) as sink:
+        tracer = Tracer([sink])
+        for event in events:
+            tracer.emit(event)
+
+
+class TestEmptyAndTiny:
+    def test_empty_trace_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        analytics = analyze_file(path)
+        assert analytics.events == 0
+        assert analytics.span == 0
+        assert analytics.series == {}
+        assert analytics.residency_summary().count == 0
+        assert analytics.lifetime_summary().count == 0
+
+    def test_single_event_trace(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        write_trace(path, [Fault(time=7, unit=3)])
+        analytics = analyze_file(path)
+        assert analytics.events == 1
+        assert (analytics.first_time, analytics.last_time) == (7, 7)
+        assert analytics.series["faults"].values == [1.0]
+        # The lone fault opens a span of zero visible extent.
+        summary = analytics.residency_summary()
+        assert (summary.count, summary.open_count) == (1, 1)
+        assert summary.maximum == 0
+
+
+class TestUnmatchedEvents:
+    def test_never_evicted_fault_stays_open(self):
+        analytics = analyze_events(
+            [Fault(time=0, unit=1), Fault(time=10, unit=2),
+             Evict(time=12, unit=2)],
+            window=100,
+        )
+        open_spans = [s for s in analytics.residency_spans if s.open]
+        assert [s.unit for s in open_spans] == [1]
+        # Open spans measure to the trace end: 12 - 0.
+        assert analytics.residency_summary().maximum == 12
+
+    def test_evict_without_fault_counted(self):
+        analytics = analyze_events([Evict(time=3, unit=9)], window=10)
+        assert analytics.unmatched_evicts == 1
+        assert analytics.residency_spans == []
+
+    def test_free_without_place_counted(self):
+        analytics = analyze_events([Free(time=3, address=64, size=32)],
+                                   window=10)
+        assert analytics.unmatched_frees == 1
+        assert analytics.block_lifetimes == []
+
+    def test_duplicate_fault_keeps_first_open_time(self):
+        analytics = analyze_events(
+            [Fault(time=0, unit=1), Fault(time=5, unit=1),
+             Evict(time=8, unit=1)],
+            window=100,
+        )
+        (span,) = analytics.residency_spans
+        assert (span.start, span.end) == (0, 8)
+
+
+class TestDamagedJsonl:
+    GOOD = '{"event":"fault","time":0,"unit":1,"write":false,"program":null}'
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(
+            self.GOOD + "\n"
+            "{not json}\n"
+            '{"event":"warp","time":1}\n'      # unknown kind
+            + self.GOOD + "\n"
+        )
+        stream = EventStream(path)
+        assert [e.kind for e in stream] == ["fault", "fault"]
+        assert stream.corrupt_lines == 2
+        assert stream.lines == 4
+
+    def test_truncated_final_line(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(self.GOOD + "\n" + self.GOOD[: len(self.GOOD) // 2])
+        stream = EventStream(path)
+        assert len(list(stream)) == 1
+        assert stream.corrupt_lines == 1
+
+    def test_blank_lines_ignored_entirely(self, tmp_path):
+        path = tmp_path / "blanks.jsonl"
+        path.write_text("\n" + self.GOOD + "\n\n")
+        stream = EventStream(path)
+        assert len(list(stream)) == 1
+        assert stream.corrupt_lines == 0
+        assert stream.lines == 1
+
+    def test_strict_mode_raises_with_location(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(self.GOOD + "\nnot json\n")
+        with pytest.raises(ValueError, match=r"damaged\.jsonl:2"):
+            list(EventStream(path, strict=True))
+
+    def test_analyze_file_reports_corrupt_count(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(self.GOOD + "\ngarbage\n")
+        analytics = analyze_file(path)
+        assert analytics.events == 1
+        assert analytics.corrupt_lines == 1
+
+    def test_counters_reset_between_passes(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(self.GOOD + "\ngarbage\n")
+        stream = EventStream(path)
+        list(stream)
+        list(stream)
+        assert stream.corrupt_lines == 1
+        assert stream.events == 1

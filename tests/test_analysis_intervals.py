@@ -1,0 +1,75 @@
+"""Interval spans and nearest-rank percentile summaries."""
+
+import pytest
+
+from repro.observe.analysis import (
+    IntervalSummary,
+    Span,
+    percentile,
+    summarize_spans,
+)
+
+
+class TestSpan:
+    def test_closed_duration(self):
+        assert Span("a", 3, 10).duration() == 7
+
+    def test_open_measures_to_at(self):
+        span = Span("a", 3)
+        assert span.open
+        assert span.duration(at=10) == 7
+
+    def test_open_without_at_rejected(self):
+        with pytest.raises(ValueError, match="open span"):
+            Span("a", 3).duration()
+
+    def test_open_duration_clamps_at_zero(self):
+        # A span opened by the trace's final event has no visible extent.
+        assert Span("a", 9).duration(at=5) == 0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1, 2, 3, 4]
+        assert percentile(values, 50) == 2
+        assert percentile(values, 75) == 3
+        assert percentile(values, 100) == 4
+
+    def test_low_ranks_floor_at_first_value(self):
+        assert percentile([5, 9], 0) == 5
+        assert percentile([5, 9], 1) == 5
+
+    def test_single_value(self):
+        assert percentile([7], 50) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="0..100"):
+            percentile([1], 101)
+
+
+class TestSummarizeSpans:
+    def test_mixed_open_and_closed(self):
+        spans = [Span("a", 0, 4), Span("b", 2, 10), Span("c", 5, None)]
+        summary = summarize_spans(spans, end_time=9)
+        assert summary.count == 3
+        assert summary.open_count == 1
+        assert summary.minimum == 4
+        assert summary.maximum == 8
+        assert summary.mean == pytest.approx((4 + 8 + 4) / 3)
+        assert summary.percentiles[50] == 4
+
+    def test_empty_input_zeroed(self):
+        summary = summarize_spans([], end_time=100)
+        assert summary == IntervalSummary(
+            count=0, open_count=0, mean=0.0, minimum=0, maximum=0,
+            percentiles={50: 0, 90: 0, 99: 0},
+        )
+
+    def test_custom_ranks(self):
+        summary = summarize_spans([Span("a", 0, 10)], end_time=10,
+                                  ranks=(25, 75))
+        assert set(summary.percentiles) == {25, 75}

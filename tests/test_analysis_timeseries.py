@@ -1,0 +1,176 @@
+"""The streaming trace analyzer: windowed series and integrals."""
+
+import pytest
+
+from repro.observe import Evict, Fault, Free, MapLookup, Place
+from repro.observe.analysis import (
+    RUN,
+    TraceAnalyzer,
+    analyze_events,
+    pick_window,
+)
+
+
+def paging_events():
+    """Fault/evict shape (simulate_trace emits no paging ``place``)."""
+    return [
+        Fault(time=0, unit=1),
+        Fault(time=2, unit=2),
+        Evict(time=5, unit=1),
+        Fault(time=6, unit=3),
+    ]
+
+
+class TestFaultSeries:
+    def test_counts_per_window(self):
+        analytics = analyze_events(paging_events(), window=4)
+        assert analytics.series["faults"].values == [2.0, 1.0]
+
+    def test_fault_rate_is_count_over_window(self):
+        analytics = analyze_events(paging_events(), window=4)
+        assert analytics.series["fault_rate"].values == [0.5, 0.25]
+
+    def test_series_sum_matches_kind_count(self):
+        analytics = analyze_events(paging_events(), window=3)
+        assert sum(analytics.series["faults"].values) == (
+            analytics.kind_counts["fault"]
+        )
+
+    def test_empty_windows_zero_filled(self):
+        events = [Fault(time=0, unit=1), Fault(time=25, unit=2)]
+        analytics = analyze_events(events, window=5)
+        assert analytics.series["faults"].values == [1, 0, 0, 0, 0, 1]
+
+
+class TestResidentGauge:
+    def test_resident_at_window_close(self):
+        analytics = analyze_events(paging_events(), window=4)
+        # Window 0 closes after the fault at t=2 (two resident); window 1
+        # sees the evict then another fault (still two).
+        assert analytics.series["resident"].values == [2.0, 2.0]
+
+    def test_gauge_carries_forward_through_quiet_windows(self):
+        events = [Fault(time=0, unit=1), Fault(time=1, unit=2),
+                  Evict(time=22, unit=1)]
+        analytics = analyze_events(events, window=5)
+        assert analytics.series["resident"].values == [2, 2, 2, 2, 1]
+
+    def test_paging_place_counts_as_arrival(self):
+        events = [Place(time=0, unit=7, where=3),      # size None: a page
+                  Evict(time=4, unit=7)]
+        analytics = analyze_events(events, window=10)
+        assert analytics.residency_spans[0].duration() == 4
+        assert analytics.series["resident"].values == [0.0]
+
+
+class TestBlockOccupancy:
+    def test_used_free_and_holes(self):
+        events = [
+            Place(time=0, unit=0, where=0, size=100),
+            Place(time=1, unit=200, where=200, size=50),
+            Free(time=10, address=0, size=100),
+        ]
+        analytics = analyze_events(events, window=8)
+        # Window 0 closes with both blocks live: the 100..200 gap.
+        # Window 1 closes after the free: only 200..250 is live, so the
+        # space below high water is one 200-word hole.
+        assert analytics.series["used_words"].values == [150.0, 50.0]
+        assert analytics.series["holes"].values == [1.0, 1.0]
+        assert analytics.series["free_words"].values == [100.0, 200.0]
+
+    def test_adjacent_blocks_make_no_hole(self):
+        events = [
+            Place(time=0, unit=0, where=0, size=64),
+            Place(time=1, unit=64, where=64, size=64),
+        ]
+        analytics = analyze_events(events, window=10)
+        assert analytics.series["holes"].values == [0.0]
+        assert analytics.series["free_words"].values == [0.0]
+
+    def test_block_lifetime_paired(self):
+        events = [
+            Place(time=2, unit=0, where=0, size=32),
+            Free(time=9, address=0, size=32),
+        ]
+        analytics = analyze_events(events, window=100)
+        (span,) = analytics.block_lifetimes
+        assert (span.start, span.end, span.size) == (2, 9, 32)
+
+
+class TestSpaceTime:
+    def test_integral_is_resident_times_elapsed(self):
+        # 0..2: one unit (2), 2..5: two units (6), 5..6: one unit (1).
+        analytics = analyze_events(paging_events(), window=4)
+        assert analytics.series["spacetime"].final() == 9.0
+
+    def test_per_program_split(self):
+        events = [
+            Fault(time=0, unit=1, program="alpha"),
+            Fault(time=0, unit=2, program="beta"),
+            Evict(time=4, unit=1, program="alpha"),
+            Evict(time=10, unit=2, program="beta"),
+        ]
+        analytics = analyze_events(events, window=100)
+        assert analytics.spacetime_by_program["alpha"].final() == 4.0
+        assert analytics.spacetime_by_program["beta"].final() == 10.0
+        # The run-wide series integrates both: 2x4 + 1x6.
+        assert analytics.series["spacetime"].final() == 14.0
+
+    def test_run_key_absent_from_program_split(self):
+        analytics = analyze_events(paging_events(), window=4)
+        assert RUN not in analytics.spacetime_by_program
+
+
+class TestAnalyzerProtocol:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="window"):
+            TraceAnalyzer(window=0)
+
+    def test_accept_after_finish_rejected(self):
+        analyzer = TraceAnalyzer(window=4)
+        analyzer.finish()
+        with pytest.raises(ValueError, match="finished"):
+            analyzer.accept(Fault(time=0, unit=1))
+
+    def test_finish_is_idempotent(self):
+        analyzer = TraceAnalyzer(window=4)
+        for event in paging_events():
+            analyzer.accept(event)
+        assert analyzer.finish() is analyzer.finish()
+
+    def test_regressing_clock_clamped_forward(self):
+        events = [Fault(time=10, unit=1), Fault(time=3, unit=2),
+                  Fault(time=12, unit=3)]
+        analytics = analyze_events(events, window=100)
+        assert analytics.first_time == 10
+        assert analytics.last_time == 12
+        # The clamped event integrates no negative time.
+        assert analytics.series["spacetime"].final() == 2 * 2.0
+
+    def test_usable_as_tracer_sink(self):
+        from repro.observe import Tracer
+
+        analyzer = TraceAnalyzer(window=4)
+        tracer = Tracer([analyzer])
+        tracer.emit(Fault(time=0, unit=1))
+        tracer.emit(Evict(time=3, unit=1))
+        analytics = analyzer.finish()
+        assert analytics.events == 2
+        assert analytics.residency_spans[0].duration() == 3
+
+    def test_other_kinds_counted_but_not_folded(self):
+        events = [MapLookup(time=0, unit=1, associative_hit=True),
+                  MapLookup(time=9, unit=2, associative_hit=False)]
+        analytics = analyze_events(events, window=4)
+        assert analytics.kind_counts == {"map_lookup": 2}
+        assert analytics.series["resident"].values == [0, 0, 0]
+
+
+class TestPickWindow:
+    def test_about_target_windows(self):
+        window = pick_window(0, 60_000, target=60)
+        assert 50 <= 60_000 // window <= 60
+
+    def test_tiny_span_floors_at_one(self):
+        assert pick_window(5, 5) == 1
+        assert pick_window(0, 30, target=60) == 1

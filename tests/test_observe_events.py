@@ -7,6 +7,7 @@ import pytest
 from repro.observe import (
     EVENT_TYPES,
     Advice,
+    Clean,
     Compact,
     Evict,
     Fault,
@@ -23,6 +24,7 @@ ALL_EVENTS = [
     Evict(time=9, unit=1, writeback=True, overlapped=False, program="beta"),
     Free(time=5, address=1024, size=96),
     Compact(time=6, moves=3, words_moved=288, holes_before=4, holes_after=1),
+    Clean(time=7, unit=4, words=1024),
     MapLookup(time=2, unit=(1, 7), mapping_cycles=1, associative_hit=False),
     Advice(time=8, directive="release", unit=(0, 3)),
 ]
@@ -30,7 +32,8 @@ ALL_EVENTS = [
 
 def test_registry_covers_every_event_type():
     assert set(EVENT_TYPES) == {
-        "fault", "place", "evict", "free", "compact", "map_lookup", "advice",
+        "fault", "place", "evict", "free", "compact", "clean", "map_lookup",
+        "advice",
     }
     for kind, cls in EVENT_TYPES.items():
         assert cls.kind == kind

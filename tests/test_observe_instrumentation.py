@@ -1,0 +1,170 @@
+"""Tracer wiring across allocators, the TLB, prefetch, and cleaning."""
+
+import pytest
+
+from repro.addressing import PageTable
+from repro.addressing.associative import AssociativeMemory
+from repro.alloc.buddy import BuddyAllocator
+from repro.alloc.rice import RiceAllocator
+from repro.alloc.two_ends import TwoEndsAllocator
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.observe import RingBufferSink, Tracer
+from repro.paging import DemandPager, FrameTable, LruPolicy, PageCleaner
+from repro.paging.prefetch import SequentialPrefetcher
+
+
+@pytest.fixture()
+def ring():
+    return RingBufferSink(capacity=4096)
+
+
+@pytest.fixture()
+def tracer(ring):
+    return Tracer([ring])
+
+
+class TestAllocatorTracing:
+    def test_buddy_emits_rounded_place_and_free(self, ring, tracer):
+        allocator = BuddyAllocator(1024, tracer=tracer)
+        block = allocator.allocate(100)
+        allocator.free(block)
+        place, free = ring.events()
+        assert (place.kind, free.kind) == ("place", "free")
+        assert place.policy == "buddy"
+        # The buddy system rounds to the power-of-two block; the trace
+        # records the block actually held, internal fragmentation included.
+        assert place.size == 128
+        assert free.size == 128
+        assert free.address == place.where
+
+    def test_two_ends_emits_requested_sizes(self, ring, tracer):
+        allocator = TwoEndsAllocator(1000, size_threshold=100, tracer=tracer)
+        small = allocator.allocate(10)
+        large = allocator.allocate(200)
+        allocator.free(small)
+        kinds = [(e.kind, getattr(e, "size", None)) for e in ring.events()]
+        assert kinds == [("place", 10), ("place", 200), ("free", 10)]
+        policies = {e.policy for e in ring.events() if e.kind == "place"}
+        assert policies == {"two_ends"}
+
+    def test_rice_emits_gross_extents(self, ring, tracer):
+        allocator = RiceAllocator(1000, tracer=tracer)
+        block = allocator.allocate(99)
+        allocator.free(block)
+        place, free = ring.events()
+        assert place.size == 100        # 99 + 1 back-reference word
+        assert free.size == 100
+        assert place.policy == "rice"
+
+    def test_timestamps_count_requests_and_frees(self, ring, tracer):
+        allocator = TwoEndsAllocator(1000, size_threshold=100, tracer=tracer)
+        a = allocator.allocate(10)
+        b = allocator.allocate(20)
+        allocator.free(a)
+        allocator.free(b)
+        assert [e.time for e in ring.events()] == [1, 2, 3, 4]
+
+    def test_untraced_allocator_emits_nothing(self):
+        allocator = BuddyAllocator(1024)
+        assert not allocator.tracer.enabled
+        allocator.free(allocator.allocate(10))   # must not raise
+
+    def test_place_free_stream_replays_into_occupancy(self, ring, tracer):
+        """The allocator events drive the block-occupancy analysis."""
+        from repro.observe.analysis import analyze_events
+
+        allocator = TwoEndsAllocator(1000, size_threshold=100, tracer=tracer)
+        small = allocator.allocate(50)
+        allocator.allocate(30)
+        allocator.free(small)
+        analytics = analyze_events(ring.events(), window=100)
+        assert analytics.series["used_words"].final() == 30
+        closed = [s for s in analytics.block_lifetimes if not s.open]
+        still_live = [s for s in analytics.block_lifetimes if s.open]
+        assert [s.size for s in closed] == [50]
+        assert [s.size for s in still_live] == [30]
+
+
+class TestAssociativeMemoryTracing:
+    def test_hit_and_miss_both_emit(self, ring, tracer):
+        tlb = AssociativeMemory(capacity=2, tracer=tracer)
+        tlb.insert("page-3", 7)
+        assert tlb.lookup("page-3") == 7
+        assert tlb.lookup("page-9") is None
+        hit, miss = ring.events()
+        assert hit.kind == miss.kind == "map_lookup"
+        assert hit.associative_hit and not miss.associative_hit
+        assert (hit.unit, miss.unit) == ("page-3", "page-9")
+
+    def test_timestamps_count_lookups(self, ring, tracer):
+        tlb = AssociativeMemory(capacity=2, tracer=tracer)
+        for key in ("a", "b", "c"):
+            tlb.lookup(key)
+        assert [e.time for e in ring.events()] == [1, 2, 3]
+
+    def test_event_tally_matches_hit_counters(self, ring, tracer):
+        tlb = AssociativeMemory(capacity=4, tracer=tracer)
+        for page in range(4):
+            tlb.insert(page, page)
+        for page in range(8):
+            tlb.lookup(page % 6)
+        hits = sum(1 for e in ring.events() if e.associative_hit)
+        assert hits == tlb.hits
+        assert len(ring.events()) == tlb.hits + tlb.misses
+
+
+class TestPrefetchTracing:
+    def test_advice_per_suggestion(self, ring, tracer):
+        table = PageTable(pages=8, page_size=64)
+        prefetcher = SequentialPrefetcher(depth=2, tracer=tracer)
+        assert list(prefetcher.suggest(3, table)) == [4, 5]
+        events = ring.events()
+        assert [e.kind for e in events] == ["advice", "advice"]
+        assert all(e.directive == "prefetch" for e in events)
+        assert [e.unit for e in events] == [4, 5]
+
+    def test_resident_pages_not_suggested_or_traced(self, ring, tracer):
+        table = PageTable(pages=8, page_size=64)
+        table.entry(4).present = True
+        prefetcher = SequentialPrefetcher(depth=2, tracer=tracer)
+        assert list(prefetcher.suggest(3, table)) == [5]
+        assert len(ring.events()) == 1
+
+
+class TestCleaningTracing:
+    def make_pager(self, tracer=None, frames=4):
+        clock = Clock()
+        table = PageTable(page_size=512, pages=32)
+        backing = BackingStore(
+            StorageLevel("drum", 10**7, access_time=1000, transfer_rate=1.0),
+            clock=clock,
+        )
+        return DemandPager(table, FrameTable(frames), backing, LruPolicy(),
+                           clock, tracer=tracer)
+
+    def test_clean_event_per_page(self, ring, tracer):
+        pager = self.make_pager()
+        pager.access_page(0, write=True)
+        pager.access_page(1, write=True)
+        cleaner = PageCleaner(pager, tracer=tracer)
+        assert cleaner.clean() == 2
+        events = ring.events()
+        assert [e.kind for e in events] == ["clean", "clean"]
+        assert {e.unit for e in events} == {0, 1}
+        assert all(e.words == 512 for e in events)
+        assert all(e.time == pager.clock.now for e in events)
+
+    def test_cleaner_inherits_pager_tracer(self, ring, tracer):
+        pager = self.make_pager(tracer=tracer)
+        pager.access_page(0, write=True)
+        cleaner = PageCleaner(pager)        # no tracer argument
+        cleaner.clean()
+        assert [e.kind for e in ring.events()] == ["fault", "place", "clean"]
+
+    def test_untraced_cleaner_emits_nothing(self):
+        pager = self.make_pager()
+        pager.access_page(0, write=True)
+        cleaner = PageCleaner(pager)
+        assert not cleaner.tracer.enabled
+        assert cleaner.clean() == 1
