@@ -15,6 +15,11 @@
 ``python -m repro trace-diff`` aligns two JSONL traces and reports the
                              divergence point and per-kind deltas;
                              exits 1 when the traces differ.
+``python -m repro check``    runs the differential oracle: fast kernels
+                             vs. reference loops, indexed vs. linear
+                             free lists, checked-mode invariants and
+                             fault-injection recovery; exits 1 on any
+                             violation (see :mod:`repro.check`).
 """
 
 from __future__ import annotations
@@ -99,6 +104,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.observe.analysis.cli import main_diff
 
         return main_diff(arguments[1:])
+    elif command == "check":
+        from repro.check.cli import main as check_main
+
+        return check_main(arguments[1:])
     else:
         print(__doc__)
         return 1

@@ -119,6 +119,10 @@ class AssociativeMemory:
         """Drop one entry (used when a page or segment is replaced)."""
         self._entries.pop(key, None)
 
+    def entries(self) -> dict[Hashable, object]:
+        """A snapshot of the cached mappings (for coherence checking)."""
+        return dict(self._entries)
+
     def flush(self) -> None:
         """Drop every entry (used on a change of address space)."""
         self._entries.clear()

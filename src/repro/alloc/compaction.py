@@ -38,6 +38,33 @@ class CompactionResult:
     """Old address -> new address for every allocation that moved."""
 
 
+def _recover(
+    allocator: FreeListAllocator,
+    moved_live: dict[int, Allocation],
+    untouched: list[Allocation],
+) -> None:
+    """Rebuild the allocator mid-pass after a failed move or callback.
+
+    ``moved_live`` holds the blocks already settled (at their possibly
+    new addresses); ``untouched`` the blocks the pass never reached,
+    still where they were.  Holes are the complement of the combined
+    live set — maximal by construction because live extents are
+    disjoint and sorted.
+    """
+    live = dict(moved_live)
+    for allocation in untouched:
+        live[allocation.address] = allocation
+    holes: list[tuple[int, int]] = []
+    edge = 0
+    for address in sorted(live):
+        if address > edge:
+            holes.append((edge, address - edge))
+        edge = address + live[address].size
+    if edge < allocator.capacity:
+        holes.append((edge, allocator.capacity - edge))
+    allocator.rebuild(live, holes)
+
+
 def compact(
     allocator: FreeListAllocator,
     memory: PhysicalMemory | None = None,
@@ -58,6 +85,12 @@ def compact(
     The allocator's internal state is rebuilt in place; the allocation
     objects handed out earlier become stale for moved blocks (use the
     ``relocations`` map or the callback to track them).
+
+    The pass is exception-safe: if ``memory.move`` or ``on_relocate``
+    raises partway through, the allocator is rebuilt to match exactly
+    the moves that physically completed — blocks moved so far at their
+    new addresses, the rest untouched — before the exception propagates,
+    so allocator bookkeeping never diverges from storage contents.
     """
     holes_before = allocator.holes()
     largest_before = allocator.largest_hole
@@ -68,20 +101,33 @@ def compact(
     words_moved = 0
     cursor = 0
     new_live: dict[int, Allocation] = {}
-    for allocation in live:
-        if allocation.address != cursor:
+    for position, allocation in enumerate(live):
+        if allocation.address == cursor:
+            new_live[cursor] = allocation
+            cursor += allocation.size
+            continue
+        try:
             if memory is not None:
                 memory.move(allocation.address, cursor, allocation.size)
-            relocations[allocation.address] = cursor
-            moves += 1
-            words_moved += allocation.size
-            moved = Allocation(cursor, allocation.size)
-            if on_relocate is not None:
-                on_relocate(allocation, moved)
-            new_live[cursor] = moved
-        else:
-            new_live[cursor] = allocation
+        except BaseException:
+            # The move did not happen: this block (and everything after
+            # it) is still at its old address.
+            _recover(allocator, new_live, live[position:])
+            raise
+        moved = Allocation(cursor, allocation.size)
+        relocations[allocation.address] = cursor
+        moves += 1
+        words_moved += allocation.size
+        new_live[cursor] = moved
         cursor += allocation.size
+        if on_relocate is not None:
+            try:
+                on_relocate(allocation, moved)
+            except BaseException:
+                # The words *did* move; account the block at its new
+                # address so state matches physical storage.
+                _recover(allocator, new_live, live[position + 1:])
+                raise
 
     # Rebuild the allocator's free list: one hole from the cursor up.
     if cursor < allocator.capacity:

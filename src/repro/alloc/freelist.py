@@ -87,6 +87,7 @@ class FreeListAllocator:
         self.tracer = as_tracer(tracer)
         self._live: dict[int, Allocation] = {}
         self._rover = 0  # index into _holes for next_fit
+        self._next_block_id = 0
         self.counters = AllocatorCounters()
         if indexed:
             from repro.fastpath.holes import HoleIndex
@@ -217,9 +218,15 @@ class FreeListAllocator:
         return allocation
 
     def _emit_place(self, allocation: Allocation) -> None:
+        # ``unit`` is a monotonic block id, not the address: addresses
+        # are reused after frees, and an id keeps the lifetimes of two
+        # blocks that happened to land at the same address distinct in
+        # downstream analysis.
+        block_id = self._next_block_id
+        self._next_block_id += 1
         self.tracer.emit(Place(
             time=self.counters.requests + self.counters.frees,
-            unit=allocation.address,
+            unit=block_id,
             where=allocation.address,
             size=allocation.size,
             policy=self.policy,
@@ -231,19 +238,30 @@ class FreeListAllocator:
         check_free_known(allocation, self._live, "FreeListAllocator")
         del self._live[allocation.address]
         self.counters.record_free(allocation.size)
+        if self._index is not None:
+            self._index.insert(allocation.address, allocation.size)
+        else:
+            self._insert_hole(allocation.address, allocation.size)
+        # Emit only once the hole is back on the free list: sinks may
+        # inspect the allocator (the invariant sink does), and mid-free
+        # the words are accounted nowhere.
         if self.tracer.enabled:
             self.tracer.emit(Free(
                 time=self.counters.requests + self.counters.frees,
                 address=allocation.address,
                 size=allocation.size,
             ))
-        if self._index is not None:
-            self._index.insert(allocation.address, allocation.size)
-            return
-        self._insert_hole(allocation.address, allocation.size)
 
     def _insert_hole(self, address: int, size: int) -> None:
         """Insert a hole in address order, coalescing with neighbours."""
+        # The next-fit rover is an *index* into the hole list; the
+        # coalescing deletions and the insertion below shift which hole
+        # any given index names.  Remember the rover's hole by address
+        # and re-find it afterwards, so the rover keeps pointing at the
+        # same logical hole (or at whatever hole absorbed it).
+        rover_address = None
+        if self.policy == "next_fit" and 0 <= self._rover < len(self._holes):
+            rover_address = self._holes[self._rover][0]
         lo, hi = 0, len(self._holes)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -266,8 +284,24 @@ class FreeListAllocator:
                 size += next_size
                 del self._holes[index]
         self._holes.insert(index, (address, size))
-        if self._rover > len(self._holes):
-            self._rover = 0
+        if self.policy == "next_fit":
+            self._rover = self._find_rover(rover_address)
+
+    def _find_rover(self, rover_address: int | None) -> int:
+        """Index of the hole containing ``rover_address`` (0 if unknown)."""
+        if rover_address is None:
+            return 0
+        # Rightmost hole starting at or below the remembered address: a
+        # coalesce can only have merged the rover's hole into one that
+        # starts no later than it did.
+        lo, hi = 0, len(self._holes)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._holes[mid][0] <= rover_address:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(0, lo - 1)
 
     # -- bulk state rebuild (compaction) ----------------------------------
 

@@ -1,0 +1,312 @@
+"""Seeded, deterministic fault injection.
+
+Real allocators face flaky devices: a drum revolution is missed, a
+channel drops a transfer, a trace line is torn by a crash.  This module
+injects those failures *deterministically* — same seed, same call
+sequence, same faults — so a run under injection is reproducible and
+the recovery path can be proven bit-identical to the fault-free run.
+
+The injectable surfaces:
+
+- :class:`FlakyBackingStore` — wraps a
+  :class:`~repro.memory.backing.BackingStore`; ``fetch``/``store`` may
+  raise :class:`~repro.errors.TransientFault` *before* any state
+  changes or time is charged (the operation simply did not happen).
+- :class:`FlakyMemory` — wraps
+  :class:`~repro.memory.physical.PhysicalMemory`; ``move`` may fail the
+  same way, which is how the compaction exception-safety path is
+  exercised.
+- :class:`TornJsonlSink` — wraps a JSONL sink; selected lines are
+  written torn (truncated mid-record), which the damage-tolerant
+  analysis reader must skip without losing the rest of the trace.
+
+Recovery is :class:`RetryPolicy` + :class:`RetryingBackingStore`: a
+bounded retry loop around the flaky store.  Because a failed attempt
+touches nothing, a run that recovers from every transient fault
+finishes with final statistics bit-identical to the fault-free run —
+the guarantee ``python -m repro check`` asserts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import TransientFault
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults, independent per channel.
+
+    Each channel (``"fetch"``, ``"store"``, ``"move"``, ``"sink"``)
+    draws from its own :class:`random.Random` stream seeded from
+    ``(seed, channel)``, so injecting on one channel never perturbs the
+    schedule of another.  ``max_consecutive`` bounds runs of failures
+    per channel, guaranteeing that a retry loop with attempts >
+    ``max_consecutive`` always recovers.
+    """
+
+    CHANNELS = ("fetch", "store", "move", "sink")
+
+    def __init__(
+        self,
+        seed: int,
+        fetch_rate: float = 0.0,
+        store_rate: float = 0.0,
+        move_rate: float = 0.0,
+        torn_line_rate: float = 0.0,
+        max_consecutive: int = 2,
+    ) -> None:
+        rates = {
+            "fetch": fetch_rate,
+            "store": store_rate,
+            "move": move_rate,
+            "sink": torn_line_rate,
+        }
+        for channel, rate in rates.items():
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{channel} rate must be in [0, 1), got {rate}")
+        if max_consecutive <= 0:
+            raise ValueError("max_consecutive must be positive")
+        self.seed = seed
+        self.rates = rates
+        self.max_consecutive = max_consecutive
+        # str seeds hash deterministically in random.Random (sha512 of
+        # the bytes), so the schedule survives PYTHONHASHSEED changes.
+        self._rngs = {
+            channel: random.Random(f"{seed}:{channel}")
+            for channel in self.CHANNELS
+        }
+        self._consecutive = dict.fromkeys(self.CHANNELS, 0)
+        self.injected = dict.fromkeys(self.CHANNELS, 0)
+
+    def should_fail(self, channel: str) -> bool:
+        """Draw the next decision for ``channel`` (advances its stream)."""
+        rate = self.rates[channel]
+        if rate == 0.0:
+            return False
+        fail = self._rngs[channel].random() < rate
+        if fail and self._consecutive[channel] >= self.max_consecutive:
+            fail = False    # cap the run so bounded retry always recovers
+        if fail:
+            self._consecutive[channel] += 1
+            self.injected[channel] += 1
+        else:
+            self._consecutive[channel] = 0
+        return fail
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def __repr__(self) -> str:
+        active = {k: v for k, v in self.rates.items() if v}
+        return (
+            f"FaultPlan(seed={self.seed}, rates={active}, "
+            f"injected={self.total_injected})"
+        )
+
+
+class FlakyBackingStore:
+    """A backing store whose transfers transiently fail on schedule.
+
+    Failed operations raise :class:`~repro.errors.TransientFault`
+    before touching the wrapped store — no image is read or written, no
+    counter moves, no clock cycle is charged — so a successful retry
+    leaves every statistic exactly as a fault-free run would.
+    """
+
+    def __init__(self, store, plan: FaultPlan) -> None:
+        self._store = store
+        self.plan = plan
+
+    def fetch(self, key: Hashable, charge: bool = True):
+        if self.plan.should_fail("fetch"):
+            raise TransientFault("fetch", f"fetch of {key!r}")
+        return self._store.fetch(key, charge=charge)
+
+    def store(self, key: Hashable, image: list[Any], charge: bool = True) -> int:
+        if self.plan.should_fail("store"):
+            raise TransientFault("store", f"store of {key!r}")
+        return self._store.store(key, image, charge=charge)
+
+    # Everything else is a faithful passthrough.
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"FlakyBackingStore({self._store!r}, {self.plan!r})"
+
+
+class FlakyMemory:
+    """Physical memory whose storage-to-storage channel drops transfers.
+
+    Only ``move`` is injectable (it is the compaction channel); a failed
+    move raises before any word is copied, leaving the store intact —
+    the scenario the transactional ``compact`` pass must survive.
+    """
+
+    def __init__(self, memory, plan: FaultPlan) -> None:
+        self._memory = memory
+        self.plan = plan
+
+    def move(self, source: int, destination: int, count: int) -> None:
+        if self.plan.should_fail("move"):
+            raise TransientFault(
+                "move", f"move of {count} words {source}->{destination}"
+            )
+        self._memory.move(source, destination, count)
+
+    def __getattr__(self, name: str):
+        return getattr(self._memory, name)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        return f"FlakyMemory({self._memory!r}, {self.plan!r})"
+
+
+class TornJsonlSink:
+    """A JSONL sink that tears selected lines mid-record.
+
+    Wraps any sink with a JSONL-style stream discipline — in practice a
+    :class:`~repro.observe.sinks.JsonlSink` — and, per the plan's
+    ``sink`` channel, replaces a line with its torn prefix (no trailing
+    newline corruption ambiguity: the next record starts cleanly on its
+    own line, as after a crash mid-write with line buffering).  The
+    damage-tolerant :class:`~repro.observe.analysis.stream.EventStream`
+    reader must skip torn lines and keep the rest of the trace.
+    """
+
+    def __init__(self, sink, plan: FaultPlan, keep_fraction: float = 0.5) -> None:
+        if not 0.0 < keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in (0, 1)")
+        self._sink = sink
+        self.plan = plan
+        self.keep_fraction = keep_fraction
+        self.torn = 0
+
+    def accept(self, event) -> None:
+        import json
+
+        if not self.plan.should_fail("sink"):
+            self._sink.accept(event)
+            return
+        line = json.dumps(event.to_dict(), separators=(",", ":"))
+        cut = max(1, int(len(line) * self.keep_fraction))
+        self._sink._stream.write(line[:cut] + "\n")
+        self.torn += 1
+
+    def close(self) -> None:
+        close = getattr(self._sink, "close", None)
+        if close is not None:
+            close()
+
+    def __repr__(self) -> str:
+        return f"TornJsonlSink(torn={self.torn})"
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry with optional (uncharged) deterministic backoff.
+
+    ``backoff_cycles(attempt)`` is exponential —
+    ``base_backoff * 2**attempt`` — and is *recorded*, not charged to
+    the simulation clock: device retries happen at the device's
+    convenience, off the program's critical path, which is what keeps
+    recovered runs bit-identical to fault-free ones.
+    """
+
+    max_attempts: int = 4
+    base_backoff: int = 100
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.base_backoff < 0:
+            raise ValueError("base_backoff must be non-negative")
+
+    def backoff_cycles(self, attempt: int) -> int:
+        return self.base_backoff * (2 ** attempt)
+
+
+@dataclass
+class RetryStats:
+    """What the retry layer absorbed."""
+
+    attempts: int = 0
+    retries: int = 0
+    backoff_cycles: int = 0
+    exhausted: int = 0
+    faults_by_channel: dict[str, int] = field(default_factory=dict)
+
+
+class RetryingBackingStore:
+    """Graceful degradation: retry transient faults behind the API.
+
+    Wraps a (typically flaky) backing store; ``fetch`` and ``store``
+    retry per the policy, so callers — pagers, segment managers — never
+    see a transient fault unless the policy is exhausted, in which case
+    the last :class:`~repro.errors.TransientFault` propagates.
+    """
+
+    def __init__(self, store, policy: RetryPolicy | None = None) -> None:
+        self._store = store
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = RetryStats()
+
+    def _with_retry(self, operation, *args, **kwargs):
+        last: TransientFault | None = None
+        for attempt in range(self.policy.max_attempts):
+            self.stats.attempts += 1
+            try:
+                return operation(*args, **kwargs)
+            except TransientFault as fault:
+                last = fault
+                channel = fault.channel
+                self.stats.faults_by_channel[channel] = (
+                    self.stats.faults_by_channel.get(channel, 0) + 1
+                )
+                if attempt + 1 < self.policy.max_attempts:
+                    self.stats.retries += 1
+                    self.stats.backoff_cycles += self.policy.backoff_cycles(attempt)
+        self.stats.exhausted += 1
+        assert last is not None
+        raise last
+
+    def fetch(self, key: Hashable, charge: bool = True):
+        return self._with_retry(self._store.fetch, key, charge=charge)
+
+    def store(self, key: Hashable, image: list[Any], charge: bool = True) -> int:
+        return self._with_retry(self._store.store, key, image, charge=charge)
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"RetryingBackingStore({self._store!r}, retries={self.stats.retries})"
+
+
+__all__ = [
+    "FaultPlan",
+    "FlakyBackingStore",
+    "FlakyMemory",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingBackingStore",
+    "TornJsonlSink",
+]

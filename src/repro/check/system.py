@@ -1,0 +1,144 @@
+"""Checked-mode wrapper for composed storage-allocation systems.
+
+``build_system(..., config=SystemConfig(checked=True))`` returns the
+composed system wrapped in :class:`CheckedSystem`: a transparent proxy
+that runs the :mod:`repro.check` invariant suite over the system's
+internal components (allocators, pagers, frame tables, accounts — found
+by structural discovery, not by per-system wiring) every ``every``
+mutating operations, and once more at ``stats()`` time.
+
+The wrapper delegates everything it does not intercept, so a checked
+system answers the same API as a bare one; the only observable
+difference is that latent corruption raises
+:class:`~repro.errors.InvariantViolation` near where it happened
+instead of surfacing as a wrong number much later.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.check.invariants import InvariantSuite, Violation
+
+_ATOMIC = (int, float, complex, str, bytes, bool, type(None))
+
+
+def discover_subjects(
+    root: object,
+    suite: InvariantSuite | None = None,
+    max_depth: int = 3,
+) -> list[object]:
+    """Walk ``root``'s attribute graph for objects the suite understands.
+
+    Structural discovery keeps the wrapper independent of which concrete
+    system was composed: any reachable allocator, pager, frame table or
+    space-time account is picked up without the system knowing it is
+    being checked.  Depth-limited and cycle-safe; containers (dict /
+    list / tuple) are traversed one level into their values.
+    """
+    suite = suite if suite is not None else InvariantSuite()
+    found: list[object] = []
+    seen: set[int] = {id(root)}
+    stack: list[tuple[object, int]] = [(root, 0)]
+    while stack:
+        obj, depth = stack.pop()
+        if any(invariant.applies(obj) for invariant in suite.invariants):
+            found.append(obj)
+        if depth >= max_depth:
+            continue
+        if isinstance(obj, dict):
+            children = list(obj.values())
+        elif isinstance(obj, (list, tuple)):
+            children = list(obj)
+        else:
+            attrs = getattr(obj, "__dict__", None)
+            children = list(attrs.values()) if isinstance(attrs, dict) else []
+        for child in children:
+            if isinstance(child, _ATOMIC) or id(child) in seen:
+                continue
+            seen.add(id(child))
+            stack.append((child, depth + 1))
+    return found
+
+
+class CheckedSystem:
+    """A composed system that audits itself as it runs.
+
+    Intercepts the mutating operations (``create`` / ``destroy`` /
+    ``access`` / ``resize`` / ``advise``), counting them and running the
+    invariant suite every ``every`` operations; ``stats()`` always
+    checks first, so a summary is never assembled over a corrupt
+    system.  Everything else — ``characteristics``, ``accepts_advice``,
+    system-specific extras — passes through untouched.
+    """
+
+    def __init__(
+        self,
+        system,
+        suite: InvariantSuite | None = None,
+        every: int = 16,
+    ) -> None:
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self._system = system
+        self.suite = suite if suite is not None else InvariantSuite()
+        self.every = every
+        self.operations = 0
+
+    # -- checking --------------------------------------------------------------
+
+    def check_now(self) -> list[Violation]:
+        """Run the suite over every discoverable component, raising on
+        the first violation."""
+        subjects = discover_subjects(self._system, self.suite)
+        return self.suite.check_all(subjects)
+
+    def _after_operation(self) -> None:
+        self.operations += 1
+        if self.operations % self.every == 0:
+            self.check_now()
+
+    # -- intercepted operations ----------------------------------------------
+
+    def create(self, name: Hashable, size: int) -> None:
+        result = self._system.create(name, size)
+        self._after_operation()
+        return result
+
+    def destroy(self, name: Hashable) -> None:
+        result = self._system.destroy(name)
+        self._after_operation()
+        return result
+
+    def access(self, name: Hashable, offset: int, write: bool = False) -> int:
+        result = self._system.access(name, offset, write=write)
+        self._after_operation()
+        return result
+
+    def resize(self, name: Hashable, new_size: int) -> None:
+        result = self._system.resize(name, new_size)
+        self._after_operation()
+        return result
+
+    def advise(self, advice) -> None:
+        result = self._system.advise(advice)
+        self._after_operation()
+        return result
+
+    def stats(self):
+        self.check_now()
+        return self._system.stats()
+
+    # -- passthrough ----------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._system, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckedSystem({self._system!r}, every={self.every}, "
+            f"checks={self.suite.checks_run})"
+        )
+
+
+__all__ = ["CheckedSystem", "discover_subjects"]

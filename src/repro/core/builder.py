@@ -50,6 +50,8 @@ class SystemConfig:
     large_segment_threshold: int = 1024
     segment_name_bits: int = 12
     policy_kwargs: dict = field(default_factory=dict)
+    checked: bool = False
+    check_every: int = 16
 
     def make_clock(self) -> Clock:
         return Clock()
@@ -80,10 +82,27 @@ def build_system(
     """Compose the system a characteristics value describes.
 
     Raises :class:`~repro.errors.ConfigurationError` for the invalid
-    corner (uniform units without artificial contiguity).
+    corner (uniform units without artificial contiguity).  With
+    ``config.checked`` the composition is returned wrapped in
+    :class:`~repro.check.system.CheckedSystem`, which audits the
+    system's components with the invariant suite every
+    ``config.check_every`` operations.
     """
-    characteristics.validate()
     config = config if config is not None else SystemConfig()
+    system = _compose(characteristics, config, clock)
+    if config.checked:
+        from repro.check.system import CheckedSystem
+
+        return CheckedSystem(system, every=config.check_every)
+    return system
+
+
+def _compose(
+    characteristics: SystemCharacteristics,
+    config: SystemConfig,
+    clock: Clock | None,
+) -> StorageAllocationSystem:
+    characteristics.validate()
     clock = clock if clock is not None else config.make_clock()
     advice = (
         characteristics.predictive_information is PredictiveInformation.ACCEPTED

@@ -8,6 +8,8 @@ segments ...; and (iv) nonuniform units of allocation ..."
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.clock import Clock
 from repro.core.builder import SystemConfig, build_system
 from repro.core.characteristics import (
@@ -33,8 +35,14 @@ def recommended_characteristics() -> SystemCharacteristics:
 def recommended_system(
     config: SystemConfig | None = None,
     clock: Clock | None = None,
+    checked: bool = False,
 ) -> StorageAllocationSystem:
-    """Build the recommended hybrid system (defaults are laptop-friendly)."""
+    """Build the recommended hybrid system (defaults are laptop-friendly).
+
+    ``checked=True`` returns the composition wrapped in
+    :class:`~repro.check.system.CheckedSystem`, auditing its allocators,
+    pagers and frame tables with the runtime invariant suite as it runs.
+    """
     if config is None:
         config = SystemConfig(
             capacity_words=32_768,
@@ -43,4 +51,6 @@ def recommended_system(
             compaction=True,
             associative_memory_size=8,
         )
+    if checked:
+        config = replace(config, checked=True)
     return build_system(recommended_characteristics(), config=config, clock=clock)

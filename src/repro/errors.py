@@ -89,3 +89,33 @@ class InvalidFree(AllocationError):
 
 class ConfigurationError(ReproError):
     """A system was composed from an inconsistent set of characteristics."""
+
+
+class TransientFault(ReproError):
+    """A device operation failed transiently (a retry may succeed).
+
+    Raised only by the deterministic fault injectors in
+    :mod:`repro.check.faults` — the simulated counterpart of a parity
+    error or dropped drum revolution.  The operation it interrupted did
+    not happen: no state changed, no time was charged.
+    """
+
+    def __init__(self, channel: str, operation: str, detail: str = "") -> None:
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"transient {channel} fault during {operation}{extra}")
+        self.channel = channel
+        self.operation = operation
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant check failed (checked mode).
+
+    Carries the invariant's name and the failing subject so the
+    differential oracle and the CLI can report precisely what broke.
+    """
+
+    def __init__(self, invariant: str, detail: str, subject: object = None) -> None:
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.detail = detail
+        self.subject = subject

@@ -121,7 +121,8 @@ class TraceAnalyzer:
         self._open_residency: dict[Hashable, tuple[int, str | None]] = {}
         # block state (variable units)
         self._blocks: dict[int, int] = {}            # address -> words
-        self._open_blocks: dict[int, int] = {}       # address -> placed at
+        # address -> (placed at, block id or address)
+        self._open_blocks: dict[int, tuple[int, Hashable]] = {}
         self._used_words = 0
         # integration
         self._spacetime: dict[str, int] = {RUN: 0}
@@ -175,7 +176,7 @@ class TraceAnalyzer:
             if event.size is None:
                 self._arrive(event.unit, time, event.program)
             else:
-                self._place_block(event.where, event.size, time)
+                self._place_block(event.where, event.size, time, event.unit)
         elif kind == "evict":
             self._depart(event.unit, time, event.program)
         elif kind == "free":
@@ -212,7 +213,9 @@ class TraceAnalyzer:
             program=opened_program if opened_program is not None else program,
         ))
 
-    def _place_block(self, address: int, size: int, time: int) -> None:
+    def _place_block(
+        self, address: int, size: int, time: int, unit: Hashable = None
+    ) -> None:
         previous = self._blocks.get(address)
         if previous is not None:
             # A re-place at a live address (should not happen in a clean
@@ -221,7 +224,11 @@ class TraceAnalyzer:
             self._open_blocks.pop(address, None)
         self._blocks[address] = size
         self._used_words += size
-        self._open_blocks[address] = time
+        # Identify the span by the placement's block id when the emitter
+        # provided one (allocators emit a monotonic id), so lifetimes of
+        # successive blocks at a reused address stay distinct; fall back
+        # to the address for older traces.
+        self._open_blocks[address] = (time, address if unit is None else unit)
 
     def _free_block(self, address: int, time: int) -> None:
         size = self._blocks.pop(address, None)
@@ -229,9 +236,9 @@ class TraceAnalyzer:
             self._result.unmatched_frees += 1
             return
         self._used_words -= size
-        start = self._open_blocks.pop(address)
+        start, unit = self._open_blocks.pop(address)
         self._result.block_lifetimes.append(Span(
-            unit=address, start=start, end=time, size=size,
+            unit=unit, start=start, end=time, size=size,
         ))
 
     def _hole_scan(self) -> tuple[int, int]:
@@ -267,9 +274,9 @@ class TraceAnalyzer:
             result.residency_spans.append(Span(
                 unit=unit, start=start, end=None, program=program,
             ))
-        for address, start in self._open_blocks.items():
+        for address, (start, unit) in self._open_blocks.items():
             result.block_lifetimes.append(Span(
-                unit=address, start=start, end=None,
+                unit=unit, start=start, end=None,
                 size=self._blocks[address],
             ))
         if result.first_time is None:

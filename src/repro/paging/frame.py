@@ -82,6 +82,24 @@ class FrameTable:
     def resident_pages(self) -> list[Hashable]:
         return list(self._frame_of)
 
+    def check_invariants(self) -> None:
+        """Raise AssertionError if occupancy bookkeeping is inconsistent.
+
+        The owner array, the reverse map, and the free list must
+        partition the frames exactly: every frame is either free or
+        owned by precisely the page that maps back to it.
+        """
+        assert len(self._frame_of) + len(self._free) == len(self._owners), (
+            "frames lost or duplicated"
+        )
+        assert len(set(self._free)) == len(self._free), "free list duplicates"
+        for frame in self._free:
+            assert self._owners[frame] is None, f"free frame {frame} has owner"
+        for page, frame in self._frame_of.items():
+            assert self._owners[frame] == page, (
+                f"frame {frame} owner mismatch for page {page!r}"
+            )
+
     def __contains__(self, page: Hashable) -> bool:
         return page in self._frame_of
 

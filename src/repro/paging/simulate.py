@@ -57,6 +57,7 @@ def simulate_trace(
     fast: bool = True,
     tracer: Tracer | None = None,
     counters: Counters | None = None,
+    checked: bool = False,
 ) -> SimulationResult:
     """Run ``trace`` through ``frames`` page frames under ``policy``.
 
@@ -97,6 +98,12 @@ def simulate_trace(
         The reference loop increments event counters inline; a batched
         kernel reports the same totals from its result — the
         differential tests assert the two are identical.
+    checked:
+        Run the :mod:`repro.check` invariant suite over the frame table
+        as the replay proceeds (sampled every 64 references, plus a
+        final check).  Forces the reference loop, like tracing does —
+        the kernels have no per-access state to check.  Raises
+        :class:`~repro.errors.InvariantViolation` on the first failure.
     """
     if frames <= 0:
         raise ValueError(f"frames must be positive, got {frames}")
@@ -104,7 +111,7 @@ def simulate_trace(
         raise ValueError("writes must align with trace")
 
     tracing = tracer is not None and tracer.enabled
-    if fast and not tracing:
+    if fast and not tracing and not checked:
         from repro.fastpath.replay import run_fast
 
         result = run_fast(
@@ -121,6 +128,11 @@ def simulate_trace(
 
     counting = counters is not None and counters.enabled
     table = FrameTable(frames)
+    suite = None
+    if checked:
+        from repro.check.invariants import InvariantSuite
+
+        suite = InvariantSuite()
     faults = 0
     cold_faults = 0
     evictions = 0
@@ -129,6 +141,8 @@ def simulate_trace(
     victims: list[Hashable] = []
 
     for index, page in enumerate(trace):
+        if suite is not None and index % 64 == 0:
+            suite.check(table)
         write = bool(writes[index]) if writes is not None else False
         if page in table:
             policy.on_access(page, index, modified=write)
@@ -164,6 +178,8 @@ def simulate_trace(
         table.acquire(page)
         policy.on_load(page, index, modified=write)
 
+    if suite is not None:
+        suite.check(table)
     if counting:
         counters.increment("replay.references", len(trace))
     return SimulationResult(

@@ -203,6 +203,13 @@ class MultiprogrammingSimulator:
         ``Fault`` / ``Place`` / ``Evict`` events tagged with the owning
         program's name, in global simulated-time order — the
         multiprogrammed interleaving the per-program results can't show.
+    checked:
+        Run the :mod:`repro.check` invariant suite over the mix as it
+        executes (sampled every 32 fetch completions, plus a final pass
+        at summary time): per-program frame accounting, space-time
+        monotonicity, and in shared-pool mode the pool-residency ledger
+        (``sum(external_resident) == pool.resident_count``).  Raises
+        :class:`~repro.errors.InvariantViolation` on the first failure.
     """
 
     def __init__(
@@ -214,6 +221,7 @@ class MultiprogrammingSimulator:
         shared_frames: int | None = None,
         shared_policy: ReplacementPolicy | None = None,
         tracer: Tracer | None = None,
+        checked: bool = False,
     ) -> None:
         if not specs:
             raise ValueError("need at least one program")
@@ -250,6 +258,12 @@ class MultiprogrammingSimulator:
         self._events = EventQueue()
         self.now = 0
         self.cpu_busy = 0
+        self._suite = None
+        self._fetches_seen = 0
+        if checked:
+            from repro.check.invariants import InvariantSuite
+
+            self._suite = InvariantSuite()
 
     # -- public ----------------------------------------------------------------
 
@@ -382,6 +396,32 @@ class MultiprogrammingSimulator:
         program.state = _State.READY
         program.settle(time)   # zero-length, but refreshes occupancy basis
         self.scheduler.make_ready(name)
+        if self._suite is not None:
+            self._fetches_seen += 1
+            if self._fetches_seen % 32 == 0:
+                self._check()
+
+    def _check(self) -> None:
+        """Checked mode: run the invariant suite over the whole mix."""
+        suite = self._suite
+        for program in self._programs.values():
+            suite.check(program.frames)
+            suite.check(program.account)
+        if self._pool is not None:
+            suite.check(self._pool)
+            ledger = sum(
+                program.external_resident or 0
+                for program in self._programs.values()
+            )
+            if ledger != self._pool.resident_count:
+                from repro.errors import InvariantViolation
+
+                raise InvariantViolation(
+                    "pool_residency_ledger",
+                    f"sum of per-program residency {ledger} != pool "
+                    f"resident count {self._pool.resident_count}",
+                    subject="MultiprogrammingSimulator",
+                )
 
     # -- residency, in either mode ------------------------------------------
 
@@ -441,6 +481,8 @@ class MultiprogrammingSimulator:
         program.completion_time = self.now
 
     def _summary(self) -> SimulationSummary:
+        if self._suite is not None:
+            self._check()
         makespan = self.now
         results = []
         for program in self._programs.values():

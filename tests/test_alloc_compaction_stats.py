@@ -82,6 +82,87 @@ class TestCompaction:
         allocator.check_invariants()
 
 
+class FailingMemory:
+    """A memory whose move channel dies on the Nth transfer."""
+
+    def __init__(self, memory, fail_on):
+        self._memory = memory
+        self.fail_on = fail_on
+        self.moves = 0
+
+    def move(self, source, destination, count):
+        self.moves += 1
+        if self.moves == self.fail_on:
+            raise RuntimeError("channel dropped the transfer")
+        self._memory.move(source, destination, count)
+
+    def __getattr__(self, name):
+        return getattr(self._memory, name)
+
+
+class TestCompactionExceptionSafety:
+    """Regression: a failed move mid-pass used to leave the allocator's
+    books describing a compaction that never physically finished."""
+
+    def test_failed_move_leaves_consistent_state(self):
+        memory = PhysicalMemory(100)
+        allocator, live = fragmented_allocator()
+        for block in live:
+            memory.write_block(block.address, [block.address] * block.size)
+        flaky = FailingMemory(memory, fail_on=3)
+        with pytest.raises(RuntimeError):
+            compact(allocator, memory=flaky)
+        allocator.check_invariants()
+        # The first two blocks moved; the rest are still where they were.
+        addresses = [a.address for a in allocator.allocations()]
+        assert addresses == [0, 10, 50, 70, 90]
+        # Bookkeeping matches physical contents for every live block.
+        for block in allocator.allocations():
+            words = memory.read_block(block.address, block.size)
+            assert len(set(words)) == 1 and words[0] is not None
+
+    def test_failed_move_then_retry_completes(self):
+        memory = PhysicalMemory(100)
+        allocator, live = fragmented_allocator()
+        for block in live:
+            memory.write_block(block.address, [f"b{block.address}"] * block.size)
+        flaky = FailingMemory(memory, fail_on=2)
+        with pytest.raises(RuntimeError):
+            compact(allocator, memory=flaky)
+        # The channel recovers: a fresh pass finishes the job.
+        result = compact(allocator, memory=memory)
+        allocator.check_invariants()
+        assert [a.address for a in allocator.allocations()] == [0, 10, 20, 30, 40]
+        assert allocator.holes() == [(50, 50)]
+        assert result.hole_count_after == 1
+
+    def test_failed_callback_accounts_block_at_new_address(self):
+        allocator, _ = fragmented_allocator()
+        calls = []
+
+        def explode(old, new):
+            calls.append((old.address, new.address))
+            if len(calls) == 2:
+                raise ValueError("segment table update failed")
+
+        with pytest.raises(ValueError):
+            compact(allocator, on_relocate=explode)
+        allocator.check_invariants()
+        # The second block's words moved before the callback failed, so
+        # it must be accounted at its *new* address.
+        addresses = [a.address for a in allocator.allocations()]
+        assert addresses == [0, 10, 50, 70, 90]
+
+    def test_allocator_usable_after_failed_pass(self):
+        allocator, _ = fragmented_allocator()
+        flaky = FailingMemory(PhysicalMemory(100), fail_on=1)
+        with pytest.raises(RuntimeError):
+            compact(allocator, memory=flaky)
+        block = allocator.allocate(10)
+        allocator.free(block)
+        allocator.check_invariants()
+
+
 class TestFragmentationStats:
     def test_empty_allocator(self):
         stats = fragmentation_stats(FreeListAllocator(100))

@@ -264,3 +264,31 @@ class TestNextFitRover:
         assert allocator.allocate(5).address == 7
         assert allocator.holes() == [(12, 38)]
         allocator.check_invariants()
+
+    def test_rover_survives_coalesce_below_it(self):
+        """Regression: a merge *below* the rover used to leave it stale.
+
+        Deleting holes below the rover shifts every later index down;
+        the old code only reset the rover when it ran past the end, so
+        here it silently slid from its hole back to the list head and
+        next_fit degenerated into first_fit for one search.
+        """
+        allocator = FreeListAllocator(80, policy="next_fit")
+        b0 = allocator.allocate(10)          # 0..10
+        b1 = allocator.allocate(5)           # 10..15
+        b2 = allocator.allocate(10)          # 15..25
+        allocator.allocate(10)               # 25..35
+        b4 = allocator.allocate(20)          # 35..55
+        allocator.allocate(10)               # 55..65
+        allocator.allocate(15)               # 65..80
+        for block in (b0, b2, b4):
+            allocator.free(block)
+        # holes: [(0,10), (15,10), (35,20)], rover at 0.
+        assert allocator.allocate(15).address == 35   # only hole 2 fits
+        # holes: [(0,10), (15,10), (50,5)], rover -> hole 2.
+        allocator.free(b1)   # three-way merge: [(0,25), (50,5)]
+        assert allocator.holes() == [(0, 25), (50, 5)]
+        # The rover's hole is now index 1; a stale index-2 rover would
+        # wrap to the head and place this at 0.
+        assert allocator.allocate(5).address == 50
+        allocator.check_invariants()

@@ -73,3 +73,47 @@ class TestSummarizeSpans:
         summary = summarize_spans([Span("a", 0, 10)], end_time=10,
                                   ranks=(25, 75))
         assert set(summary.percentiles) == {25, 75}
+
+
+class TestBlockLifetimeAddressReuse:
+    """Regression: Place events used to carry the address as the unit,
+    so lifetimes of successive blocks at a reused address collapsed."""
+
+    def test_reused_address_yields_distinct_spans(self):
+        from repro.alloc import FreeListAllocator
+        from repro.observe.analysis import TraceAnalyzer
+        from repro.observe.tracer import Tracer
+
+        analyzer = TraceAnalyzer(window=4)
+        allocator = FreeListAllocator(64, tracer=Tracer([analyzer]))
+        first = allocator.allocate(16)      # block id 0 at address 0
+        allocator.free(first)
+        second = allocator.allocate(16)     # block id 1, same address
+        allocator.free(second)
+        assert first.address == second.address == 0
+
+        analytics = analyzer.finish()
+        spans = analytics.block_lifetimes
+        assert len(spans) == 2
+        assert [span.unit for span in spans] == [0, 1]
+        assert all(not span.open for span in spans)
+        assert analytics.unmatched_frees == 0
+
+    def test_interleaved_reuse_keeps_sizes_attributed(self):
+        from repro.alloc import FreeListAllocator
+        from repro.observe.analysis import TraceAnalyzer
+        from repro.observe.tracer import Tracer
+
+        analyzer = TraceAnalyzer(window=4)
+        allocator = FreeListAllocator(64, tracer=Tracer([analyzer]))
+        a = allocator.allocate(8)
+        b = allocator.allocate(8)
+        allocator.free(a)
+        c = allocator.allocate(4)           # reuses a's address
+        allocator.free(b)
+        allocator.free(c)
+        analytics = analyzer.finish()
+        by_unit = {span.unit: span for span in analytics.block_lifetimes}
+        assert set(by_unit) == {0, 1, 2}
+        assert by_unit[0].size == 8 and by_unit[2].size == 4
+        assert c.address == a.address

@@ -1,0 +1,35 @@
+"""``python -m repro check`` — the CI gate's exit-status contract."""
+
+import pytest
+
+from repro.check.cli import main
+
+
+class TestCheckCli:
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(["--quick", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "differential oracle" in out
+        assert "OK" in out
+
+    def test_injected_violation_exits_one(self, capsys):
+        assert main(["--quick", "--seeds", "2", "--inject-violation"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "word_conservation" in out
+
+    def test_domain_restriction(self, capsys):
+        assert main(["--seeds", "2", "--domains", "replacement"]) == 0
+        out = capsys.readouterr().out
+        assert "checks: replacement" in out
+        assert "checks: placement" not in out
+
+    def test_bad_seed_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--seeds", "0"])
+
+    def test_module_entry_point(self):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["check", "--quick", "--seeds", "1",
+                           "--domains", "replacement"]) == 0

@@ -1,0 +1,164 @@
+"""Deterministic fault injection and the retry/recovery contract."""
+
+import pytest
+
+from repro.check import (
+    FaultPlan,
+    FlakyBackingStore,
+    FlakyMemory,
+    RetryPolicy,
+    RetryingBackingStore,
+    TornJsonlSink,
+)
+from repro.check.oracle import _final_stats, _paged_run
+from repro.clock import Clock
+from repro.errors import TransientFault
+from repro.memory.backing import BackingStore
+from repro.memory.hierarchy import StorageLevel
+from repro.memory.physical import PhysicalMemory
+
+
+def make_backing(clock=None):
+    level = StorageLevel("drum", 1_000_000, access_time=100, transfer_rate=1.0)
+    return BackingStore(level, clock=clock if clock is not None else Clock())
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan(9, fetch_rate=0.3)
+            draws.append([plan.should_fail("fetch") for _ in range(200)])
+        assert draws[0] == draws[1]
+        assert any(draws[0])
+
+    def test_channels_are_independent_streams(self):
+        plan = FaultPlan(9, fetch_rate=0.3, store_rate=0.3)
+        solo = FaultPlan(9, fetch_rate=0.3)
+        mixed = []
+        for _ in range(100):
+            mixed.append(plan.should_fail("fetch"))
+            plan.should_fail("store")  # interleaved draws on another channel
+        assert mixed == [solo.should_fail("fetch") for _ in range(100)]
+
+    def test_consecutive_failures_are_capped(self):
+        plan = FaultPlan(1, fetch_rate=0.99, max_consecutive=2)
+        run = 0
+        for _ in range(500):
+            if plan.should_fail("fetch"):
+                run += 1
+                assert run <= 2
+            else:
+                run = 0
+        assert plan.injected["fetch"] > 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, fetch_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(0, max_consecutive=0)
+
+
+class TestFlakyLayers:
+    def test_flaky_fetch_raises_without_touching_store(self):
+        backing = make_backing()
+        backing.store("p", [1, 2, 3], charge=False)
+        flaky = FlakyBackingStore(backing, FaultPlan(3, fetch_rate=0.99))
+        fetched_before = backing.fetches
+        with pytest.raises(TransientFault) as caught:
+            flaky.fetch("p")
+        assert caught.value.channel == "fetch"
+        assert backing.fetches == fetched_before  # nothing happened
+
+    def test_flaky_move_raises_before_copying(self):
+        memory = PhysicalMemory(64)
+        for i in range(8):
+            memory.write(i, f"w{i}")
+        flaky = FlakyMemory(memory, FaultPlan(3, move_rate=0.99))
+        with pytest.raises(TransientFault):
+            flaky.move(0, 16, 8)
+        assert memory.read(16) is None  # untouched
+        assert memory.words_moved == 0
+
+    def test_passthrough_preserves_api(self):
+        backing = make_backing()
+        backing.store("p", [1], charge=False)
+        flaky = FlakyBackingStore(backing, FaultPlan(3))
+        assert "p" in flaky
+        assert len(flaky) == 1
+        image, _ = flaky.fetch("p", charge=False)
+        assert image == [1]
+
+
+class TestRetry:
+    def test_retry_recovers_transients(self):
+        backing = make_backing()
+        backing.store("p", [7], charge=False)
+        plan = FaultPlan(5, fetch_rate=0.5, max_consecutive=2)
+        retrying = RetryingBackingStore(
+            FlakyBackingStore(backing, plan), RetryPolicy(max_attempts=4)
+        )
+        for _ in range(50):
+            image, _ = retrying.fetch("p", charge=False)
+            assert image == [7]
+        assert plan.injected["fetch"] > 0
+        assert retrying.stats.retries == plan.injected["fetch"]
+        assert retrying.stats.exhausted == 0
+        assert retrying.stats.backoff_cycles > 0
+
+    def test_exhaustion_reraises_the_fault(self):
+        backing = make_backing()
+        backing.store("p", [7], charge=False)
+        # max_consecutive above max_attempts: a run can outlast the retries.
+        plan = FaultPlan(5, fetch_rate=0.99, max_consecutive=10)
+        retrying = RetryingBackingStore(
+            FlakyBackingStore(backing, plan), RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(TransientFault):
+            for _ in range(50):
+                retrying.fetch("p", charge=False)
+        assert retrying.stats.exhausted == 1
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff=100)
+        assert [policy.backoff_cycles(a) for a in range(3)] == [100, 200, 400]
+
+
+class TestBitIdenticalRecovery:
+    def test_recovered_run_matches_fault_free_run(self):
+        clean = _final_stats(*_paged_run(seed=2, length=500))
+        plan = FaultPlan(2, fetch_rate=0.2, store_rate=0.15, max_consecutive=2)
+        holder = {}
+
+        def wrap(backing):
+            holder["retrying"] = RetryingBackingStore(
+                FlakyBackingStore(backing, plan), RetryPolicy(max_attempts=4)
+            )
+            return holder["retrying"]
+
+        faulty = _final_stats(*_paged_run(seed=2, length=500, wrap_backing=wrap))
+        assert plan.total_injected > 0
+        assert holder["retrying"].stats.exhausted == 0
+        assert faulty == clean  # bit-identical final statistics
+
+
+class TestTornSink:
+    def test_torn_lines_are_skipped_by_the_reader(self, tmp_path):
+        from repro.observe.analysis.stream import EventStream
+        from repro.observe.events import Fault
+        from repro.observe.sinks import JsonlSink
+
+        path = tmp_path / "trace.jsonl"
+        plan = FaultPlan(4, torn_line_rate=0.3, max_consecutive=1)
+        sink = TornJsonlSink(JsonlSink(path), plan)
+        total = 200
+        for i in range(total):
+            sink.accept(Fault(time=i, unit=i % 7))
+        sink.close()
+
+        stream = EventStream(path)
+        events = list(stream)
+        assert sink.torn > 0
+        assert stream.corrupt_lines == sink.torn
+        assert len(events) == total - sink.torn
+        assert all(event.kind == "fault" for event in events)

@@ -1,0 +1,96 @@
+"""Seeded fuzzing of allocator state through the invariant engine.
+
+Satellite of the checked-mode work: random allocate/free/compact
+sequences across every placement policy and both free-list backends,
+with ``check_invariants()`` run after every operation and an
+:class:`~repro.check.InvariantSink` riding the allocator's tracer.
+OutOfMemory rejections and post-compaction states are part of the walk —
+exactly the regimes where the rover bug and the non-transactional
+compact used to corrupt state silently.
+"""
+
+import random
+
+import pytest
+
+from repro.alloc import FreeListAllocator
+from repro.alloc.compaction import compact
+from repro.check import InvariantSink, InvariantSuite, check_invariants
+from repro.errors import OutOfMemory
+from repro.observe.tracer import Tracer
+
+POLICIES = ("first_fit", "best_fit", "worst_fit", "next_fit")
+BACKENDS = (False, True)  # linear, indexed
+SEEDS = (0, 1, 2)
+
+CASES = [
+    (policy, indexed, seed)
+    for policy in POLICIES
+    for indexed in BACKENDS
+    for seed in SEEDS
+    if not (indexed and policy == "next_fit")   # rover needs the linear list
+]
+
+
+def fuzz_walk(policy, indexed, seed, steps=300):
+    """One random walk; returns (allocator, ops-performed counters)."""
+    rng = random.Random(f"fuzz:{policy}:{indexed}:{seed}")
+    suite = InvariantSuite()
+    sink = InvariantSink([], suite=suite, every=8)
+    allocator = FreeListAllocator(
+        2048, policy=policy, indexed=indexed, tracer=Tracer([sink])
+    )
+    sink.subjects.append(allocator)
+    live = []
+    performed = {"allocate": 0, "free": 0, "compact": 0, "oom": 0}
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.55:
+            size = rng.choice((1, 3, 16, 64, 200, 700))
+            try:
+                live.append(allocator.allocate(size))
+                performed["allocate"] += 1
+            except OutOfMemory:
+                performed["oom"] += 1
+        elif roll < 0.9 and live:
+            allocator.free(live.pop(rng.randrange(len(live))))
+            performed["free"] += 1
+        elif roll >= 0.9:
+            result = compact(allocator)
+            performed["compact"] += 1
+            # Compaction relocates: refresh handles via the map.
+            live = [
+                type(block)(result.relocations.get(block.address, block.address),
+                            block.size)
+                for block in live
+            ]
+        check_invariants(allocator, suite=suite)
+    return allocator, suite, performed
+
+
+@pytest.mark.parametrize("policy,indexed,seed", CASES)
+def test_fuzz_walk_stays_consistent(policy, indexed, seed):
+    allocator, suite, performed = fuzz_walk(policy, indexed, seed)
+    assert suite.ok
+    assert suite.checks_run > 0
+    assert performed["allocate"] > 0 and performed["free"] > 0
+    assert performed["compact"] > 0
+    allocator.check_invariants()
+
+
+def test_fuzz_reaches_out_of_memory():
+    """At least one walk must exercise the rejection path."""
+    total_oom = 0
+    for policy, indexed, seed in CASES:
+        _, _, performed = fuzz_walk(policy, indexed, seed, steps=150)
+        total_oom += performed["oom"]
+    assert total_oom > 0
+
+
+def test_fuzz_post_compaction_state_is_maximal_hole():
+    """After compaction with no frees pending, one hole remains."""
+    allocator, _, _ = fuzz_walk("best_fit", False, 0)
+    compact(allocator)
+    holes = allocator.holes()
+    assert len(holes) <= 1
+    check_invariants(allocator)

@@ -94,10 +94,13 @@ class TestAllocatorEmission:
         compaction = ring.events()[-1]
         assert compaction.moves >= 1
         assert compaction.holes_after == 1
-        place = ring.events()[0]
-        assert place.unit == keep.address
-        assert place.size == 100
-        assert place.policy == "first_fit"
+        places = ring.events()[:3]
+        # ``unit`` is a monotonic block id (addresses are reused);
+        # ``where`` carries the address.
+        assert [p.unit for p in places] == [0, 1, 2]
+        assert places[0].where == keep.address
+        assert places[0].size == 100
+        assert places[0].policy == "first_fit"
 
 
 class TestAdviceEmission:
