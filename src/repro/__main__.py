@@ -20,6 +20,12 @@
                              free lists, checked-mode invariants and
                              fault-injection recovery; exits 1 on any
                              violation (see :mod:`repro.check`).
+``python -m repro sweep``    runs a deterministic machine × policy
+                             sweep over multiprocessing workers with a
+                             resumable results file and per-axis
+                             marginal tables (see :mod:`repro.sweep`;
+                             accepts ``--quick``, ``--workers``,
+                             ``--resume``, ``--checked``).
 """
 
 from __future__ import annotations
@@ -108,6 +114,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(arguments[1:])
+    elif command == "sweep":
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(arguments[1:])
     else:
         print(__doc__)
         return 1

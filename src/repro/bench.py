@@ -46,6 +46,7 @@ from typing import Callable
 
 from repro.alloc.freelist import FreeListAllocator
 from repro.errors import OutOfMemory
+from repro.observe.sinks import read_jsonl_records
 from repro.paging.replacement import make_policy
 from repro.paging.replacement.belady import BeladyOptimalPolicy
 from repro.paging.simulate import SimulationResult, simulate_trace
@@ -55,11 +56,36 @@ from repro.workload.requests import exponential_requests, request_schedule
 REPLAY_POLICIES = ("lru", "fifo", "clock", "opt")
 ALLOC_POLICIES = ("best_fit", "first_fit", "worst_fit")
 
+#: The two size classes every run belongs to.  Shared vocabulary: the
+#: sweep engine's quick grids derive their workload sizes from these, so
+#: "quick" means the same order of work in both tools.
+SIZE_CLASSES: dict[str, dict[str, dict]] = {
+    "quick": {
+        "replay": dict(length=60_000, frames=24, pages=256),
+        "alloc": dict(count=2_000, capacity=80_000, mean_lifetime=400),
+    },
+    "full": {
+        "replay": dict(length=1_000_000, frames=32, pages=512),
+        "alloc": dict(count=12_000, capacity=200_000, mean_lifetime=2_000),
+    },
+}
+
 
 def _timed(fn: Callable[[], object]) -> tuple[object, float]:
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def _throughput(operations: int, seconds: float) -> int | None:
+    """Operations per second, or None when the timer saw no time pass.
+
+    On ``--quick`` sizes under a coarse timer ``seconds`` can be 0.0;
+    a None throughput means "too fast to measure", never a crash.
+    """
+    if not seconds:
+        return None
+    return round(operations / seconds)
 
 
 # -- trace replay ---------------------------------------------------------
@@ -112,8 +138,8 @@ def bench_replay(length: int, frames: int, pages: int) -> dict:
             "reference_s": round(reference_s, 4),
             "fast_s": round(fast_s, 4),
             "speedup": round(reference_s / fast_s, 2) if fast_s else None,
-            "reference_refs_per_s": round(length / reference_s),
-            "fast_refs_per_s": round(length / fast_s),
+            "reference_refs_per_s": _throughput(length, reference_s),
+            "fast_refs_per_s": _throughput(length, fast_s),
         }
     return {
         "references": length,
@@ -182,8 +208,8 @@ def bench_alloc(count: int, capacity: int, mean_lifetime: int) -> dict:
             "linear_s": round(linear_s, 4),
             "indexed_s": round(indexed_s, 4),
             "speedup": round(linear_s / indexed_s, 2) if indexed_s else None,
-            "linear_ops_per_s": round(ops / linear_s),
-            "indexed_ops_per_s": round(ops / indexed_s),
+            "linear_ops_per_s": _throughput(ops, linear_s),
+            "indexed_ops_per_s": _throughput(ops, indexed_s),
             "ops": ops,
         }
     return {
@@ -216,14 +242,19 @@ def git_revision() -> str | None:
 
 
 def history_record(report: dict, rev: str | None = None) -> dict:
-    """One ``BENCH_history.jsonl`` line: provenance + flat throughputs."""
-    metrics: dict[str, int] = {}
+    """One ``BENCH_history.jsonl`` line: provenance + flat throughputs.
+
+    A metric measured as None (zero elapsed time on quick sizes) is
+    recorded as null, keeping the metric set stable across runs;
+    :func:`compare_records` skips such entries.
+    """
+    metrics: dict[str, int | None] = {}
     for name, row in report["replay"]["policies"].items():
         for key in THROUGHPUT_KEYS:
-            metrics[f"replay.{name}.{key}"] = row[key]
+            metrics[f"replay.{name}.{key}"] = row.get(key)
     for name, row in report["alloc"]["policies"].items():
         for key in ALLOC_THROUGHPUT_KEYS:
-            metrics[f"alloc.{name}.{key}"] = row[key]
+            metrics[f"alloc.{name}.{key}"] = row.get(key)
     return {
         "schema": 1,
         "created": report["created"],
@@ -241,21 +272,22 @@ def append_history(record: dict, path: Path) -> None:
 
 def read_history(path: Path) -> list[dict]:
     """All recorded runs, oldest first; damaged lines are skipped."""
-    if not path.exists():
-        return []
-    records = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "metrics" in record:
-                records.append(record)
-    return records
+    return read_history_with_damage(path)[0]
+
+
+def read_history_with_damage(path: Path) -> tuple[list[dict], int]:
+    """``(records, skipped)`` — usable runs plus the damaged-line count.
+
+    A corrupt history must not masquerade as a short one: every line
+    that fails to parse, is not an object, or lacks ``metrics`` counts
+    as skipped, and the CLI surfaces the total.
+    """
+    raw, skipped = read_jsonl_records(path)
+    records = [
+        record for record in raw if isinstance(record.get("metrics"), dict)
+    ]
+    skipped += len(raw) - len(records)
+    return records, skipped
 
 
 def last_comparable(records: list[dict], quick: bool) -> dict | None:
@@ -275,12 +307,20 @@ def compare_records(
     than ``threshold`` (fractional): ``{"metric", "baseline", "current",
     "change"}`` with ``change`` negative.  Improvements and sub-threshold
     noise return nothing.
+
+    A metric that is None on either side (too fast to time) is skipped —
+    it carries no information.  A current value of *zero* against a
+    positive baseline is NOT skipped: a throughput collapsed to nothing
+    is the worst possible regression, not noise.
     """
     regressions = []
     baseline_metrics = baseline.get("metrics", {})
     for metric, value in sorted(current.get("metrics", {}).items()):
         recorded = baseline_metrics.get(metric)
-        if not recorded or not value:
+        if recorded is None or value is None:
+            continue
+        if not recorded:
+            # Zero baseline: relative change is undefined; nothing to gate.
             continue
         change = value / recorded - 1.0
         if change < -threshold:
@@ -297,12 +337,9 @@ def compare_records(
 
 
 def run_suite(quick: bool = False) -> dict:
-    if quick:
-        replay = bench_replay(length=60_000, frames=24, pages=256)
-        alloc = bench_alloc(count=2_000, capacity=80_000, mean_lifetime=400)
-    else:
-        replay = bench_replay(length=1_000_000, frames=32, pages=512)
-        alloc = bench_alloc(count=12_000, capacity=200_000, mean_lifetime=2_000)
+    sizes = SIZE_CLASSES["quick" if quick else "full"]
+    replay = bench_replay(**sizes["replay"])
+    alloc = bench_alloc(**sizes["alloc"])
     return {
         "schema": 1,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -310,6 +347,13 @@ def run_suite(quick: bool = False) -> dict:
         "replay": replay,
         "alloc": alloc,
     }
+
+
+def _fmt(value: int | float | None, width: int) -> str:
+    """Right-aligned thousands-grouped number, or n/a for unmeasured."""
+    if value is None:
+        return "n/a".rjust(width)
+    return f"{value:>{width},}"
 
 
 def _print_report(report: dict, stream=sys.stdout) -> None:
@@ -321,9 +365,9 @@ def _print_report(report: dict, stream=sys.stdout) -> None:
     )
     for name, row in replay["policies"].items():
         print(
-            f"  {name:<10} ref {row['reference_refs_per_s']:>12,}/s   "
-            f"fast {row['fast_refs_per_s']:>12,}/s   "
-            f"speedup {row['speedup']:>6}x",
+            f"  {name:<10} ref {_fmt(row['reference_refs_per_s'], 12)}/s   "
+            f"fast {_fmt(row['fast_refs_per_s'], 12)}/s   "
+            f"speedup {row['speedup'] if row['speedup'] is not None else 'n/a':>6}x",
             file=stream,
         )
     alloc = report["alloc"]
@@ -334,9 +378,9 @@ def _print_report(report: dict, stream=sys.stdout) -> None:
     )
     for name, row in alloc["policies"].items():
         print(
-            f"  {name:<10} linear {row['linear_ops_per_s']:>10,} ops/s   "
-            f"indexed {row['indexed_ops_per_s']:>10,} ops/s   "
-            f"speedup {row['speedup']:>6}x",
+            f"  {name:<10} linear {_fmt(row['linear_ops_per_s'], 10)} ops/s   "
+            f"indexed {_fmt(row['indexed_ops_per_s'], 10)} ops/s   "
+            f"speedup {row['speedup'] if row['speedup'] is not None else 'n/a':>6}x",
             file=stream,
         )
 
@@ -396,7 +440,13 @@ def main(argv: list[str] | None = None) -> int:
 
     status = 0
     if args.compare:
-        baseline = last_comparable(read_history(args.history), args.quick)
+        records, damaged = read_history_with_damage(args.history)
+        if damaged:
+            print(
+                f"warning: skipped {damaged} unreadable line(s) in "
+                f"{args.history} — the history may be damaged"
+            )
+        baseline = last_comparable(records, args.quick)
         if baseline is None:
             print(
                 f"no comparable {'quick' if args.quick else 'full'} run in "

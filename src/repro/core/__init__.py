@@ -17,7 +17,12 @@ from repro.core.characteristics import (
     SystemCharacteristics,
 )
 from repro.core.assessment import assess, compare, facility_inventory
-from repro.core.builder import SystemConfig, build_system
+from repro.core.builder import (
+    MACHINE_PRESETS,
+    SystemConfig,
+    build_system,
+    preset_config,
+)
 from repro.core.presets import recommended_characteristics, recommended_system
 from repro.core.system import StorageAllocationSystem, SystemStats
 
@@ -31,9 +36,11 @@ __all__ = [
     "PredictiveInformation",
     "StorageAllocationSystem",
     "SystemCharacteristics",
+    "MACHINE_PRESETS",
     "SystemConfig",
     "SystemStats",
     "build_system",
+    "preset_config",
     "recommended_characteristics",
     "recommended_system",
 ]

@@ -73,6 +73,71 @@ class SystemConfig:
     def make_replacement(self):
         return make_policy(self.replacement_policy, **self.policy_kwargs)
 
+    @property
+    def page_fetch_time(self) -> int:
+        """Cycles to fetch one page: backing latency plus transfer.
+
+        The independent variable of Figure 3 — what the space-time
+        product pays per fault — derived from the same backing
+        parameters ``make_backing`` uses, so simulators that take a flat
+        ``fetch_time`` (the multiprogramming mix, the sweep shards) stay
+        consistent with composed systems.
+        """
+        return int(self.backing_latency + self.page_size / self.backing_rate)
+
+
+#: Named hardware-ish configurations, scaled from the surveyed machines'
+#: published parameters (appendix A; see :mod:`repro.machines`).  Values
+#: are ``SystemConfig`` overrides: page size and backing timings are the
+#: machine's own; capacities are the published core sizes.  ``baseline``
+#: is the neutral default used when no machine is being imitated.
+MACHINE_PRESETS: dict[str, dict] = {
+    "baseline": dict(
+        capacity_words=16_384, page_size=512,
+        backing_latency=6_000, backing_rate=0.25,
+    ),
+    "atlas": dict(        # A.1: 16K core over a drum (machines/atlas.py)
+        capacity_words=16_384, page_size=512,
+        backing_latency=2_000, backing_rate=0.25,
+    ),
+    "m44": dict(          # A.2: 200K core over an IBM 1301 disk
+        capacity_words=200_000, page_size=1_024,
+        backing_latency=5_000, backing_rate=0.1,
+    ),
+    "b8500": dict(        # A.5: fast multiprocessor-era backing
+        capacity_words=65_536, page_size=512,
+        backing_latency=1_500, backing_rate=0.5,
+    ),
+    "multics": dict(      # A.6: 128K core over a drum
+        capacity_words=131_072, page_size=1_024,
+        backing_latency=2_000, backing_rate=0.25,
+    ),
+    "model67": dict(      # A.7: 4096-byte (1K-word) pages over a drum
+        capacity_words=196_608, page_size=1_024,
+        backing_latency=2_000, backing_rate=0.25,
+    ),
+}
+
+
+def preset_config(name: str, **overrides) -> SystemConfig:
+    """A :class:`SystemConfig` for a named machine preset.
+
+    ``overrides`` replace any preset field (e.g. a different
+    ``replacement_policy`` or a scaled-down ``capacity_words``).
+
+    >>> preset_config("atlas").page_size
+    512
+    >>> preset_config("m44", replacement_policy="fifo").backing_latency
+    5000
+    """
+    try:
+        fields = dict(MACHINE_PRESETS[name])
+    except KeyError:
+        known = ", ".join(sorted(MACHINE_PRESETS))
+        raise ValueError(f"unknown machine preset {name!r}; choose from {known}")
+    fields.update(overrides)
+    return SystemConfig(**fields)
+
 
 def build_system(
     characteristics: SystemCharacteristics,

@@ -7,6 +7,11 @@ program error (:class:`BoundViolation`), while a trap on information not
 currently in working storage (:class:`PageFault`, :class:`SegmentFault`)
 is the mechanism demand fetching is built on — callers are expected to
 catch it, fetch, and retry.
+
+Every parameterized exception defines ``__reduce__`` so it survives
+pickling — the sweep engine's worker processes report failures to the
+parent as exceptions, and Python's default exception pickling breaks on
+``__init__`` signatures with more than one required argument.
 """
 
 from __future__ import annotations
@@ -35,6 +40,9 @@ class BoundViolation(AddressingError):
         self.limit = limit
         self.context = context
 
+    def __reduce__(self):
+        return (type(self), (self.name, self.limit, self.context))
+
 
 class StorageTrap(AddressingError):
     """Base class for traps on information not in working storage.
@@ -53,6 +61,9 @@ class PageFault(StorageTrap):
         self.page = page
         self.process = process
 
+    def __reduce__(self):
+        return (type(self), (self.page, self.process))
+
 
 class SegmentFault(StorageTrap):
     """Reference to a segment that is not resident in working storage."""
@@ -61,6 +72,9 @@ class SegmentFault(StorageTrap):
         super().__init__(f"segment fault on segment {segment!r}")
         self.segment = segment
 
+    def __reduce__(self):
+        return (type(self), (self.segment,))
+
 
 class MissingSegment(AddressingError):
     """Reference to a segment name that does not exist in the name space."""
@@ -68,6 +82,9 @@ class MissingSegment(AddressingError):
     def __init__(self, segment: object) -> None:
         super().__init__(f"no such segment {segment!r}")
         self.segment = segment
+
+    def __reduce__(self):
+        return (type(self), (self.segment,))
 
 
 class AllocationError(ReproError):
@@ -81,6 +98,10 @@ class OutOfMemory(AllocationError):
         extra = f" ({detail})" if detail else ""
         super().__init__(f"cannot allocate {requested} words{extra}")
         self.requested = requested
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.requested, self.detail))
 
 
 class InvalidFree(AllocationError):
@@ -105,6 +126,10 @@ class TransientFault(ReproError):
         super().__init__(f"transient {channel} fault during {operation}{extra}")
         self.channel = channel
         self.operation = operation
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.channel, self.operation, self.detail))
 
 
 class InvariantViolation(ReproError):
@@ -119,3 +144,14 @@ class InvariantViolation(ReproError):
         self.invariant = invariant
         self.detail = detail
         self.subject = subject
+
+    def __reduce__(self):
+        # The subject may be a live simulator component; transport its
+        # repr so the exception survives a process boundary regardless.
+        subject = self.subject if _plain(self.subject) else repr(self.subject)
+        return (type(self), (self.invariant, self.detail, subject))
+
+
+def _plain(value: object) -> bool:
+    """True for values that pickle anywhere (None, str, numbers)."""
+    return value is None or isinstance(value, (str, int, float, bool))

@@ -185,7 +185,9 @@ def run_analyze(args: argparse.Namespace, stream=None) -> int:
 
 def run_diff(args: argparse.Namespace, stream=None) -> int:
     stream = sys.stdout if stream is None else stream
-    diff = diff_traces(EventStream(args.a), EventStream(args.b))
+    stream_a = EventStream(args.a)
+    stream_b = EventStream(args.b)
+    diff = diff_traces(stream_a, stream_b)
     divergence = []
     if not diff.identical:
         divergence = [
@@ -193,11 +195,15 @@ def run_diff(args: argparse.Namespace, stream=None) -> int:
             ("a at divergence", _describe(diff.a_at_divergence)),
             ("b at divergence", _describe(diff.b_at_divergence)),
         ]
+    # A corrupt line silently dropped by the tolerant reader would make
+    # a damaged trace look like a short one; always show the counts.
     print(kv_table([
         ("trace a", str(args.a)),
         ("trace b", str(args.b)),
         ("events in a", diff.a_events),
         ("events in b", diff.b_events),
+        ("corrupt lines in a", stream_a.corrupt_lines),
+        ("corrupt lines in b", stream_b.corrupt_lines),
         ("common prefix", diff.common_prefix),
         ("identical", "yes" if diff.identical else "no"),
         *divergence,

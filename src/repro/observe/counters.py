@@ -98,6 +98,28 @@ class Counters:
         for name, seconds in other._timers.items():
             self._timers[name] = self._timers.get(name, 0.0) + seconds
 
+    def merge_snapshot(self, snapshot: dict[str, int | float]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry (sums).
+
+        The cross-process form of :meth:`merge`: a worker ships its
+        registry as a plain dict (JSON-safe, picklable) and the parent
+        folds it in.  Timer entries arrive as already-suffixed
+        ``*_seconds`` values and are summed like any other counter, so a
+        merged snapshot round-trips through :meth:`snapshot` unchanged.
+        Integer counters stay integers, which keeps merging associative
+        and order-independent — the property the sweep engine's
+        worker-count determinism rests on.
+        """
+        for name, value in snapshot.items():
+            self._values[name] = self._values.get(name, 0) + value
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, int | float]) -> "Counters":
+        """A fresh registry holding a :meth:`snapshot`'s values."""
+        counters = cls()
+        counters.merge_snapshot(snapshot)
+        return counters
+
     def clear(self) -> None:
         self._values.clear()
         self._timers.clear()
@@ -126,6 +148,9 @@ class _NullCounters(Counters):
         yield
 
     def merge(self, other: Counters) -> None:
+        raise ValueError("NULL_COUNTERS is shared and immutable; build Counters()")
+
+    def merge_snapshot(self, snapshot: dict[str, int | float]) -> None:
         raise ValueError("NULL_COUNTERS is shared and immutable; build Counters()")
 
 
@@ -201,6 +226,29 @@ def absorb_simulation_result(
     counters.increment(f"{prefix}.evictions", result.evictions)
 
 
+def absorb_simulation_summary(
+    counters: Counters, summary, prefix: str = "mix"
+) -> None:
+    """Fold a multiprogramming run's whole-mix totals in.
+
+    Takes a :class:`~repro.sim.multiprogramming.SimulationSummary`:
+    processor busy/idle split, total faults and references across the
+    mix, and the aggregate space-time product split active/waiting —
+    the Figure 3 quantities, in mergeable form.
+    """
+    counters.increment(f"{prefix}.makespan", summary.makespan)
+    counters.increment(f"{prefix}.cpu_busy", summary.cpu_busy)
+    counters.increment(f"{prefix}.cpu_idle", summary.cpu_idle)
+    counters.increment(f"{prefix}.faults", summary.total_faults)
+    counters.increment(
+        f"{prefix}.references",
+        sum(program.references for program in summary.programs),
+    )
+    for program in summary.programs:
+        counters.increment(f"{prefix}.spacetime.active", program.space_time.active)
+        counters.increment(f"{prefix}.spacetime.waiting", program.space_time.waiting)
+
+
 __all__ = [
     "Counters",
     "NULL_COUNTERS",
@@ -208,5 +256,6 @@ __all__ = [
     "absorb_associative_memory",
     "absorb_pager_stats",
     "absorb_simulation_result",
+    "absorb_simulation_summary",
     "absorb_spacetime",
 ]

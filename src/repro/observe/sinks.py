@@ -131,4 +131,43 @@ def read_jsonl(path: str | Path) -> list[Event]:
     return events
 
 
-__all__ = ["CallbackSink", "JsonlSink", "RingBufferSink", "Sink", "read_jsonl"]
+def read_jsonl_records(path: str | Path) -> tuple[list[dict], int]:
+    """Read generic JSONL records tolerantly: ``(records, skipped)``.
+
+    The shared reader for the append-only result files (bench history,
+    sweep results): a torn final line or a corrupted byte must not lose
+    the rest of the file, but it must not vanish silently either — the
+    caller gets a count of the lines it could not read and is expected
+    to surface it.  Non-dict lines (a bare number, a string) count as
+    damage too.  A missing file is simply empty, with nothing skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    records: list[dict] = []
+    skipped = 0
+    with open(path, encoding="utf-8", errors="replace") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
+
+
+__all__ = [
+    "CallbackSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "Sink",
+    "read_jsonl",
+    "read_jsonl_records",
+]

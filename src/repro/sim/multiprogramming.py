@@ -128,6 +128,10 @@ class SimulationSummary:
     def total_space_time(self) -> int:
         return sum(p.space_time.total for p in self.programs)
 
+    @property
+    def total_faults(self) -> int:
+        return sum(p.faults for p in self.programs)
+
 
 class _State(enum.Enum):
     READY = "ready"

@@ -1,0 +1,53 @@
+"""Parallel sweep engine: the one-shot simulator as a campaign runner.
+
+The paper's quantitative claims (Figures 2–4) are statements about a
+*design space* — fault rate against allotted space, space-time product
+against fetch latency, fragmentation against placement policy — and any
+reproduction of them is a many-configuration, many-seed campaign.  This
+package executes such campaigns:
+
+- :mod:`repro.sweep.grid` — a declarative :class:`SweepGrid` (machine
+  presets × replacement × placement × frames × capacities × seeds) that
+  expands into deterministic :class:`Shard` specs, each with
+  SHA-256-derived per-channel seeds, so results are bit-identical
+  regardless of worker count or completion order.
+- :mod:`repro.sweep.shard` — :func:`run_shard` executes one grid cell:
+  a trace replay (Figure 2), a multiprogrammed space-time mix
+  (Figure 3), and an allocator churn with fragmentation measures
+  (Figure 4), returning one flat record plus a counters snapshot.
+- :mod:`repro.sweep.engine` — :func:`run_sweep` fans shards out over
+  ``multiprocessing`` workers, appends each record to a resumable
+  ``SWEEP_results.jsonl`` (re-running skips completed shards), and
+  merges every shard's counters into one run-wide registry.
+- :mod:`repro.sweep.cli` — ``python -m repro sweep``: grids from the
+  command line or a JSON file, ``--workers`` / ``--resume`` /
+  ``--checked``, and per-axis marginal tables.
+
+Determinism contract: for a fixed grid (axes + sizes + ``base_seed``),
+every shard's record is a pure function of its shard id — the engine's
+only nondeterminism is completion *order* and wall-clock timings, which
+is why ``--workers 1`` and ``--workers 8`` produce the same records and
+the same merged counters (asserted by ``tests/test_sweep_engine.py``).
+"""
+
+from repro.sweep.engine import SweepResult, read_results, run_sweep
+from repro.sweep.grid import (
+    Shard,
+    SweepGrid,
+    default_grid,
+    derive_seed,
+    quick_grid,
+)
+from repro.sweep.shard import run_shard
+
+__all__ = [
+    "Shard",
+    "SweepGrid",
+    "SweepResult",
+    "default_grid",
+    "derive_seed",
+    "quick_grid",
+    "read_results",
+    "run_shard",
+    "run_sweep",
+]

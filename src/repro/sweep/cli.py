@@ -1,0 +1,160 @@
+"""``python -m repro sweep`` — run a campaign and report its marginals.
+
+Grid sources, in precedence order: ``--grid FILE`` (a JSON
+:meth:`~repro.sweep.grid.SweepGrid.to_dict` document), ``--quick`` (the
+16-shard CI smoke grid), otherwise the default machine-museum grid.
+Axis flags (``--machines``, ``--replacement``, ``--placement``,
+``--frames``, ``--capacities``, ``--seeds``) override whichever grid was
+selected.
+
+The report is three layers: a run summary (shard counts, the greppable
+``executed N`` line the CI resume check keys on), one marginal table per
+swept axis (axes with a single value are elided), and the merged
+run-wide counters.  Exit status is 1 when any shard failed, 2 for bad
+arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.metrics.report import format_table, kv_table
+from repro.sweep.engine import marginals, run_sweep
+from repro.sweep.grid import SweepGrid, default_grid, quick_grid
+
+#: Axes reported as marginal tables, in report order.
+AXES = ("machine", "replacement", "placement", "frames", "capacity", "seed")
+
+MARGINAL_HEADERS = (
+    "value", "shards", "fault rate", "space-time", "cpu util",
+    "ext frag", "int frag", "alloc fails",
+)
+
+
+def default_workers() -> int:
+    """Worker count when ``--workers`` is not given: cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="run a deterministic policy/machine sweep campaign",
+    )
+    parser.add_argument("--grid", metavar="FILE",
+                        help="load the grid from a JSON file")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the 16-shard smoke grid")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes (default: cores, max 8)")
+    parser.add_argument("--results", default="SWEEP_results.jsonl",
+                        metavar="FILE",
+                        help="append-only results file "
+                             "(default: %(default)s)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip shards already present in the "
+                             "results file")
+    parser.add_argument("--checked", action="store_true",
+                        help="run every shard under the invariant suite")
+    parser.add_argument("--no-report", action="store_true",
+                        help="suppress the marginal tables")
+    parser.add_argument("--machines", nargs="+", metavar="NAME")
+    parser.add_argument("--replacement", nargs="+", metavar="POLICY")
+    parser.add_argument("--placement", nargs="+", metavar="POLICY")
+    parser.add_argument("--frames", nargs="+", type=int, metavar="N")
+    parser.add_argument("--capacities", nargs="+", type=int, metavar="WORDS")
+    parser.add_argument("--seeds", nargs="+", type=int, metavar="SEED")
+    parser.add_argument("--base-seed", type=int, default=None, metavar="N")
+    parser.add_argument("--name", default=None,
+                        help="grid name (keys resume matching)")
+    return parser
+
+
+def resolve_grid(options: argparse.Namespace) -> SweepGrid:
+    """Pick the base grid, then fold in any axis overrides."""
+    if options.grid:
+        grid = SweepGrid.from_file(options.grid)
+    elif options.quick:
+        grid = quick_grid()
+    else:
+        grid = default_grid()
+
+    overrides: dict[str, object] = {}
+    for axis in ("machines", "replacement", "placement", "frames",
+                 "capacities", "seeds"):
+        values = getattr(options, axis)
+        if values is not None:
+            overrides[axis] = tuple(values)
+    if options.base_seed is not None:
+        overrides["base_seed"] = options.base_seed
+    if options.name is not None:
+        overrides["name"] = options.name
+    if overrides:
+        grid = SweepGrid.from_dict({**grid.to_dict(), **overrides})
+    return grid
+
+
+def _print_report(result, grid: SweepGrid) -> None:
+    summary = [
+        ("grid", grid.name),
+        ("shards", grid.size),
+        ("executed", result.executed),
+        ("skipped (resumed)", result.skipped),
+        ("failed", len(result.failures)),
+        ("workers", result.workers),
+        ("wall s", result.wall_s),
+    ]
+    if result.corrupt_lines:
+        summary.append(("corrupt result lines", result.corrupt_lines))
+    print(kv_table(summary, title=f"sweep: {grid.name}"))
+    if result.corrupt_lines:
+        print(f"warning: skipped {result.corrupt_lines} unreadable "
+              "line(s) in the results file — it may be damaged")
+
+    swept = [axis for axis in AXES
+             if len({record.get(axis) for record in result.records}) > 1]
+    for axis in swept:
+        print()
+        print(format_table(
+            MARGINAL_HEADERS,
+            marginals(result.records, axis),
+            title=f"marginal: {axis}",
+        ))
+
+    snapshot = result.counters.snapshot()
+    if snapshot:
+        print()
+        print(kv_table(sorted(snapshot.items()), title="merged counters"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    try:
+        grid = resolve_grid(options)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    workers = options.workers if options.workers else default_workers()
+
+    result = run_sweep(
+        grid,
+        workers=workers,
+        results_path=options.results,
+        resume=options.resume,
+        checked=options.checked,
+    )
+
+    if options.no_report:
+        print(f"sweep: {grid.name}  executed {result.executed}  "
+              f"skipped {result.skipped}  failed {len(result.failures)}")
+    else:
+        _print_report(result, grid)
+    for failure in result.failures:
+        print(f"FAILED {failure['shard']}: {failure['error']}",
+              file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+__all__ = ["build_parser", "default_workers", "main", "resolve_grid"]

@@ -1,0 +1,240 @@
+"""The sweep executor: worker pool, checkpoint file, merged counters.
+
+``run_sweep`` executes a grid's shards over N ``multiprocessing``
+workers and appends each finished shard's record to an append-only
+``SWEEP_results.jsonl``.  The file is the checkpoint: re-running the
+same grid with ``resume=True`` skips every shard whose id is already
+recorded, so an interrupted campaign finishes instead of restarting.
+
+Completion order is whatever the pool produces; nothing else is.  A
+shard's record depends only on its spec (see :mod:`repro.sweep.shard`),
+and the merged counters are integer sums, so any worker count yields
+the same records and the same totals.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.observe.counters import Counters
+from repro.observe.sinks import read_jsonl_records
+from repro.sweep.grid import SCHEMA, SweepGrid
+from repro.sweep.shard import run_shard_safely
+
+#: Fields excluded when comparing records for bit-identity: wall time is
+#: measured, not derived, and is the record's one nondeterministic field.
+NONDETERMINISTIC_FIELDS = ("wall_s",)
+
+
+def read_results(
+    path: str | Path, sweep: str | None = None
+) -> tuple[list[dict], int]:
+    """``(records, corrupt)`` from a results file, damage-tolerant.
+
+    Records are filtered to the current schema, to real results (error
+    records are never checkpointed, but a hand-edited file might hold
+    anything), and — when ``sweep`` is given — to that grid name.
+    Unreadable lines are counted, not silently dropped.
+    """
+    raw, corrupt = read_jsonl_records(path)
+    records = [
+        record for record in raw
+        if record.get("schema") == SCHEMA
+        and "shard" in record
+        and "error" not in record
+        and (sweep is None or record.get("sweep") == sweep)
+    ]
+    return records, corrupt
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one ``run_sweep`` call."""
+
+    grid: SweepGrid
+    records: list[dict]
+    """Every completed record for the grid — resumed and fresh — sorted
+    by shard id."""
+    counters: Counters
+    """All shards' counter snapshots merged (resumed shards included),
+    so totals are independent of how many runs it took."""
+    executed: int
+    skipped: int
+    """Shards skipped because the results file already held them."""
+    failures: list[dict] = field(default_factory=list)
+    corrupt_lines: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _execute(
+    specs: list[dict], workers: int
+) -> Iterable[dict]:
+    """Yield result records as shards complete, inline or pooled."""
+    if workers <= 1 or len(specs) <= 1:
+        for spec in specs:
+            yield run_shard_safely(spec)
+        return
+    # fork is markedly faster to start and available everywhere this
+    # repo targets; spawn (macOS/Windows default) works because workers
+    # import only repro.sweep.shard, but prefer fork when offered.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    with context.Pool(processes=workers) as pool:
+        yield from pool.imap_unordered(run_shard_safely, specs)
+
+
+def run_sweep(
+    grid: SweepGrid,
+    workers: int = 1,
+    results_path: str | Path | None = None,
+    resume: bool = False,
+    checked: bool = False,
+    progress: Callable[[int, int, dict], None] | None = None,
+) -> SweepResult:
+    """Execute ``grid``, checkpointing to ``results_path``.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; 1 runs inline (no pool).  Results are
+        identical for any value — only wall time changes.
+    results_path:
+        The append-only JSONL checkpoint.  None runs entirely in
+        memory (no resume possible).
+    resume:
+        Skip shards whose ids are already recorded for this grid name.
+        Without ``resume``, existing records are ignored *and kept* —
+        the file only ever grows — but every shard re-executes.
+    checked:
+        Route every shard through the :mod:`repro.check` invariant
+        suite (replay audits, mix audits, allocator audits).  A
+        violation fails that shard, never the campaign.
+    progress:
+        Optional ``progress(done, total, record)`` callback, called in
+        the parent as each shard lands.
+    """
+    started = time.perf_counter()
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    shards = list(grid.shards())
+
+    prior: list[dict] = []
+    corrupt = 0
+    if results_path is not None and resume:
+        prior, corrupt = read_results(results_path, sweep=grid.name)
+    completed = {record["shard"] for record in prior}
+    known = {shard.id for shard in shards}
+    # Only records of shards this grid actually names count as resumed
+    # work; stale records from an edited grid stay in the file, inert.
+    prior = [record for record in prior if record["shard"] in completed & known]
+    pending = [
+        shard.spec(checked=checked)
+        for shard in shards
+        if shard.id not in completed
+    ]
+
+    counters = Counters()
+    for record in prior:
+        counters.merge_snapshot(record.get("counters", {}))
+
+    fresh: list[dict] = []
+    failures: list[dict] = []
+    handle = None
+    if results_path is not None:
+        Path(results_path).parent.mkdir(parents=True, exist_ok=True)
+        handle = open(results_path, "a", encoding="utf-8")
+    try:
+        done = 0
+        for record in _execute(pending, workers):
+            done += 1
+            if "error" in record:
+                failures.append(record)
+            else:
+                fresh.append(record)
+                counters.merge_snapshot(record.get("counters", {}))
+                if handle is not None:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.flush()
+            if progress is not None:
+                progress(done, len(pending), record)
+    finally:
+        if handle is not None:
+            handle.close()
+
+    records = sorted(prior + fresh, key=lambda record: record["shard"])
+    return SweepResult(
+        grid=grid,
+        records=records,
+        counters=counters,
+        executed=len(fresh) + len(failures),
+        skipped=len(prior),
+        failures=failures,
+        corrupt_lines=corrupt,
+        workers=workers,
+        wall_s=round(time.perf_counter() - started, 3),
+    )
+
+
+def strip_nondeterministic(record: dict) -> dict:
+    """A record minus its measured-time fields — the comparable form.
+
+    What the determinism tests (and any cross-run differ) should
+    compare: everything in a record except wall time is a pure function
+    of the grid.
+    """
+    return {
+        key: value for key, value in record.items()
+        if key not in NONDETERMINISTIC_FIELDS
+    }
+
+
+def marginals(records: list[dict], axis: str) -> list[tuple]:
+    """Per-axis-value means of the headline metrics, for report tables.
+
+    Returns rows ``(value, shards, fault_rate, spacetime, cpu_util,
+    external_frag, internal_frag, alloc_failures)`` — means except for
+    the failure count, which is a total — sorted by axis value.
+    """
+    groups: dict[object, list[dict]] = {}
+    for record in records:
+        groups.setdefault(record.get(axis), []).append(record)
+
+    def mean(rows: list[dict], key: str) -> float:
+        return sum(row.get(key, 0) for row in rows) / len(rows)
+
+    table = []
+    for value in sorted(groups, key=str):
+        rows = groups[value]
+        table.append((
+            value,
+            len(rows),
+            round(mean(rows, "fault_rate"), 4),
+            round(mean(rows, "spacetime")),
+            round(mean(rows, "cpu_utilization"), 3),
+            round(mean(rows, "external_frag"), 3),
+            round(mean(rows, "internal_frag"), 3),
+            sum(row.get("alloc_failures", 0) for row in rows),
+        ))
+    return table
+
+
+__all__ = [
+    "NONDETERMINISTIC_FIELDS",
+    "SweepResult",
+    "marginals",
+    "read_results",
+    "run_sweep",
+    "strip_nondeterministic",
+]

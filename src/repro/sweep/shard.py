@@ -1,0 +1,228 @@
+"""Execute one sweep shard: replay, space-time mix, allocator churn.
+
+A shard is one cell of the grid.  It runs the three measurements the
+paper's figures are built from, all seeded from the shard's own derived
+streams:
+
+- *Replay* (Figure 2): a phased-locality trace through the shard's
+  frame allotment under its replacement policy — fault rate against
+  allotted space.
+- *Mix* (Figure 3): a small multiprogrammed mix over the machine
+  preset's page-fetch time — the space-time product split into active
+  and page-wait components, plus processor utilization.
+- *Churn* (Figure 4): an exponential request stream through a free-list
+  allocator under the shard's placement policy — failure counts,
+  external fragmentation of the free list, and the internal
+  fragmentation the same requests would suffer under whole-page
+  allotment at the preset's page size.
+
+``run_shard`` takes and returns plain dicts so it can cross a
+``multiprocessing`` boundary in either direction; the record's metric
+fields are pure functions of the spec.  Wall time (``wall_s``) is the
+one deliberately nondeterministic field.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.alloc.freelist import FreeListAllocator
+from repro.alloc.stats import fragmentation_stats, paging_internal_waste
+from repro.core.builder import preset_config
+from repro.errors import OutOfMemory
+from repro.observe.counters import (
+    Counters,
+    absorb_allocator_counters,
+    absorb_simulation_summary,
+)
+from repro.paging.replacement import make_policy
+from repro.paging.simulate import simulate_trace
+from repro.sim.multiprogramming import MultiprogrammingSimulator, ProgramSpec
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sweep.grid import SCHEMA, derive_seed
+from repro.workload.reference import phased_trace
+from repro.workload.requests import exponential_requests, request_schedule
+
+#: Ops between invariant audits of the allocator in checked mode.
+CHECK_EVERY_OPS = 256
+
+#: Ops between fragmentation samples of the allocator under load.
+SAMPLE_EVERY_OPS = 64
+
+
+def _replay(spec: dict, counters: Counters) -> dict:
+    # The working set derives from the page population, never from the
+    # frame allotment: the frames axis must sweep allotted space against
+    # a fixed workload (Figure 2's x-axis), not reshape the workload.
+    trace = phased_trace(
+        pages=spec["pages"],
+        length=spec["length"],
+        working_set=max(4, spec["pages"] // 4),
+        phase_length=max(50, spec["length"] // 40),
+        locality=0.95,
+        seed=derive_seed(spec["base_seed"], spec["shard"], "replay"),
+    )
+    result = simulate_trace(
+        trace,
+        spec["frames"],
+        make_policy(spec["replacement"]),
+        counters=counters,
+        checked=spec["checked"],
+    )
+    return {
+        "faults": result.faults,
+        "cold_faults": result.cold_faults,
+        "evictions": result.evictions,
+        "fault_rate": round(result.fault_rate, 6),
+    }
+
+
+def _mix(spec: dict, config, counters: Counters) -> dict:
+    base_seed = spec["base_seed"]
+    per_program = max(2, spec["frames"] // spec["programs"])
+    specs = []
+    for index in range(spec["programs"]):
+        trace = phased_trace(
+            pages=spec["pages"],
+            length=spec["program_length"],
+            working_set=max(2, min(spec["pages"], per_program)),
+            phase_length=max(50, spec["program_length"] // 10),
+            locality=0.95,
+            seed=derive_seed(base_seed, spec["shard"], f"mix.{index}"),
+        )
+        specs.append(ProgramSpec(
+            name=f"p{index}",
+            trace=trace,
+            frames=per_program,
+            policy=make_policy(spec["replacement"]),
+        ))
+    simulator = MultiprogrammingSimulator(
+        specs,
+        RoundRobinScheduler(quantum=64),
+        fetch_time=config.page_fetch_time,
+        page_size=config.page_size,
+        checked=spec["checked"],
+    )
+    summary = simulator.run()
+    absorb_simulation_summary(counters, summary)
+    active = sum(p.space_time.active for p in summary.programs)
+    waiting = sum(p.space_time.waiting for p in summary.programs)
+    return {
+        "mix_faults": summary.total_faults,
+        "makespan": summary.makespan,
+        "cpu_utilization": round(summary.cpu_utilization, 6),
+        "spacetime_active": active,
+        "spacetime_waiting": waiting,
+        "spacetime": active + waiting,
+    }
+
+
+def _churn(spec: dict, config, counters: Counters) -> dict:
+    requests = exponential_requests(
+        spec["requests"],
+        mean_size=60,
+        mean_lifetime=spec["mean_lifetime"],
+        max_size=max(64, min(2_000, spec["capacity"] // 8)),
+        seed=derive_seed(spec["base_seed"], spec["shard"], "alloc"),
+    )
+    allocator = FreeListAllocator(spec["capacity"], policy=spec["placement"])
+    checked = spec["checked"]
+    suite = None
+    if checked:
+        from repro.check.invariants import InvariantSuite
+
+        suite = InvariantSuite()
+    live: dict[int, object] = {}
+    sizes: list[int] = []
+    ops = failures = 0
+    # By the end of the schedule every request has died and the free
+    # list has coalesced back to one hole, so fragmentation must be
+    # sampled *under load*: keep the stats from the busiest sample.
+    frag = fragmentation_stats(allocator)
+    for _, action, request in request_schedule(requests):
+        if action == "allocate":
+            ops += 1
+            sizes.append(request.size)
+            try:
+                live[id(request)] = allocator.allocate(request.size)
+            except OutOfMemory:
+                failures += 1
+        elif id(request) in live:
+            ops += 1
+            allocator.free(live.pop(id(request)))
+        if ops % SAMPLE_EVERY_OPS == 0:
+            sample = fragmentation_stats(allocator)
+            if sample.utilization >= frag.utilization:
+                frag = sample
+        if suite is not None and ops % CHECK_EVERY_OPS == 0:
+            suite.check(allocator)
+    if suite is not None:
+        suite.check(allocator)
+    absorb_allocator_counters(counters, allocator.counters)
+    wasted, reserved = paging_internal_waste(sizes, config.page_size)
+    return {
+        "alloc_ops": ops,
+        "alloc_failures": failures,
+        "free_words": frag.free_words,
+        "holes": frag.hole_count,
+        "largest_hole": frag.largest_hole,
+        "external_frag": round(frag.external_fragmentation, 6),
+        "utilization": round(frag.utilization, 6),
+        "internal_frag": round(wasted / reserved, 6) if reserved else 0.0,
+    }
+
+
+def run_shard(spec: dict) -> dict:
+    """Execute one shard spec (see :meth:`~repro.sweep.grid.Shard.spec`).
+
+    Returns the flat result record that lands in ``SWEEP_results.jsonl``:
+    axis values, derived hardware parameters, the three measurement
+    groups, a counters snapshot for the parent to merge, and wall time.
+    """
+    started = time.perf_counter()
+    config = preset_config(
+        spec["machine"],
+        replacement_policy=spec["replacement"],
+        placement_policy=spec["placement"],
+    )
+    counters = Counters()
+    record = {
+        "schema": SCHEMA,
+        "sweep": spec["sweep"],
+        "shard": spec["shard"],
+        "machine": spec["machine"],
+        "replacement": spec["replacement"],
+        "placement": spec["placement"],
+        "frames": spec["frames"],
+        "capacity": spec["capacity"],
+        "seed": spec["seed"],
+        "page_size": config.page_size,
+        "fetch_time": config.page_fetch_time,
+        "checked": spec["checked"],
+    }
+    record.update(_replay(spec, counters))
+    record.update(_mix(spec, config, counters))
+    record.update(_churn(spec, config, counters))
+    record["counters"] = counters.snapshot()
+    record["wall_s"] = round(time.perf_counter() - started, 4)
+    return record
+
+
+def run_shard_safely(spec: dict) -> dict:
+    """``run_shard``, with failures returned as records, never raised.
+
+    The pool's unit of work: a shard that dies (an invariant violation
+    in checked mode, a bad configuration) must not tear down the whole
+    campaign, so the error travels back as an ``{"shard", "error"}``
+    record the engine counts as failed and does not checkpoint.
+    """
+    try:
+        return run_shard(spec)
+    except Exception as error:   # noqa: BLE001 — the boundary by design
+        return {
+            "shard": spec.get("shard", "?"),
+            "error": f"{type(error).__name__}: {error}",
+        }
+
+
+__all__ = ["CHECK_EVERY_OPS", "run_shard", "run_shard_safely"]

@@ -1,0 +1,146 @@
+"""Bench arithmetic guards: zero elapsed time, zeroed metrics, damage."""
+
+import json
+
+import pytest
+
+from repro import bench
+from tests.test_bench_history import canned_report
+
+
+class TestZeroElapsed:
+    def test_throughput_of_zero_seconds_is_none(self):
+        assert bench._throughput(1_000, 0.0) is None
+        assert bench._throughput(1_000, 0) is None
+        assert bench._throughput(1_000, 0.5) == 2_000
+
+    def test_suite_survives_a_frozen_clock(self, monkeypatch):
+        """On a coarse clock every timing can come back 0.0; the suite
+        must report n/a throughputs instead of dividing by zero."""
+        monkeypatch.setattr(bench.time, "perf_counter", lambda: 42.0)
+        report = bench.run_suite(quick=True)
+        for stats in report["replay"]["policies"].values():
+            assert stats["reference_refs_per_s"] is None
+            assert stats["fast_refs_per_s"] is None
+            assert stats["speedup"] is None
+        for stats in report["alloc"]["policies"].values():
+            assert stats["linear_ops_per_s"] is None
+            assert stats["indexed_ops_per_s"] is None
+            assert stats["speedup"] is None
+        # The report renders, with n/a columns, rather than crashing.
+        import io
+
+        bench._print_report(report, stream=io.StringIO())
+
+    def test_history_record_tolerates_none_metrics(self):
+        report = canned_report()
+        report["replay"]["policies"]["lru"]["fast_refs_per_s"] = None
+        record = bench.history_record(report)
+        assert record["metrics"]["replay.lru.fast_refs_per_s"] is None
+
+    def test_compare_skips_none_on_either_side(self):
+        baseline = bench.history_record(canned_report())
+        current = bench.history_record(canned_report())
+        baseline["metrics"]["replay.lru.fast_refs_per_s"] = None
+        current["metrics"]["alloc.best_fit.linear_ops_per_s"] = None
+        assert bench.compare_records(current, baseline) == []
+
+
+class TestZeroCurrentValue:
+    def test_collapse_to_zero_is_a_regression(self):
+        """A current throughput of 0 against a positive baseline is the
+        worst possible regression, not a metric to skip."""
+        baseline = bench.history_record(canned_report())
+        current = bench.history_record(canned_report())
+        current["metrics"]["replay.lru.fast_refs_per_s"] = 0
+        flagged = bench.compare_records(current, baseline)
+        assert len(flagged) == 1
+        assert flagged[0]["metric"] == "replay.lru.fast_refs_per_s"
+        assert flagged[0]["change"] == -1.0
+
+    def test_zero_baseline_still_skipped(self):
+        baseline = bench.history_record(canned_report())
+        current = bench.history_record(canned_report())
+        baseline["metrics"]["replay.lru.fast_refs_per_s"] = 0
+        assert bench.compare_records(current, baseline) == []
+
+
+class TestDamagedHistory:
+    def test_damage_count_surfaced(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = bench.history_record(canned_report())
+        path.write_text(
+            "garbage\n" + json.dumps(good) + "\n" + '{"metrics": 1}\n'
+        )
+        records, damaged = bench.read_history_with_damage(path)
+        assert records == [good]
+        assert damaged == 2
+
+    def test_missing_file_has_no_damage(self, tmp_path):
+        assert bench.read_history_with_damage(tmp_path / "none.jsonl") == \
+            ([], 0)
+
+    def test_compare_warns_about_damaged_lines(self, tmp_path, monkeypatch,
+                                               capsys):
+        import copy
+
+        monkeypatch.setattr(
+            bench, "run_suite",
+            lambda quick=False: copy.deepcopy(canned_report(quick=quick)),
+        )
+        path = tmp_path / "history.jsonl"
+        baseline = bench.history_record(canned_report())
+        path.write_text("corrupt {\n" + json.dumps(baseline) + "\n")
+        status = bench.main([
+            "--quick", "--no-write", "--history", str(path), "--compare",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "skipped 1 unreadable line(s)" in out
+
+
+class TestReadJsonlRecords:
+    def test_counts_every_kind_of_damage(self, tmp_path):
+        from repro.observe.sinks import read_jsonl_records
+
+        path = tmp_path / "records.jsonl"
+        path.write_text(
+            '{"ok": 1}\n'
+            "not json\n"
+            "[1, 2, 3]\n"
+            "\n"
+            '{"ok": 2}\n'
+        )
+        records, skipped = read_jsonl_records(path)
+        assert records == [{"ok": 1}, {"ok": 2}]
+        assert skipped == 2          # blank lines are not damage
+
+    def test_missing_file_is_empty(self, tmp_path):
+        from repro.observe.sinks import read_jsonl_records
+
+        assert read_jsonl_records(tmp_path / "absent.jsonl") == ([], 0)
+
+
+class TestEventStreamDamage:
+    def test_trace_diff_reports_corrupt_line_counts(self, tmp_path):
+        """The analysis CLI surfaces how many lines each trace lost."""
+        import io
+
+        from repro.observe.analysis.cli import build_diff_parser, run_diff
+        from repro.observe.cli import build_parser, run_trace
+
+        trace = tmp_path / "trace.jsonl"
+        args = build_parser().parse_args([
+            "phased", "--length", "500", "--pages", "32", "--frames", "8",
+            "--output", str(trace),
+        ])
+        assert run_trace(args, stream=io.StringIO()) == 0
+        damaged = tmp_path / "damaged.jsonl"
+        damaged.write_text("broken {\n" + trace.read_text())
+
+        out = io.StringIO()
+        diff_args = build_diff_parser().parse_args([str(trace), str(damaged)])
+        run_diff(diff_args, stream=out)
+        report = out.getvalue()
+        assert "corrupt lines in a" in report
+        assert "corrupt lines in b" in report

@@ -1,5 +1,7 @@
 """Tests for the exception hierarchy (the trap taxonomy)."""
 
+import pickle
+
 import pytest
 
 from repro.errors import (
@@ -79,3 +81,43 @@ class TestPayloads:
                 raise BoundViolation(10, 5)
             except StorageTrap:   # pragma: no cover - must not catch
                 pass
+
+
+class TestPickling:
+    """Exceptions must survive a process boundary (the sweep pool)."""
+
+    def round_trip(self, error):
+        return pickle.loads(pickle.dumps(error))
+
+    def test_parameterized_exceptions_round_trip(self):
+        from repro.errors import InvariantViolation, TransientFault
+
+        cases = [
+            BoundViolation(150, 99, "segment 'array'"),
+            PageFault(7),
+            PageFault(7, process="editor"),
+            SegmentFault("code"),
+            MissingSegment(("group", 3)),
+            OutOfMemory(512),
+            OutOfMemory(512, "largest hole 100"),
+            TransientFault("drum", "read"),
+            InvariantViolation("free_list_sorted", "out of order"),
+        ]
+        for error in cases:
+            clone = self.round_trip(error)
+            assert type(clone) is type(error)
+            assert str(clone) == str(error)
+
+    def test_payload_attributes_survive(self):
+        clone = self.round_trip(OutOfMemory(512, "largest hole 100"))
+        assert clone.requested == 512
+        bound = self.round_trip(BoundViolation(150, 99, "ctx"))
+        assert (bound.name, bound.limit) == (150, 99)
+
+    def test_unpicklable_subject_degrades_to_repr(self):
+        from repro.errors import InvariantViolation
+
+        error = InvariantViolation("holes_sorted", "bad", subject=object())
+        clone = self.round_trip(error)
+        assert isinstance(clone.subject, str)
+        assert "object" in clone.subject

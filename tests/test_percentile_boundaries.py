@@ -1,0 +1,46 @@
+"""Nearest-rank percentile at its rank boundaries (q=0, q=100)."""
+
+import pytest
+
+from repro.observe.analysis.intervals import percentile
+
+
+class TestBoundaryRanks:
+    def test_q0_is_the_minimum(self):
+        assert percentile([3, 7, 9], 0) == 3
+        assert percentile([5], 0) == 5
+
+    def test_q100_is_the_maximum(self):
+        assert percentile([3, 7, 9], 100) == 9
+        assert percentile([5], 100) == 5
+
+    def test_q100_never_overruns_the_sequence(self):
+        for n in range(1, 12):
+            values = list(range(n))
+            assert percentile(values, 100) == values[-1]
+
+    def test_q0_never_underruns_the_sequence(self):
+        for n in range(1, 12):
+            values = list(range(n))
+            assert percentile(values, 0) == values[0]
+
+    def test_fractional_ranks_near_the_edges(self):
+        values = list(range(100))
+        assert percentile(values, 0.5) == 0
+        assert percentile(values, 99.5) == 99
+
+    def test_median_is_unchanged(self):
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile([1, 2, 3], 50) == 2
+
+
+class TestRejection:
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError, match="0..100"):
+            percentile([1], -1)
+        with pytest.raises(ValueError, match="0..100"):
+            percentile([1], 100.1)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)

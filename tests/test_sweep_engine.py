@@ -1,0 +1,189 @@
+"""The engine's contracts: determinism, resume, damage tolerance."""
+
+import json
+
+import pytest
+
+from repro.sweep.engine import (
+    NONDETERMINISTIC_FIELDS,
+    marginals,
+    read_results,
+    run_sweep,
+    strip_nondeterministic,
+)
+from repro.sweep.grid import SweepGrid
+from repro.sweep.shard import run_shard
+
+
+def tiny_grid(**overrides):
+    """Four fast shards: enough to exercise ordering and resume."""
+    base = dict(
+        name="tiny",
+        machines=("baseline",),
+        replacement=("lru", "fifo"),
+        placement=("first_fit",),
+        frames=(8,),
+        capacities=(10_000,),
+        seeds=(0, 1),
+        length=400,
+        pages=32,
+        requests=200,
+        mean_lifetime=60,
+        programs=2,
+        program_length=200,
+    )
+    base.update(overrides)
+    return SweepGrid.from_dict(base)
+
+
+def comparable(result):
+    return [strip_nondeterministic(record) for record in result.records]
+
+
+class TestDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        """The tentpole contract: 1 worker and 4 workers, bit-identical
+        order-normalized records and identical merged counters."""
+        serial = run_sweep(tiny_grid(), workers=1)
+        pooled = run_sweep(tiny_grid(), workers=4)
+        assert comparable(serial) == comparable(pooled)
+        assert serial.counters.snapshot() == pooled.counters.snapshot()
+
+    def test_repeat_runs_are_bit_identical(self):
+        first = run_sweep(tiny_grid(), workers=2)
+        second = run_sweep(tiny_grid(), workers=2)
+        assert comparable(first) == comparable(second)
+
+    def test_shards_are_independent(self):
+        """Any single shard run alone matches its in-sweep record."""
+        grid = tiny_grid()
+        full = run_sweep(grid, workers=1)
+        shard = list(grid.shards())[2]
+        alone = run_shard(shard.spec())
+        matching = [r for r in full.records if r["shard"] == shard.id]
+        assert [strip_nondeterministic(alone)] == [
+            strip_nondeterministic(record) for record in matching
+        ]
+
+    def test_wall_time_is_the_only_tolerated_field(self):
+        assert NONDETERMINISTIC_FIELDS == ("wall_s",)
+        record = {"shard": "x", "wall_s": 1.0, "faults": 3}
+        assert strip_nondeterministic(record) == {"shard": "x", "faults": 3}
+
+    def test_base_seed_changes_results(self):
+        a = run_sweep(tiny_grid(), workers=1)
+        b = run_sweep(tiny_grid(base_seed=7), workers=1)
+        assert comparable(a) != comparable(b)
+
+
+class TestCheckpointing:
+    def test_records_appended_as_sorted_json(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        result = run_sweep(tiny_grid(), workers=1, results_path=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == result.grid.size
+        for line in lines:
+            record = json.loads(line)
+            assert line == json.dumps(record, sort_keys=True)
+
+    def test_resume_skips_every_completed_shard(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        first = run_sweep(tiny_grid(), workers=2, results_path=path)
+        again = run_sweep(tiny_grid(), workers=2, results_path=path,
+                          resume=True)
+        assert first.executed == 4 and first.skipped == 0
+        assert again.executed == 0 and again.skipped == 4
+        assert comparable(first) == comparable(again)
+        assert first.counters.snapshot() == again.counters.snapshot()
+        # Nothing new was appended.
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_partial_file_resumes_only_the_missing_shards(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(), workers=1, results_path=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        resumed = run_sweep(tiny_grid(), workers=1, results_path=path,
+                            resume=True)
+        assert resumed.skipped == 2 and resumed.executed == 2
+        assert len(resumed.records) == 4
+
+    def test_resume_ignores_other_grids_records(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(name="other"), workers=1, results_path=path)
+        resumed = run_sweep(tiny_grid(), workers=1, results_path=path,
+                            resume=True)
+        assert resumed.skipped == 0 and resumed.executed == 4
+
+    def test_corrupt_lines_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(), workers=1, results_path=path)
+        with open(path, "a") as handle:
+            handle.write("{broken\n[1, 2]\n")
+        records, corrupt = read_results(path, sweep="tiny")
+        assert len(records) == 4 and corrupt == 2
+        resumed = run_sweep(tiny_grid(), workers=1, results_path=path,
+                            resume=True)
+        assert resumed.executed == 0 and resumed.corrupt_lines == 2
+
+    def test_without_resume_everything_re_executes(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(), workers=1, results_path=path)
+        again = run_sweep(tiny_grid(), workers=1, results_path=path)
+        assert again.executed == 4 and again.skipped == 0
+        assert len(path.read_text().splitlines()) == 8
+
+
+class TestFailures:
+    def test_failed_shard_is_reported_not_checkpointed(self, tmp_path,
+                                                       monkeypatch):
+        from repro.sweep import engine
+
+        real = engine.run_shard_safely
+
+        def flaky(spec):
+            if spec["seed"] == 1:
+                return {"shard": spec["shard"], "error": "Boom: injected"}
+            return real(spec)
+
+        monkeypatch.setattr(engine, "run_shard_safely", flaky)
+        path = tmp_path / "results.jsonl"
+        result = run_sweep(tiny_grid(), workers=1, results_path=path)
+        assert not result.ok
+        assert len(result.failures) == 2
+        assert len(path.read_text().splitlines()) == 2
+        # A later resume re-runs exactly the failed shards.
+        monkeypatch.setattr(engine, "run_shard_safely", real)
+        retried = run_sweep(tiny_grid(), workers=1, results_path=path,
+                            resume=True)
+        assert retried.ok
+        assert retried.executed == 2 and retried.skipped == 2
+
+    def test_exceptions_become_error_records(self):
+        from repro.sweep.shard import run_shard_safely
+
+        record = run_shard_safely({"shard": "machine=nowhere"})
+        assert record["shard"] == "machine=nowhere"
+        assert "error" in record
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(tiny_grid(), workers=0)
+
+
+class TestMarginals:
+    def test_groups_by_axis_value(self):
+        result = run_sweep(tiny_grid(), workers=1)
+        rows = marginals(result.records, "replacement")
+        assert [row[0] for row in rows] == ["fifo", "lru"]
+        assert all(row[1] == 2 for row in rows)
+
+    def test_failure_count_is_a_total(self):
+        rows = marginals(
+            [
+                {"machine": "a", "alloc_failures": 2, "fault_rate": 0.5},
+                {"machine": "a", "alloc_failures": 3, "fault_rate": 0.5},
+            ],
+            "machine",
+        )
+        assert rows[0][-1] == 5

@@ -1,0 +1,118 @@
+"""Sweep grids: expansion order, shard ids, seed derivation, round-trip."""
+
+import json
+
+import pytest
+
+from repro.sweep.grid import (
+    SWEEPABLE_PLACEMENT,
+    SWEEPABLE_REPLACEMENT,
+    SweepGrid,
+    default_grid,
+    derive_seed,
+    quick_grid,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1967, "a", "replay") == derive_seed(1967, "a",
+                                                               "replay")
+
+    def test_distinct_per_shard_channel_and_base(self):
+        seeds = {
+            derive_seed(1967, "a", "replay"),
+            derive_seed(1967, "a", "alloc"),
+            derive_seed(1967, "b", "replay"),
+            derive_seed(1968, "a", "replay"),
+        }
+        assert len(seeds) == 4
+
+    def test_fits_a_signed_64_bit_word(self):
+        for shard in ("a", "b", "c"):
+            assert 0 <= derive_seed(0, shard) < 2 ** 63
+
+    def test_no_separator_collisions(self):
+        """(1, "2x") must not collide with (12, "x")."""
+        assert derive_seed(1, "2x") != derive_seed(12, "x")
+
+
+class TestExpansion:
+    def test_size_matches_shard_count(self):
+        grid = default_grid()
+        shards = list(grid.shards())
+        assert len(shards) == grid.size == 3 * 3 * 2 * 3 * 1 * 3
+
+    def test_ids_are_unique_and_stable(self):
+        grid = quick_grid()
+        ids = [shard.id for shard in grid.shards()]
+        assert len(set(ids)) == grid.size
+        assert ids == [shard.id for shard in grid.shards()]
+
+    def test_id_names_every_axis(self):
+        shard = next(default_grid().shards())
+        for axis in ("machine=", "replacement=", "placement=", "frames=",
+                     "capacity=", "seed="):
+            assert axis in shard.id
+
+    def test_spec_is_json_safe(self):
+        spec = next(quick_grid().shards()).spec(checked=True)
+        assert spec["checked"] is True
+        assert spec["shard"].startswith("machine=")
+        assert json.loads(json.dumps(spec)) == spec
+
+
+class TestValidation:
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine preset"):
+            SweepGrid(machines=("pdp11",))
+
+    def test_unsweepable_replacement_rejected(self):
+        """``random`` is unseeded; sweeping it would break determinism."""
+        with pytest.raises(ValueError, match="not sweepable"):
+            SweepGrid(replacement=("random",))
+        with pytest.raises(ValueError, match="not sweepable"):
+            SweepGrid(replacement=("opt",))
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="not sweepable"):
+            SweepGrid(placement=("leftmost",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            SweepGrid(seeds=())
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            SweepGrid(frames=(8, 8))
+
+    def test_degenerate_sizing_rejected(self):
+        with pytest.raises(ValueError, match="frames"):
+            SweepGrid(frames=(1,))
+        with pytest.raises(ValueError, match="length"):
+            SweepGrid(length=0)
+
+    def test_builtin_grids_use_only_sweepable_policies(self):
+        for grid in (quick_grid(), default_grid()):
+            assert set(grid.replacement) <= set(SWEEPABLE_REPLACEMENT)
+            assert set(grid.placement) <= set(SWEEPABLE_PLACEMENT)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        grid = default_grid()
+        assert SweepGrid.from_dict(grid.to_dict()) == grid
+
+    def test_lists_coerced_to_tuples(self):
+        grid = SweepGrid.from_dict({"frames": [8, 16]})
+        assert grid.frames == (8, 16)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid fields"):
+            SweepGrid.from_dict({"machines": ["baseline"], "turbo": True})
+
+    def test_file_round_trip(self, tmp_path):
+        grid = quick_grid()
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(grid.to_dict()))
+        assert SweepGrid.from_file(path) == grid

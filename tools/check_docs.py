@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Execute the ``python`` code blocks in README.md and docs/*.md.
+"""Execute the ``python`` code blocks in README.md, EXPERIMENTS.md and
+docs/*.md.
 
 Documentation that cannot run rots silently; this keeps every fenced
 ``python`` block a working program against the current source tree.
@@ -74,7 +75,11 @@ def run_block(path: Path, line: int, source: str) -> bool:
 
 def main() -> int:
     sys.path.insert(0, str(ROOT / "src"))
-    targets = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    targets = [
+        ROOT / "README.md",
+        ROOT / "EXPERIMENTS.md",
+        *sorted((ROOT / "docs").glob("*.md")),
+    ]
     failures = 0
     for path in targets:
         if not path.exists():
