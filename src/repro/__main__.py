@@ -26,6 +26,11 @@
                              marginal tables (see :mod:`repro.sweep`;
                              accepts ``--quick``, ``--workers``,
                              ``--resume``, ``--checked``).
+``python -m repro trace-gen`` streams a workload straight into a binary
+                             ``.rtrc`` columnar trace file without
+                             materializing it in memory (see
+                             :mod:`repro.trace.cli`); replay it with
+                             ``bench --trace-file``.
 """
 
 from __future__ import annotations
@@ -118,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sweep.cli import main as sweep_main
 
         return sweep_main(arguments[1:])
+    elif command == "trace-gen":
+        from repro.trace.cli import main as trace_gen_main
+
+        return trace_gen_main(arguments[1:])
     else:
         print(__doc__)
         return 1

@@ -63,10 +63,23 @@ SIZE_CLASSES: dict[str, dict[str, dict]] = {
     "quick": {
         "replay": dict(length=60_000, frames=24, pages=256),
         "alloc": dict(count=2_000, capacity=80_000, mean_lifetime=400),
+        "columnar": dict(
+            length=200_000, frames=128, pages=512,
+            working_set=24, phase_length=5_000, locality=0.995,
+        ),
     },
     "full": {
         "replay": dict(length=1_000_000, frames=32, pages=512),
         "alloc": dict(count=12_000, capacity=200_000, mean_lifetime=2_000),
+        # The columnar section's trace is long and locality-rich: chunked
+        # hit-span skipping is what the vectorized kernels monetize, and
+        # a ~0.05% fault rate is representative of a well-provisioned
+        # program (frames >> working set), exactly where replay spends
+        # its time in the sweep experiments.
+        "columnar": dict(
+            length=10_000_000, frames=256, pages=1024,
+            working_set=32, phase_length=125_000, locality=0.9996,
+        ),
     },
 }
 
@@ -107,6 +120,11 @@ def bench_replay(length: int, frames: int, pages: int) -> dict:
         locality=0.95,
         seed=1967,
     )
+    # Warm up the fast path on a short prefix so one-time costs (the
+    # lazy numpy import, module loads) are not billed to the first
+    # timed policy.
+    warm = trace.as_list()[: min(len(trace), 5_000)]
+    simulate_trace(warm, frames, _replay_policy("lru", warm), fast=True)
     policies: dict[str, dict] = {}
     for name in REPLAY_POLICIES:
         reference, reference_s = _timed(
@@ -147,6 +165,129 @@ def bench_replay(length: int, frames: int, pages: int) -> dict:
         "pages": pages,
         "policies": policies,
     }
+
+
+# -- columnar replay ------------------------------------------------------
+
+
+def bench_columnar(
+    length: int,
+    frames: int,
+    pages: int,
+    working_set: int,
+    phase_length: int,
+    locality: float,
+    trace_file: Path | None = None,
+) -> dict:
+    """Three trace backends through the fast kernels, cross-verified.
+
+    Per policy: the list kernels over a materialized Python list
+    (``list``), the same kernels consuming a columnar trace zero-copy
+    through ``replay_view()`` (``columnar`` — the pure-stdlib path), and
+    the vectorized numpy kernels over the mmap'd trace file
+    (``columnar_numpy``).  Each backend is billed for its own ingest
+    from the trace file: the list backend must materialize a Python
+    list (``list_ingest_s``, timed once and charged to every policy's
+    ``list_s``) while the columnar backends replay the mmap'd columns
+    zero-copy — that asymmetry is the point of the format.  Bare kernel
+    times are recorded alongside (``list_replay_s``) so both views are
+    checked in.  The headline ``speedup`` is vectorized vs. list.
+    Timed runs skip eviction recording; a separate untimed pair of
+    recording runs asserts bit-identical victims, so the speedup can
+    never be bought with a wrong answer.
+
+    ``trace_file`` replays an existing ``.rtrc`` file instead of
+    generating (and then deleting) a temporary one — the
+    ``bench --trace-file`` path.
+    """
+    import tempfile
+
+    from repro.fastpath.columnar import _np, run_columnar
+    from repro.fastpath.replay import FAST_KERNELS
+    from repro.trace import read_trace, stream_trace
+
+    cleanup: Path | None = None
+    if trace_file is None:
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".rtrc", delete=False
+        )
+        handle.close()
+        cleanup = Path(handle.name)
+        trace_file = stream_trace(
+            cleanup, "phased",
+            pages=pages, length=length, working_set=working_set,
+            phase_length=phase_length, locality=locality, seed=1967,
+        )
+    trace = read_trace(trace_file)
+    try:
+        length = len(trace)
+        # The list backend's mandatory materialization, timed once:
+        # every policy's end-to-end list time pays it.
+        refs_list, ingest_s = _timed(lambda: trace.as_list())
+        policies: dict[str, dict] = {}
+        for name in REPLAY_POLICIES:
+            policy_type = type(_replay_policy(name, refs_list))
+            kernel = FAST_KERNELS[policy_type]
+            _, replay_s = _timed(lambda: kernel(refs_list, frames))
+            list_s = ingest_s + replay_s
+            _, view_s = _timed(lambda: kernel(trace, frames))
+            vectorized_s = None
+            if _np is not None:
+                vectorized, vectorized_s = _timed(
+                    lambda: run_columnar(
+                        trace, frames, _replay_policy(name, trace),
+                        force=True,
+                    )
+                )
+                assert vectorized is not None
+                # Cross-verify with recording runs (untimed).
+                recorded = run_columnar(
+                    trace, frames, _replay_policy(name, trace),
+                    record_evictions=True, force=True,
+                )
+                baseline = kernel(refs_list, frames, record_evictions=True)
+                if (
+                    recorded.faults != baseline.faults
+                    or recorded.cold_faults != baseline.cold_faults
+                    or recorded.victims != baseline.victims
+                ):
+                    raise AssertionError(
+                        f"columnar kernel mismatch for {name}: "
+                        f"{recorded.faults} faults vs {baseline.faults}"
+                    )
+            list_rate = _throughput(length, list_s)
+            vector_rate = (
+                _throughput(length, vectorized_s)
+                if vectorized_s is not None else None
+            )
+            policies[name] = {
+                "list_s": round(list_s, 4),
+                "list_ingest_s": round(ingest_s, 4),
+                "list_replay_s": round(replay_s, 4),
+                "columnar_s": round(view_s, 4),
+                "columnar_numpy_s": (
+                    round(vectorized_s, 4) if vectorized_s is not None else None
+                ),
+                "list_refs_per_s": list_rate,
+                "columnar_refs_per_s": _throughput(length, view_s),
+                "columnar_numpy_refs_per_s": vector_rate,
+                "speedup": (
+                    round(list_s / vectorized_s, 2)
+                    if vectorized_s else None
+                ),
+            }
+        return {
+            "references": length,
+            "frames": frames,
+            "pages": trace.spans()[0],
+            "numpy": _np is not None,
+            "trace_file": str(trace_file) if cleanup is None else None,
+            "policies": policies,
+        }
+    finally:
+        trace.close()
+        if cleanup is not None:
+            cleanup.unlink(missing_ok=True)
 
 
 # -- allocator churn ------------------------------------------------------
@@ -225,6 +366,9 @@ def bench_alloc(count: int, capacity: int, mean_lifetime: int) -> dict:
 #: Throughput metrics compared by ``--compare`` — higher is better.
 THROUGHPUT_KEYS = ("reference_refs_per_s", "fast_refs_per_s")
 ALLOC_THROUGHPUT_KEYS = ("linear_ops_per_s", "indexed_ops_per_s")
+COLUMNAR_THROUGHPUT_KEYS = (
+    "list_refs_per_s", "columnar_refs_per_s", "columnar_numpy_refs_per_s",
+)
 
 
 def git_revision() -> str | None:
@@ -255,6 +399,9 @@ def history_record(report: dict, rev: str | None = None) -> dict:
     for name, row in report["alloc"]["policies"].items():
         for key in ALLOC_THROUGHPUT_KEYS:
             metrics[f"alloc.{name}.{key}"] = row.get(key)
+    for name, row in report.get("columnar", {}).get("policies", {}).items():
+        for key in COLUMNAR_THROUGHPUT_KEYS:
+            metrics[f"columnar.{name}.{key}"] = row.get(key)
     return {
         "schema": 1,
         "created": report["created"],
@@ -336,16 +483,18 @@ def compare_records(
 # -- harness --------------------------------------------------------------
 
 
-def run_suite(quick: bool = False) -> dict:
+def run_suite(quick: bool = False, trace_file: Path | None = None) -> dict:
     sizes = SIZE_CLASSES["quick" if quick else "full"]
     replay = bench_replay(**sizes["replay"])
     alloc = bench_alloc(**sizes["alloc"])
+    columnar = bench_columnar(**sizes["columnar"], trace_file=trace_file)
     return {
         "schema": 1,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": quick,
         "replay": replay,
         "alloc": alloc,
+        "columnar": columnar,
     }
 
 
@@ -370,6 +519,21 @@ def _print_report(report: dict, stream=sys.stdout) -> None:
             f"speedup {row['speedup'] if row['speedup'] is not None else 'n/a':>6}x",
             file=stream,
         )
+    columnar = report.get("columnar")
+    if columnar:
+        backend = "numpy" if columnar["numpy"] else "stdlib only"
+        print(
+            f"columnar replay — {columnar['references']:,} references, "
+            f"{columnar['frames']} frames ({backend})",
+            file=stream,
+        )
+        for name, row in columnar["policies"].items():
+            print(
+                f"  {name:<10} list {_fmt(row['list_refs_per_s'], 12)}/s   "
+                f"vector {_fmt(row['columnar_numpy_refs_per_s'], 12)}/s   "
+                f"speedup {row['speedup'] if row['speedup'] is not None else 'n/a':>6}x",
+                file=stream,
+            )
     alloc = report["alloc"]
     print(
         f"allocator churn — {alloc['requests']:,} requests, "
@@ -430,11 +594,18 @@ def main(argv: list[str] | None = None) -> int:
         help="fractional throughput drop that counts as a regression "
              "(default 0.15 = 15%%)",
     )
+    parser.add_argument(
+        "--trace-file", type=Path, default=None,
+        help="replay this .rtrc trace (see `python -m repro trace-gen`) "
+             "in the columnar section instead of generating one",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         raise SystemExit("--threshold must be a fraction in (0, 1)")
+    if args.trace_file is not None and not args.trace_file.exists():
+        raise SystemExit(f"--trace-file {args.trace_file} does not exist")
 
-    report = run_suite(quick=args.quick)
+    report = run_suite(quick=args.quick, trace_file=args.trace_file)
     _print_report(report)
     record = history_record(report, rev=git_revision())
 

@@ -13,8 +13,19 @@ This package provides drop-in fast paths for both:
 
 - :mod:`repro.fastpath.replay` — whole-trace replay kernels for the
   FIFO, LRU, CLOCK and Belady-OPT policies that consume the trace in one
-  tight loop over dict/array state instead of per-access dispatch.
+  tight loop over dict/array state instead of per-access dispatch, plus
+  :func:`replay_advised` extending kernel coverage to
+  ``AdvisedReplacementPolicy`` wrappers over those bases.
   ``simulate_trace(..., fast=True)`` auto-selects them.
+- :mod:`repro.fastpath.columnar` — vectorized (numpy) replay over
+  column-backed traces (:class:`repro.trace.ColumnarTrace` and
+  array-backed :class:`repro.workload.Trace`): chunked candidate
+  scans skip resident-hit spans in bulk, with per-policy state columns
+  and a single composite-sort pass for the OPT next-use column.
+  ``run_fast`` tries :func:`run_columnar` first and falls back to the
+  list kernels (or the reference loop) when it declines — numpy
+  missing, unsupported trace shape, or an eviction-dominated workload
+  where chunk skipping cannot pay.
 - :mod:`repro.fastpath.holes` — :class:`HoleIndex`, a size-segregated
   power-of-two bin index with O(1) coalescing (an end-address map) that
   makes ``best_fit`` placement sublinear.  ``FreeListAllocator(...,
@@ -40,10 +51,16 @@ per-access loop, so an enabled tracer disables kernel dispatch for that
 call.
 """
 
+from repro.fastpath.columnar import (
+    COLUMNAR_POLICIES,
+    is_column_backed,
+    run_columnar,
+)
 from repro.fastpath.holes import HoleIndex
 from repro.fastpath.replay import (
     FAST_KERNELS,
     fast_kernel_for,
+    replay_advised,
     replay_clock,
     replay_fifo,
     replay_lru,
@@ -52,12 +69,16 @@ from repro.fastpath.replay import (
 )
 
 __all__ = [
+    "COLUMNAR_POLICIES",
     "FAST_KERNELS",
     "HoleIndex",
     "fast_kernel_for",
+    "is_column_backed",
+    "replay_advised",
     "replay_clock",
     "replay_fifo",
     "replay_lru",
     "replay_opt",
+    "run_columnar",
     "run_fast",
 ]

@@ -40,10 +40,20 @@ class BeladyOptimalPolicy(ReplacementPolicy):
     name = "opt"
 
     def __init__(self, trace: Sequence[Hashable]) -> None:
-        self._trace = list(trace)
-        self._positions: dict[Hashable, list[int]] = defaultdict(list)
-        for index, page in enumerate(self._trace):
-            self._positions[page].append(index)
+        # Immutable-ish sequences (tuples, array-backed Traces, columnar
+        # traces) are referenced without copying, so building MIN over a
+        # 10M-reference trace is O(1) in time and memory; mutable lists
+        # and arbitrary iterables are snapshotted as before.
+        if isinstance(trace, Sequence) and not isinstance(
+            trace, (list, str, bytes)
+        ):
+            self._trace: Sequence[Hashable] = trace
+        else:
+            self._trace = list(trace)
+        # Occurrence lists are built lazily on the first next_use() call:
+        # the batched kernels compute their own next-use columns, so a
+        # fast-pathed run never pays the O(n) dict construction.
+        self._positions: dict[Hashable, list[int]] | None = None
         self._cursor = 0   # number of references consumed so far
 
     def _verify(self, page: Hashable) -> None:
@@ -67,6 +77,11 @@ class BeladyOptimalPolicy(ReplacementPolicy):
 
     def next_use(self, page: Hashable) -> float:
         """Trace position of the next reference to ``page``, or infinity."""
+        if self._positions is None:
+            positions_map: dict[Hashable, list[int]] = defaultdict(list)
+            for index, element in enumerate(self._trace):
+                positions_map[element].append(index)
+            self._positions = positions_map
         positions = self._positions.get(page, ())
         index = bisect.bisect_left(positions, self._cursor)
         return positions[index] if index < len(positions) else _NEVER
@@ -90,6 +105,10 @@ class BeladyOptimalPolicy(ReplacementPolicy):
         otherwise the reference loop must run and raise its usual
         mismatch error.
         """
+        if trace is self._trace:
+            return True
         if len(trace) != len(self._trace):
             return False
-        return all(a == b for a, b in zip(self._trace, trace))
+        # ``==`` lets array-backed and columnar traces compare at C speed
+        # (and Python ``==`` never returns NotImplemented to callers).
+        return self._trace == trace

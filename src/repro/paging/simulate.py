@@ -13,7 +13,16 @@ For the policies whose decisions are pure functions of the reference
 string (FIFO, LRU, CLOCK, Belady-OPT), :mod:`repro.fastpath.replay`
 provides batched whole-trace kernels that are bit-identical to the loop
 below; ``fast=True`` (the default) auto-selects one when available and
-falls back to the reference loop otherwise.
+falls back to the reference loop otherwise.  Dispatch is tiered: when
+the trace is column-backed (a :class:`repro.trace.ColumnarTrace`, e.g.
+mmap'd from an ``.rtrc`` file, or an array-backed workload trace) and
+numpy is importable, the vectorized kernels in
+:mod:`repro.fastpath.columnar` run first; they decline — returning the
+work to the list kernels — on unsupported shapes or eviction-dominated
+workloads where chunked span-skipping cannot pay.  Advised policies
+wrapping a kernel-covered base take the same path through
+``replay_advised``.  Every tier honours the same contract: identical
+faults, positions and victim sequences, differing only in wall-clock.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ one deliberately nondeterministic field.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 from repro.alloc.freelist import FreeListAllocator
 from repro.alloc.stats import fragmentation_stats, paging_internal_waste
@@ -49,18 +50,64 @@ CHECK_EVERY_OPS = 256
 #: Ops between fragmentation samples of the allocator under load.
 SAMPLE_EVERY_OPS = 64
 
+#: Per-process memo of generated traces, keyed by the full generator
+#: parameter set.  Shards differing only in machine, policy or frames
+#: replay the *same* workload (see ``_replay``), so a grid with N frame
+#: allotments would otherwise regenerate each trace N times per worker.
+#: Bounded because 100M-ref column traces are not free to keep around.
+_TRACE_CACHE: OrderedDict[tuple, object] = OrderedDict()
+
+#: Distinct traces a worker process keeps alive at once.
+TRACE_CACHE_LIMIT = 8
+
+
+def _cached_phased_trace(**params):
+    """``phased_trace(**params)``, memoized per worker process.
+
+    The trace is a pure function of its parameters and is never mutated
+    by replay, so sharing one object across shards cannot change any
+    record — the cache only removes repeated generation cost.
+    """
+    key = tuple(sorted(params.items()))
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = phased_trace(**params)
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
+
+
+def _replay_workload_id(spec: dict) -> str:
+    """Seed-derivation id for the replay trace: workload axes only.
+
+    Deliberately excludes machine, policies and frames — those axes
+    must observe a *fixed* workload, so shards that differ only there
+    derive the same seed and hit the same cached trace.
+    """
+    return (
+        f"workload/pages={spec['pages']}/length={spec['length']}/"
+        f"seed={spec['seed']}"
+    )
+
 
 def _replay(spec: dict, counters: Counters) -> dict:
     # The working set derives from the page population, never from the
     # frame allotment: the frames axis must sweep allotted space against
     # a fixed workload (Figure 2's x-axis), not reshape the workload.
-    trace = phased_trace(
+    # The seed likewise derives from the workload axes alone (not the
+    # full shard id), so every cell along the frames/policy/machine axes
+    # replays one shared, cached trace.
+    trace = _cached_phased_trace(
         pages=spec["pages"],
         length=spec["length"],
         working_set=max(4, spec["pages"] // 4),
         phase_length=max(50, spec["length"] // 40),
         locality=0.95,
-        seed=derive_seed(spec["base_seed"], spec["shard"], "replay"),
+        seed=derive_seed(spec["base_seed"], _replay_workload_id(spec),
+                         "replay"),
     )
     result = simulate_trace(
         trace,
@@ -82,7 +129,7 @@ def _mix(spec: dict, config, counters: Counters) -> dict:
     per_program = max(2, spec["frames"] // spec["programs"])
     specs = []
     for index in range(spec["programs"]):
-        trace = phased_trace(
+        trace = _cached_phased_trace(
             pages=spec["pages"],
             length=spec["program_length"],
             working_set=max(2, min(spec["pages"], per_program)),
@@ -225,4 +272,9 @@ def run_shard_safely(spec: dict) -> dict:
         }
 
 
-__all__ = ["CHECK_EVERY_OPS", "run_shard", "run_shard_safely"]
+__all__ = [
+    "CHECK_EVERY_OPS",
+    "TRACE_CACHE_LIMIT",
+    "run_shard",
+    "run_shard_safely",
+]

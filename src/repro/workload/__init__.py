@@ -32,7 +32,13 @@ from repro.workload.programs import (
 )
 from repro.workload.recorded import load_trace, save_trace
 from repro.workload.reference import (
+    Trace,
     cyclic_trace,
+    iter_cyclic,
+    iter_phased,
+    iter_random,
+    iter_sequential,
+    iter_zipf,
     phased_trace,
     random_trace,
     sequential_trace,
@@ -47,7 +53,13 @@ from repro.workload.requests import (
 
 __all__ = [
     "AllocationRequest",
+    "Trace",
     "cyclic_trace",
+    "iter_cyclic",
+    "iter_phased",
+    "iter_random",
+    "iter_sequential",
+    "iter_zipf",
     "locality_score",
     "lru_fault_curve",
     "mean_working_set",

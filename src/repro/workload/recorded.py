@@ -5,6 +5,14 @@ programs.  These helpers persist and reload traces as plain text (one
 page reference per line, ``#`` comments allowed), so externally gathered
 traces can drive the same experiments as the synthetic generators — and
 experiment inputs can be archived alongside their results.
+
+Large traces belong in the binary columnar format instead
+(:mod:`repro.trace.format`, spec in ``docs/TRACE_FORMAT.md``): it
+streams while writing, mmaps while reading, and feeds the vectorized
+kernels zero-copy.  :func:`load_trace` sniffs the ``RTRC`` magic and
+delegates, so a call site holding a path does not need to know which
+format produced it; text stays the right choice for small, hand-edited
+or diff-reviewed traces.
 """
 
 from __future__ import annotations
@@ -32,8 +40,21 @@ def save_trace(path: str | Path, trace: Iterable[int], header: str = "") -> int:
 
 
 def load_trace(path: str | Path) -> list[int]:
-    """Read a trace written by :func:`save_trace` (or by hand)."""
+    """Read a trace written by :func:`save_trace` (or by hand).
+
+    Binary columnar trace files (``.rtrc``) are detected by magic and
+    loaded through :func:`repro.trace.read_trace`; the references come
+    back as the same plain list this function has always returned.
+    """
     path = Path(path)
+    from repro.trace.format import is_trace_file, read_trace
+
+    if is_trace_file(path):
+        columns = read_trace(path)
+        try:
+            return columns.as_list()
+        finally:
+            columns.close()
     trace: list[int] = []
     with path.open("r", encoding="ascii") as handle:
         for line_number, raw in enumerate(handle, start=1):

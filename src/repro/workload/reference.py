@@ -86,23 +86,65 @@ class Trace(Sequence):
         return f"Trace([{preview}{ellipsis}], length={len(self._data)})"
 
     def as_list(self) -> list[int]:
-        """Escape hatch: the trace as a plain list of ints."""
+        """Escape hatch: the trace as a plain list of ints (copies!)."""
         return self._data.tolist()
 
     def as_array(self) -> array:
         """The backing ``array('q')`` itself (do not mutate)."""
         return self._data
 
+    def replay_view(self) -> array:
+        """Zero-copy element view for per-reference replay loops.
+
+        Returns the backing array itself, so unwrapping a trace for the
+        fastpath kernels no longer doubles peak memory the way the old
+        ``as_list`` escape hatch did.
+        """
+        return self._data
+
+    def to_columnar(self, writes=None):
+        """This trace as a :class:`repro.trace.ColumnarTrace` (zero-copy)."""
+        from repro.trace import ColumnarTrace
+
+        return ColumnarTrace(self._data, writes=writes)
+
+    def to_file(self, path) -> "Path":
+        """Write this trace to ``path`` in the binary columnar format."""
+        from repro.trace.format import write_trace
+
+        return write_trace(path, self)
+
 
 def _resolve_rng(rng: random.Random | None, seed: int) -> random.Random:
     return rng if rng is not None else random.Random(seed)
 
 
-def sequential_trace(pages: int, sweeps: int = 1) -> Trace:
-    """0,1,...,pages-1 repeated ``sweeps`` times (a sequential file scan)."""
+# Each generator is split into a validated *iterator* (the single source
+# of truth for the reference stream, consumed one page id at a time) and
+# the historical whole-trace constructor.  The streaming writers in
+# :mod:`repro.trace.generate` consume the same iterators, so a trace
+# written to disk in chunks is bit-identical to the in-memory trace the
+# same parameters produce.
+
+
+def iter_sequential(pages: int, sweeps: int = 1) -> Iterator[int]:
+    """The reference stream of :func:`sequential_trace`."""
     if pages <= 0 or sweeps <= 0:
         raise ValueError("pages and sweeps must be positive")
-    return Trace(list(range(pages)) * sweeps)
+    for _ in range(sweeps):
+        yield from range(pages)
+
+
+def sequential_trace(pages: int, sweeps: int = 1) -> Trace:
+    """0,1,...,pages-1 repeated ``sweeps`` times (a sequential file scan)."""
+    return Trace(iter_sequential(pages, sweeps))
+
+
+def iter_cyclic(pages: int, length: int) -> Iterator[int]:
+    """The reference stream of :func:`cyclic_trace`."""
+    if pages <= 0 or length <= 0:
+        raise ValueError("pages and length must be positive")
+    return (i % pages for i in range(length))
 
 
 def cyclic_trace(pages: int, length: int) -> Trace:
@@ -110,19 +152,52 @@ def cyclic_trace(pages: int, length: int) -> Trace:
 
     The classic LRU/FIFO worst case when the loop exceeds memory.
     """
+    return Trace(iter_cyclic(pages, length))
+
+
+def iter_random(
+    pages: int, length: int, seed: int = 0, rng: random.Random | None = None
+) -> Iterator[int]:
+    """The reference stream of :func:`random_trace`."""
     if pages <= 0 or length <= 0:
         raise ValueError("pages and length must be positive")
-    return Trace(i % pages for i in range(length))
+    generator = _resolve_rng(rng, seed)
+    return (generator.randrange(pages) for _ in range(length))
 
 
 def random_trace(
     pages: int, length: int, seed: int = 0, rng: random.Random | None = None
 ) -> Trace:
     """Uniformly random references — no locality at all."""
+    return Trace(iter_random(pages, length, seed=seed, rng=rng))
+
+
+def iter_zipf(
+    pages: int,
+    length: int,
+    skew: float = 1.0,
+    seed: int = 0,
+    rng: random.Random | None = None,
+    chunk: int = 8192,
+) -> Iterator[int]:
+    """The reference stream of :func:`zipf_trace`.
+
+    Draws through ``random.choices`` in bounded batches; each weighted
+    draw consumes exactly one underlying ``random()`` call, so the
+    stream is identical for any batching.
+    """
     if pages <= 0 or length <= 0:
         raise ValueError("pages and length must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
     generator = _resolve_rng(rng, seed)
-    return Trace(generator.randrange(pages) for _ in range(length))
+    weights = [1.0 / (rank ** skew) for rank in range(1, pages + 1)]
+    population = range(pages)
+    remaining = length
+    while remaining > 0:
+        batch = min(chunk, remaining)
+        yield from generator.choices(population, weights=weights, k=batch)
+        remaining -= batch
 
 
 def zipf_trace(
@@ -137,13 +212,36 @@ def zipf_trace(
     ``skew`` of 0 degenerates to uniform; larger values concentrate the
     mass on low-numbered pages.
     """
+    return Trace(iter_zipf(pages, length, skew=skew, seed=seed, rng=rng))
+
+
+def iter_phased(
+    pages: int,
+    length: int,
+    working_set: int = 4,
+    phase_length: int = 100,
+    locality: float = 0.95,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> Iterator[int]:
+    """The reference stream of :func:`phased_trace`."""
     if pages <= 0 or length <= 0:
         raise ValueError("pages and length must be positive")
-    if skew < 0:
-        raise ValueError("skew must be non-negative")
+    if not 0 < working_set <= pages:
+        raise ValueError("working_set must be in 1..pages")
+    if phase_length <= 0:
+        raise ValueError("phase_length must be positive")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be a probability")
     generator = _resolve_rng(rng, seed)
-    weights = [1.0 / (rank ** skew) for rank in range(1, pages + 1)]
-    return Trace(generator.choices(range(pages), weights=weights, k=length))
+    current_set = generator.sample(range(pages), working_set)
+    for index in range(length):
+        if index and index % phase_length == 0:
+            current_set = generator.sample(range(pages), working_set)
+        if generator.random() < locality:
+            yield generator.choice(current_set)
+        else:
+            yield generator.randrange(pages)
 
 
 def phased_trace(
@@ -165,22 +263,12 @@ def phased_trace(
     well-defined: give a program ≥ ``working_set`` frames and faults are
     rare; give it fewer and Figure 3's waiting dominates.
     """
-    if pages <= 0 or length <= 0:
-        raise ValueError("pages and length must be positive")
-    if not 0 < working_set <= pages:
-        raise ValueError("working_set must be in 1..pages")
-    if phase_length <= 0:
-        raise ValueError("phase_length must be positive")
-    if not 0.0 <= locality <= 1.0:
-        raise ValueError("locality must be a probability")
-    generator = _resolve_rng(rng, seed)
-    trace: list[int] = []
-    current_set = generator.sample(range(pages), working_set)
-    for index in range(length):
-        if index and index % phase_length == 0:
-            current_set = generator.sample(range(pages), working_set)
-        if generator.random() < locality:
-            trace.append(generator.choice(current_set))
-        else:
-            trace.append(generator.randrange(pages))
-    return Trace(trace)
+    return Trace(iter_phased(
+        pages,
+        length,
+        working_set=working_set,
+        phase_length=phase_length,
+        locality=locality,
+        seed=seed,
+        rng=rng,
+    ))

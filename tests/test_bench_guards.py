@@ -86,7 +86,8 @@ class TestDamagedHistory:
 
         monkeypatch.setattr(
             bench, "run_suite",
-            lambda quick=False: copy.deepcopy(canned_report(quick=quick)),
+            lambda quick=False, trace_file=None:
+                copy.deepcopy(canned_report(quick=quick)),
         )
         path = tmp_path / "history.jsonl"
         baseline = bench.history_record(canned_report())

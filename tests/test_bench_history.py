@@ -120,7 +120,7 @@ class TestCliRegressionGate:
         """Replace the real timing suite with the canned report."""
         state = {"scale": 1.0}
 
-        def fake_run_suite(quick=False):
+        def fake_run_suite(quick=False, trace_file=None):
             return copy.deepcopy(canned_report(scale=state["scale"],
                                                quick=quick))
 

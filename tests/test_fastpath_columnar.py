@@ -1,0 +1,383 @@
+"""Differential tests: vectorized columnar kernels vs. the reference loop.
+
+The columnar kernels (:mod:`repro.fastpath.columnar`) are a third
+implementation tier under the DESIGN.md §6 contract: for every trace
+they must produce the same fault count, cold faults, fault positions,
+and victim sequence as both the per-access reference loop and the list
+kernels — including every tie-break, and including the segmented
+(``(segment, page)``) and advice-decorated paths.  These tests sweep the
+contract over 100 randomized seeds, with and without numpy.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+
+import pytest
+
+import repro.fastpath.columnar as columnar_module
+from repro.advice.pager import AdvisedReplacementPolicy
+from repro.fastpath.columnar import run_columnar
+from repro.fastpath.replay import replay_advised, run_fast
+from repro.paging import (
+    BeladyOptimalPolicy,
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    simulate_trace,
+)
+from repro.trace import ColumnarTrace
+from repro.workload import phased_trace, random_trace, zipf_trace
+
+SEEDS = range(100)
+
+FAST_POLICIES = ("lru", "fifo", "clock", "opt")
+
+RESULT_FIELDS = (
+    "policy", "frames", "references", "faults", "evictions",
+    "cold_faults", "fault_positions", "victims",
+)
+
+numpy_missing = columnar_module._np is None
+
+
+def _make_policy(name: str, trace):
+    if name == "opt":
+        return BeladyOptimalPolicy(trace)
+    return {"lru": LruPolicy, "fifo": FifoPolicy, "clock": ClockPolicy}[name]()
+
+
+def _trace_for_seed(seed: int):
+    """A varied workload: shape, size, and locality all depend on the seed."""
+    rng = random.Random(seed)
+    pages = rng.randint(4, 60)
+    length = rng.randint(50, 600)
+    kind = seed % 3
+    if kind == 0:
+        return random_trace(pages, length, seed=seed)
+    if kind == 1:
+        return zipf_trace(pages, length, skew=1.0 + rng.random(), seed=seed)
+    return phased_trace(
+        pages,
+        length,
+        working_set=rng.randint(2, max(2, pages // 2)),
+        phase_length=rng.randint(10, 80),
+        locality=0.7 + 0.25 * rng.random(),
+        seed=seed,
+    )
+
+
+def _assert_same(reference, candidate, context: str) -> None:
+    assert candidate is not None, context
+    for field in RESULT_FIELDS:
+        assert getattr(candidate, field) == getattr(reference, field), (
+            f"{context}: {field} diverged"
+        )
+
+
+class TestColumnarEquivalence:
+    """Flat traces: list kernel, columnar kernel, reference loop agree."""
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bit_identical_across_seeds(self, name, seed):
+        trace = _trace_for_seed(seed)
+        columnar = trace.to_columnar()
+        frames = random.Random(seed * 31 + 7).randint(1, 24)
+        reference = simulate_trace(
+            trace, frames, _make_policy(name, trace),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        vectorized = run_columnar(
+            columnar, frames, _make_policy(name, columnar),
+            record_positions=True, record_evictions=True, force=True,
+        )
+        _assert_same(reference, vectorized, f"{name} seed={seed}")
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    def test_auto_dispatch_above_threshold(self, name):
+        # Long enough that simulate_trace(fast=True) picks the columnar
+        # path on its own; results must still match the reference loop.
+        trace = phased_trace(
+            64, 9000, working_set=8, phase_length=120, locality=0.97, seed=11
+        )
+        columnar = trace.to_columnar()
+        reference = simulate_trace(
+            trace, 16, _make_policy(name, trace),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        fast = simulate_trace(
+            columnar, 16, _make_policy(name, columnar),
+            record_positions=True, record_evictions=True,
+        )
+        _assert_same(reference, fast, name)
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    def test_duplicate_heavy_spans(self, name):
+        # A tiny page population maximizes duplicate keys inside one hit
+        # span, exercising the scatter-assignment ordering the LRU/OPT
+        # states rely on (later stores win).
+        trace = ColumnarTrace([i % 3 for i in range(800)])
+        reference = simulate_trace(
+            list(trace), 2, _make_policy(name, list(trace)),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        vectorized = run_columnar(
+            trace, 2, _make_policy(name, trace),
+            record_positions=True, record_evictions=True, force=True,
+        )
+        _assert_same(reference, vectorized, name)
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    def test_empty_and_tiny(self, name):
+        for refs in ([], [0], [0, 1, 0]):
+            trace = ColumnarTrace(refs)
+            reference = simulate_trace(
+                refs, 2, _make_policy(name, refs),
+                record_positions=True, record_evictions=True, fast=False,
+            )
+            vectorized = run_columnar(
+                trace, 2, _make_policy(name, trace),
+                record_positions=True, record_evictions=True, force=True,
+            )
+            _assert_same(reference, vectorized, f"{name} {refs}")
+
+
+class TestSegmentedEquivalence:
+    """(segment, page) traces replay over encoded keys, decoded victims."""
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    @pytest.mark.parametrize("seed", range(0, 100, 4))
+    def test_segmented_bit_identical(self, name, seed):
+        flat = _trace_for_seed(seed)
+        segment_pages = 2 + seed % 7
+        segments = array("q", (p // segment_pages for p in flat))
+        pages = array("q", (p % segment_pages for p in flat))
+        columnar = ColumnarTrace(pages, segments=segments)
+        pairs = list(zip(segments.tolist(), pages.tolist()))
+        frames = random.Random(seed * 17 + 3).randint(1, 16)
+        reference = simulate_trace(
+            pairs, frames, _make_policy(name, pairs),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        vectorized = run_columnar(
+            columnar, frames, _make_policy(name, columnar),
+            record_positions=True, record_evictions=True, force=True,
+        )
+        _assert_same(reference, vectorized, f"{name} seed={seed}")
+        if vectorized.victims:
+            assert all(
+                isinstance(victim, tuple) for victim in vectorized.victims
+            )
+
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    def test_segmented_list_fallback(self, name):
+        # Without numpy the list kernels consume the lazy pair view; the
+        # results must be the same as with the vectorized path.
+        flat = _trace_for_seed(5)
+        segments = array("q", (p // 4 for p in flat))
+        pages = array("q", (p % 4 for p in flat))
+        columnar = ColumnarTrace(pages, segments=segments)
+        pairs = list(zip(segments.tolist(), pages.tolist()))
+        reference = simulate_trace(
+            pairs, 6, _make_policy(name, pairs),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        fast = simulate_trace(
+            columnar, 6, _make_policy(name, columnar),
+            record_positions=True, record_evictions=True,
+        )
+        _assert_same(reference, fast, name)
+
+
+class TestAdvisedEquivalence:
+    """The advised kernel mirrors AdvisedReplacementPolicy exactly."""
+
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    @pytest.mark.parametrize("seed", range(0, 100, 2))
+    def test_advised_bit_identical(self, name, seed):
+        trace = list(_trace_for_seed(seed))
+        pages = max(trace) + 1 if trace else 1
+        rng = random.Random(seed * 7 + 1)
+        frames = rng.randint(1, 16)
+
+        def advised():
+            policy = AdvisedReplacementPolicy(_make_policy(name, trace))
+            state = random.Random(seed)   # same pre-issued advice each time
+            for _ in range(state.randrange(6)):
+                policy.hint_discard(state.randrange(pages))
+            for _ in range(state.randrange(4)):
+                policy.lock(state.randrange(pages))
+            return policy
+
+        reference = simulate_trace(
+            trace, frames, advised(),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        policy = advised()
+        hints_before = list(policy.discard_hints)
+        locked_before = set(policy.locked)
+        fast = run_fast(
+            trace, frames, policy,
+            record_positions=True, record_evictions=True,
+        )
+        _assert_same(reference, fast, f"advised-{name} seed={seed}")
+        assert fast.policy == f"advised-{name}"
+        # The kernel works on copies: the policy object is untouched.
+        assert policy.discard_hints == hints_before
+        assert policy.locked == locked_before
+        assert policy.hints_honoured == 0
+
+    def test_advised_all_locked_never_wedges(self):
+        trace = [0, 1, 2, 3, 0, 1, 2, 3]
+        policy = AdvisedReplacementPolicy(FifoPolicy())
+        for page in range(4):
+            policy.lock(page)
+        reference = simulate_trace(
+            trace, 2, policy, record_evictions=True, fast=False,
+        )
+        fresh = AdvisedReplacementPolicy(FifoPolicy())
+        for page in range(4):
+            fresh.lock(page)
+        fast = replay_advised(trace, 2, fresh, record_evictions=True)
+        _assert_same(reference, fast, "all-locked")
+
+    def test_advised_subclass_base_falls_back(self):
+        class Spiteful(LruPolicy):
+            def choose_victim(self, resident, now):
+                return max(resident, key=lambda p: self.last_use[p])
+
+        policy = AdvisedReplacementPolicy(Spiteful())
+        assert run_fast([0, 1, 2, 0, 3], 2, policy) is None
+
+    def test_advised_opt_wrong_trace_falls_back(self):
+        policy = AdvisedReplacementPolicy(BeladyOptimalPolicy([0, 1, 2]))
+        assert run_fast([9, 8, 7], 2, policy) is None
+
+
+class TestColumnarDispatchGuards:
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    def test_small_trace_declines_without_force(self):
+        trace = ColumnarTrace([0, 1, 2, 0, 1])
+        assert run_columnar(trace, 2, LruPolicy()) is None
+        assert run_columnar(trace, 2, LruPolicy(), force=True) is not None
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    def test_sparse_id_space_declines(self):
+        huge = columnar_module.MAX_DENSE_KEYS + 10
+        trace = ColumnarTrace([0, huge, 0, huge])
+        assert run_columnar(trace, 2, LruPolicy(), force=True) is None
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    def test_negative_ids_decline(self):
+        trace = ColumnarTrace([3, -1, 3, 2])
+        assert run_columnar(trace, 2, FifoPolicy(), force=True) is None
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    def test_plain_list_declines(self):
+        assert run_columnar([0, 1, 0, 1], 2, LruPolicy(), force=True) is None
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+    def test_fault_heavy_trace_aborts_but_stays_correct(self):
+        # A cyclic scan over more pages than frames misses on every
+        # reference: the abort heuristic hands it to the list kernels.
+        from repro.workload import cyclic_trace
+
+        trace = cyclic_trace(3000, 80_000)
+        columnar = trace.to_columnar()
+        assert run_columnar(columnar, 8, FifoPolicy()) is None
+        forced = run_columnar(columnar, 8, FifoPolicy(), force=True)
+        via_dispatch = simulate_trace(columnar, 8, FifoPolicy())
+        reference = simulate_trace(trace, 8, FifoPolicy(), fast=False)
+        _assert_same(reference, forced, "forced")
+        _assert_same(reference, via_dispatch, "dispatch")
+
+    def test_no_numpy_falls_back_to_list_kernels(self, monkeypatch):
+        monkeypatch.setattr(columnar_module, "_np", None)
+        trace = phased_trace(
+            32, 6000, working_set=6, phase_length=90, locality=0.95, seed=3
+        )
+        columnar = trace.to_columnar()
+        assert run_columnar(columnar, 8, LruPolicy(), force=True) is None
+        reference = simulate_trace(
+            trace, 8, LruPolicy(),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        fast = simulate_trace(
+            columnar, 8, LruPolicy(),
+            record_positions=True, record_evictions=True,
+        )
+        _assert_same(reference, fast, "no-numpy")
+
+
+@pytest.mark.skipif(numpy_missing, reason="columnar kernels need numpy")
+class TestNoNumpyMatrix:
+    """A reduced seed sweep with numpy masked out: the list-kernel
+    fallback over ``replay_view()`` must match the reference loop."""
+
+    @pytest.mark.parametrize("name", FAST_POLICIES)
+    @pytest.mark.parametrize("seed", range(0, 100, 8))
+    def test_fallback_bit_identical(self, name, seed, monkeypatch):
+        monkeypatch.setattr(columnar_module, "_np", None)
+        trace = _trace_for_seed(seed)
+        columnar = trace.to_columnar()
+        frames = random.Random(seed * 31 + 7).randint(1, 24)
+        reference = simulate_trace(
+            trace, frames, _make_policy(name, trace),
+            record_positions=True, record_evictions=True, fast=False,
+        )
+        fast = simulate_trace(
+            columnar, frames, _make_policy(name, columnar),
+            record_positions=True, record_evictions=True,
+        )
+        _assert_same(reference, fast, f"{name} seed={seed}")
+
+
+class TestColumnarTraceContainer:
+    def test_sequence_semantics_flat(self):
+        trace = ColumnarTrace([5, 6, 7, 5])
+        assert list(trace) == [5, 6, 7, 5]
+        assert trace == [5, 6, 7, 5]
+        assert trace[1] == 6
+        assert list(trace[1:3]) == [6, 7]
+        assert 7 in trace and 9 not in trace
+        assert len(trace) == 4
+
+    def test_sequence_semantics_segmented(self):
+        trace = ColumnarTrace([5, 6], segments=[0, 1])
+        assert list(trace) == [(0, 5), (1, 6)]
+        assert trace[1] == (1, 6)
+        assert trace == [(0, 5), (1, 6)]
+        assert (0, 5) in trace
+        view = trace.replay_view()
+        assert list(view) == [(0, 5), (1, 6)]
+        assert view[0] == (0, 5)
+        assert list(view[1:]) == [(1, 6)]
+
+    def test_from_trace_splits_pairs(self):
+        trace = ColumnarTrace.from_trace([(0, 1), (2, 3)])
+        assert trace.has_segments
+        assert list(trace.segments) == [0, 2]
+        assert list(trace.pages) == [1, 3]
+
+    def test_write_flags_round_trip(self):
+        trace = ColumnarTrace([1, 2, 3], writes=[1, 0, 1])
+        assert trace.write_flags() == [True, False, True]
+        assert ColumnarTrace([1, 2]).write_flags() is None
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="writes column"):
+            ColumnarTrace([1, 2, 3], writes=[1, 0])
+        with pytest.raises(ValueError, match="segments column"):
+            ColumnarTrace([1, 2, 3], segments=[0])
+
+    def test_close_releases_columns(self):
+        trace = ColumnarTrace([1, 2, 3])
+        trace.close()
+        assert len(trace) == 0
