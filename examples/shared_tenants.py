@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Forked tenants over one shared frame pool: dedup, CoW, the saving.
+
+The storage-service scenario (`docs/SERVING.md`): N address spaces
+forked from a common image replay their own phased traces over one
+`SharedFramePool`.  Half the page space is shared content (the library
+region), ~10% of references are writes, so the run exercises all three
+mechanisms — shares, dedup revivals, and copy-on-write breaks — and the
+tables below show what each tenant paid and what sharing saved.
+
+Run:  python examples/shared_tenants.py
+"""
+
+from repro.metrics import format_table, kv_table
+from repro.paging import make_policy
+from repro.serve import seeded_writes, simulate_shared, tenant_traces
+
+PAGES = 64            # common page space per tenant
+FRAMES = 12           # each tenant's resident-page quota
+LENGTH = 4_000        # references per tenant
+SEED = 1967
+
+
+def run_degree(tenants: int):
+    traces, shared_pages = tenant_traces(
+        tenants, pages=PAGES, length=LENGTH, shared_fraction=0.5,
+        working_set=8, phase_length=250, seed=SEED,
+    )
+    writes = [
+        seeded_writes(LENGTH, fraction=0.1, seed=SEED + index)
+        for index in range(tenants)
+    ]
+    return simulate_shared(
+        traces, FRAMES, lambda _index: make_policy("lru"),
+        shared_pages=shared_pages, writes=writes,
+    )
+
+
+def main() -> None:
+    print("=" * 72)
+    print(f"Forked tenants over one shared pool "
+          f"({PAGES} pages, {FRAMES}-frame quotas, 10% writes)")
+    print("=" * 72)
+
+    rows = []
+    for degree in (1, 2, 4, 8):
+        result = run_degree(degree)
+        stats = result.pool_stats
+        rows.append((
+            degree,
+            result.references,
+            result.faults,
+            result.fetches,
+            stats.shares,
+            stats.dedup_hits,
+            stats.cow_breaks,
+            round(stats.dedup_ratio, 3),
+            round(result.spacetime_saving, 3),
+        ))
+    print(format_table(
+        ("tenants", "refs", "faults", "fetches", "shares", "dedup",
+         "cow breaks", "dedup ratio", "st saving"),
+        rows,
+        title="sharing degree vs what the pool absorbed",
+    ))
+    print()
+    print("Reading the table: every tenant still faults on its own view")
+    print("(sharing is invisible to per-tenant fault accounting), but the")
+    print("faults another tenant or the freed-dedup pool can satisfy pay")
+    print("no backing-store fetch — the fetches column grows far slower")
+    print("than the faults column, and the space-time saving is the gap")
+    print("between the consolidated pool's residency integral and the sum")
+    print("of the tenants' views.")
+
+    # One degree in per-tenant detail: who shared, who broke CoW.
+    degree = 4
+    result = run_degree(degree)
+    print()
+    print(format_table(
+        ("tenant", "faults", "evictions", "fault rate"),
+        [
+            (f"t{index}", tenant.faults, tenant.evictions,
+             round(tenant.fault_rate, 4))
+            for index, tenant in enumerate(result.tenants)
+        ],
+        title=f"per-tenant accounting at degree {degree}",
+    ))
+    print()
+    stats = result.pool_stats
+    print(kv_table(
+        [
+            ("pool acquires", stats.acquires),
+            ("shares (another tenant held it)", stats.shares),
+            ("dedup hits (revived zero-ref frame)", stats.dedup_hits),
+            ("cow breaks (writes to shared pages)", stats.cow_breaks),
+            ("reclaims (pressure evictions)", stats.reclaims),
+            ("dedup ratio", round(stats.dedup_ratio, 3)),
+            ("space-time saving", round(result.spacetime_saving, 3)),
+        ],
+        title=f"pool totals at degree {degree}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,7 @@ SIZE_CLASSES: dict[str, dict[str, dict]] = {
             length=200_000, frames=128, pages=512,
             working_set=24, phase_length=5_000, locality=0.995,
         ),
+        "serve": dict(length=15_000, frames=16, pages=128, degrees=(1, 4)),
     },
     "full": {
         "replay": dict(length=1_000_000, frames=32, pages=512),
@@ -80,6 +81,7 @@ SIZE_CLASSES: dict[str, dict[str, dict]] = {
             length=10_000_000, frames=256, pages=1024,
             working_set=32, phase_length=125_000, locality=0.9996,
         ),
+        "serve": dict(length=100_000, frames=32, pages=256, degrees=(1, 4)),
     },
 }
 
@@ -290,6 +292,74 @@ def bench_columnar(
             cleanup.unlink(missing_ok=True)
 
 
+# -- shared-pool serving --------------------------------------------------
+
+
+def bench_serve(
+    length: int, frames: int, pages: int, degrees: tuple[int, ...]
+) -> dict:
+    """Multi-tenant shared-pool replay throughput, per sharing degree.
+
+    Each degree replays ``degree`` tenant traces (``length`` references
+    each) over one :class:`~repro.serve.SharedFramePool`; the reported
+    rate is total references served per second, alongside the dedup
+    ratio and CoW-break count the serving contract promises.  Degree 1
+    is cross-checked against the unshared reference loop — identical
+    fault/eviction counts — so the serving tier's overhead can never
+    hide a wrong answer.
+    """
+    from repro.serve import seeded_writes, simulate_shared, tenant_traces
+
+    runs: dict[str, dict] = {}
+    for degree in degrees:
+        traces, shared_pages = tenant_traces(
+            degree, pages=pages, length=length,
+            shared_fraction=0.5, working_set=max(4, pages // 4),
+            phase_length=max(200, length // 50), seed=1967,
+        )
+        writes = [
+            seeded_writes(length, fraction=0.1, seed=1967 + index)
+            for index in range(degree)
+        ]
+        result, seconds = _timed(
+            lambda: simulate_shared(
+                traces, frames,
+                lambda _index: make_policy("lru"),
+                shared_pages=shared_pages, writes=writes,
+            )
+        )
+        if degree == 1:
+            baseline = simulate_trace(
+                traces[0], frames, make_policy("lru"),
+                writes=writes[0], fast=False,
+            )
+            solo = result.tenants[0]
+            if (
+                solo.faults != baseline.faults
+                or solo.evictions != baseline.evictions
+            ):
+                raise AssertionError(
+                    f"serve degree-1 mismatch: {solo.faults}/{solo.evictions} "
+                    f"vs unshared {baseline.faults}/{baseline.evictions}"
+                )
+        runs[str(degree)] = {
+            "references": result.references,
+            "faults": result.faults,
+            "fetches": result.fetches,
+            "dedup_ratio": round(result.pool_stats.dedup_ratio, 4),
+            "cow_breaks": result.cow_breaks,
+            "spacetime_saving": round(result.spacetime_saving, 4),
+            "serve_s": round(seconds, 4),
+            "refs_per_s": _throughput(result.references, seconds),
+        }
+    return {
+        "length": length,
+        "frames": frames,
+        "pages": pages,
+        "degrees": runs,
+    }
+
+
 # -- allocator churn ------------------------------------------------------
 
 
@@ -369,6 +439,7 @@ ALLOC_THROUGHPUT_KEYS = ("linear_ops_per_s", "indexed_ops_per_s")
 COLUMNAR_THROUGHPUT_KEYS = (
     "list_refs_per_s", "columnar_refs_per_s", "columnar_numpy_refs_per_s",
 )
+SERVE_THROUGHPUT_KEYS = ("refs_per_s",)
 
 
 def git_revision() -> str | None:
@@ -402,6 +473,9 @@ def history_record(report: dict, rev: str | None = None) -> dict:
     for name, row in report.get("columnar", {}).get("policies", {}).items():
         for key in COLUMNAR_THROUGHPUT_KEYS:
             metrics[f"columnar.{name}.{key}"] = row.get(key)
+    for degree, row in report.get("serve", {}).get("degrees", {}).items():
+        for key in SERVE_THROUGHPUT_KEYS:
+            metrics[f"serve.deg{degree}.{key}"] = row.get(key)
     return {
         "schema": 1,
         "created": report["created"],
@@ -488,6 +562,7 @@ def run_suite(quick: bool = False, trace_file: Path | None = None) -> dict:
     replay = bench_replay(**sizes["replay"])
     alloc = bench_alloc(**sizes["alloc"])
     columnar = bench_columnar(**sizes["columnar"], trace_file=trace_file)
+    serve = bench_serve(**sizes["serve"])
     return {
         "schema": 1,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -495,6 +570,7 @@ def run_suite(quick: bool = False, trace_file: Path | None = None) -> dict:
         "replay": replay,
         "alloc": alloc,
         "columnar": columnar,
+        "serve": serve,
     }
 
 
@@ -532,6 +608,21 @@ def _print_report(report: dict, stream=sys.stdout) -> None:
                 f"  {name:<10} list {_fmt(row['list_refs_per_s'], 12)}/s   "
                 f"vector {_fmt(row['columnar_numpy_refs_per_s'], 12)}/s   "
                 f"speedup {row['speedup'] if row['speedup'] is not None else 'n/a':>6}x",
+                file=stream,
+            )
+    serve = report.get("serve")
+    if serve:
+        print(
+            f"shared-pool serving — {serve['length']:,} references per "
+            f"tenant, {serve['frames']} frames each",
+            file=stream,
+        )
+        for degree, row in serve["degrees"].items():
+            print(
+                f"  degree {degree:<4} "
+                f"serve {_fmt(row['refs_per_s'], 12)}/s   "
+                f"dedup {row['dedup_ratio']:>6.1%}   "
+                f"cow {row['cow_breaks']:>6,}",
                 file=stream,
             )
     alloc = report["alloc"]

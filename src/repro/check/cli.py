@@ -28,34 +28,49 @@ DOMAINS = ("replacement", "placement", "checked_replay", "fault_recovery")
 
 
 def _inject_violation(report: OracleReport, seed: int) -> None:
-    """Deliberately corrupt an allocator and demand the engine notice.
+    """Deliberately corrupt live subjects and demand the engine notice.
 
-    Plants a duplicated hole over a live block — a word-conservation
-    *and* overlap violation — then runs the suite.  The resulting
-    finding drives the exit status to 1, which is what the CI smoke
-    job asserts; if the engine ever goes blind, the finding disappears
-    and the smoke job's expected-failure leg catches it.
+    Two plants, one per accounting domain: a duplicated hole over a live
+    allocator block (word-conservation *and* overlap violation), and a
+    phantom reference on a shared frame pool (refcount-conservation
+    violation — the pool counts a reference no tenant view holds).  The
+    resulting findings drive the exit status to 1, which is what the CI
+    smoke jobs assert; if the engine ever goes blind to either, the
+    finding disappears and the expected-failure leg catches it.
     """
     from repro.alloc import FreeListAllocator
+    from repro.serve import SharedFramePool, TenantView
 
     allocator = FreeListAllocator(256, policy="best_fit")
     block = allocator.allocate(64)
     allocator.allocate(32)
     # Corrupt: resurrect the live block's extent as a free hole.
     allocator._holes.insert(0, (block.address, block.size))
+
+    pool = SharedFramePool(8)
+    parent = TenantView(pool, "parent", shared_pages=4)
+    parent.acquire(0)
+    child = parent.fork("child")
+    child.acquire(0)
+    # Corrupt: a phantom reference the views cannot account for.
+    pool._refs.incr(("shared", 0))
+
     suite = InvariantSuite()
-    report.record("injected")
-    try:
-        suite.check(allocator)
-    except InvariantViolation as violation:
-        report.flag("injected", seed, f"(deliberate) {violation}")
-        return
-    # The engine failed to notice a planted corruption: report *that*
-    # loudly, but as a clean run — the caller asserting exit 1 fails.
-    print(
-        "warning: injected corruption was NOT detected by the invariant "
-        "engine", file=sys.stderr,
-    )
+    detected = 0
+    for subject in (allocator, pool):
+        report.record("injected")
+        try:
+            suite.check(subject)
+        except InvariantViolation as violation:
+            report.flag("injected", seed, f"(deliberate) {violation}")
+            detected += 1
+    if detected < 2:
+        # The engine failed to notice a planted corruption: report *that*
+        # loudly, but as a clean run — the caller asserting exit 1 fails.
+        print(
+            "warning: an injected corruption was NOT detected by the "
+            "invariant engine", file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -254,6 +254,82 @@ class FrameAccounting(Invariant):
             self.fail(str(error), subject)
 
 
+class RefCountConservation(Invariant):
+    """The serving ledger balances, recomputed from the outside.
+
+    For a :class:`~repro.serve.pool.SharedFramePool`: pinned + cached +
+    free frames partition the pool; every freed-dedup entry has zero
+    references (no frame is freed while referenced); and — walking the
+    registered tenant views' own resident pages through their public
+    key mapping — per-key reference tallies match the pool's refcounts
+    exactly, so the sum of per-tenant residency equals the pool's
+    reference total.  Nothing here trusts the pool's internal counts:
+    the tally is rebuilt from the views, the comparison is against the
+    pool's public inspection surface.
+    """
+
+    name = "refcount_conservation"
+
+    def applies(self, subject: object) -> bool:
+        from repro.serve.pool import SharedFramePool
+
+        return isinstance(subject, SharedFramePool)
+
+    def verify(self, subject, memo: dict) -> None:
+        pinned = subject.resident_count
+        cached = subject.cached_count
+        free = subject.free_count
+        if pinned + cached + free != subject.frame_count:
+            self.fail(
+                f"frame partition broken: {pinned} pinned + {cached} cached "
+                f"+ {free} free != {subject.frame_count} frames",
+                subject,
+            )
+        for key in subject.cached_keys():
+            refs = subject.ref_count(key)
+            if refs != 0:
+                self.fail(
+                    f"content {key!r} in the freed-dedup pool with "
+                    f"{refs} live references",
+                    subject,
+                )
+        tally: dict = {}
+        for view in subject.views:
+            for page in view.resident_pages():
+                key = view.key_for(page)
+                tally[key] = tally.get(key, 0) + 1
+                pool_frame = subject.frame_of(key)
+                view_frame = view.frame_of(page)
+                if pool_frame != view_frame:
+                    self.fail(
+                        f"tenant {view.tenant} maps page {page!r} to frame "
+                        f"{view_frame}, pool holds {key!r} in {pool_frame}",
+                        subject,
+                    )
+        for key, count in tally.items():
+            refs = subject.ref_count(key)
+            if refs != count:
+                self.fail(
+                    f"content {key!r}: views hold {count} references, "
+                    f"pool counts {refs}",
+                    subject,
+                )
+        if subject.views:
+            held = sum(tally.values())
+            if held != subject.ref_total:
+                self.fail(
+                    f"tenant views hold {held} pages, pool counts "
+                    f"{subject.ref_total} references",
+                    subject,
+                )
+        # The pool's own ledger check folds in here (like FrameAccounting
+        # does for FrameTable), normalizing its AssertionErrors.
+        try:
+            subject.check_invariants()
+        except AssertionError as error:
+            self.fail(str(error), subject)
+
+
 class SelfCheck(Invariant):
     """Fold in a subject's own ``check_invariants`` method (buddy
     allocator, hole index, ...), normalizing its AssertionErrors."""
@@ -262,12 +338,14 @@ class SelfCheck(Invariant):
 
     def applies(self, subject: object) -> bool:
         from repro.paging.frame import FrameTable
+        from repro.serve.pool import SharedFramePool
 
-        # FrameTable's self-check is already FrameAccounting; skip the
-        # duplicate.  Everything else with the method qualifies.
+        # FrameTable's self-check is already FrameAccounting, and
+        # SharedFramePool's is folded into RefCountConservation; skip
+        # the duplicates.  Everything else with the method qualifies.
         return (
             callable(getattr(subject, "check_invariants", None))
-            and not isinstance(subject, FrameTable)
+            and not isinstance(subject, (FrameTable, SharedFramePool))
         )
 
     def verify(self, subject, memo: dict) -> None:
@@ -285,6 +363,7 @@ DEFAULT_INVARIANTS: tuple[Invariant, ...] = (
     TlbCoherence(),
     SpaceTimeMonotonicity(),
     FrameAccounting(),
+    RefCountConservation(),
     SelfCheck(),
 )
 
@@ -437,6 +516,7 @@ __all__ = [
     "InvariantSink",
     "InvariantSuite",
     "PageFrameBijection",
+    "RefCountConservation",
     "SelfCheck",
     "SpaceTimeMonotonicity",
     "TlbCoherence",

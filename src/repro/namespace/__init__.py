@@ -29,10 +29,12 @@ from repro.namespace.linear import LinearNameSpace
 from repro.namespace.segmented import (
     LinearlySegmentedNameSpace,
     SymbolicallySegmentedNameSpace,
+    segment_share_key,
 )
 
 __all__ = [
     "LinearNameSpace",
     "LinearlySegmentedNameSpace",
     "SymbolicallySegmentedNameSpace",
+    "segment_share_key",
 ]

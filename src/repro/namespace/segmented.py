@@ -68,12 +68,49 @@ class SymbolicallySegmentedNameSpace:
             raise IndexError(f"item {item} outside segment of {extent}")
         return (name, item)
 
+    def fork(self) -> "SymbolicallySegmentedNameSpace":
+        """A child name space seeing every segment this one has now.
+
+        Symbolic names make address-space forking cheap: because "users
+        are not provided with any means of manipulating a segment name
+        to produce another name", the same ``(group, index)`` tuple
+        denotes the same segment in parent and child — no renumbering,
+        no reallocation.  That stable identity is what lets forked
+        tenants resolve shared segments to the same storage-service
+        content keys (see :func:`segment_share_key` and
+        ``docs/SERVING.md``).  The dictionary itself is copied at the
+        fork, so later creations and destructions diverge.
+        """
+        child = SymbolicallySegmentedNameSpace()
+        child._extents = dict(self._extents)
+        return child
+
     @property
     def segment_count(self) -> int:
         return len(self._extents)
 
     def __contains__(self, name: Hashable) -> bool:
         return name in self._extents
+
+
+def segment_share_key(tenant: str, shared_groups: frozenset[str] | set[str]):
+    """A ``TenantView`` share-key rule over symbolic segment names.
+
+    The view's "local pages" are segment names — ``(group, index)``
+    tuples from a :class:`SymbolicallySegmentedNameSpace`.  Segments in
+    ``shared_groups`` resolve to ``("shared", name)`` content keys every
+    tenant agrees on (the shared-library groups); everything else is
+    salted with the tenant's own name and stays private.
+    """
+    members = frozenset(shared_groups)
+
+    def key_for(name: Hashable) -> Hashable:
+        group = name[0] if isinstance(name, tuple) and name else name
+        if group in members:
+            return ("shared", name)
+        return (tenant, name)
+
+    return key_for
 
 
 class LinearlySegmentedNameSpace:

@@ -46,6 +46,7 @@ from repro.observe.counters import (
     absorb_allocator_counters,
     absorb_associative_memory,
     absorb_pager_stats,
+    absorb_serve_stats,
     absorb_simulation_result,
     absorb_spacetime,
 )
@@ -54,12 +55,15 @@ from repro.observe.events import (
     Advice,
     Clean,
     Compact,
+    CoWBreak,
+    DedupHit,
     Event,
     Evict,
     Fault,
     Free,
     MapLookup,
     Place,
+    Share,
     event_from_dict,
 )
 from repro.observe.export import (
@@ -83,8 +87,10 @@ __all__ = [
     "Advice",
     "CallbackSink",
     "Clean",
+    "CoWBreak",
     "Compact",
     "Counters",
+    "DedupHit",
     "EVENT_TYPES",
     "Event",
     "EventStream",
@@ -97,6 +103,7 @@ __all__ = [
     "NULL_TRACER",
     "Place",
     "RingBufferSink",
+    "Share",
     "Sink",
     "TraceAnalytics",
     "TraceAnalyzer",
@@ -107,6 +114,7 @@ __all__ = [
     "absorb_allocator_counters",
     "absorb_associative_memory",
     "absorb_pager_stats",
+    "absorb_serve_stats",
     "absorb_simulation_result",
     "absorb_spacetime",
     "as_tracer",

@@ -36,6 +36,7 @@ if TYPE_CHECKING:   # import cycle guards: adapters name these types only
     from repro.alloc.base import AllocatorCounters
     from repro.paging.pager import PagerStats
     from repro.paging.simulate import SimulationResult
+    from repro.serve.pool import ServeStats
     from repro.sim.spacetime import SpaceTimeAccount, SpaceTimeBreakdown
 
 
@@ -226,6 +227,23 @@ def absorb_simulation_result(
     counters.increment(f"{prefix}.evictions", result.evictions)
 
 
+def absorb_serve_stats(
+    counters: Counters, stats: "ServeStats", prefix: str = "serve"
+) -> None:
+    """Fold a shared pool's :class:`~repro.serve.pool.ServeStats` in.
+
+    These are the serving-tier totals the per-tenant accounting must sum
+    to; the shared replay driver increments the same names per event,
+    and the differential tests pin the two paths together.
+    """
+    counters.increment(f"{prefix}.acquires", stats.acquires)
+    counters.increment(f"{prefix}.shares", stats.shares)
+    counters.increment(f"{prefix}.dedup_hits", stats.dedup_hits)
+    counters.increment(f"{prefix}.cow_breaks", stats.cow_breaks)
+    counters.increment(f"{prefix}.releases", stats.releases)
+    counters.increment(f"{prefix}.reclaims", stats.reclaims)
+
+
 def absorb_simulation_summary(
     counters: Counters, summary, prefix: str = "mix"
 ) -> None:
@@ -255,6 +273,7 @@ __all__ = [
     "absorb_allocator_counters",
     "absorb_associative_memory",
     "absorb_pager_stats",
+    "absorb_serve_stats",
     "absorb_simulation_result",
     "absorb_simulation_summary",
     "absorb_spacetime",

@@ -24,6 +24,12 @@ map_lookup an address mapping is exercised (table walk or associative
 clean      a dirty page reaches backing storage at the system's
            convenience (overlapped write-back; the page stays resident)
 advice     a predictive directive is offered to the system
+share      an acquire attached to a frame other tenants already hold
+           (refcount grew past one)
+dedup_hit  an acquire revived a zero-ref cached frame by content identity
+           instead of paying a fetch
+cow_break  a write to a shared frame materialized a private copy
+           (copy-on-write break; the shared refcount dropped)
 ========== ==============================================================
 
 Events are frozen dataclasses with ``slots`` so emitting one costs a
@@ -169,9 +175,66 @@ class Advice(Event):
     unit: Hashable = None
 
 
+@dataclass(frozen=True, slots=True)
+class Share(Event):
+    """An acquire attached to an already-referenced frame.
+
+    Emitted by the shared frame pool when a tenant's page resolves to
+    content another tenant currently holds resident: the refcount grows,
+    no frame is consumed, no fetch is paid.
+    """
+
+    kind: ClassVar[str] = "share"
+
+    unit: Hashable = None
+    """The shared content key: ``("shared", page)`` or a segment name."""
+    where: int = 0
+    """The frame now referenced by one more tenant."""
+    refs: int = 0
+    """Refcount after the acquire."""
+    program: str | None = None
+    """Acquiring tenant, when known."""
+
+
+@dataclass(frozen=True, slots=True)
+class DedupHit(Event):
+    """Content-addressed deduplication revived a zero-ref cached frame.
+
+    The unit's content was still cached in the freed-dedup pool (the
+    LRU evictor), so the acquire reused the frame instead of fetching.
+    """
+
+    kind: ClassVar[str] = "dedup_hit"
+
+    unit: Hashable = None
+    where: int = 0
+    program: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CoWBreak(Event):
+    """A write to a shared frame materialized a private copy.
+
+    The writer got a fresh private frame (``where``); the shared
+    original (``source``) lost one reference.
+    """
+
+    kind: ClassVar[str] = "cow_break"
+
+    unit: Hashable = None
+    where: int = 0
+    """The new private frame."""
+    source: int = 0
+    """The shared frame the copy was taken from."""
+    refs: int = 0
+    """Refcount remaining on the shared frame after the break."""
+    program: str | None = None
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
-    for cls in (Fault, Place, Evict, Free, Compact, Clean, MapLookup, Advice)
+    for cls in (Fault, Place, Evict, Free, Compact, Clean, MapLookup, Advice,
+                Share, DedupHit, CoWBreak)
 }
 """Registry of every event kind, for deserialization and docs."""
 
@@ -202,7 +265,9 @@ def event_from_dict(record: dict[str, Any]) -> Event:
 __all__ = [
     "Advice",
     "Clean",
+    "CoWBreak",
     "Compact",
+    "DedupHit",
     "Event",
     "EVENT_TYPES",
     "Evict",
@@ -210,5 +275,6 @@ __all__ = [
     "Free",
     "MapLookup",
     "Place",
+    "Share",
     "event_from_dict",
 ]

@@ -131,11 +131,18 @@ class DemandPager:
             translation = self.page_table.translate(name, write=write)
         except PageFault as fault:
             self._handle_fault(fault.page, write=write)
+            if write:
+                self._note_write(fault.page)
             translation = self.page_table.translate(name, write=write)
         else:
             page = self.page_table.split(name)[0]
             entry = self.page_table.entry(page)
             entry.last_use = self.clock.now
+            if write and self._note_write(page):
+                # CoW break moved the page; the address must come from
+                # the private frame (the second walk a real machine pays
+                # after the write trap remaps).
+                translation = self.page_table.translate(name, write=write)
             self.policy.on_access(page, self.clock.now, modified=write)
         return translation.address
 
@@ -166,6 +173,31 @@ class DemandPager:
             self._evict(self.policy.choose_victim(
                 self.frames.resident_pages(), self.clock.now
             ), overlapped=True)
+
+    def _note_write(self, page: int) -> bool:
+        """Tell a sharing-aware frame supply about a write; remap on break.
+
+        Frame tables that serve shared content (``repro.serve.TenantView``)
+        expose ``note_write``: writing a shared page materializes a
+        private frame (copy-on-write) and the page table must follow the
+        page to it.  A plain :class:`~repro.paging.frame.FrameTable` has
+        no such hook and nothing happens.  Returns True when the page
+        moved.
+        """
+        note = getattr(self.frames, "note_write", None)
+        if note is None:
+            return False
+        new_frame = note(page)
+        if new_frame is None:
+            return False
+        snapshot = self.page_table.unmap(page)
+        self.page_table.map(page, new_frame, now=self.clock.now)
+        entry = self.page_table.entry(page)
+        entry.referenced = True
+        entry.modified = True
+        entry.loaded_at = snapshot.loaded_at
+        entry.last_use = self.clock.now
+        return True
 
     def _ensure_free_frame(self) -> None:
         if not self.frames.is_full():
@@ -202,7 +234,13 @@ class DemandPager:
     def _load(self, page: int, modified: bool = False,
               prefetch: bool = False) -> None:
         key = ("page", page)
-        if key in self.backing:
+        peek = getattr(self.frames, "peek_cached", None)
+        if peek is not None and peek(page):
+            # The content is already in storage — pinned by another view
+            # (a share) or zero-ref in the freed-dedup pool — so
+            # attaching to it owes no backing-store transfer.
+            cycles = 0
+        elif key in self.backing:
             _, cycles = self.backing.fetch(key, charge=not prefetch)
         else:
             # First touch: the page springs into existence zero-filled,

@@ -1,0 +1,81 @@
+"""The freed-dedup pool: LRU eviction over zero-ref cached frames.
+
+When a content key's refcount returns to zero its frame is not wiped —
+it enters this evictor, still holding the content, keyed by content
+identity.  A later acquire of the same content *revives* the frame (a
+dedup hit: no fetch paid); allocation pressure reclaims frames in
+least-recently-freed order (the vLLM evictor discipline: the content
+freed longest ago is the least likely to be asked for again).
+
+Orderedness comes from the pool's deterministic operation counter, not
+wall time, so eviction order — and therefore every downstream figure —
+is a pure function of the operation sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class LRUEvictor:
+    """Zero-ref cached frames, reclaimed least-recently-freed first.
+
+    >>> evictor = LRUEvictor()
+    >>> evictor.add("a", frame=0, freed_at=1)
+    >>> evictor.add("b", frame=1, freed_at=2)
+    >>> evictor.evict()
+    ('a', 0)
+    >>> evictor.remove("b")
+    1
+    """
+
+    __slots__ = ("_cached",)
+
+    def __init__(self) -> None:
+        # key -> (frame, freed_at); insertion order is freed order, and
+        # re-adding a key re-inserts it, so dict order is LRU order as
+        # long as freed_at is monotonic (the pool's op counter is).
+        self._cached: dict[Hashable, tuple[int, int]] = {}
+
+    def add(self, key: Hashable, frame: int, freed_at: int) -> None:
+        """Cache ``key``'s frame, freed at pool-op time ``freed_at``."""
+        if key in self._cached:
+            raise ValueError(f"content {key!r} already cached")
+        self._cached[key] = (frame, freed_at)
+
+    def remove(self, key: Hashable) -> int:
+        """Revive ``key`` (a dedup hit); returns its frame."""
+        try:
+            frame, _ = self._cached.pop(key)
+        except KeyError:
+            raise KeyError(f"content {key!r} is not cached") from None
+        return frame
+
+    def evict(self) -> tuple[Hashable, int]:
+        """Reclaim the least-recently-freed entry; returns (key, frame)."""
+        if not self._cached:
+            raise ValueError("nothing to evict: the cached pool is empty")
+        key = next(iter(self._cached))
+        frame, _ = self._cached.pop(key)
+        return key, frame
+
+    def freed_at(self, key: Hashable) -> int:
+        return self._cached[key][1]
+
+    def frames(self) -> list[int]:
+        return [frame for frame, _ in self._cached.values()]
+
+    def keys(self) -> list[Hashable]:
+        return list(self._cached)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._cached
+
+    def __len__(self) -> int:
+        return len(self._cached)
+
+    def __repr__(self) -> str:
+        return f"LRUEvictor(cached={len(self._cached)})"
+
+
+__all__ = ["LRUEvictor"]

@@ -1,0 +1,362 @@
+"""The shared frame pool: refcounted frames, content dedup, CoW breaks.
+
+One physical pool of page frames serving many address spaces.  Frames
+are keyed by *content identity* — a hashable content key such as
+``("shared", page)`` for a page every tenant maps, ``(tenant, page)``
+for a private one, or a symbolic segment name — and carry refcounts:
+
+- ``acquire(key)`` returns a frame holding that content.  If the
+  content is already resident (another tenant holds it) the refcount
+  grows — a *share*, no frame consumed, no fetch owed.  If it sits in
+  the freed-dedup pool (zero refs, still cached) the frame is revived —
+  a *dedup hit*, again no fetch owed.  Otherwise a frame is taken from
+  the free list, or reclaimed LRU from the freed-dedup pool.
+- ``release(key)`` drops one reference.  At zero the frame is not
+  wiped: it moves to the :class:`~repro.serve.evictor.LRUEvictor`,
+  where identical content can revive it until pressure reclaims it.
+- ``cow_break(shared_key, private_key)`` re-homes a writer: one
+  reference moves from the shared content to a fresh private frame
+  (copy-on-write: shared until first write).
+
+The lifecycle, the accounting rules, and the eviction policy are the
+documented serving contract — ``docs/SERVING.md``.  The refcount-
+conservation invariant (:class:`repro.check.invariants.RefCountConservation`)
+recomputes the whole ledger from the outside: in-use + cached + free
+frames partition the pool, and every registered tenant view's residency
+sums to exactly the refcount total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import OutOfMemory
+from repro.observe.events import CoWBreak, DedupHit, Share
+from repro.observe.tracer import Tracer, as_tracer
+from repro.serve.evictor import LRUEvictor
+from repro.serve.refcount import RefCounter
+
+if TYPE_CHECKING:
+    from repro.serve.tenant import TenantView
+
+
+@dataclass(slots=True)
+class ServeStats:
+    """Counters a shared pool accumulates (see ``absorb_serve_stats``)."""
+
+    acquires: int = 0
+    shares: int = 0
+    """Acquires satisfied by a frame other references already pin."""
+    dedup_hits: int = 0
+    """Acquires satisfied by reviving a zero-ref cached frame."""
+    cow_breaks: int = 0
+    releases: int = 0
+    reclaims: int = 0
+    """Zero-ref cached frames reclaimed by allocation pressure."""
+
+    @property
+    def hits(self) -> int:
+        """Acquires that owed no fetch: shares plus dedup revivals."""
+        return self.shares + self.dedup_hits
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of acquires that consumed no new frame."""
+        return self.hits / self.acquires if self.acquires else 0.0
+
+
+class SharedFramePool:
+    """A refcounted, content-addressed pool of page frames.
+
+    Parameters
+    ----------
+    frame_count:
+        Physical frames in the pool.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving
+        ``Share`` / ``DedupHit`` / ``CoWBreak`` events.  Event times are
+        the pool's running operation count — the pool keeps no clock,
+        like the mappers.
+
+    >>> pool = SharedFramePool(4)
+    >>> frame, hit = pool.acquire(("shared", 7))
+    >>> hit is None   # a miss: the caller owes a fetch
+    True
+    >>> pool.acquire(("shared", 7))[1]   # second tenant: a share
+    'share'
+    >>> pool.ref_count(("shared", 7))
+    2
+    """
+
+    def __init__(self, frame_count: int, tracer: Tracer | None = None) -> None:
+        if frame_count <= 0:
+            raise ValueError(f"frame_count must be positive, got {frame_count}")
+        self._owners: list[Hashable | None] = [None] * frame_count
+        self._frame_of: dict[Hashable, int] = {}
+        self._free: list[int] = list(range(frame_count - 1, -1, -1))
+        self._refs = RefCounter()
+        self._evictor = LRUEvictor()
+        self._views: list["TenantView"] = []
+        self._ops = 0
+        self.now: int | None = None
+        """Optional externally-driven event timestamp.  A driver with a
+        real notion of time (the shared replay's reference index) sets
+        this before each step; left ``None``, events carry the pool's
+        running operation count, like the mappers."""
+        self.tracer = as_tracer(tracer)
+        self.stats = ServeStats()
+
+    def _time(self) -> int:
+        return self._ops if self.now is None else self.now
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def frame_count(self) -> int:
+        return len(self._owners)
+
+    @property
+    def free_count(self) -> int:
+        """Frames holding nothing at all (not even cached content)."""
+        return len(self._free)
+
+    @property
+    def cached_count(self) -> int:
+        """Zero-ref frames still caching content (the freed-dedup pool)."""
+        return len(self._evictor)
+
+    @property
+    def resident_count(self) -> int:
+        """Frames pinned by at least one reference."""
+        return len(self._frame_of) - len(self._evictor)
+
+    @property
+    def ref_total(self) -> int:
+        """Sum of all refcounts — what tenant residencies must add to."""
+        return self._refs.total
+
+    def is_exhausted(self) -> bool:
+        """True when every frame is pinned: no free, nothing reclaimable."""
+        return not self._free and not len(self._evictor)
+
+    # -- the serving operations --------------------------------------------
+
+    def acquire(
+        self, key: Hashable, program: str | None = None
+    ) -> tuple[int, str | None]:
+        """Pin one reference to ``key``'s content; returns ``(frame, hit)``.
+
+        ``hit`` names how the acquire was satisfied without a fetch —
+        ``"share"`` (content already pinned by other references) or
+        ``"dedup"`` (a zero-ref cached frame revived by content
+        identity) — or is ``None`` for a miss, in which case the caller
+        owes a fetch into the returned frame before use.
+        """
+        self._ops += 1
+        self.stats.acquires += 1
+        frame = self._frame_of.get(key)
+        if frame is not None:
+            if key in self._evictor:
+                # Content-addressed revival: the frame was freed but the
+                # bytes are still there.
+                self._evictor.remove(key)
+                self._refs.incr(key)
+                self.stats.dedup_hits += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(DedupHit(
+                        time=self._time(), unit=key, where=frame,
+                        program=program,
+                    ))
+                return frame, "dedup"
+            refs = self._refs.incr(key)
+            self.stats.shares += 1
+            if self.tracer.enabled:
+                self.tracer.emit(Share(
+                    time=self._time(), unit=key, where=frame, refs=refs,
+                    program=program,
+                ))
+            return frame, "share"
+        frame = self._claim_frame(key)
+        self._owners[frame] = key
+        self._frame_of[key] = frame
+        self._refs.incr(key)
+        return frame, None
+
+    def release(self, key: Hashable) -> int:
+        """Drop one reference to ``key``; returns its frame.
+
+        At zero references the frame enters the freed-dedup pool, still
+        mapped under ``key`` — it stays revivable until reclaimed.
+        """
+        self._ops += 1
+        frame = self._frame_of.get(key)
+        if frame is None:
+            raise KeyError(f"content {key!r} is not in the pool")
+        if self._refs.decr(key) == 0:
+            self._evictor.add(key, frame, freed_at=self._ops)
+        self.stats.releases += 1
+        return frame
+
+    def forget(self, key: Hashable) -> int:
+        """Release ``key`` and drop its cached content immediately.
+
+        The uncached release: used when the caller knows the content
+        must not be revivable (e.g. it is stale).  Requires this to be
+        the last reference.
+        """
+        frame = self.release(key)
+        if key in self._evictor:
+            self._evictor.remove(key)
+            self._drop(key, frame)
+        return frame
+
+    def cow_break(
+        self,
+        shared_key: Hashable,
+        private_key: Hashable,
+        program: str | None = None,
+    ) -> int:
+        """Move one reference from shared content to a private copy.
+
+        The writer must currently hold a reference to ``shared_key``.
+        Returns the fresh private frame (its content is a copy of the
+        shared frame — the simulation carries identity, not bytes).
+        """
+        source = self._frame_of.get(shared_key)
+        if source is None or shared_key in self._evictor:
+            raise KeyError(f"content {shared_key!r} is not resident")
+        if private_key in self._frame_of:
+            raise ValueError(f"private content {private_key!r} already exists")
+        self._ops += 1
+        if self._refs.decr(shared_key) == 0:
+            # The writer was the last holder: the "shared" frame becomes
+            # revivable cached content like any other zero-ref frame.
+            self._evictor.add(shared_key, source, freed_at=self._ops)
+        try:
+            frame = self._claim_frame(private_key)
+        except OutOfMemory:
+            # Exception safety: a refused break must not happen at all.
+            # Only the still-shared case can get here — a sole holder's
+            # own frame just became reclaimable, so _claim_frame takes
+            # that instead of raising — and its decrement is undone.
+            self._refs.incr(shared_key)
+            raise
+        self._owners[frame] = private_key
+        self._frame_of[private_key] = frame
+        self._refs.incr(private_key)
+        self.stats.cow_breaks += 1
+        if self.tracer.enabled:
+            self.tracer.emit(CoWBreak(
+                time=self._time(), unit=shared_key, where=frame, source=source,
+                refs=self._refs.get(shared_key), program=program,
+            ))
+        return frame
+
+    # -- frame supply -------------------------------------------------------
+
+    def _claim_frame(self, for_key: Hashable) -> int:
+        if self._free:
+            return self._free.pop()
+        if len(self._evictor):
+            victim_key, frame = self._evictor.evict()
+            self._drop(victim_key, frame, to_free=False)
+            self.stats.reclaims += 1
+            return frame
+        raise OutOfMemory(
+            1, f"all {self.frame_count} frames are pinned "
+               f"(acquiring {for_key!r})"
+        )
+
+    def _drop(self, key: Hashable, frame: int, to_free: bool = True) -> None:
+        del self._frame_of[key]
+        self._owners[frame] = None
+        if to_free:
+            self._free.append(frame)
+
+    # -- inspection ----------------------------------------------------------
+
+    def ref_count(self, key: Hashable) -> int:
+        return self._refs.get(key)
+
+    def frame_of(self, key: Hashable) -> int | None:
+        return self._frame_of.get(key)
+
+    def owner(self, frame: int) -> Hashable | None:
+        if not 0 <= frame < len(self._owners):
+            raise IndexError(f"no frame {frame}")
+        return self._owners[frame]
+
+    def cached_keys(self) -> list[Hashable]:
+        """Content keys in the freed-dedup pool (zero refs, revivable)."""
+        return self._evictor.keys()
+
+    def is_resident(self, key: Hashable) -> bool:
+        """Content pinned by at least one reference."""
+        return key in self._frame_of and key not in self._evictor
+
+    def is_cached(self, key: Hashable) -> bool:
+        """Content present at all — pinned or revivable zero-ref."""
+        return key in self._frame_of
+
+    def register_view(self, view: "TenantView") -> None:
+        """Enroll a tenant view in the conservation ledger.
+
+        The refcount-conservation invariant sums registered views'
+        residencies against :attr:`ref_total`; a view acquiring frames
+        outside the ledger would silently unbalance it, so views
+        register themselves at construction.
+        """
+        self._views.append(view)
+
+    @property
+    def views(self) -> tuple["TenantView", ...]:
+        return tuple(self._views)
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the serving ledger is inconsistent.
+
+        The partition law: pinned frames + cached zero-ref frames +
+        free frames == frame_count, with the owner array, the content
+        map, the refcounter and the evictor all telling the same story.
+        """
+        pinned = len(self._frame_of) - len(self._evictor)
+        assert pinned + len(self._evictor) + len(self._free) == len(self._owners), (
+            f"partition broken: {pinned} pinned + {len(self._evictor)} cached "
+            f"+ {len(self._free)} free != {len(self._owners)} frames"
+        )
+        assert len(set(self._free)) == len(self._free), "free list duplicates"
+        for frame in self._free:
+            assert self._owners[frame] is None, f"free frame {frame} has owner"
+        for key, frame in self._frame_of.items():
+            assert self._owners[frame] == key, (
+                f"frame {frame} owner mismatch for content {key!r}"
+            )
+            refs = self._refs.get(key)
+            cached = key in self._evictor
+            assert (refs == 0) == cached, (
+                f"content {key!r}: refs={refs} but "
+                f"{'in' if cached else 'not in'} the freed-dedup pool"
+            )
+        for key in self._refs.live_keys():
+            assert key in self._frame_of, (
+                f"referenced content {key!r} has no frame"
+            )
+        view_resident = sum(view.resident_count for view in self._views)
+        if self._views:
+            assert view_resident == self._refs.total, (
+                f"tenant views hold {view_resident} pages but the pool "
+                f"counts {self._refs.total} references"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedFramePool(frames={self.frame_count}, "
+            f"pinned={self.resident_count}, cached={self.cached_count}, "
+            f"free={self.free_count}, refs={self.ref_total})"
+        )
+
+
+__all__ = ["ServeStats", "SharedFramePool"]

@@ -1,0 +1,96 @@
+"""Reference counting with zero-is-free semantics.
+
+The storage-service tier's one load-bearing integer: how many tenant
+views currently hold a given frame's content.  A frame with a positive
+count is pinned resident; when the count returns to zero the frame is
+*free but cached* — it moves to the evictor's freed-dedup pool, where
+identical content can revive it until capacity pressure reclaims it
+(``docs/SERVING.md``, "Refcount lifecycle").
+
+Modeled on the refcounter beneath vLLM's block allocator (see
+SNIPPETS.md, the ``RefCounter`` incr/decr tests): increments and
+decrements are explicit, a decrement below zero is a caller bug and
+raises, and zero deletes the key so live keys enumerate exactly the
+referenced population.
+
+>>> refs = RefCounter()
+>>> refs.incr("lib.so")
+1
+>>> refs.incr("lib.so")
+2
+>>> refs.decr("lib.so")
+1
+>>> refs.decr("lib.so")
+0
+>>> refs.get("lib.so")
+0
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+
+class RefCounter:
+    """Per-key reference counts; absent means zero.
+
+    Counts are always positive while stored — reaching zero removes the
+    key, so iteration and ``live_count`` see only referenced keys.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[Hashable, int] = {}
+
+    def incr(self, key: Hashable) -> int:
+        """Add one reference to ``key``; returns the new count."""
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        return count
+
+    def decr(self, key: Hashable) -> int:
+        """Drop one reference from ``key``; returns the new count.
+
+        Raises ``ValueError`` when ``key`` has no references — a double
+        release, the classic refcount bug, must fail loudly at the site
+        rather than corrupt the pool's accounting.
+        """
+        count = self._counts.get(key, 0)
+        if count <= 0:
+            raise ValueError(f"refcount underflow: {key!r} has no references")
+        count -= 1
+        if count:
+            self._counts[key] = count
+        else:
+            del self._counts[key]
+        return count
+
+    def get(self, key: Hashable) -> int:
+        """Current count for ``key`` (0 when unreferenced)."""
+        return self._counts.get(key, 0)
+
+    @property
+    def live_count(self) -> int:
+        """How many keys hold at least one reference."""
+        return len(self._counts)
+
+    @property
+    def total(self) -> int:
+        """Sum of all counts — what per-tenant residency must add up to."""
+        return sum(self._counts.values())
+
+    def live_keys(self) -> Iterator[Hashable]:
+        return iter(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"RefCounter(live={len(self._counts)}, total={self.total})"
+
+
+__all__ = ["RefCounter"]

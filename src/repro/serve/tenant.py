@@ -1,0 +1,326 @@
+"""Per-tenant views: one address space's window onto the shared pool.
+
+A :class:`TenantView` translates a tenant's *local* page numbers into
+the pool's content keys and implements the same occupancy interface as
+:class:`~repro.paging.frame.FrameTable` — acquire/release/is_full/
+resident_pages/owner — so a :class:`~repro.paging.pager.DemandPager`
+(or the trace-replay drivers) runs over a shared pool unmodified.  Two
+extra hooks make sharing visible to a pager without rewriting it:
+
+- ``peek_cached(page)``: would this acquire be satisfied without a
+  fetch?  The pager consults it before charging backing-store time.
+- ``note_write(page)``: a resident page was written.  If the page maps
+  shared content, the view breaks copy-on-write — a private frame is
+  materialized, the shared refcount drops — and returns the new frame
+  so the pager can remap its page table.
+
+Forking is what the shared pool exists for: ``fork()`` yields a new
+view over the same pool with the same shared mapping, so parent and
+child resolve shared pages to the same frames until one of them writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.serve.pool import SharedFramePool
+
+
+@dataclass(slots=True)
+class TenantStats:
+    """Per-tenant serving counters (the per-tenant accounting contract)."""
+
+    acquires: int = 0
+    shares: int = 0
+    dedup_hits: int = 0
+    cow_breaks: int = 0
+    releases: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.shares + self.dedup_hits
+
+
+def default_share_key(
+    tenant: str, shared_pages: int
+) -> Callable[[int], Hashable]:
+    """The standard content-key rule: a shared prefix, then private.
+
+    Pages below ``shared_pages`` are common content every tenant maps
+    (the "shared library" region); the rest are private to the tenant.
+    """
+
+    def key_for(page: int) -> Hashable:
+        if 0 <= page < shared_pages:
+            return ("shared", page)
+        return (tenant, page)
+
+    return key_for
+
+
+class TenantView:
+    """One tenant's FrameTable-shaped view of a :class:`SharedFramePool`.
+
+    Parameters
+    ----------
+    pool:
+        The shared frame pool supplying physical frames.
+    tenant:
+        This tenant's name; it labels events and salts private keys.
+    quota:
+        Resident-page allotment: ``is_full`` reports True at this many
+        resident pages, making the tenant evict — the partitioned
+        discipline the multiprogramming mix uses.  Defaults to the whole
+        pool.
+    shared_pages:
+        Local pages below this bound resolve to ``("shared", page)``
+        content keys common to all tenants; the rest are private.
+    share_key:
+        Full custom mapping from local page to content key, overriding
+        ``shared_pages`` (e.g. symbolic segment names).  Return a
+        ``("shared", ...)``-prefixed tuple — or any key yielded to more
+        than one tenant — to share content.
+
+    >>> pool = SharedFramePool(8)
+    >>> parent = TenantView(pool, "parent", shared_pages=4)
+    >>> parent.acquire(0)
+    0
+    >>> child = parent.fork("child")
+    >>> child.acquire(0), pool.ref_count(("shared", 0))
+    (0, 2)
+    """
+
+    def __init__(
+        self,
+        pool: SharedFramePool,
+        tenant: str,
+        quota: int | None = None,
+        shared_pages: int = 0,
+        share_key: Callable[[int], Hashable] | None = None,
+    ) -> None:
+        if quota is not None and quota <= 0:
+            raise ValueError(f"quota must be positive, got {quota}")
+        if shared_pages < 0:
+            raise ValueError(f"shared_pages must be >= 0, got {shared_pages}")
+        self.pool = pool
+        self.tenant = tenant
+        self.quota = quota if quota is not None else pool.frame_count
+        self.shared_pages = shared_pages
+        self._share_key = share_key or default_share_key(tenant, shared_pages)
+        self._frame_of: dict[Hashable, int] = {}      # local page -> frame
+        self._key_of: dict[Hashable, Hashable] = {}   # local page -> key
+        self._page_of_key: dict[Hashable, Hashable] = {}
+        self._broken: dict[Hashable, Hashable] = {}   # CoW overrides
+        self._cow_serial = 0
+        self.stats = TenantStats()
+        pool.register_view(self)
+
+    # -- key resolution ------------------------------------------------------
+
+    def key_for(self, page: Hashable) -> Hashable:
+        """The content key ``page`` resolves to, CoW breaks included.
+
+        Once a tenant has broken copy-on-write on a page, that page
+        resolves to its private copy forever — even across eviction and
+        refault — so a write is never silently shared back.
+        """
+        broken = self._broken.get(page)
+        if broken is not None:
+            return broken
+        return self._share_key(page)
+
+    def is_shared_key(self, key: Hashable) -> bool:
+        """Whether ``key`` names content common to multiple tenants."""
+        return isinstance(key, tuple) and len(key) > 0 and key[0] == "shared"
+
+    # -- the FrameTable interface -------------------------------------------
+
+    @property
+    def frame_count(self) -> int:
+        """The tenant's allotment (what ``is_full`` is measured against)."""
+        return self.quota
+
+    @property
+    def free_count(self) -> int:
+        return max(0, self.quota - len(self._frame_of))
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._frame_of)
+
+    def is_full(self) -> bool:
+        return len(self._frame_of) >= self.quota
+
+    def acquire(self, page: Hashable) -> int:
+        """Place ``page`` (FrameTable-compatible); returns the frame."""
+        return self.acquire_detail(page)[0]
+
+    def acquire_detail(self, page: Hashable) -> tuple[int, str | None]:
+        """Acquire with the hit kind: ``"share"``, ``"dedup"`` or None."""
+        if page in self._frame_of:
+            raise ValueError(
+                f"page {page!r} is already resident for tenant {self.tenant}"
+            )
+        if self.is_full():
+            raise ValueError(
+                f"tenant {self.tenant} is at its quota of {self.quota}"
+            )
+        key = self.key_for(page)
+        frame, hit = self.pool.acquire(key, program=self.tenant)
+        self._frame_of[page] = frame
+        self._key_of[page] = key
+        self._page_of_key[key] = page
+        self.stats.acquires += 1
+        if hit == "share":
+            self.stats.shares += 1
+        elif hit == "dedup":
+            self.stats.dedup_hits += 1
+        return frame, hit
+
+    def release(self, page: Hashable) -> int:
+        """Vacate ``page`` (FrameTable-compatible); returns the frame."""
+        try:
+            frame = self._frame_of.pop(page)
+        except KeyError:
+            raise KeyError(
+                f"page {page!r} is not resident for tenant {self.tenant}"
+            ) from None
+        key = self._key_of.pop(page)
+        del self._page_of_key[key]
+        self.pool.release(key)
+        self.stats.releases += 1
+        return frame
+
+    def frame_of(self, page: Hashable) -> int | None:
+        return self._frame_of.get(page)
+
+    def owner(self, frame: int) -> Hashable | None:
+        """The local page this tenant holds in ``frame`` (None if none).
+
+        Under sharing, several tenants legitimately answer for the same
+        frame — each with its own local page.
+        """
+        key = self.pool.owner(frame)
+        if key is None:
+            return None
+        return self._page_of_key.get(key)
+
+    def resident_pages(self) -> list[Hashable]:
+        return list(self._frame_of)
+
+    def __contains__(self, page: Hashable) -> bool:
+        return page in self._frame_of
+
+    # -- the sharing hooks ---------------------------------------------------
+
+    def peek_cached(self, page: Hashable) -> bool:
+        """Would acquiring ``page`` be satisfied without a fetch?
+
+        True when the content is pinned by other tenants (a share) or
+        still cached zero-ref in the freed-dedup pool (a dedup hit).
+        The pager consults this to skip the backing-store transfer.
+        """
+        return self.pool.is_cached(self.key_for(page))
+
+    def note_write(self, page: Hashable) -> int | None:
+        """A resident page was written; break copy-on-write if shared.
+
+        Returns the fresh private frame when a break happened (the
+        caller must remap page→frame), or None when the page already
+        maps private content.  The break happens even for a sole
+        holder: written content must never be revivable as the clean
+        shared original.
+        """
+        if page not in self._frame_of:
+            raise KeyError(
+                f"page {page!r} is not resident for tenant {self.tenant}"
+            )
+        key = self._key_of[page]
+        if not self.is_shared_key(key):
+            return None
+        self._cow_serial += 1
+        private = (self.tenant, "cow", page, self._cow_serial)
+        frame = self.pool.cow_break(key, private, program=self.tenant)
+        self._broken[page] = private
+        self._frame_of[page] = frame
+        del self._page_of_key[key]
+        self._key_of[page] = private
+        self._page_of_key[private] = page
+        self.stats.cow_breaks += 1
+        return frame
+
+    def fork(self, tenant: str, quota: int | None = None) -> "TenantView":
+        """A new address space sharing this view's shared mapping.
+
+        The child resolves shared pages to the same content keys — and
+        therefore the same frames — as the parent, until either side
+        writes (copy-on-write).  Private pages are the child's own.
+        CoW breaks the parent has already taken are *not* inherited:
+        the child starts from the clean shared content.
+        """
+        return TenantView(
+            self.pool,
+            tenant,
+            quota=quota if quota is not None else self.quota,
+            shared_pages=self.shared_pages,
+            share_key=(
+                None if self._share_key.__qualname__.startswith(
+                    "default_share_key"
+                ) else _rekeyed(self._share_key, self.tenant, tenant)
+            ),
+        )
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if this view disagrees with its pool."""
+        assert len(self._frame_of) == len(self._key_of) == len(self._page_of_key), (
+            "view maps out of step"
+        )
+        assert len(self._frame_of) <= self.quota, (
+            f"tenant {self.tenant} over quota: "
+            f"{len(self._frame_of)} > {self.quota}"
+        )
+        for page, key in self._key_of.items():
+            assert self._page_of_key[key] == page, (
+                f"key {key!r} reverse-maps to {self._page_of_key[key]!r}, "
+                f"not {page!r}"
+            )
+            frame = self.pool.frame_of(key)
+            assert frame == self._frame_of[page], (
+                f"page {page!r}: view says frame {self._frame_of[page]}, "
+                f"pool says {frame}"
+            )
+            assert self.pool.ref_count(key) > 0, (
+                f"page {page!r} resident but content {key!r} unreferenced"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantView(tenant={self.tenant!r}, "
+            f"resident={len(self._frame_of)}/{self.quota}, "
+            f"shares={self.stats.shares}, cow={self.stats.cow_breaks})"
+        )
+
+
+def _rekeyed(
+    share_key: Callable[[int], Hashable], old: str, new: str
+) -> Callable[[int], Hashable]:
+    """Adapt a custom share-key function for a forked tenant.
+
+    Shared keys pass through untouched (that is the point of the fork);
+    private keys that embed the parent's name are re-salted with the
+    child's so the two address spaces never collide on private content.
+    """
+
+    def key_for(page: int) -> Hashable:
+        key = share_key(page)
+        if isinstance(key, tuple) and len(key) > 0 and key[0] == old:
+            return (new,) + key[1:]
+        return key
+
+    return key_for
+
+
+__all__ = ["TenantStats", "TenantView", "default_share_key"]

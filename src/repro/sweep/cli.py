@@ -4,8 +4,8 @@ Grid sources, in precedence order: ``--grid FILE`` (a JSON
 :meth:`~repro.sweep.grid.SweepGrid.to_dict` document), ``--quick`` (the
 16-shard CI smoke grid), otherwise the default machine-museum grid.
 Axis flags (``--machines``, ``--replacement``, ``--placement``,
-``--frames``, ``--capacities``, ``--seeds``) override whichever grid was
-selected.
+``--frames``, ``--capacities``, ``--sharing``, ``--seeds``) override
+whichever grid was selected.
 
 The report is three layers: a run summary (shard counts, the greppable
 ``executed N`` line the CI resume check keys on), one marginal table per
@@ -25,11 +25,12 @@ from repro.sweep.engine import marginals, run_sweep
 from repro.sweep.grid import SweepGrid, default_grid, quick_grid
 
 #: Axes reported as marginal tables, in report order.
-AXES = ("machine", "replacement", "placement", "frames", "capacity", "seed")
+AXES = ("machine", "replacement", "placement", "frames", "capacity",
+        "sharing", "seed")
 
 MARGINAL_HEADERS = (
     "value", "shards", "fault rate", "space-time", "cpu util",
-    "ext frag", "int frag", "alloc fails",
+    "ext frag", "int frag", "alloc fails", "dedup ratio", "st saving",
 )
 
 
@@ -65,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--placement", nargs="+", metavar="POLICY")
     parser.add_argument("--frames", nargs="+", type=int, metavar="N")
     parser.add_argument("--capacities", nargs="+", type=int, metavar="WORDS")
+    parser.add_argument("--sharing", nargs="+", type=int, metavar="N",
+                        help="sharing degrees (tenants per shared pool) "
+                             "for the serve leg")
     parser.add_argument("--seeds", nargs="+", type=int, metavar="SEED")
     parser.add_argument("--base-seed", type=int, default=None, metavar="N")
     parser.add_argument("--name", default=None,
@@ -83,7 +87,7 @@ def resolve_grid(options: argparse.Namespace) -> SweepGrid:
 
     overrides: dict[str, object] = {}
     for axis in ("machines", "replacement", "placement", "frames",
-                 "capacities", "seeds"):
+                 "capacities", "sharing", "seeds"):
         values = getattr(options, axis)
         if values is not None:
             overrides[axis] = tuple(values)

@@ -204,8 +204,9 @@ def marginals(records: list[dict], axis: str) -> list[tuple]:
     """Per-axis-value means of the headline metrics, for report tables.
 
     Returns rows ``(value, shards, fault_rate, spacetime, cpu_util,
-    external_frag, internal_frag, alloc_failures)`` — means except for
-    the failure count, which is a total — sorted by axis value.
+    external_frag, internal_frag, alloc_failures, serve_dedup_ratio,
+    serve_spacetime_saving)`` — means except for the failure count,
+    which is a total — sorted by axis value.
     """
     groups: dict[object, list[dict]] = {}
     for record in records:
@@ -226,6 +227,8 @@ def marginals(records: list[dict], axis: str) -> list[tuple]:
             round(mean(rows, "external_frag"), 3),
             round(mean(rows, "internal_frag"), 3),
             sum(row.get("alloc_failures", 0) for row in rows),
+            round(mean(rows, "serve_dedup_ratio"), 3),
+            round(mean(rows, "serve_spacetime_saving"), 3),
         ))
     return table
 

@@ -58,6 +58,7 @@ class Shard:
     placement: str
     frames: int
     capacity: int
+    sharing: int
     seed: int
     base_seed: int
     length: int
@@ -78,7 +79,8 @@ class Shard:
         return (
             f"machine={self.machine}/replacement={self.replacement}/"
             f"placement={self.placement}/frames={self.frames}/"
-            f"capacity={self.capacity}/seed={self.seed}"
+            f"capacity={self.capacity}/sharing={self.sharing}/"
+            f"seed={self.seed}"
         )
 
     def spec(self, checked: bool = False) -> dict:
@@ -107,6 +109,11 @@ class SweepGrid:
         Figure 2 x-axis.
     capacities:
         Allocator capacities in words for the churn leg.
+    sharing:
+        Sharing degrees (tenant counts) for the storage-service leg —
+        how many forked tenants replay over one shared frame pool.
+        Degree 1 is the unshared baseline (bit-identical to the plain
+        replay path; see ``docs/SERVING.md``).
     seeds:
         Workload seeds; each is further derived per shard and channel.
 
@@ -121,6 +128,7 @@ class SweepGrid:
     placement: tuple[str, ...] = ("best_fit",)
     frames: tuple[int, ...] = (16,)
     capacities: tuple[int, ...] = (40_000,)
+    sharing: tuple[int, ...] = (1,)
     seeds: tuple[int, ...] = (0,)
     base_seed: int = 1967
     length: int = 12_000
@@ -132,7 +140,7 @@ class SweepGrid:
 
     def __post_init__(self) -> None:
         for axis in ("machines", "replacement", "placement", "frames",
-                     "capacities", "seeds"):
+                     "capacities", "sharing", "seeds"):
             values = getattr(self, axis)
             if not values:
                 raise ValueError(f"axis {axis!r} must not be empty")
@@ -162,6 +170,9 @@ class SweepGrid:
         for capacity in self.capacities:
             if capacity <= 0:
                 raise ValueError(f"capacity must be positive, got {capacity}")
+        for degree in self.sharing:
+            if degree <= 0:
+                raise ValueError(f"sharing degree must be positive, got {degree}")
         if self.programs <= 0:
             raise ValueError("programs must be positive")
         for field_name in ("length", "pages", "requests", "mean_lifetime",
@@ -174,38 +185,41 @@ class SweepGrid:
         """Number of shards the grid expands to."""
         return (
             len(self.machines) * len(self.replacement) * len(self.placement)
-            * len(self.frames) * len(self.capacities) * len(self.seeds)
+            * len(self.frames) * len(self.capacities) * len(self.sharing)
+            * len(self.seeds)
         )
 
     def shards(self) -> Iterator[Shard]:
         """Expand the cross product, in a fixed, documented order.
 
         Axis order (outermost first): machine, replacement, placement,
-        frames, capacity, seed.  The order only affects scheduling and
-        reporting — never results.
+        frames, capacity, sharing, seed.  The order only affects
+        scheduling and reporting — never results.
         """
         for machine in self.machines:
             for replacement in self.replacement:
                 for placement in self.placement:
                     for frames in self.frames:
                         for capacity in self.capacities:
-                            for seed in self.seeds:
-                                yield Shard(
-                                    sweep=self.name,
-                                    machine=machine,
-                                    replacement=replacement,
-                                    placement=placement,
-                                    frames=frames,
-                                    capacity=capacity,
-                                    seed=seed,
-                                    base_seed=self.base_seed,
-                                    length=self.length,
-                                    pages=self.pages,
-                                    requests=self.requests,
-                                    mean_lifetime=self.mean_lifetime,
-                                    programs=self.programs,
-                                    program_length=self.program_length,
-                                )
+                            for degree in self.sharing:
+                                for seed in self.seeds:
+                                    yield Shard(
+                                        sweep=self.name,
+                                        machine=machine,
+                                        replacement=replacement,
+                                        placement=placement,
+                                        frames=frames,
+                                        capacity=capacity,
+                                        sharing=degree,
+                                        seed=seed,
+                                        base_seed=self.base_seed,
+                                        length=self.length,
+                                        pages=self.pages,
+                                        requests=self.requests,
+                                        mean_lifetime=self.mean_lifetime,
+                                        programs=self.programs,
+                                        program_length=self.program_length,
+                                    )
 
     # -- serialization -----------------------------------------------------
 

@@ -1,8 +1,8 @@
-"""Execute one sweep shard: replay, space-time mix, allocator churn.
+"""Execute one sweep shard: replay, space-time mix, allocator churn, serve.
 
-A shard is one cell of the grid.  It runs the three measurements the
-paper's figures are built from, all seeded from the shard's own derived
-streams:
+A shard is one cell of the grid.  It runs the measurements the paper's
+figures — and the serving tier's new figure family — are built from,
+all seeded from the shard's own derived streams:
 
 - *Replay* (Figure 2): a phased-locality trace through the shard's
   frame allotment under its replacement policy — fault rate against
@@ -15,6 +15,11 @@ streams:
   external fragmentation of the free list, and the internal
   fragmentation the same requests would suffer under whole-page
   allotment at the preset's page size.
+- *Serve* (the sharing-degree family, ``EXPERIMENTS.md``): ``sharing``
+  forked tenants replay tenant-derived traces over one shared frame
+  pool with half the page space as common content — fetch rate, dedup
+  ratio and the shared-vs-private space-time integrals against sharing
+  degree.
 
 ``run_shard`` takes and returns plain dicts so it can cross a
 ``multiprocessing`` boundary in either direction; the record's metric
@@ -34,6 +39,7 @@ from repro.errors import OutOfMemory
 from repro.observe.counters import (
     Counters,
     absorb_allocator_counters,
+    absorb_serve_stats,
     absorb_simulation_summary,
 )
 from repro.paging.replacement import make_policy
@@ -219,6 +225,63 @@ def _churn(spec: dict, config, counters: Counters) -> dict:
     }
 
 
+def _serve(spec: dict, counters: Counters) -> dict:
+    """The sharing-degree leg: forked tenants over one shared pool.
+
+    Each of the shard's ``sharing`` tenants replays its own derived
+    phased trace (distinct access pattern, common page space) with the
+    shard's frame allotment as its quota; the first half of the page
+    space is shared content, and ~10% of references are writes, so CoW
+    breaks happen at every degree above 1.  The pool is sized
+    ``frames × sharing`` — no overcommit; what varies with degree is
+    how much of that pool sharing and dedup leave idle.
+    """
+    from repro.serve import seeded_writes, simulate_shared
+
+    tenants = spec["sharing"]
+    length = spec["program_length"]
+    base_seed = spec["base_seed"]
+    traces = [
+        _cached_phased_trace(
+            pages=spec["pages"],
+            length=length,
+            working_set=max(4, spec["pages"] // 4),
+            phase_length=max(50, length // 10),
+            locality=0.95,
+            seed=derive_seed(base_seed, spec["shard"], f"serve.{index}"),
+        )
+        for index in range(tenants)
+    ]
+    writes = [
+        seeded_writes(
+            length, fraction=0.1,
+            seed=derive_seed(base_seed, spec["shard"], f"serve.writes.{index}"),
+        )
+        for index in range(tenants)
+    ]
+    result = simulate_shared(
+        traces,
+        spec["frames"],
+        lambda _index: make_policy(spec["replacement"]),
+        shared_pages=spec["pages"] // 2,
+        writes=writes,
+        checked=spec["checked"],
+    )
+    absorb_serve_stats(counters, result.pool_stats)
+    return {
+        "serve_faults": result.faults,
+        "serve_fetches": result.fetches,
+        "serve_fetch_rate": round(result.fetch_rate, 6),
+        "serve_shares": result.shares,
+        "serve_dedup_hits": result.dedup_hits,
+        "serve_cow_breaks": result.cow_breaks,
+        "serve_dedup_ratio": round(result.pool_stats.dedup_ratio, 6),
+        "serve_spacetime_shared": result.shared_frame_cycles,
+        "serve_spacetime_private": result.private_frame_cycles,
+        "serve_spacetime_saving": round(result.spacetime_saving, 6),
+    }
+
+
 def run_shard(spec: dict) -> dict:
     """Execute one shard spec (see :meth:`~repro.sweep.grid.Shard.spec`).
 
@@ -242,6 +305,7 @@ def run_shard(spec: dict) -> dict:
         "placement": spec["placement"],
         "frames": spec["frames"],
         "capacity": spec["capacity"],
+        "sharing": spec["sharing"],
         "seed": spec["seed"],
         "page_size": config.page_size,
         "fetch_time": config.page_fetch_time,
@@ -250,6 +314,7 @@ def run_shard(spec: dict) -> dict:
     record.update(_replay(spec, counters))
     record.update(_mix(spec, config, counters))
     record.update(_churn(spec, config, counters))
+    record.update(_serve(spec, counters))
     record["counters"] = counters.snapshot()
     record["wall_s"] = round(time.perf_counter() - started, 4)
     return record

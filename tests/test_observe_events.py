@@ -9,11 +9,14 @@ from repro.observe import (
     Advice,
     Clean,
     Compact,
+    CoWBreak,
+    DedupHit,
     Evict,
     Fault,
     Free,
     MapLookup,
     Place,
+    Share,
     event_from_dict,
 )
 
@@ -27,13 +30,17 @@ ALL_EVENTS = [
     Clean(time=7, unit=4, words=1024),
     MapLookup(time=2, unit=(1, 7), mapping_cycles=1, associative_hit=False),
     Advice(time=8, directive="release", unit=(0, 3)),
+    Share(time=10, unit=("shared", 3), where=5, refs=2, program="beta"),
+    DedupHit(time=11, unit=("shared", 3), where=5, program="beta"),
+    CoWBreak(time=12, unit=("shared", 3), where=6, source=5, refs=1,
+             program="beta"),
 ]
 
 
 def test_registry_covers_every_event_type():
     assert set(EVENT_TYPES) == {
         "fault", "place", "evict", "free", "compact", "clean", "map_lookup",
-        "advice",
+        "advice", "share", "dedup_hit", "cow_break",
     }
     for kind, cls in EVENT_TYPES.items():
         assert cls.kind == kind

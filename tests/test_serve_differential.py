@@ -1,0 +1,133 @@
+"""The serving tier's differential contract, pinned across 100 seeds.
+
+Sharing degree 1 with nothing shared *is* the unshared path: the
+shared-pool replay must be bit-identical — faults, cold faults,
+evictions, fault positions, victim sequences, and the whole counter
+snapshot — to ``simulate_trace``'s reference loop, and a DemandPager
+over an unshared TenantView must produce the exact PagerStats a bare
+FrameTable does.  Everything the serving tier adds is provably inert
+until a second tenant or a shared page exists.
+"""
+
+import pytest
+
+from repro.addressing import PageTable
+from repro.clock import Clock
+from repro.memory import BackingStore, StorageLevel
+from repro.observe.counters import Counters
+from repro.paging import DemandPager, FrameTable, LruPolicy
+from repro.paging.replacement import make_policy
+from repro.paging.simulate import simulate_trace
+from repro.serve import (
+    SharedFramePool,
+    TenantView,
+    seeded_writes,
+    simulate_shared,
+)
+from repro.workload.reference import phased_trace
+
+SEEDS = range(100)
+
+
+def degree_one_trace(seed):
+    return phased_trace(
+        pages=32, length=300, working_set=6, phase_length=60,
+        locality=0.9, seed=seed,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_degree_one_is_bit_identical(seed):
+    trace = list(degree_one_trace(seed))
+    base_counters = Counters()
+    base = simulate_trace(
+        trace, 8, make_policy("lru"),
+        record_positions=True, record_evictions=True,
+        counters=base_counters, fast=False,
+    )
+    served_counters = Counters()
+    served = simulate_shared(
+        [trace], 8, lambda _index: make_policy("lru"),
+        record_positions=True, record_evictions=True,
+        counters=served_counters,
+    )
+    tenant = served.tenants[0]
+    assert tenant.faults == base.faults
+    assert tenant.cold_faults == base.cold_faults
+    assert tenant.evictions == base.evictions
+    assert tenant.fault_positions == base.fault_positions
+    assert tenant.victims == base.victims
+    assert served_counters.snapshot() == base_counters.snapshot()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_degree_one_with_writes_is_bit_identical(seed):
+    trace = list(degree_one_trace(seed))
+    writes = seeded_writes(len(trace), fraction=0.2, seed=seed)
+    base = simulate_trace(
+        trace, 8, make_policy("lru"), writes=writes,
+        record_positions=True, record_evictions=True, fast=False,
+    )
+    served = simulate_shared(
+        [trace], 8, lambda _index: make_policy("lru"), writes=[writes],
+        record_positions=True, record_evictions=True,
+    )
+    tenant = served.tenants[0]
+    assert (tenant.faults, tenant.evictions) == (base.faults, base.evictions)
+    assert tenant.fault_positions == base.fault_positions
+    assert tenant.victims == base.victims
+
+
+def test_degree_one_creates_no_serve_counters():
+    trace = list(degree_one_trace(0))
+    counters = Counters()
+    simulate_shared([trace], 8, lambda _index: make_policy("lru"),
+                    counters=counters)
+    assert not any(name.startswith("serve.")
+                   for name in counters.snapshot())
+
+
+def test_sharing_changes_fetches_not_tenant_results():
+    """Sharing is invisible to each tenant's own fault accounting."""
+    trace_a = list(degree_one_trace(1))
+    trace_b = list(degree_one_trace(2))
+    alone_a = simulate_shared([trace_a], 8, lambda _i: make_policy("lru"))
+    alone_b = simulate_shared([trace_b], 8, lambda _i: make_policy("lru"))
+    together = simulate_shared(
+        [trace_a, trace_b], 8, lambda _i: make_policy("lru"),
+        shared_pages=16,
+    )
+    assert together.tenants[0].faults == alone_a.tenants[0].faults
+    assert together.tenants[1].faults == alone_b.tenants[0].faults
+    assert together.shares + together.dedup_hits > 0
+    assert together.fetches < together.faults
+
+
+def make_pager(frames, frame_source, latency=500):
+    clock = Clock()
+    pager = DemandPager(
+        PageTable(page_size=128, pages=32),
+        frame_source,
+        BackingStore(
+            StorageLevel("drum", 10**7, access_time=latency,
+                         transfer_rate=1.0),
+            clock=clock,
+        ),
+        LruPolicy(),
+        clock,
+    )
+    return pager, clock
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_pager_over_unshared_view_matches_frame_table(seed):
+    trace = list(degree_one_trace(seed))
+    writes = seeded_writes(len(trace), fraction=0.15, seed=seed + 1000)
+    base, base_clock = make_pager(4, FrameTable(4))
+    view = TenantView(SharedFramePool(4), "t0", quota=4)
+    served, served_clock = make_pager(4, view)
+    for page, write in zip(trace, writes):
+        base.access_page(page, write=write)
+        served.access_page(page, write=write)
+    assert served.stats == base.stats
+    assert served_clock.now == base_clock.now

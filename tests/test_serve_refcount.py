@@ -1,0 +1,110 @@
+"""Units for the serving tier's bookkeeping primitives.
+
+The RefCounter (zero-is-free, underflow is loud) and the LRUEvictor
+(freed-but-cached frames reclaimed least-recently-freed first) are the
+two structures the shared pool's conservation ledger is built from —
+their edge behavior is the serving contract's fine print
+(``docs/SERVING.md``).
+"""
+
+import pytest
+
+from repro.serve import LRUEvictor, RefCounter
+
+
+class TestRefCounter:
+    def test_absent_key_counts_zero(self):
+        refs = RefCounter()
+        assert refs.get("x") == 0
+        assert "x" not in refs
+        assert len(refs) == 0
+
+    def test_incr_decr_round_trip(self):
+        refs = RefCounter()
+        assert refs.incr("a") == 1
+        assert refs.incr("a") == 2
+        assert refs.decr("a") == 1
+        assert refs.decr("a") == 0
+        assert refs.get("a") == 0
+
+    def test_zero_deletes_the_key(self):
+        refs = RefCounter()
+        refs.incr("a")
+        refs.decr("a")
+        assert "a" not in refs
+        assert list(refs.live_keys()) == []
+
+    def test_underflow_raises(self):
+        refs = RefCounter()
+        with pytest.raises(ValueError, match="refcount underflow"):
+            refs.decr("never")
+
+    def test_double_release_raises(self):
+        refs = RefCounter()
+        refs.incr("a")
+        refs.decr("a")
+        with pytest.raises(ValueError, match="refcount underflow"):
+            refs.decr("a")
+
+    def test_live_count_and_total_differ(self):
+        refs = RefCounter()
+        refs.incr("a")
+        refs.incr("a")
+        refs.incr("b")
+        assert refs.live_count == 2
+        assert refs.total == 3
+
+    def test_tuple_keys(self):
+        refs = RefCounter()
+        refs.incr(("shared", 3))
+        assert refs.get(("shared", 3)) == 1
+        assert refs.get(("shared", 4)) == 0
+
+
+class TestLRUEvictor:
+    def test_evicts_least_recently_freed_first(self):
+        evictor = LRUEvictor()
+        evictor.add("a", frame=0, freed_at=1)
+        evictor.add("b", frame=1, freed_at=2)
+        evictor.add("c", frame=2, freed_at=3)
+        assert evictor.evict() == ("a", 0)
+        assert evictor.evict() == ("b", 1)
+        assert evictor.evict() == ("c", 2)
+
+    def test_revival_removes_from_order(self):
+        evictor = LRUEvictor()
+        evictor.add("a", frame=0, freed_at=1)
+        evictor.add("b", frame=1, freed_at=2)
+        assert evictor.remove("a") == 0
+        assert evictor.evict() == ("b", 1)
+
+    def test_refreed_content_moves_to_the_back(self):
+        evictor = LRUEvictor()
+        evictor.add("a", frame=0, freed_at=1)
+        evictor.add("b", frame=1, freed_at=2)
+        evictor.remove("a")
+        evictor.add("a", frame=0, freed_at=3)   # freed again, later
+        assert evictor.evict() == ("b", 1)
+
+    def test_double_add_raises(self):
+        evictor = LRUEvictor()
+        evictor.add("a", frame=0, freed_at=1)
+        with pytest.raises(ValueError, match="already cached"):
+            evictor.add("a", frame=5, freed_at=2)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError, match="not cached"):
+            LRUEvictor().remove("ghost")
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(ValueError, match="nothing to evict"):
+            LRUEvictor().evict()
+
+    def test_inspection_surface(self):
+        evictor = LRUEvictor()
+        evictor.add("a", frame=4, freed_at=9)
+        assert "a" in evictor
+        assert len(evictor) == 1
+        assert evictor.freed_at("a") == 9
+        assert evictor.frames() == [4]
+        assert evictor.keys() == ["a"]

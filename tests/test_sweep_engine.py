@@ -186,4 +186,4 @@ class TestMarginals:
             ],
             "machine",
         )
-        assert rows[0][-1] == 5
+        assert rows[0][7] == 5

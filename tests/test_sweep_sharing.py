@@ -1,0 +1,133 @@
+"""The sharing-degree axis: grid plumbing, the serve leg, the report.
+
+The sweep is how the sharing-degree figure family (``EXPERIMENTS.md``)
+gets produced, so the axis has to thread all the way through: grid
+validation → shard ids (resume keys) → the serve leg's record fields →
+the marginal table the CLI prints.
+"""
+
+import pytest
+
+from repro.sweep.cli import AXES, MARGINAL_HEADERS, build_parser, resolve_grid
+from repro.sweep.engine import marginals, run_sweep
+from repro.sweep.grid import SweepGrid, quick_grid
+from repro.sweep.shard import run_shard
+
+
+def tiny_grid(**overrides):
+    base = dict(
+        name="tiny-sharing",
+        machines=("baseline",),
+        replacement=("lru",),
+        placement=("best_fit",),
+        frames=(8,),
+        capacities=(20_000,),
+        sharing=(1, 2),
+        seeds=(0,),
+        length=200,
+        pages=16,
+        requests=40,
+        program_length=150,
+    )
+    base.update(overrides)
+    return SweepGrid(**base)
+
+
+class TestGridAxis:
+    def test_sharing_multiplies_grid_size(self):
+        assert tiny_grid().size == 2
+        assert tiny_grid(sharing=(1, 2, 4)).size == 3
+
+    def test_sharing_defaults_to_degree_one(self):
+        grid = quick_grid()
+        assert grid.sharing == (1,)
+
+    def test_shard_ids_carry_the_degree(self):
+        ids = [shard.id for shard in tiny_grid().shards()]
+        assert any("/sharing=1/" in shard_id for shard_id in ids)
+        assert any("/sharing=2/" in shard_id for shard_id in ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_nonpositive_degree_rejected(self):
+        with pytest.raises(ValueError, match="sharing degree"):
+            tiny_grid(sharing=(0,))
+
+    def test_empty_or_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_grid(sharing=())
+        with pytest.raises(ValueError):
+            tiny_grid(sharing=(2, 2))
+
+    def test_round_trips_through_dict(self):
+        grid = tiny_grid(sharing=(1, 4))
+        assert SweepGrid.from_dict(grid.to_dict()).sharing == (1, 4)
+
+
+class TestServeLeg:
+    def shard_record(self, sharing):
+        shard = next(
+            s for s in tiny_grid(sharing=(sharing,)).shards()
+        )
+        return run_shard(shard.spec())
+
+    def test_record_carries_the_serve_fields(self):
+        record = self.shard_record(2)
+        for field in ("serve_faults", "serve_fetches", "serve_fetch_rate",
+                      "serve_shares", "serve_dedup_hits", "serve_cow_breaks",
+                      "serve_dedup_ratio", "serve_spacetime_shared",
+                      "serve_spacetime_private", "serve_spacetime_saving"):
+            assert field in record
+        assert record["sharing"] == 2
+
+    def test_degree_one_has_nothing_shared(self):
+        record = self.shard_record(1)
+        assert record["serve_shares"] == 0
+        assert record["serve_spacetime_saving"] == 0.0
+        assert record["serve_fetches"] <= record["serve_faults"]
+
+    def test_sharing_saves_fetches_and_spacetime(self):
+        solo = self.shard_record(1)
+        shared = self.shard_record(3)
+        assert shared["serve_shares"] + shared["serve_dedup_hits"] > 0
+        assert shared["serve_cow_breaks"] > 0
+        assert shared["serve_dedup_ratio"] > solo["serve_dedup_ratio"]
+        assert shared["serve_spacetime_saving"] > 0
+        assert (shared["serve_spacetime_shared"]
+                < shared["serve_spacetime_private"])
+
+    def test_serve_counters_merge_into_the_campaign(self):
+        result = run_sweep(tiny_grid(sharing=(2,)), workers=1)
+        snapshot = result.counters.snapshot()
+        assert snapshot.get("serve.acquires", 0) > 0
+
+
+class TestReport:
+    def test_sharing_is_a_reported_axis(self):
+        assert "sharing" in AXES
+        assert "dedup ratio" in MARGINAL_HEADERS
+        assert "st saving" in MARGINAL_HEADERS
+
+    def test_marginal_rows_match_the_headers(self):
+        result = run_sweep(tiny_grid(), workers=1)
+        rows = marginals(result.records, "sharing")
+        assert [row[0] for row in rows] == [1, 2]
+        assert all(len(row) == len(MARGINAL_HEADERS) for row in rows)
+        # Degree 2 deduplicates; degree 1 cannot.
+        by_degree = {row[0]: row for row in rows}
+        dedup_column = MARGINAL_HEADERS.index("dedup ratio")
+        assert by_degree[1][dedup_column] == 0.0
+        assert by_degree[2][dedup_column] > 0.0
+
+    def test_cli_sharing_flag_overrides_the_grid(self):
+        options = build_parser().parse_args(
+            ["--quick", "--sharing", "1", "4", "--name", "smoke-sharing"]
+        )
+        grid = resolve_grid(options)
+        assert grid.sharing == (1, 4)
+        assert grid.name == "smoke-sharing"
+
+    def test_checked_shard_runs_the_serve_leg_audited(self):
+        shard = next(s for s in tiny_grid(sharing=(2,)).shards())
+        record = run_shard(shard.spec(checked=True))
+        assert record["checked"] is True
+        assert record["serve_shares"] >= 0
