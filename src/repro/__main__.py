@@ -31,6 +31,14 @@
                              materializing it in memory (see
                              :mod:`repro.trace.cli`); replay it with
                              ``bench --trace-file``.
+``python -m repro top``      renders the live telemetry dashboard —
+                             counters, gauges and quantile sketches —
+                             from a running sweep's heartbeat file or a
+                             built-in demo run (see
+                             :mod:`repro.observe.telemetry.cli`).
+``python -m repro metrics-export`` writes a telemetry snapshot as
+                             OpenMetrics exposition text, validated
+                             before it is emitted.
 """
 
 from __future__ import annotations
@@ -127,6 +135,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.trace.cli import main as trace_gen_main
 
         return trace_gen_main(arguments[1:])
+    elif command == "top":
+        from repro.observe.telemetry.cli import run_top
+
+        return run_top(arguments[1:])
+    elif command == "metrics-export":
+        from repro.observe.telemetry.cli import run_metrics_export
+
+        return run_metrics_export(arguments[1:])
     else:
         print(__doc__)
         return 1

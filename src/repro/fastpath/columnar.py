@@ -351,8 +351,17 @@ def run_columnar(
     record_positions: bool = False,
     record_evictions: bool = False,
     force: bool = False,
+    telemetry=None,
 ) -> SimulationResult | None:
     """Replay ``trace`` with a vectorized kernel, or None to fall back.
+
+    ``telemetry`` (a :class:`~repro.observe.telemetry.TelemetryRegistry`)
+    times each chunk sweep into ``fastpath.chunk_seconds`` and sketches
+    per-chunk candidate counts into ``fastpath.chunk_candidates`` — the
+    live view of how well span-skipping is paying on this workload.
+    Instrumentation sits at chunk granularity (thousands of references
+    per observation), never per reference, and reads loop-local values
+    only, so results are bit-identical with it on or off.
 
     Returns ``None`` (no partial effects — per-call state only) when
     numpy is unavailable, the policy has no vectorized state, the trace
@@ -419,6 +428,7 @@ def run_columnar(
         record_positions=record_positions,
         record_evictions=record_evictions,
         force=force,
+        telemetry=telemetry,
     )
     if result is None:
         return None
@@ -444,6 +454,7 @@ def run_columnar(
 def _drive(
     np, keys, n: int, frames: int, state,
     record_positions: bool, record_evictions: bool, force: bool,
+    telemetry=None,
 ):
     """The chunked candidate-scan loop shared by all policy states."""
     resident = state.resident
@@ -455,9 +466,18 @@ def _drive(
     bulk_hits = state.bulk_hits
     state_fault = state.fault
 
+    chunk_span = candidate_sketch = None
+    if telemetry is not None and telemetry.enabled:
+        chunk_span = telemetry.span("fastpath.chunk_seconds")
+        candidate_sketch = telemetry.histogram(
+            "fastpath.chunk_candidates", unit="refs"
+        )
+
     pos = 0
     chunk_size = _INITIAL_CHUNK
     while pos < n:
+        if chunk_span is not None:
+            chunk_span.start()
         end = min(n, pos + chunk_size)
         chunk = keys[pos:end]
         # ndarray.nonzero directly: the np.flatnonzero wrapper adds ~5x
@@ -471,6 +491,8 @@ def _drive(
         else:
             cand_offsets = cand_keys = []
         total = len(cand_offsets)
+        if candidate_sketch is not None:
+            candidate_sketch.observe(total)
         cursor = 0
         extra: list[int] = []       # heap of eviction-rescan positions
         prev = 0                    # next unprocessed relative offset
@@ -528,6 +550,8 @@ def _drive(
                     and pos + offset >= _ABORT_MIN_REFS
                     and evictions * _ABORT_EVICTION_FACTOR > pos + offset
                 ):
+                    if chunk_span is not None:
+                        chunk_span.abandon()
                     return None     # eviction-dominated: list kernels win
                 if record_evictions:
                     victim_keys.append(victim)
@@ -552,6 +576,8 @@ def _drive(
         span = end - pos
         if prev < span:
             bulk_hits(pos, chunk, prev, span)
+        if chunk_span is not None:
+            chunk_span.stop()
         pos = end
         if pos < n:
             if (

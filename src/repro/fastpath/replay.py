@@ -463,6 +463,7 @@ def run_fast(
     policy: ReplacementPolicy,
     record_positions: bool = False,
     record_evictions: bool = False,
+    telemetry=None,
 ) -> SimulationResult | None:
     """Replay ``trace`` with a batched kernel, or return None to signal
     that the reference loop must be used.
@@ -479,6 +480,11 @@ def run_fast(
     is fresh and was built for exactly this trace; otherwise the
     reference loop runs (and raises its usual trace-mismatch error),
     keeping error behaviour identical.
+
+    ``telemetry`` (a :class:`~repro.observe.telemetry.TelemetryRegistry`)
+    reaches only the columnar tier, which times its chunk sweeps; the
+    list kernels are single tight loops with nothing to bracket, and
+    the caller records aggregates from the returned result.
     """
     policy_type = type(policy)
     if policy_type is AdvisedReplacementPolicy:
@@ -507,6 +513,7 @@ def run_fast(
         policy,
         record_positions=record_positions,
         record_evictions=record_evictions,
+        telemetry=telemetry,
     )
     if result is not None:
         return result

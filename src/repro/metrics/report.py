@@ -7,6 +7,7 @@ dependency-free.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 
@@ -84,18 +85,27 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
     """A one-line ASCII shape of a series, scaled min→max.
 
     Series longer than ``width`` are downsampled by bucket means, so the
-    line always fits a report column.  A flat (or single-sample) series
-    renders at the lowest ink level rather than blank.
+    line always fits a report column.  Degenerate series never raise:
+    an empty series renders as ``""``, a single-sample or all-equal
+    series as a flat bar at the lowest ink level, and non-finite
+    samples (NaN from a 0/0 rate, inf from a zero-elapsed throughput)
+    render as blanks while the finite samples still scale normally.
 
     >>> sparkline([0, 1, 2, 3], width=4)
     ' -*@'
+    >>> sparkline([5.0], width=4)
+    '.'
+    >>> sparkline([2, 2, 2], width=4)
+    '...'
     """
     if width <= 0:
         raise ValueError(f"width must be positive, got {width}")
+    values = [float(value) for value in values]
     if not values:
         return ""
     if len(values) > width:
-        # Downsample: mean of each roughly-equal slice.
+        # Downsample: mean of each roughly-equal slice.  A slice tainted
+        # by a non-finite sample stays non-finite and renders blank.
         condensed = []
         for i in range(width):
             lo = i * len(values) // width
@@ -103,12 +113,20 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
             chunk = values[lo:hi]
             condensed.append(sum(chunk) / len(chunk))
         values = condensed
-    low = min(values)
-    high = max(values)
-    if high == low:
+    finite = [value for value in values if math.isfinite(value)]
+    if not finite:
         return SPARK_LEVELS[1] * len(values)
+    low = min(finite)
+    high = max(finite)
+    if high == low:
+        return "".join(
+            SPARK_LEVELS[1] if math.isfinite(value) else SPARK_LEVELS[0]
+            for value in values
+        )
     scale = len(SPARK_LEVELS) - 1
-    return "".join(
-        SPARK_LEVELS[round((value - low) / (high - low) * scale)]
-        for value in values
-    )
+    def level(value: float) -> str:
+        if not math.isfinite(value):
+            return SPARK_LEVELS[0]
+        position = (min(max(value, low), high) - low) / (high - low)
+        return SPARK_LEVELS[round(position * scale)]
+    return "".join(level(value) for value in values)

@@ -24,6 +24,12 @@ This package makes those events first-class:
   cumulative space-time), fault→evict / place→free interval summaries,
   cross-run trace diffing, and the ``python -m repro analyze`` /
   ``trace-diff`` commands.
+- :mod:`~repro.observe.telemetry` — the live-instrument tier:
+  mergeable quantile sketches (:class:`LogHistogram`,
+  :class:`P2Quantile`), the :class:`TelemetryRegistry` of counters /
+  gauges / histograms with :class:`Span` timing, OpenMetrics
+  exposition, and the ``python -m repro top`` / ``metrics-export`` /
+  ``sweep --live`` dashboards.
 
 Instrumented constructors (``tracer=`` keyword): the demand pager, the
 segmented pager, the free-list allocator, compaction, the page table and
@@ -81,6 +87,15 @@ from repro.observe.sinks import (
     Sink,
     read_jsonl,
 )
+from repro.observe.telemetry import (
+    NULL_TELEMETRY,
+    LogHistogram,
+    P2Quantile,
+    Span,
+    TelemetryRegistry,
+    as_telemetry,
+    to_openmetrics,
+)
 from repro.observe.tracer import NULL_TRACER, Tracer, as_tracer
 
 __all__ = [
@@ -98,18 +113,24 @@ __all__ = [
     "Fault",
     "Free",
     "JsonlSink",
+    "LogHistogram",
     "MapLookup",
     "NULL_COUNTERS",
+    "NULL_TELEMETRY",
     "NULL_TRACER",
+    "P2Quantile",
     "Place",
     "RingBufferSink",
     "Share",
     "Sink",
+    "Span",
+    "TelemetryRegistry",
     "TraceAnalytics",
     "TraceAnalyzer",
     "TraceDiff",
     "Tracer",
     "analyze_events",
+    "as_telemetry",
     "diff_traces",
     "absorb_allocator_counters",
     "absorb_associative_memory",
@@ -126,4 +147,5 @@ __all__ = [
     "events_csv",
     "events_table",
     "read_jsonl",
+    "to_openmetrics",
 ]

@@ -143,6 +143,15 @@ def _analytics_json(analytics: TraceAnalytics) -> dict:
 def run_analyze(args: argparse.Namespace, stream=None) -> int:
     stream = sys.stdout if stream is None else stream
     analytics = analyze_file(args.trace, window=args.window)
+    if getattr(args, "format", "table") == "json":
+        payload = {"trace": str(args.trace), **_analytics_json(analytics)}
+        print(json.dumps(payload, indent=2, sort_keys=True), file=stream)
+        if args.export_json:
+            Path(args.export_json).write_text(
+                json.dumps(_analytics_json(analytics), indent=2) + "\n",
+                encoding="utf-8",
+            )
+        return 0
     print(kv_table([
         ("trace", str(args.trace)),
         ("events", analytics.events),
@@ -188,6 +197,31 @@ def run_diff(args: argparse.Namespace, stream=None) -> int:
     stream_a = EventStream(args.a)
     stream_b = EventStream(args.b)
     diff = diff_traces(stream_a, stream_b)
+    if getattr(args, "format", "table") == "json":
+        payload = {
+            "a": str(args.a),
+            "b": str(args.b),
+            "a_events": diff.a_events,
+            "b_events": diff.b_events,
+            "corrupt_lines_a": stream_a.corrupt_lines,
+            "corrupt_lines_b": stream_b.corrupt_lines,
+            "common_prefix": diff.common_prefix,
+            "identical": diff.identical,
+            "divergence_index": diff.divergence_index,
+            "a_at_divergence": (
+                diff.a_at_divergence.to_dict()
+                if diff.a_at_divergence is not None else None
+            ),
+            "b_at_divergence": (
+                diff.b_at_divergence.to_dict()
+                if diff.b_at_divergence is not None else None
+            ),
+            "counts_a": dict(sorted(diff.counts_a.items())),
+            "counts_b": dict(sorted(diff.counts_b.items())),
+            "deltas": dict(sorted(diff.deltas.items())),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=stream)
+        return 0 if diff.identical else 1
     divergence = []
     if not diff.identical:
         divergence = [
@@ -242,6 +276,10 @@ def build_analyze_parser() -> argparse.ArgumentParser:
                              "(default: auto, about 60 windows)")
     parser.add_argument("--export-json", type=Path, default=None,
                         help="also write the series and summaries as JSON")
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="report format: human tables (default) or "
+                             "the machine-readable JSON document")
     return parser
 
 
@@ -253,6 +291,10 @@ def build_diff_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("a", type=Path)
     parser.add_argument("b", type=Path)
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="report format: human tables (default) or "
+                             "one JSON document (same exit status)")
     return parser
 
 

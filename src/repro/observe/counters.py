@@ -110,8 +110,21 @@ class Counters:
         Integer counters stay integers, which keeps merging associative
         and order-independent — the property the sweep engine's
         worker-count determinism rests on.
+
+        Malformed entries raise rather than merge: a snapshot that
+        crossed a process or file boundary with a non-string name or a
+        non-numeric (or boolean) value would otherwise skew totals
+        silently, and the error names the offending key.
         """
         for name, value in snapshot.items():
+            if not isinstance(name, str):
+                raise TypeError(
+                    f"counter name must be a str, got {name!r}"
+                )
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"counter {name!r} must be a number, got {value!r}"
+                )
             self._values[name] = self._values.get(name, 0) + value
 
     @classmethod

@@ -1,0 +1,208 @@
+"""OpenMetrics text exposition of a telemetry snapshot.
+
+:func:`to_openmetrics` renders a :meth:`TelemetryRegistry.snapshot`
+as OpenMetrics text — the lingua franca scrape format — so an external
+collector can consume the same numbers the dashboard shows.  The
+mapping:
+
+- instrument names swap ``.`` for ``_`` and gain a ``repro_`` prefix
+  (``replay.refs`` → ``repro_replay_refs``);
+- counters expose one ``_total`` sample;
+- gauges expose one bare sample;
+- histogram sketches expose cumulative ``_bucket{le="..."}`` samples at
+  their log-bucket upper bounds, plus ``_sum`` and ``_count`` — the
+  exposition loses nothing the sketch knew;
+- the text ends with ``# EOF`` as the spec requires.
+
+:func:`validate_openmetrics` is a strict structural parser used by the
+tests and the ``metrics-export`` CLI to prove the output well-formed
+without an external dependency: it checks name grammar, TYPE metadata,
+counter ``_total`` suffixes, cumulative non-decreasing ``le`` buckets
+terminated by ``+Inf``, and ``_count``/``+Inf`` agreement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .sketch import LogHistogram
+
+METRIC_PREFIX = "repro_"
+
+_NAME_PATTERN = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE_PATTERN = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?\Z"
+)
+
+
+def metric_name(instrument_name: str) -> str:
+    """``serve.acquire_seconds`` → ``repro_serve_acquire_seconds``."""
+    name = METRIC_PREFIX + instrument_name.replace(".", "_").replace("-", "_")
+    if not _NAME_PATTERN.match(name):
+        raise ValueError(
+            f"instrument name {instrument_name!r} does not map to a "
+            f"legal metric name"
+        )
+    return name
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, record: dict) -> list[str]:
+    sketch = LogHistogram.from_dict(record)
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = record["zeros"]
+    for index, count in sketch.bucket_counts():
+        cumulative += count
+        _, high = sketch.bucket_bounds(index)
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(high)}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {sketch.count}')
+    lines.append(f"{name}_sum {_format_value(sketch.total)}")
+    lines.append(f"{name}_count {sketch.count}")
+    return lines
+
+
+def to_openmetrics(snapshot: dict) -> str:
+    """Render a registry snapshot as an OpenMetrics text block."""
+    units = snapshot.get("units", {})
+    lines: list[str] = []
+    for instrument, value in snapshot.get("counters", {}).items():
+        name = metric_name(instrument)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_format_value(value)}")
+    for instrument, value in snapshot.get("gauges", {}).items():
+        name = metric_name(instrument)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    for instrument, record in snapshot.get("histograms", {}).items():
+        name = metric_name(instrument)
+        unit = units.get(instrument, "")
+        if unit and name.endswith("_" + unit):
+            lines.append(f"# UNIT {name} {unit}")
+        lines.extend(_histogram_lines(name, record))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def validate_openmetrics(text: str) -> dict:
+    """Structurally validate OpenMetrics text; return parsed families.
+
+    Raises :class:`ValueError` naming the offending line on any
+    violation.  Returns ``{family_name: {"type": ..., "samples":
+    [(sample_name, labels, value), ...]}}`` for further assertions.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    families: dict[str, dict] = {}
+    for line in lines[:-1]:
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" \
+                    or parts[1] not in ("TYPE", "UNIT", "HELP"):
+                raise ValueError(f"malformed metadata line: {line!r}")
+            _, keyword, family = parts[:3]
+            if not _NAME_PATTERN.match(family):
+                raise ValueError(f"illegal metric name in: {line!r}")
+            entry = families.setdefault(family,
+                                        {"type": "untyped", "samples": []})
+            if keyword == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped", "info", "stateset"):
+                    raise ValueError(f"malformed TYPE line: {line!r}")
+                entry["type"] = parts[3]
+            continue
+        match = _SAMPLE_PATTERN.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample, labels, raw = (match.group("name"), match.group("labels"),
+                               match.group("value"))
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(f"non-numeric sample value in: {line!r}") \
+                from None
+        family = _family_of(sample, families)
+        if family is None:
+            raise ValueError(f"sample {sample!r} has no TYPE metadata")
+        families[family]["samples"].append((sample, labels or "", value))
+    for family, entry in families.items():
+        _check_family(family, entry)
+    return families
+
+
+def _family_of(sample: str, families: dict) -> str | None:
+    if sample in families:
+        return sample
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if sample.endswith(suffix) and sample[: -len(suffix)] in families:
+            return sample[: -len(suffix)]
+    return None
+
+
+def _check_family(family: str, entry: dict) -> None:
+    kind, samples = entry["type"], entry["samples"]
+    if not samples:
+        raise ValueError(f"family {family!r} declares TYPE but no samples")
+    if kind == "counter":
+        for sample, _, value in samples:
+            if not sample.startswith(family + "_"):
+                raise ValueError(
+                    f"counter sample {sample!r} lacks a suffix "
+                    f"(expected {family}_total)"
+                )
+            if value < 0:
+                raise ValueError(f"negative counter sample {sample!r}")
+    elif kind == "histogram":
+        _check_histogram(family, samples)
+
+
+def _check_histogram(family: str, samples: list) -> None:
+    buckets = [(labels, value) for sample, labels, value in samples
+               if sample == family + "_bucket"]
+    counts = [value for sample, _, value in samples
+              if sample == family + "_count"]
+    if not buckets:
+        raise ValueError(f"histogram {family!r} has no _bucket samples")
+    bounds: list[float] = []
+    cumulative: list[float] = []
+    for labels, value in buckets:
+        match = re.match(r'le="([^"]*)"\Z', labels)
+        if not match:
+            raise ValueError(
+                f"histogram {family!r} bucket lacks an le label: {labels!r}"
+            )
+        raw = match.group(1)
+        bounds.append(float("inf") if raw == "+Inf" else float(raw))
+        cumulative.append(value)
+    if bounds != sorted(bounds) or bounds[-1] != float("inf"):
+        raise ValueError(
+            f"histogram {family!r} buckets must ascend to le=\"+Inf\""
+        )
+    if cumulative != sorted(cumulative):
+        raise ValueError(
+            f"histogram {family!r} bucket counts must be cumulative"
+        )
+    if counts and counts[0] != cumulative[-1]:
+        raise ValueError(
+            f"histogram {family!r}: _count {counts[0]} disagrees with "
+            f"the +Inf bucket {cumulative[-1]}"
+        )
+
+
+__all__ = ["METRIC_PREFIX", "metric_name", "to_openmetrics",
+           "validate_openmetrics"]

@@ -1,0 +1,451 @@
+"""Bounded-memory streaming quantile sketches.
+
+The continuous-traffic tier's headline numbers — p50/p99 fault-wait,
+residency, span latencies — are *distributions under load*, and at
+millions of references per second the per-event state the analysis tier
+keeps (every residency span, every block lifetime) cannot survive.  The
+two sketches here hold a distribution in O(buckets) or O(1) memory:
+
+- :class:`LogHistogram` — an HDR-style log-bucketed histogram: each
+  power-of-two octave is split into ``subbuckets`` equal-width linear
+  sub-buckets, so the relative quantile error is bounded by
+  ``1 / subbuckets`` regardless of the value range.  ``merge`` sums
+  bucket counts, which is *exact*: merging N workers' histograms yields
+  bit-identically the histogram one worker would have built over the
+  concatenated stream, in any merge order or grouping.  This is the
+  sketch that crosses the sweep worker boundary.
+- :class:`P2Quantile` — the Jain & Chlamtac P² estimator: five markers
+  tracking one quantile in O(1) memory without buckets.  Its ``merge``
+  is deterministic and order-insensitive but *approximate* (the five
+  markers are a lossy summary); use it for single-stream estimation and
+  cross-checks, and the histogram for fan-in.
+
+Both are cross-checked against the exact nearest-rank
+:func:`repro.observe.analysis.intervals.percentile` by the property
+tests (``tests/test_telemetry_sketch.py``,
+``tests/test_telemetry_property.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Default linear sub-buckets per power-of-two octave.  The quantile
+#: error bound is ``1 / subbuckets`` relative (see :meth:`LogHistogram.
+#: quantile`), so 16 sub-buckets bound the error at 6.25%.
+DEFAULT_SUBBUCKETS = 16
+
+
+class LogHistogram:
+    """Log-bucketed histogram over non-negative values, exactly mergeable.
+
+    A value ``v > 0`` lands in octave ``e`` where ``2**e <= v < 2**(e+1)``
+    (any real exponent — sub-unit durations work), then in one of
+    ``subbuckets`` equal-width sub-buckets of that octave.  Zero values
+    are counted apart (a zero has no octave).  Negative values are
+    rejected: every quantity sketched here — cycles, seconds, words —
+    is a magnitude.
+
+    >>> sketch = LogHistogram()
+    >>> for value in [1, 2, 3, 100, 200]:
+    ...     sketch.observe(value)
+    >>> sketch.count
+    5
+    >>> 90 <= sketch.quantile(0.8) <= 210
+    True
+    """
+
+    __slots__ = ("subbuckets", "_counts", "_zeros", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, subbuckets: int = DEFAULT_SUBBUCKETS) -> None:
+        if subbuckets <= 0:
+            raise ValueError(f"subbuckets must be positive, got {subbuckets}")
+        self.subbuckets = subbuckets
+        self._counts: dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+        # The sum stays an exact Python int as long as every observation
+        # is integral (cycles, gaps, word counts — all the deterministic
+        # instruments), so merging is bit-exact in any order.  A float
+        # observation (wall seconds) degrades it to float, where merge
+        # order can move the last bits — exactly the instruments the
+        # determinism comparisons already strip.
+        self._sum: float = 0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    # -- recording -----------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        """Bucket index of a positive value: octave × subbuckets + linear.
+
+        ``math.frexp`` gives ``value = m * 2**e`` with ``m in [0.5, 1)``,
+        so the octave is ``e - 1`` and ``(m - 0.5) * 2`` is the position
+        within it — no ``log`` call on the hot path.
+        """
+        m, e = math.frexp(value)
+        sub = int((m - 0.5) * 2.0 * self.subbuckets)
+        if sub >= self.subbuckets:   # m rounded up to 1.0 exactly
+            sub = self.subbuckets - 1
+        return (e - 1) * self.subbuckets + sub
+
+    def observe(self, value: float) -> None:
+        """Record one sample.  O(1); raises on negative values."""
+        if value < 0:
+            raise ValueError(f"cannot sketch negative value {value!r}")
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value == 0:
+            self._zeros += 1
+            return
+        index = self._index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def minimum(self) -> float | None:
+        return self._min
+
+    @property
+    def maximum(self) -> float | None:
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        if not self._count:
+            raise ValueError("mean of an empty sketch")
+        return self._sum / self._count
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """``[low, high)`` value bounds of bucket ``index``."""
+        octave, sub = divmod(index, self.subbuckets)
+        base = math.ldexp(1.0, octave)
+        width = base / self.subbuckets
+        low = base + sub * width
+        return low, low + width
+
+    def quantile(self, q: float) -> float:
+        """Approximate value at quantile ``q`` (0..1), nearest-rank style.
+
+        The returned value is the midpoint of the bucket holding the
+        nearest-rank sample, clamped to the observed ``[min, max]``, so
+        its relative error against the exact nearest-rank value is at
+        most ``1 / subbuckets`` (the bucket's relative width).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._count:
+            raise ValueError("quantile of an empty sketch")
+        rank = max(1, math.ceil(q * self._count))
+        if rank <= self._zeros:
+            return 0.0
+        remaining = rank - self._zeros
+        for index in sorted(self._counts):
+            remaining -= self._counts[index]
+            if remaining <= 0:
+                low, high = self.bucket_bounds(index)
+                value = (low + high) / 2.0
+                return min(max(value, self._min), self._max)
+        return self._max   # float drift guard; rank <= count by ceil
+
+    def percentile(self, rank: float) -> float:
+        """``quantile`` with the 0..100 convention the report tables use."""
+        if not 0 <= rank <= 100:
+            raise ValueError(f"percentile rank must be in 0..100, got {rank}")
+        return self.quantile(rank / 100.0)
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case relative quantile error: one bucket's width."""
+        return 1.0 / self.subbuckets
+
+    def bucket_counts(self) -> list[tuple[int, int]]:
+        """``(index, count)`` pairs, ascending — for sparkline rendering."""
+        return sorted(self._counts.items())
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- combination ---------------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another sketch in — *exactly*.
+
+        Bucket counts sum, so the merge is associative and commutative
+        bit for bit: any split of a stream across workers, merged in any
+        order, reproduces the single-stream sketch.  The sweep engine's
+        worker-count determinism rests on this.
+        """
+        if other.subbuckets != self.subbuckets:
+            raise ValueError(
+                f"cannot merge sketches with {other.subbuckets} and "
+                f"{self.subbuckets} sub-buckets"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._zeros += other._zeros
+        self._count += other._count
+        self._sum += other._sum
+        for bound in (other._min, other._max):
+            if bound is None:
+                continue
+            if self._min is None or bound < self._min:
+                self._min = bound
+            if self._max is None or bound > self._max:
+                self._max = bound
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`."""
+        return {
+            "subbuckets": self.subbuckets,
+            "counts": {str(index): count
+                       for index, count in sorted(self._counts.items())},
+            "zeros": self._zeros,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "LogHistogram":
+        try:
+            sketch = cls(subbuckets=record["subbuckets"])
+            sketch._counts = {
+                int(index): count
+                for index, count in record["counts"].items()
+            }
+            sketch._zeros = record["zeros"]
+            sketch._count = record["count"]
+            sketch._sum = record["sum"]
+            sketch._min = record["min"]
+            sketch._max = record["max"]
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed histogram record: {error}") from None
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self._count}, "
+            f"buckets={len(self._counts)}, subbuckets={self.subbuckets})"
+        )
+
+
+class P2Quantile:
+    """The P² streaming estimator of one quantile (Jain & Chlamtac 1985).
+
+    Five markers track the minimum, the target quantile, the two
+    intermediate quantiles, and the maximum; marker heights move by
+    piecewise-parabolic interpolation as samples arrive.  Memory is
+    O(1) and independent of stream length.
+
+    The first five samples are kept exactly, so small streams report
+    exact nearest-rank answers.  ``merge`` combines two estimators
+    deterministically by re-interpolating the union of their weighted
+    marker points — a lossy summary, so unlike :class:`LogHistogram`
+    the merge is approximate (bounded by the tests, not by algebra).
+
+    >>> sketch = P2Quantile(0.5)
+    >>> for value in range(1, 100):
+    ...     sketch.observe(value)
+    >>> 45 <= sketch.value() <= 55
+    True
+    """
+
+    __slots__ = ("q", "_count", "_heights", "_positions", "_desired",
+                 "_increments")
+
+    def __init__(self, q: float = 0.5) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, value: float) -> None:
+        """Record one sample.  O(1)."""
+        self._count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        # Locate the cell and bump the extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        positions = self._positions
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        # Adjust the three interior markers toward their desired ranks.
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            if (delta >= 1.0 and positions[index + 1] - positions[index] > 1.0) \
+                    or (delta <= -1.0
+                        and positions[index - 1] - positions[index] < -1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        n_prev, n, n_next = (
+            positions[index - 1], positions[index], positions[index + 1]
+        )
+        return heights[index] + step / (n_next - n_prev) * (
+            (n - n_prev + step) * (heights[index + 1] - heights[index])
+            / (n_next - n)
+            + (n_next - n - step) * (heights[index] - heights[index - 1])
+            / (n - n_prev)
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        other = index + int(step)
+        return heights[index] + step * (
+            (heights[other] - heights[index])
+            / (positions[other] - positions[index])
+        )
+
+    def value(self) -> float:
+        """The current estimate; exact nearest rank below five samples."""
+        if not self._count:
+            raise ValueError("quantile of an empty estimator")
+        heights = self._heights
+        if len(heights) < 5 or self._count < 5:
+            rank = max(1, math.ceil(self.q * self._count))
+            return heights[min(rank, len(heights)) - 1]
+        return heights[2]
+
+    # -- combination ---------------------------------------------------------
+
+    def _weighted_points(self) -> list[tuple[float, float]]:
+        """``(height, weight)`` summary: marker gaps as point masses."""
+        heights = self._heights
+        if self._count < 5:
+            return [(height, 1.0) for height in heights]
+        positions = self._positions
+        points = [(heights[0], 1.0)]
+        for index in range(1, 5):
+            points.append(
+                (heights[index], positions[index] - positions[index - 1])
+            )
+        return points
+
+    def merge(self, other: "P2Quantile") -> None:
+        """Fold another estimator for the same quantile in.
+
+        Deterministic and symmetric (the union of weighted marker points
+        is sorted by height before re-interpolation), but approximate:
+        five markers cannot carry a whole distribution, so merged
+        estimates drift within the error the property tests bound.
+        """
+        if other.q != self.q:
+            raise ValueError(
+                f"cannot merge estimators for q={other.q} and q={self.q}"
+            )
+        if not other._count:
+            return
+        if not self._count:
+            self._copy_from(other)
+            return
+        if self._count < 5 and other._count < 5:
+            # Both sides still hold raw samples: merge exactly.
+            merged = sorted(self._heights + other._heights)
+            self._heights = merged
+            self._count += other._count
+            return
+        total = self._count + other._count
+        points = sorted(self._weighted_points() + other._weighted_points())
+        heights = [
+            _weighted_quantile(points, fraction)
+            for fraction in (0.0, self.q / 2, self.q, (1 + self.q) / 2, 1.0)
+        ]
+        self._heights = heights
+        self._count = total
+        self._positions = [
+            1.0,
+            max(2.0, 1 + round(2 * self.q * (total - 1) / 4)),
+            max(3.0, 1 + round(4 * self.q * (total - 1) / 4)),
+            max(4.0, 1 + round((3 + 2 * self.q) * (total - 1) / 4)),
+            float(total),
+        ]
+        # Re-derive monotone positions (the rounding above can collide).
+        for index in range(1, 5):
+            if self._positions[index] <= self._positions[index - 1]:
+                self._positions[index] = self._positions[index - 1] + 1.0
+        self._desired = [
+            1.0,
+            1 + 2 * self.q * (total - 1) / 4,
+            1 + self.q * (total - 1),
+            1 + (3 + 2 * self.q) * (total - 1) / 4,
+            float(total),
+        ]
+
+    def _copy_from(self, other: "P2Quantile") -> None:
+        self._count = other._count
+        self._heights = list(other._heights)
+        self._positions = list(other._positions)
+        self._desired = list(other._desired)
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(q={self.q}, count={self._count})"
+
+
+def _weighted_quantile(
+    points: Sequence[tuple[float, float]], fraction: float
+) -> float:
+    """Nearest-rank quantile over sorted ``(value, weight)`` point masses."""
+    total = sum(weight for _, weight in points)
+    target = fraction * total
+    cumulative = 0.0
+    for value, weight in points:
+        cumulative += weight
+        if cumulative >= target:
+            return value
+    return points[-1][0]
+
+
+__all__ = ["DEFAULT_SUBBUCKETS", "LogHistogram", "P2Quantile"]

@@ -21,6 +21,7 @@ from repro.clock import Clock
 from repro.errors import PageFault
 from repro.memory.backing import BackingStore
 from repro.observe.events import Evict, Fault, Place
+from repro.observe.telemetry.registry import TelemetryRegistry
 from repro.observe.tracer import Tracer, as_tracer
 from repro.paging.frame import FrameTable
 from repro.paging.prefetch import SequentialPrefetcher
@@ -85,6 +86,14 @@ class DemandPager:
         ``Fault`` / ``Place`` / ``Evict`` events as the pager works
         (``docs/OBSERVABILITY.md``).  Defaults to the zero-cost disabled
         tracer.
+    telemetry:
+        Optional :class:`~repro.observe.telemetry.TelemetryRegistry`.
+        Every fault's service time lands in the
+        ``pager.fault_service_cycles`` histogram — measured on the
+        *simulated* clock, so the sketch is deterministic and costs no
+        syscalls — and the ``pager.resident_pages`` gauge tracks
+        occupancy.  Both ride the fault path only; the hit path is
+        untouched.
     """
 
     def __init__(
@@ -99,6 +108,7 @@ class DemandPager:
         prefetch_evicts: bool = False,
         keep_one_vacant: bool = False,
         tracer: Tracer | None = None,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
         self.page_table = page_table
         self.frames = frames
@@ -114,6 +124,17 @@ class DemandPager:
         self.tracer = as_tracer(tracer)
         self.stats = PagerStats()
         self._loaded_at: dict[Hashable, int] = {}
+        # Pre-bound instruments, None when telemetry is off: the fault
+        # path pays one attribute test, the hit path pays nothing.
+        if telemetry is not None and telemetry.enabled:
+            self._fault_span = telemetry.span(
+                "pager.fault_service_cycles",
+                clock=lambda: self.clock.now,
+            )
+            self._resident_gauge = telemetry.gauge("pager.resident_pages")
+        else:
+            self._fault_span = None
+            self._resident_gauge = None
 
     # -- the access path ---------------------------------------------------
 
@@ -153,6 +174,15 @@ class DemandPager:
     # -- fault handling ------------------------------------------------------
 
     def _handle_fault(self, page: int, write: bool) -> None:
+        span = self._fault_span
+        if span is None:
+            self._service_fault(page, write)
+            return
+        with span:
+            self._service_fault(page, write)
+        self._resident_gauge.set(len(self._loaded_at))
+
+    def _service_fault(self, page: int, write: bool) -> None:
         self.stats.faults += 1
         if self.tracer.enabled:
             self.tracer.emit(Fault(time=self.clock.now, unit=page, write=write))

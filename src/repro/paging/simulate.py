@@ -32,6 +32,7 @@ from typing import Hashable, Sequence
 
 from repro.observe.counters import Counters, absorb_simulation_result
 from repro.observe.events import Evict, Fault
+from repro.observe.telemetry.registry import TelemetryRegistry
 from repro.observe.tracer import Tracer
 from repro.paging.frame import FrameTable
 from repro.paging.replacement.base import ReplacementPolicy
@@ -67,6 +68,7 @@ def simulate_trace(
     tracer: Tracer | None = None,
     counters: Counters | None = None,
     checked: bool = False,
+    telemetry: TelemetryRegistry | None = None,
 ) -> SimulationResult:
     """Run ``trace`` through ``frames`` page frames under ``policy``.
 
@@ -113,11 +115,30 @@ def simulate_trace(
         final check).  Forces the reference loop, like tracing does —
         the kernels have no per-access state to check.  Raises
         :class:`~repro.errors.InvariantViolation` on the first failure.
+    telemetry:
+        Optional :class:`~repro.observe.telemetry.TelemetryRegistry`.
+        The run lands as aggregate ``replay.*`` counters, a
+        ``replay.kernel_seconds`` wall span, and — when fault positions
+        are recorded — the ``replay.fault_gap`` inter-fault-distance
+        sketch.  Aggregates are read off the result *after* the run
+        (never inside the loop), so telemetry changes no simulation
+        bits and never forces a slower tier — the 100-seed differential
+        tests pin both properties.
     """
     if frames <= 0:
         raise ValueError(f"frames must be positive, got {frames}")
     if writes is not None and len(writes) != len(trace):
         raise ValueError("writes must align with trace")
+
+    span = None
+    if telemetry is not None and telemetry.enabled:
+        span = telemetry.span("replay.kernel_seconds").start()
+
+    def finish(result: SimulationResult) -> SimulationResult:
+        if span is not None:
+            span.stop()
+        record_replay_telemetry(telemetry, result)
+        return result
 
     tracing = tracer is not None and tracer.enabled
     if fast and not tracing and not checked:
@@ -129,11 +150,12 @@ def simulate_trace(
             policy,
             record_positions=record_positions,
             record_evictions=record_evictions,
+            telemetry=telemetry,
         )
         if result is not None:
             if counters is not None:
                 absorb_simulation_result(counters, result)
-            return result
+            return finish(result)
 
     counting = counters is not None and counters.enabled
     table = FrameTable(frames)
@@ -191,7 +213,7 @@ def simulate_trace(
         suite.check(table)
     if counting:
         counters.increment("replay.references", len(trace))
-    return SimulationResult(
+    return finish(SimulationResult(
         policy=policy.name,
         frames=frames,
         references=len(trace),
@@ -200,4 +222,33 @@ def simulate_trace(
         cold_faults=cold_faults,
         fault_positions=positions,
         victims=victims,
-    )
+    ))
+
+
+def record_replay_telemetry(
+    telemetry: TelemetryRegistry | None,
+    result: SimulationResult,
+    prefix: str = "replay",
+) -> None:
+    """Fold a finished replay into a telemetry registry.
+
+    The telemetry analogue of :func:`absorb_simulation_result`: the
+    aggregate counters, plus the ``fault_gap`` sketch (distance from
+    each fault to the previous one, in references) when the run
+    recorded fault positions.  Reads the result only — calling it can
+    never perturb a simulation.
+    """
+    if telemetry is None or not telemetry.enabled:
+        return
+    telemetry.counter(f"{prefix}.references").increment(result.references)
+    telemetry.counter(f"{prefix}.faults").increment(result.faults)
+    telemetry.counter(f"{prefix}.cold_faults").increment(result.cold_faults)
+    telemetry.counter(f"{prefix}.evictions").increment(result.evictions)
+    positions = result.fault_positions
+    if positions:
+        sketch = telemetry.histogram(f"{prefix}.fault_gap", unit="refs")
+        previous = positions[0]
+        sketch.observe(positions[0])
+        for position in positions[1:]:
+            sketch.observe(position - previous)
+            previous = position

@@ -33,12 +33,22 @@ from typing import TYPE_CHECKING, Hashable
 
 from repro.errors import OutOfMemory
 from repro.observe.events import CoWBreak, DedupHit, Share
+from repro.observe.telemetry.registry import TelemetryRegistry
 from repro.observe.tracer import Tracer, as_tracer
 from repro.serve.evictor import LRUEvictor
 from repro.serve.refcount import RefCounter
 
 if TYPE_CHECKING:
     from repro.serve.tenant import TenantView
+
+#: One acquire in this many carries the wall-clock span (power of two —
+#: the sample test is a mask).  Sampling keeps pool instrumentation
+#: inside the ≤2% overhead contract on a microsecond-scale operation.
+ACQUIRE_SPAN_SAMPLE = 256
+
+#: CoW-break span sampling: breaks are ~30× rarer than acquires, so a
+#: lighter rate keeps the sketch populated at the same overhead.
+COW_SPAN_SAMPLE = 32
 
 
 @dataclass(slots=True)
@@ -78,6 +88,19 @@ class SharedFramePool:
         ``Share`` / ``DedupHit`` / ``CoWBreak`` events.  Event times are
         the pool's running operation count — the pool keeps no clock,
         like the mappers.
+    telemetry:
+        Optional :class:`~repro.observe.telemetry.TelemetryRegistry`.
+        ``acquire`` and ``cow_break`` run under wall-clock spans
+        (``serve.acquire_seconds`` / ``serve.cow_break_seconds``) and
+        the ``serve.resident_frames`` gauge tracks pinned frames —
+        attach-path instrumentation only; hits inside a tenant's own
+        view never reach the pool.  An acquire takes single-digit
+        microseconds, so timing every one would cost more than the
+        operation: the acquire span samples 1 in
+        :data:`ACQUIRE_SPAN_SAMPLE` calls (count-based, so which calls
+        are sampled is deterministic), keeping the overhead contract
+        while the sketch still sees thousands of brackets per campaign;
+        the CoW span samples 1 in :data:`COW_SPAN_SAMPLE`.
 
     >>> pool = SharedFramePool(4)
     >>> frame, hit = pool.acquire(("shared", 7))
@@ -89,7 +112,12 @@ class SharedFramePool:
     2
     """
 
-    def __init__(self, frame_count: int, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        frame_count: int,
+        tracer: Tracer | None = None,
+        telemetry: TelemetryRegistry | None = None,
+    ) -> None:
         if frame_count <= 0:
             raise ValueError(f"frame_count must be positive, got {frame_count}")
         self._owners: list[Hashable | None] = [None] * frame_count
@@ -106,6 +134,14 @@ class SharedFramePool:
         running operation count, like the mappers."""
         self.tracer = as_tracer(tracer)
         self.stats = ServeStats()
+        if telemetry is not None and telemetry.enabled:
+            self._acquire_span = telemetry.span("serve.acquire_seconds")
+            self._cow_span = telemetry.span("serve.cow_break_seconds")
+            self._resident_gauge = telemetry.gauge("serve.resident_frames")
+        else:
+            self._acquire_span = None
+            self._cow_span = None
+            self._resident_gauge = None
 
     def _time(self) -> int:
         return self._ops if self.now is None else self.now
@@ -153,6 +189,17 @@ class SharedFramePool:
         identity) — or is ``None`` for a miss, in which case the caller
         owes a fetch into the returned frame before use.
         """
+        span = self._acquire_span
+        if span is None or self._ops & (ACQUIRE_SPAN_SAMPLE - 1):
+            return self._acquire(key, program)
+        with span:
+            result = self._acquire(key, program)
+        self._resident_gauge.set(self.resident_count)
+        return result
+
+    def _acquire(
+        self, key: Hashable, program: str | None = None
+    ) -> tuple[int, str | None]:
         self._ops += 1
         self.stats.acquires += 1
         frame = self._frame_of.get(key)
@@ -223,6 +270,18 @@ class SharedFramePool:
         Returns the fresh private frame (its content is a copy of the
         shared frame — the simulation carries identity, not bytes).
         """
+        span = self._cow_span
+        if span is None or self._ops & (COW_SPAN_SAMPLE - 1):
+            return self._cow_break(shared_key, private_key, program)
+        with span:
+            return self._cow_break(shared_key, private_key, program)
+
+    def _cow_break(
+        self,
+        shared_key: Hashable,
+        private_key: Hashable,
+        program: str | None = None,
+    ) -> int:
         source = self._frame_of.get(shared_key)
         if source is None or shared_key in self._evictor:
             raise KeyError(f"content {shared_key!r} is not resident")

@@ -28,9 +28,10 @@ from typing import Callable, Hashable, Sequence
 
 from repro.observe.counters import Counters
 from repro.observe.events import Evict, Fault
+from repro.observe.telemetry.registry import TelemetryRegistry
 from repro.observe.tracer import Tracer
 from repro.paging.replacement.base import ReplacementPolicy
-from repro.paging.simulate import SimulationResult
+from repro.paging.simulate import SimulationResult, record_replay_telemetry
 from repro.serve.pool import ServeStats, SharedFramePool
 from repro.serve.tenant import TenantView
 
@@ -103,6 +104,7 @@ def simulate_shared(
     tracer: Tracer | None = None,
     counters: Counters | None = None,
     checked: bool = False,
+    telemetry: TelemetryRegistry | None = None,
 ) -> SharedReplayResult:
     """Replay ``traces`` (one per tenant) over one shared frame pool.
 
@@ -138,6 +140,14 @@ def simulate_shared(
     checked:
         Audit the pool and every tenant view with the invariant suite
         (refcount conservation included) every 64 steps plus finally.
+    telemetry:
+        Optional :class:`~repro.observe.telemetry.TelemetryRegistry`.
+        The pool times ``acquire`` / ``cow_break`` as wall spans and
+        tracks ``serve.resident_frames``; the finished run lands as
+        ``replay.*`` / ``serve.*`` counter totals, the per-tenant
+        ``serve.tenant_faults`` sketch, and — with positions recorded —
+        the ``replay.fault_gap`` sketch.  All aggregates are read off
+        the result after the run; telemetry changes no simulation bits.
     """
     if not traces:
         raise ValueError("need at least one tenant trace")
@@ -159,7 +169,11 @@ def simulate_shared(
 
     tracing = tracer is not None and tracer.enabled
     counting = counters is not None and counters.enabled
-    pool = SharedFramePool(pool_frames, tracer=tracer if tracing else None)
+    pool = SharedFramePool(
+        pool_frames,
+        tracer=tracer if tracing else None,
+        telemetry=telemetry,
+    )
     views = [
         TenantView(pool, f"t{index}", quota=frames, shared_pages=shared_pages)
         for index in range(tenants)
@@ -281,7 +295,7 @@ def simulate_shared(
         )
         for tenant in range(tenants)
     ]
-    return SharedReplayResult(
+    shared_result = SharedReplayResult(
         sharing=tenants,
         shared_pages=shared_pages,
         pool_frames=pool_frames,
@@ -293,6 +307,36 @@ def simulate_shared(
         shared_frame_cycles=shared_cycles,
         private_frame_cycles=private_cycles,
     )
+    record_shared_telemetry(telemetry, shared_result)
+    return shared_result
+
+
+def record_shared_telemetry(
+    telemetry: TelemetryRegistry | None,
+    result: SharedReplayResult,
+) -> None:
+    """Fold a finished shared replay into a telemetry registry.
+
+    Per-tenant totals go through :func:`record_replay_telemetry` (so the
+    ``replay.*`` names sum across tenants exactly as the ``Counters``
+    stream does), pool accounting lands under ``serve.*``, and the
+    per-tenant fault totals feed a sketch — the imbalance view the
+    scalar sums cannot give.  Reads the result only.
+    """
+    if telemetry is None or not telemetry.enabled:
+        return
+    for tenant in result.tenants:
+        record_replay_telemetry(telemetry, tenant)
+    stats = result.pool_stats
+    telemetry.counter("serve.acquires").increment(stats.acquires)
+    telemetry.counter("serve.shares").increment(stats.shares)
+    telemetry.counter("serve.dedup_hits").increment(stats.dedup_hits)
+    telemetry.counter("serve.cow_breaks").increment(stats.cow_breaks)
+    telemetry.counter("serve.releases").increment(stats.releases)
+    telemetry.counter("serve.reclaims").increment(stats.reclaims)
+    sketch = telemetry.histogram("serve.tenant_faults", unit="faults")
+    for tenant in result.tenants:
+        sketch.observe(tenant.faults)
 
 
 def tenant_traces(
@@ -353,6 +397,7 @@ def seeded_writes(
 
 __all__ = [
     "SharedReplayResult",
+    "record_shared_telemetry",
     "seeded_writes",
     "simulate_shared",
     "tenant_traces",

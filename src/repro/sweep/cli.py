@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every shard under the invariant suite")
     parser.add_argument("--no-report", action="store_true",
                         help="suppress the marginal tables")
+    parser.add_argument("--live", action="store_true",
+                        help="redraw a live dashboard as shards land "
+                             "(plain-text frames when stdout is not a "
+                             "TTY)")
     parser.add_argument("--machines", nargs="+", metavar="NAME")
     parser.add_argument("--replacement", nargs="+", metavar="POLICY")
     parser.add_argument("--placement", nargs="+", metavar="POLICY")
@@ -142,12 +146,19 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     workers = options.workers if options.workers else default_workers()
 
+    progress = None
+    if options.live:
+        from repro.observe.telemetry.dashboard import SweepLiveView
+
+        progress = SweepLiveView(grid.name).update
+
     result = run_sweep(
         grid,
         workers=workers,
         results_path=options.results,
         resume=options.resume,
         checked=options.checked,
+        progress=progress,
     )
 
     if options.no_report:

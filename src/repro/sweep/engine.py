@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -23,11 +24,17 @@ from typing import Callable, Iterable
 
 from repro.observe.counters import Counters
 from repro.observe.sinks import read_jsonl_records
+from repro.observe.telemetry.registry import (
+    WALL_CLOCK_SUFFIX,
+    TelemetryRegistry,
+)
 from repro.sweep.grid import SCHEMA, SweepGrid
 from repro.sweep.shard import run_shard_safely
 
 #: Fields excluded when comparing records for bit-identity: wall time is
 #: measured, not derived, and is the record's one nondeterministic field.
+#: The ``telemetry`` snapshot is *partly* deterministic, so
+#: ``strip_nondeterministic`` reduces it rather than dropping it.
 NONDETERMINISTIC_FIELDS = ("wall_s",)
 
 
@@ -66,6 +73,10 @@ class SweepResult:
     executed: int
     skipped: int
     """Shards skipped because the results file already held them."""
+    telemetry: TelemetryRegistry = field(default_factory=TelemetryRegistry)
+    """All shards' telemetry snapshots merged — counters summed,
+    histograms merged bucket-exactly — so the deterministic part is
+    identical for any worker count (pinned by the differential tests)."""
     failures: list[dict] = field(default_factory=list)
     corrupt_lines: int = 0
     workers: int = 1
@@ -124,6 +135,12 @@ def run_sweep(
     progress:
         Optional ``progress(done, total, record)`` callback, called in
         the parent as each shard lands.
+
+    With a ``results_path``, a live heartbeat lands next to it at
+    ``<results_path>.telemetry.json`` after every fresh shard: progress
+    scalars plus the merged telemetry snapshot so far, written
+    atomically so ``python -m repro top --snapshot`` can follow the
+    campaign from another terminal.
     """
     started = time.perf_counter()
     if workers <= 0:
@@ -146,8 +163,11 @@ def run_sweep(
     ]
 
     counters = Counters()
+    telemetry = TelemetryRegistry()
     for record in prior:
         counters.merge_snapshot(record.get("counters", {}))
+        if "telemetry" in record:
+            telemetry.merge_snapshot(record["telemetry"])
 
     fresh: list[dict] = []
     failures: list[dict] = []
@@ -164,9 +184,15 @@ def run_sweep(
             else:
                 fresh.append(record)
                 counters.merge_snapshot(record.get("counters", {}))
+                if "telemetry" in record:
+                    telemetry.merge_snapshot(record["telemetry"])
                 if handle is not None:
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
                     handle.flush()
+                    write_heartbeat(
+                        heartbeat_path(results_path), grid.name,
+                        done, len(pending), len(failures), telemetry,
+                    )
             if progress is not None:
                 progress(done, len(pending), record)
     finally:
@@ -180,6 +206,7 @@ def run_sweep(
         counters=counters,
         executed=len(fresh) + len(failures),
         skipped=len(prior),
+        telemetry=telemetry,
         failures=failures,
         corrupt_lines=corrupt,
         workers=workers,
@@ -187,16 +214,75 @@ def run_sweep(
     )
 
 
+def heartbeat_path(results_path: str | Path) -> Path:
+    """Where ``run_sweep`` drops its live telemetry heartbeat."""
+    path = Path(results_path)
+    return path.with_name(path.name + ".telemetry.json")
+
+
+def write_heartbeat(
+    path: Path,
+    sweep: str,
+    done: int,
+    total: int,
+    failed: int,
+    telemetry: TelemetryRegistry,
+) -> None:
+    """Atomically publish campaign progress plus merged telemetry.
+
+    Write-to-temp then :func:`os.replace`, so a follower (``python -m
+    repro top --snapshot``) polling the file never reads a torn write.
+    Heartbeats are best-effort: an unwritable path must not fail the
+    campaign, so OS errors are swallowed.
+    """
+    payload = {
+        "sweep": sweep,
+        "done": done,
+        "total": total,
+        "failed": failed,
+        "telemetry": telemetry.snapshot(),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
 def strip_nondeterministic(record: dict) -> dict:
     """A record minus its measured-time fields — the comparable form.
 
     What the determinism tests (and any cross-run differ) should
     compare: everything in a record except wall time is a pure function
-    of the grid.
+    of the grid.  A ``telemetry`` snapshot is reduced to its
+    deterministic part (wall-clock ``*_seconds`` instruments stripped)
+    rather than dropped — the sketches and counters that remain are
+    pinned to be identical across runs and worker counts.
     """
-    return {
+    stripped = {
         key: value for key, value in record.items()
         if key not in NONDETERMINISTIC_FIELDS
+    }
+    if "telemetry" in stripped:
+        stripped["telemetry"] = deterministic_telemetry(stripped["telemetry"])
+    return stripped
+
+
+def deterministic_telemetry(snapshot: dict) -> dict:
+    """A telemetry snapshot minus its wall-clock instruments.
+
+    The dict analogue of
+    :meth:`~repro.observe.telemetry.TelemetryRegistry.deterministic_snapshot`,
+    for snapshots that already crossed a JSON boundary.
+    """
+    return {
+        section: {
+            name: value for name, value in entries.items()
+            if not name.endswith(WALL_CLOCK_SUFFIX)
+        }
+        for section, entries in snapshot.items()
     }
 
 
@@ -236,8 +322,11 @@ def marginals(records: list[dict], axis: str) -> list[tuple]:
 __all__ = [
     "NONDETERMINISTIC_FIELDS",
     "SweepResult",
+    "deterministic_telemetry",
+    "heartbeat_path",
     "marginals",
     "read_results",
     "run_sweep",
     "strip_nondeterministic",
+    "write_heartbeat",
 ]

@@ -42,6 +42,7 @@ from repro.observe.counters import (
     absorb_serve_stats,
     absorb_simulation_summary,
 )
+from repro.observe.telemetry.registry import TelemetryRegistry
 from repro.paging.replacement import make_policy
 from repro.paging.simulate import simulate_trace
 from repro.sim.multiprogramming import MultiprogrammingSimulator, ProgramSpec
@@ -99,7 +100,8 @@ def _replay_workload_id(spec: dict) -> str:
     )
 
 
-def _replay(spec: dict, counters: Counters) -> dict:
+def _replay(spec: dict, counters: Counters,
+            telemetry: TelemetryRegistry) -> dict:
     # The working set derives from the page population, never from the
     # frame allotment: the frames axis must sweep allotted space against
     # a fixed workload (Figure 2's x-axis), not reshape the workload.
@@ -115,12 +117,16 @@ def _replay(spec: dict, counters: Counters) -> dict:
         seed=derive_seed(spec["base_seed"], _replay_workload_id(spec),
                          "replay"),
     )
+    # Positions feed the fault-gap sketch; the record reads only the
+    # scalar totals, which do not depend on whether positions were kept.
     result = simulate_trace(
         trace,
         spec["frames"],
         make_policy(spec["replacement"]),
+        record_positions=telemetry.enabled,
         counters=counters,
         checked=spec["checked"],
+        telemetry=telemetry,
     )
     return {
         "faults": result.faults,
@@ -170,7 +176,8 @@ def _mix(spec: dict, config, counters: Counters) -> dict:
     }
 
 
-def _churn(spec: dict, config, counters: Counters) -> dict:
+def _churn(spec: dict, config, counters: Counters,
+           telemetry: TelemetryRegistry) -> dict:
     requests = exponential_requests(
         spec["requests"],
         mean_size=60,
@@ -185,6 +192,7 @@ def _churn(spec: dict, config, counters: Counters) -> dict:
         from repro.check.invariants import InvariantSuite
 
         suite = InvariantSuite()
+    size_sketch = telemetry.histogram("alloc.request_words", unit="words")
     live: dict[int, object] = {}
     sizes: list[int] = []
     ops = failures = 0
@@ -196,6 +204,7 @@ def _churn(spec: dict, config, counters: Counters) -> dict:
         if action == "allocate":
             ops += 1
             sizes.append(request.size)
+            size_sketch.observe(request.size)
             try:
                 live[id(request)] = allocator.allocate(request.size)
             except OutOfMemory:
@@ -225,7 +234,8 @@ def _churn(spec: dict, config, counters: Counters) -> dict:
     }
 
 
-def _serve(spec: dict, counters: Counters) -> dict:
+def _serve(spec: dict, counters: Counters,
+           telemetry: TelemetryRegistry) -> dict:
     """The sharing-degree leg: forked tenants over one shared pool.
 
     Each of the shard's ``sharing`` tenants replays its own derived
@@ -266,6 +276,7 @@ def _serve(spec: dict, counters: Counters) -> dict:
         shared_pages=spec["pages"] // 2,
         writes=writes,
         checked=spec["checked"],
+        telemetry=telemetry,
     )
     absorb_serve_stats(counters, result.pool_stats)
     return {
@@ -288,6 +299,10 @@ def run_shard(spec: dict) -> dict:
     Returns the flat result record that lands in ``SWEEP_results.jsonl``:
     axis values, derived hardware parameters, the three measurement
     groups, a counters snapshot for the parent to merge, and wall time.
+    With telemetry on (``spec["telemetry"]``, default True) the record
+    also carries a ``telemetry`` snapshot — per-leg wall spans plus the
+    deterministic sketches the legs feed — for the parent to merge and
+    the live view to render.
     """
     started = time.perf_counter()
     config = preset_config(
@@ -296,6 +311,7 @@ def run_shard(spec: dict) -> dict:
         placement_policy=spec["placement"],
     )
     counters = Counters()
+    telemetry = TelemetryRegistry(enabled=bool(spec.get("telemetry", True)))
     record = {
         "schema": SCHEMA,
         "sweep": spec["sweep"],
@@ -311,11 +327,18 @@ def run_shard(spec: dict) -> dict:
         "fetch_time": config.page_fetch_time,
         "checked": spec["checked"],
     }
-    record.update(_replay(spec, counters))
-    record.update(_mix(spec, config, counters))
-    record.update(_churn(spec, config, counters))
-    record.update(_serve(spec, counters))
+    with telemetry.span("sweep.shard_seconds"):
+        with telemetry.span("sweep.replay_seconds"):
+            record.update(_replay(spec, counters, telemetry))
+        with telemetry.span("sweep.mix_seconds"):
+            record.update(_mix(spec, config, counters))
+        with telemetry.span("sweep.churn_seconds"):
+            record.update(_churn(spec, config, counters, telemetry))
+        with telemetry.span("sweep.serve_seconds"):
+            record.update(_serve(spec, counters, telemetry))
     record["counters"] = counters.snapshot()
+    if telemetry.enabled:
+        record["telemetry"] = telemetry.snapshot()
     record["wall_s"] = round(time.perf_counter() - started, 4)
     return record
 

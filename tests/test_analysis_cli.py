@@ -117,3 +117,68 @@ class TestTraceDiff:
         copy.write_text(trace_file.read_text())
         assert main(["trace-diff", str(trace_file), str(copy)]) == 0
         assert "trace diff" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    """``--format json``: machine-readable output for both commands."""
+
+    def test_analyze_json_is_parseable_and_complete(self, trace_file):
+        out = io.StringIO()
+        args = build_analyze_parser().parse_args(
+            [str(trace_file), "--format", "json"]
+        )
+        assert run_analyze(args, stream=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["trace"] == str(trace_file)
+        assert payload["kind_counts"]
+        assert "fault_rate" in payload["series"]
+
+    def test_analyze_json_matches_export_json(self, trace_file, tmp_path):
+        exported = tmp_path / "analytics.json"
+        out = io.StringIO()
+        args = build_analyze_parser().parse_args(
+            [str(trace_file), "--format", "json",
+             "--export-json", str(exported)]
+        )
+        assert run_analyze(args, stream=out) == 0
+        printed = json.loads(out.getvalue())
+        written = json.loads(exported.read_text())
+        del printed["trace"]
+        assert printed == written
+
+    def test_diff_json_identical_traces(self, trace_file, tmp_path):
+        copy = tmp_path / "copy.jsonl"
+        copy.write_text(trace_file.read_text())
+        out = io.StringIO()
+        args = build_diff_parser().parse_args(
+            [str(trace_file), str(copy), "--format", "json"]
+        )
+        assert run_diff(args, stream=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["identical"] is True
+        assert payload["divergence_index"] is None
+        assert all(delta == 0 for delta in payload["deltas"].values())
+
+    def test_diff_json_divergent_traces_exit_one(self, trace_file,
+                                                 tmp_path):
+        lines = trace_file.read_text().splitlines()
+        record = json.loads(lines[5])
+        record["time"] = record["time"] + 999
+        lines[5] = json.dumps(record)
+        other = tmp_path / "other.jsonl"
+        other.write_text("\n".join(lines) + "\n")
+        out = io.StringIO()
+        args = build_diff_parser().parse_args(
+            [str(trace_file), str(other), "--format", "json"]
+        )
+        assert run_diff(args, stream=out) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["identical"] is False
+        assert payload["divergence_index"] == 5
+        assert payload["a_at_divergence"] is not None
+
+    def test_table_stays_the_default(self, trace_file, capsys):
+        assert main_analyze([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

@@ -1,0 +1,95 @@
+"""Sparkline hardening: degenerate series must render, never raise.
+
+The dashboard calls ``sparkline`` on whatever a live run produces —
+empty bucket lists, flat series, NaN fault rates from 0/0, inf
+throughputs from a zero-elapsed window — so every degenerate shape has
+a pinned rendering here.
+"""
+
+import math
+
+import pytest
+
+from repro.metrics.report import SPARK_LEVELS, sparkline
+
+
+class TestDegenerateSeries:
+    def test_empty_series_is_empty_string(self):
+        assert sparkline([]) == ""
+
+    def test_single_sample_is_one_flat_glyph(self):
+        assert sparkline([5.0], width=4) == SPARK_LEVELS[1]
+
+    def test_all_equal_series_is_flat(self):
+        assert sparkline([2, 2, 2], width=4) == SPARK_LEVELS[1] * 3
+
+    def test_all_zero_series_is_flat_not_blank(self):
+        assert sparkline([0, 0, 0, 0]) == SPARK_LEVELS[1] * 4
+
+    def test_nan_renders_blank_among_finite_samples(self):
+        line = sparkline([0.0, float("nan"), 10.0], width=8)
+        assert line[0] == SPARK_LEVELS[0]
+        assert line[1] == SPARK_LEVELS[0]      # NaN → blank
+        assert line[2] == SPARK_LEVELS[-1]
+
+    def test_inf_renders_blank_and_does_not_skew_the_scale(self):
+        line = sparkline([1.0, float("inf"), 2.0], width=8)
+        assert line[1] == SPARK_LEVELS[0]
+        # the finite samples still span the full ink range
+        assert line[0] == SPARK_LEVELS[0]
+        assert line[2] == SPARK_LEVELS[-1]
+
+    def test_all_nonfinite_series_is_flat(self):
+        values = [float("nan"), float("inf"), float("-inf")]
+        assert sparkline(values, width=8) == SPARK_LEVELS[1] * 3
+
+    def test_negative_values_scale_normally(self):
+        line = sparkline([-10, 0, 10], width=4)
+        assert line[0] == SPARK_LEVELS[0]
+        assert line[-1] == SPARK_LEVELS[-1]
+
+
+class TestScaling:
+    def test_min_maps_low_max_maps_high(self):
+        line = sparkline([0, 1, 2, 3], width=4)
+        assert line == " -*@"
+
+    def test_monotone_series_renders_monotone_ink(self):
+        line = sparkline(list(range(10)), width=10)
+        levels = [SPARK_LEVELS.index(glyph) for glyph in line]
+        assert levels == sorted(levels)
+
+    def test_output_never_exceeds_width(self):
+        for length in (1, 5, 59, 60, 61, 1000):
+            assert len(sparkline(list(range(length)), width=60)) <= 60
+
+    def test_downsampling_preserves_the_shape(self):
+        ramp = list(range(1000))
+        line = sparkline(ramp, width=10)
+        assert len(line) == 10
+        levels = [SPARK_LEVELS.index(glyph) for glyph in line]
+        assert levels == sorted(levels)
+        assert levels[0] < levels[-1]
+
+    def test_downsampled_nan_chunk_is_blank(self):
+        values = [1.0] * 50 + [float("nan")] * 50 + [2.0] * 50
+        line = sparkline(values, width=3)
+        assert line[1] == SPARK_LEVELS[0]
+
+    def test_ints_and_floats_mix(self):
+        assert sparkline([1, 2.5, 3], width=3)
+
+
+class TestValidation:
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            sparkline([1, 2], width=0)
+        with pytest.raises(ValueError, match="width"):
+            sparkline([1, 2], width=-3)
+
+    def test_levels_are_plain_ascii(self):
+        assert all(ord(glyph) < 128 for glyph in SPARK_LEVELS)
+
+    def test_output_uses_only_known_levels(self):
+        values = [math.sin(x / 5) for x in range(200)]
+        assert set(sparkline(values, width=40)) <= set(SPARK_LEVELS)

@@ -58,6 +58,51 @@ class TestRegistry:
         assert left.value("x") == 7
         assert left.value("y") == 1
 
+    def test_merge_snapshot_round_trips(self):
+        source = Counters()
+        source.increment("pager.faults", 5)
+        with source.timer("replay"):
+            pass
+        target = Counters.from_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestMergeSnapshotValidation:
+    """Malformed worker snapshots must fail loudly, not skew totals."""
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError, match="must be a str"):
+            Counters().merge_snapshot({3: 1})
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(TypeError, match="'pager.faults'"):
+            Counters().merge_snapshot({"pager.faults": "7"})
+
+    def test_boolean_value_rejected(self):
+        """bool is an int subclass; a True that slipped into a snapshot
+        is a bug upstream, not a count of one."""
+        with pytest.raises(TypeError, match="must be a number"):
+            Counters().merge_snapshot({"flag": True})
+
+    def test_none_value_rejected(self):
+        with pytest.raises(TypeError, match="must be a number"):
+            Counters().merge_snapshot({"x": None})
+
+    def test_error_leaves_no_partial_merge_visible(self):
+        counters = Counters()
+        with pytest.raises(TypeError):
+            counters.merge_snapshot({"good": 1, "bad": "oops"})
+        # the good entry before the bad one may have landed; what must
+        # NOT happen is the bad entry merging silently
+        assert counters.value("bad") == 0
+
+    def test_floats_and_ints_both_merge(self):
+        counters = Counters()
+        counters.merge_snapshot({"a": 2, "b_seconds": 0.5})
+        counters.merge_snapshot({"a": 3, "b_seconds": 0.25})
+        assert counters.value("a") == 5
+        assert counters.value("b_seconds") == 0.75
+
 
 class TestNullCounters:
     def test_records_nothing(self):

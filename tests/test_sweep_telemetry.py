@@ -1,0 +1,188 @@
+"""The sweep ↔ telemetry seam: shard registries, heartbeat, --live CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.observe.telemetry import TelemetryRegistry
+from repro.sweep.engine import (
+    deterministic_telemetry,
+    heartbeat_path,
+    run_sweep,
+    strip_nondeterministic,
+    write_heartbeat,
+)
+from repro.sweep.grid import SweepGrid
+from repro.sweep.shard import run_shard
+
+
+def tiny_grid(**overrides):
+    base = dict(
+        name="tele-seam",
+        machines=("baseline",),
+        replacement=("lru",),
+        placement=("first_fit",),
+        frames=(8,),
+        capacities=(10_000,),
+        seeds=(0,),
+        length=300,
+        pages=32,
+        requests=150,
+        mean_lifetime=60,
+        programs=2,
+        program_length=150,
+    )
+    base.update(overrides)
+    return SweepGrid.from_dict(base)
+
+
+class TestShardTelemetry:
+    def spec(self, **overrides):
+        spec = next(iter(tiny_grid().shards())).spec()
+        spec.update(overrides)
+        return spec
+
+    def test_record_carries_a_snapshot(self):
+        record = run_shard(self.spec())
+        snapshot = record["telemetry"]
+        # The replay leg's 300 references, plus the serve leg's tenant
+        # replays folded in under the same prefix.
+        assert snapshot["counters"]["replay.references"] >= 300
+        assert "replay.fault_gap" in snapshot["histograms"]
+        assert "alloc.request_words" in snapshot["histograms"]
+        assert "serve.tenant_faults" in snapshot["histograms"]
+
+    def test_shard_leg_spans_are_recorded(self):
+        snapshot = run_shard(self.spec())["telemetry"]
+        for leg in ("sweep.shard_seconds", "sweep.replay_seconds",
+                    "sweep.churn_seconds", "sweep.serve_seconds"):
+            assert snapshot["histograms"][leg]["count"] == 1
+
+    def test_telemetry_false_omits_the_snapshot(self):
+        record = run_shard(self.spec(telemetry=False))
+        assert "telemetry" not in record
+
+    def test_telemetry_does_not_change_the_shard_record(self):
+        on = run_shard(self.spec())
+        off = run_shard(self.spec(telemetry=False))
+        on_comparable = {key: value for key, value in on.items()
+                         if key not in ("telemetry", "wall_s")}
+        off_comparable = {key: value for key, value in off.items()
+                          if key != "wall_s"}
+        assert on_comparable == off_comparable
+
+    def test_snapshot_is_json_serializable(self):
+        record = run_shard(self.spec())
+        assert json.loads(json.dumps(record["telemetry"])) \
+            == record["telemetry"]
+
+
+class TestDeterministicTelemetry:
+    def test_strips_seconds_from_every_section(self):
+        registry = TelemetryRegistry()
+        registry.counter("replay.faults").increment(2)
+        with registry.span("leg.wall_seconds"):
+            pass
+        stripped = deterministic_telemetry(
+            json.loads(json.dumps(registry.snapshot()))
+        )
+        assert "leg.wall_seconds" not in stripped["histograms"]
+        assert "leg.wall_seconds" not in stripped["units"]
+        assert stripped["counters"] == {"replay.faults": 2}
+
+    def test_matches_the_registry_method(self):
+        registry = TelemetryRegistry()
+        registry.histogram("gap").observe_many([1, 2])
+        with registry.span("x_seconds"):
+            pass
+        assert deterministic_telemetry(registry.snapshot()) \
+            == registry.deterministic_snapshot()
+
+    def test_strip_nondeterministic_reduces_not_drops(self):
+        record = run_shard(
+            next(iter(tiny_grid().shards())).spec()
+        )
+        stripped = strip_nondeterministic(record)
+        assert "wall_s" not in stripped
+        assert "telemetry" in stripped
+        assert "sweep.shard_seconds" \
+            not in stripped["telemetry"]["histograms"]
+        assert "replay.fault_gap" in stripped["telemetry"]["histograms"]
+
+
+class TestSweepResultTelemetry:
+    def test_merged_registry_sums_the_shards(self):
+        grid = tiny_grid(seeds=(0, 1))
+        result = run_sweep(grid, workers=1)
+        per_shard = [run_shard(shard.spec()) for shard in grid.shards()]
+        expected = TelemetryRegistry()
+        for record in per_shard:
+            expected.merge_snapshot(record["telemetry"])
+        assert result.telemetry.deterministic_snapshot() \
+            == expected.deterministic_snapshot()
+
+    def test_resume_folds_prior_telemetry_back_in(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        grid = tiny_grid(seeds=(0, 1))
+        full = run_sweep(grid, workers=1, results_path=results)
+        resumed = run_sweep(grid, workers=1, results_path=results,
+                            resume=True)
+        assert resumed.executed == 0
+        assert resumed.skipped == 2
+        assert resumed.telemetry.deterministic_snapshot() \
+            == full.telemetry.deterministic_snapshot()
+
+
+class TestHeartbeat:
+    def test_path_sits_next_to_the_results_file(self, tmp_path):
+        results = tmp_path / "campaign.jsonl"
+        assert heartbeat_path(results) \
+            == tmp_path / "campaign.jsonl.telemetry.json"
+
+    def test_sweep_writes_a_live_heartbeat(self, tmp_path):
+        results = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(), workers=1, results_path=results)
+        payload = json.loads(heartbeat_path(results).read_text())
+        assert payload["sweep"] == "tele-seam"
+        assert payload["done"] == payload["total"] == 1
+        assert payload["failed"] == 0
+        assert payload["telemetry"]["counters"]["replay.references"] >= 300
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        target = tmp_path / "hb.json"
+        write_heartbeat(target, "g", 1, 2, 0, TelemetryRegistry())
+        assert target.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unwritable_path_is_swallowed(self, tmp_path):
+        missing_dir = tmp_path / "no" / "such" / "dir" / "hb.json"
+        write_heartbeat(missing_dir, "g", 1, 2, 0, TelemetryRegistry())
+
+    def test_heartbeat_feeds_top(self, tmp_path):
+        from repro.observe.telemetry.cli import run_top
+
+        results = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(), workers=1, results_path=results)
+        out = io.StringIO()
+        assert run_top(["--once", "--snapshot",
+                        str(heartbeat_path(results))], stream=out) == 0
+        text = out.getvalue()
+        assert "sweep=tele-seam" in text
+        assert "replay.fault_gap" in text
+
+
+class TestSweepLiveCli:
+    def test_live_flag_renders_frames_without_a_tty(self, tmp_path,
+                                                    capsys):
+        from repro.sweep.cli import main
+
+        results = tmp_path / "live.jsonl"
+        assert main(["--quick", "--live", "--workers", "1",
+                     "--results", str(results), "--seeds", "0",
+                     "--machines", "baseline", "--replacement", "lru",
+                     "--frames", "8", "--no-report"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep --live" in out
+        assert "merged shard telemetry" in out
+        assert "\x1b[" not in out      # plain-text fallback, no ANSI

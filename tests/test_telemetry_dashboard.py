@@ -1,0 +1,230 @@
+"""Dashboard rendering and the top / metrics-export CLIs."""
+
+import io
+import json
+
+import pytest
+
+from repro.observe.telemetry.cli import (
+    demo_registry,
+    load_snapshot,
+    run_metrics_export,
+    run_top,
+)
+from repro.observe.telemetry.dashboard import (
+    LiveRenderer,
+    SweepLiveView,
+    histogram_rows,
+    render_snapshot,
+)
+from repro.observe.telemetry.exposition import validate_openmetrics
+from repro.observe.telemetry.registry import TelemetryRegistry
+
+
+def filled_registry():
+    registry = TelemetryRegistry()
+    registry.counter("replay.faults").increment(9)
+    registry.gauge("pool.resident").set(4)
+    registry.histogram("replay.fault_gap").observe_many([1, 2, 2, 50])
+    return registry
+
+
+class TestRendering:
+    def test_histogram_rows_summarize_each_sketch(self):
+        rows = histogram_rows(filled_registry().snapshot())
+        assert len(rows) == 1
+        name, count, mean, p50, p90, p99, maximum, shape = rows[0]
+        assert name == "replay.fault_gap"
+        assert count == 4
+        assert maximum == 50
+        assert p50 <= p90 <= p99
+        assert shape      # the sparkline silhouette is non-empty
+
+    def test_empty_sketch_renders_a_zero_row(self):
+        registry = TelemetryRegistry()
+        registry.histogram("quiet")
+        rows = histogram_rows(registry.snapshot())
+        assert rows == [("quiet", 0, 0.0, 0.0, 0.0, 0.0, 0.0, "")]
+
+    def test_render_snapshot_has_all_sections(self):
+        frame = render_snapshot(filled_registry().snapshot(), title="t")
+        assert "replay.faults" in frame
+        assert "pool.resident (gauge)" in frame
+        assert "replay.fault_gap" in frame
+        assert "distributions" in frame
+
+    def test_render_empty_registry_degrades_gracefully(self):
+        frame = render_snapshot(TelemetryRegistry().snapshot())
+        assert "no instruments registered" in frame
+
+
+class TestLiveRenderer:
+    def test_non_tty_appends_with_separators(self):
+        out = io.StringIO()
+        renderer = LiveRenderer(stream=out)
+        assert renderer.ansi is False
+        renderer.render("frame one")
+        renderer.render("frame two")
+        text = out.getvalue()
+        assert "frame one" in text and "frame two" in text
+        assert "-" * 64 in text
+        assert "\x1b[" not in text
+
+    def test_forced_ansi_clears_between_frames(self):
+        out = io.StringIO()
+        renderer = LiveRenderer(stream=out, ansi=True)
+        renderer.render("frame")
+        assert out.getvalue().startswith(LiveRenderer.CLEAR)
+
+
+class TestSweepLiveView:
+    def view(self):
+        clock = iter(range(100)).__next__
+        return SweepLiveView("demo-grid",
+                             renderer=LiveRenderer(stream=io.StringIO()),
+                             clock=lambda: float(clock()))
+
+    def shard_record(self, shard="m/lru/0", faults=3):
+        worker = TelemetryRegistry()
+        worker.histogram("replay.fault_gap").observe_many([1, 2, 4])
+        return {
+            "shard": shard,
+            "fault_rate": 0.25,
+            "counters": {"replay.references": 400},
+            "telemetry": worker.snapshot(),
+        }
+
+    def test_update_accumulates_and_renders(self):
+        view = self.view()
+        view.update(1, 4, self.shard_record("a"))
+        view.update(2, 4, self.shard_record("b"))
+        assert view.references == 800
+        assert view.failed == 0
+        assert view.telemetry.histogram_sketch("replay.fault_gap").count == 6
+        frame = view.frame(2, 4)
+        assert "demo-grid" in frame
+        assert "2/4" in frame
+        assert "fault rate" in frame
+        assert "merged shard telemetry" in frame
+
+    def test_failed_shards_are_counted_not_merged(self):
+        view = self.view()
+        view.update(1, 2, {"shard": "bad", "error": "boom"})
+        assert view.failed == 1
+        assert view.references == 0
+        assert "(FAILED)" in view.last_shard
+
+    def test_records_without_telemetry_still_render(self):
+        view = self.view()
+        view.update(1, 1, {"shard": "plain", "fault_rate": 0.1,
+                           "counters": {"replay.references": 10}})
+        assert view.references == 10
+
+
+class TestTopCli:
+    def test_once_renders_demo_frame(self):
+        out = io.StringIO()
+        assert run_top(["--once"], stream=out) == 0
+        text = out.getvalue()
+        assert "telemetry (demo workload)" in text
+        assert "replay.references" in text
+
+    def test_demo_is_deterministic_apart_from_wall_time(self):
+        first = demo_registry(seed=7).deterministic_snapshot()
+        second = demo_registry(seed=7).deterministic_snapshot()
+        assert first == second
+
+    def test_snapshot_file_rendered_with_header(self, tmp_path):
+        heartbeat = tmp_path / "results.telemetry.json"
+        heartbeat.write_text(json.dumps({
+            "sweep": "demo",
+            "done": 3,
+            "total": 8,
+            "telemetry": filled_registry().snapshot(),
+        }))
+        out = io.StringIO()
+        assert run_top(["--once", "--snapshot", str(heartbeat)],
+                       stream=out) == 0
+        text = out.getvalue()
+        assert "done=3" in text and "total=8" in text
+        assert "replay.fault_gap" in text
+
+    def test_iterations_limit_stops_the_follow_loop(self, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(json.dumps(filled_registry().snapshot()))
+        out = io.StringIO()
+        assert run_top(["--snapshot", str(snapshot), "--iterations", "2",
+                        "--interval", "0"], stream=out) == 0
+        assert out.getvalue().count("replay.fault_gap") == 2
+
+    def test_missing_snapshot_file_is_a_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert run_top(["--once", "--snapshot", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_object_snapshot_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        assert run_top(["--once", "--snapshot", str(bad)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+
+class TestMetricsExportCli:
+    def test_demo_export_is_valid_openmetrics(self):
+        out = io.StringIO()
+        assert run_metrics_export([], stream=out) == 0
+        families = validate_openmetrics(out.getvalue())
+        assert any(name.startswith("repro_replay") for name in families)
+
+    def test_snapshot_file_export(self, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(json.dumps(filled_registry().snapshot()))
+        out = io.StringIO()
+        assert run_metrics_export(["--snapshot", str(snapshot)],
+                                  stream=out) == 0
+        families = validate_openmetrics(out.getvalue())
+        assert "repro_replay_faults" in families
+
+    def test_output_file_written(self, tmp_path):
+        target = tmp_path / "metrics.txt"
+        assert run_metrics_export(["--output", str(target)]) == 0
+        validate_openmetrics(target.read_text())
+
+    def test_missing_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        assert run_metrics_export(
+            ["--snapshot", str(tmp_path / "gone.json")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLoadSnapshot:
+    def test_bare_snapshot_has_no_header(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(filled_registry().snapshot()))
+        snapshot, header = load_snapshot(str(path))
+        assert header == {}
+        assert "counters" in snapshot
+
+    def test_heartbeat_scalars_become_the_header(self, tmp_path):
+        path = tmp_path / "hb.json"
+        path.write_text(json.dumps({
+            "sweep": "g", "done": 1, "total": 2, "failed": 0,
+            "telemetry": filled_registry().snapshot(),
+        }))
+        snapshot, header = load_snapshot(str(path))
+        assert header == {"sweep": "g", "done": 1, "total": 2, "failed": 0}
+        assert "counters" in snapshot
+
+
+class TestPackageCliRouting:
+    def test_top_routes_through_python_m_repro(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["top", "--once"]) == 0
+        assert "telemetry (demo workload)" in capsys.readouterr().out
+
+    def test_metrics_export_routes_through_python_m_repro(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["metrics-export"]) == 0
+        validate_openmetrics(capsys.readouterr().out)

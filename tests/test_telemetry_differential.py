@@ -1,0 +1,138 @@
+"""The telemetry non-interference pin: observation never changes the answer.
+
+Two contracts, both over seeded workloads:
+
+- **On/off bit-identity.**  Running replay or shared serving with a
+  live registry produces exactly the result the uninstrumented run
+  produces — 100 seeds for the replay kernel, a smaller sweep for the
+  heavier serving tier.  Telemetry is read-only on the simulation.
+- **Worker-count invariance.**  A sweep's merged registry holds the
+  same deterministic instruments whether shards ran in one process or
+  several; only ``*_seconds`` wall timings may differ, and the
+  deterministic snapshot strips exactly those.
+"""
+
+import pytest
+
+from repro.observe.telemetry import TelemetryRegistry
+from repro.paging.replacement import make_policy
+from repro.paging.simulate import simulate_trace
+from repro.serve.replay import seeded_writes, simulate_shared, tenant_traces
+from repro.workload.reference import phased_trace
+
+
+def replay_result(seed, telemetry=None):
+    trace = phased_trace(pages=64, length=400, working_set=8,
+                         phase_length=50, locality=0.9, seed=seed)
+    return simulate_trace(trace, 8, make_policy("lru"),
+                          telemetry=telemetry)
+
+
+def serve_result(seed, telemetry=None):
+    traces, shared = tenant_traces(3, pages=32, length=300, seed=seed)
+    writes = [seeded_writes(len(trace), fraction=0.2, seed=seed + index)
+              for index, trace in enumerate(traces)]
+    return simulate_shared(traces, 8, lambda _index: make_policy("lru"),
+                           shared_pages=shared, writes=writes,
+                           telemetry=telemetry)
+
+
+class TestOnOffBitIdentity:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_replay_is_unchanged_by_telemetry(self, seed):
+        assert replay_result(seed, TelemetryRegistry()) \
+            == replay_result(seed, None)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_shared_serving_is_unchanged_by_telemetry(self, seed):
+        on = serve_result(seed, TelemetryRegistry())
+        off = serve_result(seed, None)
+        assert on.tenants == off.tenants
+        assert on.shares == off.shares
+        assert on.cow_breaks == off.cow_breaks
+        assert on.pool_stats == off.pool_stats
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_disabled_registry_matches_none(self, seed):
+        disabled = TelemetryRegistry(enabled=False)
+        assert replay_result(seed, disabled) == replay_result(seed, None)
+        assert disabled.snapshot()["counters"] == {}
+
+    def test_telemetry_instruments_match_the_result(self):
+        """The registry's counters are the result's numbers, not a
+        parallel accounting that could drift."""
+        telemetry = TelemetryRegistry()
+        result = replay_result(1967, telemetry)
+        assert telemetry.counter_value("replay.references") \
+            == result.references
+        assert telemetry.counter_value("replay.faults") == result.faults
+        assert telemetry.counter_value("replay.evictions") \
+            == result.evictions
+
+
+class TestTelemetryRerunDeterminism:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_two_instrumented_runs_agree_exactly(self, seed):
+        first, second = TelemetryRegistry(), TelemetryRegistry()
+        replay_result(seed, first)
+        replay_result(seed, second)
+        assert first.deterministic_snapshot() \
+            == second.deterministic_snapshot()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_serve_registries_agree_exactly(self, seed):
+        first, second = TelemetryRegistry(), TelemetryRegistry()
+        serve_result(seed, first)
+        serve_result(seed, second)
+        assert first.deterministic_snapshot() \
+            == second.deterministic_snapshot()
+
+
+class TestSweepWorkerInvariance:
+    def grid(self):
+        from repro.sweep.grid import SweepGrid
+
+        return SweepGrid.from_dict(dict(
+            name="tele",
+            machines=("baseline",),
+            replacement=("lru", "fifo"),
+            placement=("first_fit",),
+            frames=(8,),
+            capacities=(10_000,),
+            seeds=(0, 1),
+            length=300,
+            pages=32,
+            requests=150,
+            mean_lifetime=60,
+            programs=2,
+            program_length=150,
+        ))
+
+    def test_merged_registry_is_worker_count_invariant(self):
+        from repro.sweep.engine import run_sweep
+
+        serial = run_sweep(self.grid(), workers=1)
+        pooled = run_sweep(self.grid(), workers=2)
+        assert serial.telemetry.deterministic_snapshot() \
+            == pooled.telemetry.deterministic_snapshot()
+
+    def test_shard_records_strip_to_equality(self):
+        from repro.sweep.engine import run_sweep, strip_nondeterministic
+
+        serial = run_sweep(self.grid(), workers=1)
+        pooled = run_sweep(self.grid(), workers=2)
+        assert [strip_nondeterministic(record)
+                for record in serial.records] \
+            == [strip_nondeterministic(record)
+                for record in pooled.records]
+
+    def test_merged_registry_actually_carries_instruments(self):
+        """Guard against vacuous invariance: the sweep really does
+        populate sketches across the worker boundary."""
+        from repro.sweep.engine import run_sweep
+
+        result = run_sweep(self.grid(), workers=2)
+        snapshot = result.telemetry.deterministic_snapshot()
+        assert snapshot["counters"]
+        assert "replay.fault_gap" in snapshot["histograms"]
+        assert "alloc.request_words" in snapshot["histograms"]

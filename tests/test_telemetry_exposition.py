@@ -1,0 +1,139 @@
+"""OpenMetrics exposition: rendering, name mapping, strict validation."""
+
+import pytest
+
+from repro.observe.telemetry.exposition import (
+    METRIC_PREFIX,
+    metric_name,
+    to_openmetrics,
+    validate_openmetrics,
+)
+from repro.observe.telemetry.registry import TelemetryRegistry
+
+
+def filled_registry():
+    registry = TelemetryRegistry()
+    registry.counter("replay.faults").increment(42)
+    registry.counter("serve.cow_breaks").increment(3)
+    registry.gauge("pool.resident").set(12)
+    registry.histogram("replay.fault_gap", unit="refs").observe_many(
+        [0, 1, 3, 3, 900]
+    )
+    return registry
+
+
+class TestMetricName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert metric_name("serve.acquire_seconds") == \
+            METRIC_PREFIX + "serve_acquire_seconds"
+        assert metric_name("a-b.c") == METRIC_PREFIX + "a_b_c"
+
+    def test_illegal_names_rejected(self):
+        with pytest.raises(ValueError, match="legal metric name"):
+            metric_name("bad name")
+
+
+class TestRendering:
+    def test_ends_with_eof(self):
+        text = to_openmetrics(filled_registry().snapshot())
+        assert text.endswith("# EOF\n")
+
+    def test_counters_expose_total_samples(self):
+        text = to_openmetrics(filled_registry().snapshot())
+        assert "# TYPE repro_replay_faults counter" in text
+        assert "repro_replay_faults_total 42" in text
+
+    def test_gauges_expose_bare_samples(self):
+        text = to_openmetrics(filled_registry().snapshot())
+        assert "# TYPE repro_pool_resident gauge" in text
+        assert "repro_pool_resident 12" in text
+
+    def test_histograms_expose_cumulative_buckets(self):
+        families = validate_openmetrics(
+            to_openmetrics(filled_registry().snapshot())
+        )
+        family = families["repro_replay_fault_gap"]
+        assert family["type"] == "histogram"
+        buckets = [value for name, _, value in family["samples"]
+                   if name.endswith("_bucket")]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 5            # +Inf == count
+        count = [value for name, _, value in family["samples"]
+                 if name.endswith("_count")]
+        assert count == [5.0]
+
+    def test_empty_registry_is_valid(self):
+        text = to_openmetrics(TelemetryRegistry().snapshot())
+        assert validate_openmetrics(text) == {}
+
+    def test_round_trip_is_always_valid(self):
+        validate_openmetrics(to_openmetrics(filled_registry().snapshot()))
+
+
+class TestValidation:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            validate_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_malformed_type_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            validate_openmetrics("# TYPE x banana\nx 1\n# EOF\n")
+
+    def test_sample_without_metadata_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE metadata"):
+            validate_openmetrics("orphan 1\n# EOF\n")
+
+    def test_non_numeric_sample_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_openmetrics(
+                "# TYPE x gauge\nx banana\n# EOF\n"
+            )
+
+    def test_counter_without_suffix_rejected(self):
+        with pytest.raises(ValueError, match="lacks a suffix"):
+            validate_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError, match="negative counter"):
+            validate_openmetrics("# TYPE x counter\nx_total -1\n# EOF\n")
+
+    def test_histogram_without_buckets_rejected(self):
+        with pytest.raises(ValueError, match="no _bucket"):
+            validate_openmetrics(
+                "# TYPE x histogram\nx_count 0\n# EOF\n"
+            )
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = ("# TYPE x histogram\n"
+                'x_bucket{le="1"} 5\n'
+                'x_bucket{le="+Inf"} 3\n'
+                "# EOF\n")
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_openmetrics(text)
+
+    def test_buckets_must_ascend_to_inf(self):
+        text = ("# TYPE x histogram\n"
+                'x_bucket{le="2"} 1\n'
+                'x_bucket{le="1"} 2\n'
+                "# EOF\n")
+        with pytest.raises(ValueError, match="ascend"):
+            validate_openmetrics(text)
+
+    def test_count_must_agree_with_inf_bucket(self):
+        text = ("# TYPE x histogram\n"
+                'x_bucket{le="+Inf"} 3\n'
+                "x_count 4\n"
+                "# EOF\n")
+        with pytest.raises(ValueError, match="disagrees"):
+            validate_openmetrics(text)
+
+    def test_bucket_without_le_label_rejected(self):
+        text = ("# TYPE x histogram\n"
+                'x_bucket{foo="1"} 3\n'
+                "# EOF\n")
+        with pytest.raises(ValueError, match="le label"):
+            validate_openmetrics(text)
+
+    def test_type_without_samples_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            validate_openmetrics("# TYPE x counter\n# EOF\n")

@@ -1,0 +1,233 @@
+"""Unit behavior of the streaming sketches: LogHistogram and P2Quantile."""
+
+import math
+
+import pytest
+
+from repro.observe.telemetry.sketch import (
+    DEFAULT_SUBBUCKETS,
+    LogHistogram,
+    P2Quantile,
+)
+
+
+class TestLogHistogramRecording:
+    def test_count_sum_min_max_mean(self):
+        sketch = LogHistogram()
+        for value in (1, 5, 12, 100):
+            sketch.observe(value)
+        assert sketch.count == 4
+        assert sketch.total == 118
+        assert sketch.minimum == 1
+        assert sketch.maximum == 100
+        assert sketch.mean == 118 / 4
+
+    def test_zeros_counted_apart(self):
+        sketch = LogHistogram()
+        sketch.observe(0)
+        sketch.observe(0)
+        sketch.observe(3)
+        assert sketch.count == 3
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            LogHistogram().observe(-1)
+
+    def test_bad_subbuckets_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(subbuckets=0)
+
+    def test_observe_many(self):
+        sketch = LogHistogram()
+        sketch.observe_many(range(1, 11))
+        assert sketch.count == 10
+        assert sketch.total == 55
+
+    def test_integer_sum_stays_exact(self):
+        """Integer observations keep an int sum — the bit-exact-merge
+        invariant the sweep determinism rests on."""
+        sketch = LogHistogram()
+        sketch.observe_many([10**15, 3, 7])
+        assert isinstance(sketch.total, int)
+        assert sketch.total == 10**15 + 10
+
+    def test_len_is_count(self):
+        sketch = LogHistogram()
+        sketch.observe_many([1, 2, 3])
+        assert len(sketch) == 3
+
+
+class TestLogHistogramBuckets:
+    def test_bucket_bounds_contain_observed_value(self):
+        sketch = LogHistogram()
+        for value in (0.001, 0.7, 1.0, 1.5, 17, 1000, 2**40):
+            index = sketch._index(value)
+            low, high = sketch.bucket_bounds(index)
+            assert low <= value < high or math.isclose(value, high)
+
+    def test_bucket_relative_width_bounds_error(self):
+        sketch = LogHistogram()
+        for value in (1.0, 3.0, 250.0):
+            low, high = sketch.bucket_bounds(sketch._index(value))
+            assert (high - low) / low <= 1.0 / sketch.subbuckets + 1e-12
+
+    def test_bucket_counts_ascend(self):
+        sketch = LogHistogram()
+        sketch.observe_many([512, 1, 64, 8])
+        indices = [index for index, _ in sketch.bucket_counts()]
+        assert indices == sorted(indices)
+
+
+class TestLogHistogramQuantiles:
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LogHistogram().quantile(0.5)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _ = LogHistogram().mean
+
+    def test_out_of_range_quantile_raises(self):
+        sketch = LogHistogram()
+        sketch.observe(1)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_quantile_clamped_to_observed_range(self):
+        sketch = LogHistogram()
+        sketch.observe_many([7, 7, 7])
+        assert sketch.quantile(0.0) == 7
+        assert sketch.quantile(1.0) == 7
+
+    def test_percentile_convention(self):
+        sketch = LogHistogram()
+        sketch.observe_many(range(1, 101))
+        assert sketch.percentile(50) == sketch.quantile(0.5)
+        with pytest.raises(ValueError):
+            sketch.percentile(101)
+
+    def test_relative_error_bound_matches_subbuckets(self):
+        assert LogHistogram().relative_error_bound == 1 / DEFAULT_SUBBUCKETS
+        assert LogHistogram(subbuckets=64).relative_error_bound == 1 / 64
+
+
+class TestLogHistogramMerge:
+    def test_merge_is_exact(self):
+        """Split a stream two ways; the merge equals the single stream,
+        bucket for bucket and bit for bit."""
+        whole = LogHistogram()
+        left, right = LogHistogram(), LogHistogram()
+        for index, value in enumerate(v * 3 + 1 for v in range(200)):
+            whole.observe(value)
+            (left if index % 2 else right).observe(value)
+        left.merge(right)
+        assert left.to_dict() == whole.to_dict()
+
+    def test_merge_empty_sides(self):
+        sketch = LogHistogram()
+        sketch.observe_many([1, 2])
+        empty = LogHistogram()
+        sketch.merge(LogHistogram())
+        assert sketch.count == 2
+        empty.merge(sketch)
+        assert empty.to_dict() == sketch.to_dict()
+
+    def test_subbucket_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="sub-buckets"):
+            LogHistogram(subbuckets=8).merge(LogHistogram(subbuckets=16))
+
+
+class TestLogHistogramSerialization:
+    def test_round_trip(self):
+        sketch = LogHistogram()
+        sketch.observe_many([0, 1, 2, 900, 2**20])
+        clone = LogHistogram.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert clone.quantile(0.5) == sketch.quantile(0.5)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        sketch = LogHistogram()
+        sketch.observe_many([3, 14, 15])
+        record = json.loads(json.dumps(sketch.to_dict()))
+        assert LogHistogram.from_dict(record).to_dict() == sketch.to_dict()
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            LogHistogram.from_dict({"counts": {}})
+        with pytest.raises(ValueError, match="malformed"):
+            LogHistogram.from_dict({"subbuckets": 16, "counts": "nope",
+                                    "zeros": 0, "count": 0, "sum": 0,
+                                    "min": None, "max": None})
+
+
+class TestP2Quantile:
+    def test_small_streams_are_exact(self):
+        sketch = P2Quantile(0.5)
+        for value in (9, 1, 5):
+            sketch.observe(value)
+        assert sketch.value() == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            P2Quantile(0.5).value()
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_median_of_uniform_stream(self):
+        sketch = P2Quantile(0.5)
+        for value in range(1, 1001):
+            sketch.observe(value)
+        assert 450 <= sketch.value() <= 550
+
+    def test_p99_tracks_the_tail(self):
+        sketch = P2Quantile(0.99)
+        for value in range(1, 1001):
+            sketch.observe(value)
+        assert 950 <= sketch.value() <= 1000
+
+    def test_merge_mismatched_quantile_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            P2Quantile(0.5).merge(P2Quantile(0.9))
+
+    def test_merge_with_empty_is_identity(self):
+        sketch = P2Quantile(0.5)
+        for value in range(50):
+            sketch.observe(value)
+        before = sketch.value()
+        sketch.merge(P2Quantile(0.5))
+        assert sketch.value() == before
+
+    def test_merge_into_empty_copies(self):
+        full = P2Quantile(0.5)
+        for value in range(50):
+            full.observe(value)
+        empty = P2Quantile(0.5)
+        empty.merge(full)
+        assert empty.count == 50
+        assert empty.value() == full.value()
+
+    def test_merge_of_small_sides_is_exact(self):
+        left, right = P2Quantile(0.5), P2Quantile(0.5)
+        for value in (1, 9):
+            left.observe(value)
+        for value in (5,):
+            right.observe(value)
+        left.merge(right)
+        assert left.value() == 5
+
+    def test_merged_estimate_is_reasonable(self):
+        left, right = P2Quantile(0.5), P2Quantile(0.5)
+        for value in range(1, 501):
+            left.observe(value)
+        for value in range(500, 1001):
+            right.observe(value)
+        left.merge(right)
+        assert 350 <= left.value() <= 650

@@ -1,0 +1,122 @@
+"""Span timing brackets: fake clocks, nesting, error paths, null form."""
+
+import pytest
+
+from repro.observe.telemetry.sketch import LogHistogram
+from repro.observe.telemetry.spans import NULL_SPAN, Span
+
+
+class FakeClock:
+    """A clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def span(clock):
+    return Span(LogHistogram(), clock=clock)
+
+
+class TestSpan:
+    def test_with_block_records_exact_duration(self, span, clock):
+        with span:
+            clock.now = 7.0
+        assert span.histogram.count == 1
+        assert span.histogram.maximum == 7.0
+
+    def test_start_stop_returns_duration(self, span, clock):
+        span.start()
+        clock.now = 3.0
+        assert span.stop() == 3.0
+
+    def test_reuse_accumulates_samples(self, span, clock):
+        for duration in (1.0, 2.0, 4.0):
+            span.start()
+            clock.now += duration
+            span.stop()
+        assert span.histogram.count == 3
+        assert span.histogram.total == 7.0
+
+    def test_nesting_is_innermost_first(self, span, clock):
+        span.start()            # outer, opens at 0
+        clock.now = 1.0
+        span.start()            # inner, opens at 1
+        clock.now = 2.0
+        assert span.stop() == 1.0
+        clock.now = 5.0
+        assert span.stop() == 5.0
+        assert span.histogram.count == 2
+
+    def test_stop_without_start_raises(self, span):
+        with pytest.raises(RuntimeError, match="without a matching"):
+            span.stop()
+
+    def test_abandon_discards_the_open_bracket(self, span, clock):
+        span.start()
+        clock.now = 9.0
+        span.abandon()
+        assert span.histogram.count == 0
+        span.abandon()          # idempotent on an empty span
+
+    def test_nonmonotonic_clock_clamps_to_zero(self, span, clock):
+        span.start()
+        clock.now = -5.0
+        assert span.stop() == 0.0
+        assert span.histogram.maximum == 0.0
+
+    def test_exception_paths_still_record(self, span, clock):
+        with pytest.raises(RuntimeError):
+            with span:
+                clock.now = 2.0
+                raise RuntimeError("boom")
+        assert span.histogram.count == 1
+        assert span.histogram.maximum == 2.0
+
+    def test_timed_returns_the_result(self, span, clock):
+        def work(x):
+            clock.now = 4.0
+            return x * 2
+
+        assert span.timed(work, 21) == 42
+        assert span.histogram.maximum == 4.0
+
+    def test_timed_records_on_raise(self, span, clock):
+        def explode():
+            clock.now = 1.0
+            raise ValueError("no")
+
+        with pytest.raises(ValueError):
+            span.timed(explode)
+        assert span.histogram.count == 1
+
+    def test_default_clock_is_wall_time(self):
+        span = Span(LogHistogram())
+        with span:
+            pass
+        assert span.histogram.count == 1
+        assert span.histogram.minimum >= 0
+
+
+class TestNullSpan:
+    def test_supports_the_full_protocol(self):
+        with NULL_SPAN:
+            pass
+        assert NULL_SPAN.start() is NULL_SPAN
+        assert NULL_SPAN.stop() == 0.0
+        NULL_SPAN.abandon()
+
+    def test_timed_passes_through(self):
+        assert NULL_SPAN.timed(lambda x: x + 1, 1) == 2
+
+    def test_is_falsy_for_hot_path_guards(self):
+        assert not NULL_SPAN
+        assert bool(Span(LogHistogram()))
