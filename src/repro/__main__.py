@@ -39,6 +39,14 @@
 ``python -m repro metrics-export`` writes a telemetry snapshot as
                              OpenMetrics exposition text, validated
                              before it is emitted.
+``python -m repro traffic``  runs an open-arrival traffic campaign:
+                             seeded session arrivals through admission
+                             control and per-tenant quotas over the
+                             shared frame pool, reporting steady-state
+                             throughput and p50/p99 queue/fault waits
+                             along an offered-load axis (see
+                             :mod:`repro.traffic`; accepts ``--quick``,
+                             ``--live``, ``--resume``, ``--compare``).
 """
 
 from __future__ import annotations
@@ -143,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.observe.telemetry.cli import run_metrics_export
 
         return run_metrics_export(arguments[1:])
+    elif command == "traffic":
+        from repro.traffic.cli import main as traffic_main
+
+        return traffic_main(arguments[1:])
     else:
         print(__doc__)
         return 1

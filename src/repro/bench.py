@@ -68,6 +68,7 @@ SIZE_CLASSES: dict[str, dict[str, dict]] = {
             working_set=24, phase_length=5_000, locality=0.995,
         ),
         "serve": dict(length=15_000, frames=16, pages=128, degrees=(1, 4)),
+        "traffic": dict(loads=(0.5, 1.0, 1.5), quick=True),
     },
     "full": {
         "replay": dict(length=1_000_000, frames=32, pages=512),
@@ -82,6 +83,7 @@ SIZE_CLASSES: dict[str, dict[str, dict]] = {
             working_set=32, phase_length=125_000, locality=0.9996,
         ),
         "serve": dict(length=100_000, frames=32, pages=256, degrees=(1, 4)),
+        "traffic": dict(loads=(0.5, 1.0, 1.5), quick=False),
     },
 }
 
@@ -360,6 +362,48 @@ def bench_serve(
     }
 
 
+# -- open-arrival traffic -------------------------------------------------
+
+
+def bench_traffic(loads: tuple[float, ...], quick: bool = True) -> dict:
+    """Open-arrival service throughput per offered-load point.
+
+    Each load runs one seeded traffic point (poisson arrivals, fcfs
+    drain, LRU replacement) through :func:`~repro.traffic.simulate_traffic`
+    and reports served references per second alongside the tail-latency
+    headline numbers the traffic tier promises (queue-wait and
+    fault-wait p99).  The point ids match the ``python -m repro
+    traffic`` CLI so a bench row can be reproduced interactively.
+    """
+    from repro.traffic import build_points, simulate_traffic
+
+    points = build_points(
+        loads=loads, arrivals="poisson", policy="fcfs",
+        replacement="lru", seeds=(0,), quick=quick, name="bench",
+    )
+    runs: dict[str, dict] = {}
+    for spec in points:
+        result, seconds = _timed(lambda: simulate_traffic(spec))
+        runs[str(spec["offered"])] = {
+            "arrivals": result.arrivals,
+            "admitted": result.admitted,
+            "shed": result.shed,
+            "completed": result.completed,
+            "refs": result.refs,
+            "queue_wait_p99": round(result.queue_wait.quantile(0.99), 2),
+            "fault_wait_p99": round(result.fault_wait.quantile(0.99), 2),
+            "traffic_s": round(seconds, 4),
+            "refs_per_s": _throughput(result.refs, seconds),
+        }
+    sizing = points[0]
+    return {
+        "pool_frames": sizing["pool_frames"],
+        "horizon": sizing["horizon"],
+        "quick": quick,
+        "loads": runs,
+    }
+
+
 # -- telemetry overhead ---------------------------------------------------
 
 
@@ -581,6 +625,7 @@ COLUMNAR_THROUGHPUT_KEYS = (
     "list_refs_per_s", "columnar_refs_per_s", "columnar_numpy_refs_per_s",
 )
 SERVE_THROUGHPUT_KEYS = ("refs_per_s",)
+TRAFFIC_THROUGHPUT_KEYS = ("refs_per_s",)
 
 
 def git_revision() -> str | None:
@@ -617,6 +662,9 @@ def history_record(report: dict, rev: str | None = None) -> dict:
     for degree, row in report.get("serve", {}).get("degrees", {}).items():
         for key in SERVE_THROUGHPUT_KEYS:
             metrics[f"serve.deg{degree}.{key}"] = row.get(key)
+    for load, row in report.get("traffic", {}).get("loads", {}).items():
+        for key in TRAFFIC_THROUGHPUT_KEYS:
+            metrics[f"traffic.load{load}.{key}"] = row.get(key)
     # The overhead rides the record top-level, NOT metrics: it is a
     # lower-is-better ratio, and compare_records reads every metric as a
     # higher-is-better throughput — an *improvement* (less overhead)
@@ -709,6 +757,7 @@ def run_suite(quick: bool = False, trace_file: Path | None = None) -> dict:
     alloc = bench_alloc(**sizes["alloc"])
     columnar = bench_columnar(**sizes["columnar"], trace_file=trace_file)
     serve = bench_serve(**sizes["serve"])
+    traffic = bench_traffic(**sizes["traffic"])
     telemetry = bench_telemetry(
         **{key: value for key, value in sizes["serve"].items()
            if key != "degrees"},
@@ -722,6 +771,7 @@ def run_suite(quick: bool = False, trace_file: Path | None = None) -> dict:
         "alloc": alloc,
         "columnar": columnar,
         "serve": serve,
+        "traffic": traffic,
         "telemetry": telemetry,
     }
 
@@ -775,6 +825,22 @@ def _print_report(report: dict, stream=sys.stdout) -> None:
                 f"serve {_fmt(row['refs_per_s'], 12)}/s   "
                 f"dedup {row['dedup_ratio']:>6.1%}   "
                 f"cow {row['cow_breaks']:>6,}",
+                file=stream,
+            )
+    traffic = report.get("traffic")
+    if traffic:
+        print(
+            f"open-arrival traffic — {traffic['pool_frames']} pool frames, "
+            f"{traffic['horizon']:,}-tick horizon",
+            file=stream,
+        )
+        for load, row in traffic["loads"].items():
+            print(
+                f"  load {load:<6} "
+                f"serve {_fmt(row['refs_per_s'], 12)}/s   "
+                f"shed {row['shed']:>4,}   "
+                f"qwait p99 {row['queue_wait_p99']:>8,.1f}   "
+                f"fwait p99 {row['fault_wait_p99']:>8,.1f}",
                 file=stream,
             )
     telemetry = report.get("telemetry")

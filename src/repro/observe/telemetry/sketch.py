@@ -350,11 +350,19 @@ class P2Quantile:
         )
 
     def value(self) -> float:
-        """The current estimate; exact nearest rank below five samples."""
+        """The current estimate; exact nearest rank through five samples.
+
+        The raw-sample window is ``count <= 5``, not ``< 5``: at exactly
+        five samples the heights are still the sorted raw values (marker
+        interpolation starts with the sixth observation), so the middle
+        height is only the answer for q near 0.5 — an extreme quantile
+        must still use its nearest rank.  Only from the sixth sample on
+        does ``heights[2]`` track the target quantile.
+        """
         if not self._count:
             raise ValueError("quantile of an empty estimator")
         heights = self._heights
-        if len(heights) < 5 or self._count < 5:
+        if self._count <= 5 or len(heights) < 5:
             rank = max(1, math.ceil(self.q * self._count))
             return heights[min(rank, len(heights)) - 1]
         return heights[2]
@@ -394,8 +402,21 @@ class P2Quantile:
         if self._count < 5 and other._count < 5:
             # Both sides still hold raw samples: merge exactly.
             merged = sorted(self._heights + other._heights)
-            self._heights = merged
-            self._count += other._count
+            if len(merged) < 5:
+                self._heights = merged
+                self._count += other._count
+                return
+            # The union crossed the marker threshold.  Leaving 6-8 raw
+            # heights in place would corrupt the next observe (the
+            # marker update indexes exactly five heights) and skew
+            # value(); replaying the sorted union through a fresh
+            # estimator seeds proper marker state, deterministically
+            # and symmetrically (both merge orders sort to the same
+            # union).
+            fresh = P2Quantile(self.q)
+            for sample in merged:
+                fresh.observe(sample)
+            self._copy_from(fresh)
             return
         total = self._count + other._count
         points = sorted(self._weighted_points() + other._weighted_points())

@@ -368,6 +368,29 @@ class SharedFramePool:
         """
         self._views.append(view)
 
+    def unregister_view(self, view: "TenantView") -> None:
+        """Retire a tenant view from the conservation ledger.
+
+        The open-arrival traffic tier churns through views — thousands
+        of short sessions over one long-lived pool — so the ledger must
+        shrink when a session completes or :meth:`check_invariants`
+        sums retired state forever.  A view may only leave empty: it
+        must release every resident page first, or the references it
+        still pins would vanish from the view side of the conservation
+        law while staying in :attr:`ref_total`.
+        """
+        if view.resident_count:
+            raise ValueError(
+                f"view {view.tenant!r} still holds {view.resident_count} "
+                f"resident pages; release them before unregistering"
+            )
+        try:
+            self._views.remove(view)
+        except ValueError:
+            raise ValueError(
+                f"view {view.tenant!r} is not registered with this pool"
+            ) from None
+
     @property
     def views(self) -> tuple["TenantView", ...]:
         return tuple(self._views)

@@ -73,6 +73,19 @@ class TenantView:
         resident pages, making the tenant evict — the partitioned
         discipline the multiprogramming mix uses.  Defaults to the whole
         pool.
+
+        The quota charges **logical residency**: every resident local
+        page costs exactly one unit against the quota, whether its
+        content is private, shared with other tenants, or revived from
+        the dedup cache.  Physical sharing never discounts the charge —
+        a tenant mapping 8 shared pages is at 8/quota even if the pool
+        spent one frame.  This is deliberate: the quota is the promise
+        of *addressability* (how much of its working set a tenant may
+        keep resident), and it is what makes the conservation law hold
+        — ``sum(view.resident_count) == pool.ref_total`` — and what the
+        traffic tier's admission controller budgets against.  Releases
+        refund one unit; a CoW break is charge-neutral (the page stays
+        resident, only its content key changes).
     shared_pages:
         Local pages below this bound resolve to ``("shared", page)``
         content keys common to all tenants; the rest are private.
@@ -167,6 +180,18 @@ class TenantView:
                 f"tenant {self.tenant} is at its quota of {self.quota}"
             )
         key = self.key_for(page)
+        if key in self._page_of_key:
+            # A custom share_key mapped two distinct local pages to one
+            # content key.  Before this guard the second acquire would
+            # silently overwrite ``_page_of_key[key]``, after which the
+            # first page's release would corrupt the reverse map (and
+            # the quota would double-charge one frame's content with no
+            # way to tell).  Within one view, page→key must be 1:1.
+            raise ValueError(
+                f"content key {key!r} is already mapped by local page "
+                f"{self._page_of_key[key]!r} in tenant {self.tenant}; "
+                f"a share_key must map each tenant page to a distinct key"
+            )
         frame, hit = self.pool.acquire(key, program=self.tenant)
         self._frame_of[page] = frame
         self._key_of[page] = key

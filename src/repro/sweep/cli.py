@@ -26,11 +26,14 @@ from repro.sweep.grid import SweepGrid, default_grid, quick_grid
 
 #: Axes reported as marginal tables, in report order.
 AXES = ("machine", "replacement", "placement", "frames", "capacity",
-        "sharing", "seed")
+        "sharing", "offered", "seed")
 
+#: Column order is append-only: tooling (and the tests) index the
+#: existing columns by position, so new metrics go at the end.
 MARGINAL_HEADERS = (
     "value", "shards", "fault rate", "space-time", "cpu util",
     "ext frag", "int frag", "alloc fails", "dedup ratio", "st saving",
+    "shed rate", "qwait p99",
 )
 
 
@@ -73,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sharing", nargs="+", type=int, metavar="N",
                         help="sharing degrees (tenants per shared pool) "
                              "for the serve leg")
+    parser.add_argument("--offered", nargs="+", type=float, metavar="X",
+                        help="offered-load multipliers for the "
+                             "open-arrival traffic leg")
     parser.add_argument("--seeds", nargs="+", type=int, metavar="SEED")
     parser.add_argument("--base-seed", type=int, default=None, metavar="N")
     parser.add_argument("--name", default=None,
@@ -91,7 +97,7 @@ def resolve_grid(options: argparse.Namespace) -> SweepGrid:
 
     overrides: dict[str, object] = {}
     for axis in ("machines", "replacement", "placement", "frames",
-                 "capacities", "sharing", "seeds"):
+                 "capacities", "sharing", "offered", "seeds"):
         values = getattr(options, axis)
         if values is not None:
             overrides[axis] = tuple(values)

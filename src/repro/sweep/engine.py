@@ -233,7 +233,11 @@ def write_heartbeat(
     Write-to-temp then :func:`os.replace`, so a follower (``python -m
     repro top --snapshot``) polling the file never reads a torn write.
     Heartbeats are best-effort: an unwritable path must not fail the
-    campaign, so OS errors are swallowed.
+    campaign, so OS errors are swallowed — but the side file must not
+    outlive a failed publish.  A sweep heartbeats every few shards; if
+    the replace step fails persistently (target directory vanished,
+    permissions flipped), leaking one ``.tmp`` per beat litters the
+    results directory, so cleanup rides a ``finally``.
     """
     payload = {
         "sweep": sweep,
@@ -249,6 +253,11 @@ def write_heartbeat(
         os.replace(tmp, path)
     except OSError:
         pass
+    finally:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
 
 
 def strip_nondeterministic(record: dict) -> dict:
@@ -291,8 +300,10 @@ def marginals(records: list[dict], axis: str) -> list[tuple]:
 
     Returns rows ``(value, shards, fault_rate, spacetime, cpu_util,
     external_frag, internal_frag, alloc_failures, serve_dedup_ratio,
-    serve_spacetime_saving)`` — means except for the failure count,
-    which is a total — sorted by axis value.
+    serve_spacetime_saving, traffic_shed_rate, traffic_qwait_p99)`` —
+    means except for the failure count, which is a total — sorted by
+    axis value.  New columns append at the end: downstream tooling
+    (and the tests) index existing columns by position.
     """
     groups: dict[object, list[dict]] = {}
     for record in records:
@@ -315,6 +326,8 @@ def marginals(records: list[dict], axis: str) -> list[tuple]:
             sum(row.get("alloc_failures", 0) for row in rows),
             round(mean(rows, "serve_dedup_ratio"), 3),
             round(mean(rows, "serve_spacetime_saving"), 3),
+            round(mean(rows, "traffic_shed_rate"), 3),
+            round(mean(rows, "traffic_queue_wait_p99"), 2),
         ))
     return table
 

@@ -67,6 +67,7 @@ class Shard:
     mean_lifetime: int
     programs: int
     program_length: int
+    offered: float = 1.0
 
     @property
     def id(self) -> str:
@@ -75,13 +76,20 @@ class Shard:
         Workload sizing is deliberately not part of the id: the id keys
         resume (``SWEEP_results.jsonl`` matching), and two campaigns
         with different sizings should use different grid *names*.
+
+        The ``offered`` segment appears only at non-default loads: the
+        id also roots every :func:`derive_seed` stream, so stamping the
+        default into it would silently re-seed — and re-answer — every
+        previously recorded campaign.
         """
-        return (
+        base = (
             f"machine={self.machine}/replacement={self.replacement}/"
             f"placement={self.placement}/frames={self.frames}/"
             f"capacity={self.capacity}/sharing={self.sharing}/"
-            f"seed={self.seed}"
         )
+        if self.offered != 1.0:
+            base += f"offered={self.offered}/"
+        return base + f"seed={self.seed}"
 
     def spec(self, checked: bool = False) -> dict:
         """The picklable, JSON-safe form handed to worker processes."""
@@ -114,6 +122,11 @@ class SweepGrid:
         how many forked tenants replay over one shared frame pool.
         Degree 1 is the unshared baseline (bit-identical to the plain
         replay path; see ``docs/SERVING.md``).
+    offered:
+        Offered-load multipliers for the open-arrival traffic leg —
+        how far above or below the calibrated service capacity the
+        arrival rate sits (see :mod:`repro.traffic`).  The default
+        ``(1.0,)`` runs the leg at the knee.
     seeds:
         Workload seeds; each is further derived per shard and channel.
 
@@ -129,6 +142,7 @@ class SweepGrid:
     frames: tuple[int, ...] = (16,)
     capacities: tuple[int, ...] = (40_000,)
     sharing: tuple[int, ...] = (1,)
+    offered: tuple[float, ...] = (1.0,)
     seeds: tuple[int, ...] = (0,)
     base_seed: int = 1967
     length: int = 12_000
@@ -140,7 +154,7 @@ class SweepGrid:
 
     def __post_init__(self) -> None:
         for axis in ("machines", "replacement", "placement", "frames",
-                     "capacities", "sharing", "seeds"):
+                     "capacities", "sharing", "offered", "seeds"):
             values = getattr(self, axis)
             if not values:
                 raise ValueError(f"axis {axis!r} must not be empty")
@@ -173,6 +187,9 @@ class SweepGrid:
         for degree in self.sharing:
             if degree <= 0:
                 raise ValueError(f"sharing degree must be positive, got {degree}")
+        for load in self.offered:
+            if load <= 0:
+                raise ValueError(f"offered load must be positive, got {load}")
         if self.programs <= 0:
             raise ValueError("programs must be positive")
         for field_name in ("length", "pages", "requests", "mean_lifetime",
@@ -186,15 +203,15 @@ class SweepGrid:
         return (
             len(self.machines) * len(self.replacement) * len(self.placement)
             * len(self.frames) * len(self.capacities) * len(self.sharing)
-            * len(self.seeds)
+            * len(self.offered) * len(self.seeds)
         )
 
     def shards(self) -> Iterator[Shard]:
         """Expand the cross product, in a fixed, documented order.
 
         Axis order (outermost first): machine, replacement, placement,
-        frames, capacity, sharing, seed.  The order only affects
-        scheduling and reporting — never results.
+        frames, capacity, sharing, offered, seed.  The order only
+        affects scheduling and reporting — never results.
         """
         for machine in self.machines:
             for replacement in self.replacement:
@@ -202,24 +219,26 @@ class SweepGrid:
                     for frames in self.frames:
                         for capacity in self.capacities:
                             for degree in self.sharing:
-                                for seed in self.seeds:
-                                    yield Shard(
-                                        sweep=self.name,
-                                        machine=machine,
-                                        replacement=replacement,
-                                        placement=placement,
-                                        frames=frames,
-                                        capacity=capacity,
-                                        sharing=degree,
-                                        seed=seed,
-                                        base_seed=self.base_seed,
-                                        length=self.length,
-                                        pages=self.pages,
-                                        requests=self.requests,
-                                        mean_lifetime=self.mean_lifetime,
-                                        programs=self.programs,
-                                        program_length=self.program_length,
-                                    )
+                                for load in self.offered:
+                                    for seed in self.seeds:
+                                        yield Shard(
+                                            sweep=self.name,
+                                            machine=machine,
+                                            replacement=replacement,
+                                            placement=placement,
+                                            frames=frames,
+                                            capacity=capacity,
+                                            sharing=degree,
+                                            seed=seed,
+                                            base_seed=self.base_seed,
+                                            length=self.length,
+                                            pages=self.pages,
+                                            requests=self.requests,
+                                            mean_lifetime=self.mean_lifetime,
+                                            programs=self.programs,
+                                            program_length=self.program_length,
+                                            offered=load,
+                                        )
 
     # -- serialization -----------------------------------------------------
 

@@ -20,6 +20,10 @@ all seeded from the shard's own derived streams:
   pool with half the page space as common content — fetch rate, dedup
   ratio and the shared-vs-private space-time integrals against sharing
   degree.
+- *Traffic* (the offered-load family, ``docs/TRAFFIC.md``): a short
+  open-arrival campaign point at the shard's ``offered`` load over the
+  shard's replacement policy and the machine's (scaled) fetch timing —
+  admission, shedding and the queue/fault wait tails.
 
 ``run_shard`` takes and returns plain dicts so it can cross a
 ``multiprocessing`` boundary in either direction; the record's metric
@@ -293,6 +297,65 @@ def _serve(spec: dict, counters: Counters,
     }
 
 
+#: Cycles of machine page-fetch time per traffic-tick reference cycle.
+#: Machine presets time fetches in word cycles (thousands); the traffic
+#: leg's virtual ticks are reference-grained, so the preset timing is
+#: scaled down — preserving the museum's *relative* device speeds
+#: (atlas ≈ 4, baseline ≈ 8, m44 ≈ 15) at tick scale.
+TRAFFIC_FETCH_SCALE = 1024
+
+
+def _traffic(spec: dict, config, telemetry: TelemetryRegistry) -> dict:
+    """The offered-load leg: one small open-arrival point per shard.
+
+    The point inherits the shard's replacement policy and offered load,
+    and the machine's fetch timing scaled to tick units; its seeds root
+    at the shard's ``traffic`` channel, so the leg is bit-reproducible
+    like the others and independent of every other leg.
+    """
+    from repro.traffic.engine import build_points, simulate_traffic
+
+    spec_point = build_points(
+        loads=(spec.get("offered", 1.0),),
+        arrivals="poisson",
+        policy="fcfs",
+        replacement=spec["replacement"],
+        seeds=(spec["seed"],),
+        quick=True,
+        base_seed=derive_seed(spec["base_seed"], spec["shard"], "traffic"),
+        name=spec["sweep"],
+        pool_frames=32,
+        quotas=(4, 6),
+        pages=48,
+        session_length=64,
+        shared_pages=8,
+        horizon=160,
+        fetch_time=max(1, round(config.page_fetch_time / TRAFFIC_FETCH_SCALE)),
+    )[0]
+    result = simulate_traffic(spec_point, telemetry=telemetry)
+
+    def quantile(sketch, q: float) -> float:
+        return round(sketch.quantile(q), 6) if sketch.count else 0.0
+
+    return {
+        "traffic_arrivals": result.arrivals,
+        "traffic_admitted": result.admitted,
+        "traffic_shed": result.shed,
+        "traffic_shed_rate": round(
+            result.shed / result.arrivals, 6
+        ) if result.arrivals else 0.0,
+        "traffic_completed": result.completed,
+        "traffic_refs": result.refs,
+        "traffic_stalls": result.stalls,
+        "traffic_queued_watermark": result.queued_watermark,
+        "traffic_queued_quota": result.queued_quota,
+        "traffic_queue_wait_p50": quantile(result.queue_wait, 0.50),
+        "traffic_queue_wait_p99": quantile(result.queue_wait, 0.99),
+        "traffic_fault_wait_p50": quantile(result.fault_wait, 0.50),
+        "traffic_fault_wait_p99": quantile(result.fault_wait, 0.99),
+    }
+
+
 def run_shard(spec: dict) -> dict:
     """Execute one shard spec (see :meth:`~repro.sweep.grid.Shard.spec`).
 
@@ -322,6 +385,7 @@ def run_shard(spec: dict) -> dict:
         "frames": spec["frames"],
         "capacity": spec["capacity"],
         "sharing": spec["sharing"],
+        "offered": spec.get("offered", 1.0),
         "seed": spec["seed"],
         "page_size": config.page_size,
         "fetch_time": config.page_fetch_time,
@@ -336,6 +400,8 @@ def run_shard(spec: dict) -> dict:
             record.update(_churn(spec, config, counters, telemetry))
         with telemetry.span("sweep.serve_seconds"):
             record.update(_serve(spec, counters, telemetry))
+        with telemetry.span("sweep.traffic_seconds"):
+            record.update(_traffic(spec, config, telemetry))
     record["counters"] = counters.snapshot()
     if telemetry.enabled:
         record["telemetry"] = telemetry.snapshot()

@@ -1,0 +1,114 @@
+"""Admission control: admit, queue, or shed against pool watermarks.
+
+The decision rule follows the vLLM ``block_space_manager`` pattern
+(``SNIPPETS.md``): an allocation request is admitted only when granting
+it would leave the pool above a protective watermark; otherwise it
+waits.  Two ledgers gate a session:
+
+- **The quota ledger** (logical): the sum of admitted sessions' quotas
+  may not exceed ``overcommit × pool_frames``.  Quotas are the
+  *promise* the pool makes each tenant (``TenantView.quota`` — see
+  ``docs/SERVING.md``); overcommit above 1.0 bets that sessions rarely
+  reach their quotas simultaneously, and the engine's stall-and-retry
+  path absorbs the occasions they do.
+- **The watermark** (physical): even inside the quota budget, a session
+  is queued when ``free + cached − quota`` would drop below the
+  watermark reserve — the headroom that keeps in-flight sessions from
+  exhausting the pool the moment a new tenant faults its working set
+  in.
+
+A session whose quota exceeds the whole pool can never be satisfied and
+is shed outright rather than queued forever.  Every decision is a pure
+function of ``(spec, pool occupancy, committed quota)`` — no clocks, no
+randomness — so admission sequences are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.serve.pool import SharedFramePool
+    from repro.traffic.session import SessionSpec
+
+#: Decision outcomes (the ``queue-*`` reasons are separate counters so
+#: the acceptance tests can assert both paths fire under load).
+ADMIT = "admit"
+QUEUE_WATERMARK = "queue-watermark"
+QUEUE_QUOTA = "queue-quota"
+SHED_OVERSIZE = "shed-oversize"
+
+
+class AdmissionController:
+    """Stateless admit/queue/shed decisions over a shared frame pool.
+
+    Parameters
+    ----------
+    pool_frames:
+        Physical frames in the pool the decisions guard.
+    watermark:
+        Fraction of the pool kept free as a protective reserve; an
+        admission that would leave fewer than ``ceil(watermark ×
+        pool_frames)`` reclaimable frames is queued instead.
+    overcommit:
+        Quota-ledger budget as a multiple of the pool.  1.0 never
+        promises more than physically exists; above 1.0 admits on the
+        statistical bet that quotas are not all used at once.
+
+    >>> from repro.serve.pool import SharedFramePool
+    >>> from repro.traffic.session import SessionSpec
+    >>> pool = SharedFramePool(16)
+    >>> controller = AdmissionController(16, watermark=0.25)
+    >>> spec = SessionSpec(sid=0, arrival=0, quota=8, pages=8, length=10,
+    ...                    shared_pages=0, write_fraction=0.0, seed=0)
+    >>> controller.decide(spec, pool, committed_quota=0)
+    'admit'
+    >>> controller.decide(spec, pool, committed_quota=10)
+    'queue-quota'
+    """
+
+    __slots__ = ("pool_frames", "watermark_frames", "commit_limit")
+
+    def __init__(
+        self,
+        pool_frames: int,
+        watermark: float = 0.05,
+        overcommit: float = 1.0,
+    ) -> None:
+        if pool_frames <= 0:
+            raise ValueError(f"pool_frames must be positive, got {pool_frames}")
+        if not 0.0 <= watermark < 1.0:
+            raise ValueError(f"watermark must be in [0, 1), got {watermark}")
+        if overcommit < 1.0:
+            raise ValueError(f"overcommit must be >= 1.0, got {overcommit}")
+        self.pool_frames = pool_frames
+        self.watermark_frames = math.ceil(watermark * pool_frames)
+        self.commit_limit = int(overcommit * pool_frames)
+
+    def decide(
+        self,
+        spec: "SessionSpec",
+        pool: "SharedFramePool",
+        committed_quota: int,
+    ) -> str:
+        """One admission decision; returns a module-level outcome name."""
+        if spec.quota > self.pool_frames:
+            return SHED_OVERSIZE
+        if committed_quota + spec.quota > self.commit_limit:
+            return QUEUE_QUOTA
+        # The physical check: free frames plus reclaimable zero-ref
+        # cached frames are what a new tenant can actually claim.
+        reclaimable = pool.free_count + pool.cached_count
+        if reclaimable - spec.quota < self.watermark_frames:
+            return QUEUE_WATERMARK
+        return ADMIT
+
+
+__all__ = [
+    "ADMIT",
+    "QUEUE_QUOTA",
+    "QUEUE_WATERMARK",
+    "SHED_OVERSIZE",
+    "AdmissionController",
+]

@@ -1,0 +1,774 @@
+"""The open-arrival service loop and the traffic campaign runner.
+
+``simulate_traffic`` runs one *point* of the offered-load axis: a
+seeded arrival stream of lightweight session specs flows through an
+:class:`~repro.traffic.admission.AdmissionController` into a
+:class:`~repro.serve.pool.SharedFramePool`; admitted sessions replay
+their reference streams in round-robin ticks, paying for hard fetches
+on a serialized backing device.  The headline outputs are
+*distributions under load* — queue wait and fault wait as
+:class:`~repro.observe.telemetry.sketch.LogHistogram` sketches — not
+means, following the finite-size-scaling view (PAPERS.md): an open
+system's story is its tail.
+
+Virtual time and determinism
+----------------------------
+The clock is a tick counter; each tick a session serves up to
+``refs_per_tick`` references or until its first hard fetch.  Hard
+fetches serialize on one device clock (``device_free_at``): the fetch
+wait is the device queueing delay plus ``fetch_time``, all integer
+cycles, so the wait histograms — and every other field except
+``wall_s`` / ``refs_per_s`` — are pure functions of the point spec.
+``run_campaign`` fans points over multiprocessing workers exactly like
+the sweep engine: any worker count, any completion order, and a
+``--resume`` restart all yield bit-identical deterministic records.
+
+Overcommit and progress
+-----------------------
+With ``overcommit > 1`` the quota ledger can promise more than the
+pool holds, so an acquire can find every frame pinned.  The engine
+then *self-evicts*: the faulting session gives up one of its own
+resident pages and retries, which guarantees global progress (some
+registered view always holds a pinned frame).  A session with nothing
+left to give stalls one tick and retries — counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Callable, Iterable
+
+from repro.errors import OutOfMemory
+from repro.observe.sinks import read_jsonl_records
+from repro.observe.telemetry.registry import TelemetryRegistry
+from repro.observe.telemetry.sketch import LogHistogram
+from repro.sweep.engine import deterministic_telemetry
+from repro.sweep.grid import derive_seed
+from repro.traffic.admission import (
+    ADMIT,
+    QUEUE_QUOTA,
+    QUEUE_WATERMARK,
+    SHED_OVERSIZE,
+    AdmissionController,
+)
+from repro.traffic.arrivals import ARRIVAL_PROCESSES, make_arrivals
+from repro.traffic.queueing import DRAIN_POLICIES, make_drain_policy
+from repro.traffic.session import ActiveSession, SessionSpec, trace_length
+
+#: Record schema version written into every traffic results line.
+TRAFFIC_SCHEMA = 1
+
+#: Fields excluded from bit-identity comparisons: wall time is measured,
+#: and the steady-state throughput is derived from it.  The ``telemetry``
+#: snapshot is reduced (wall instruments stripped), not dropped.
+NONDETERMINISTIC_FIELDS = ("wall_s", "refs_per_s")
+
+#: Hard cap on the drain phase after the arrival horizon closes, as a
+#: multiple of the horizon — a runaway-loop backstop, far above any
+#: configuration the tests run.
+DRAIN_TICKS_FACTOR = 64
+
+#: The two per-point size classes, mirroring ``repro.bench.SIZE_CLASSES``
+#: vocabulary: ``quick`` finishes a 3-load campaign in seconds.
+POINT_SIZES: dict[str, dict] = {
+    "quick": dict(
+        pool_frames=48, quotas=(4, 6, 8), pages=64, session_length=96,
+        shared_pages=16, write_fraction=0.1, refs_per_tick=8,
+        fetch_time=2, horizon=300, watermark=0.0625, overcommit=1.25,
+        max_queue=256,
+    ),
+    "full": dict(
+        pool_frames=192, quotas=(6, 8, 12), pages=256, session_length=600,
+        shared_pages=64, write_fraction=0.1, refs_per_tick=16,
+        fetch_time=2, horizon=1500, watermark=0.0625, overcommit=1.25,
+        max_queue=1024,
+    ),
+}
+
+#: Offered-load axis when none is given: below, at, and above the
+#: calibrated service capacity (the acceptance floor is three points).
+DEFAULT_LOADS = (0.5, 1.0, 1.5)
+
+
+@dataclass(slots=True)
+class TrafficPointResult:
+    """Everything one simulated point measured (deterministic)."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    shed_oversize: int = 0
+    shed_overflow: int = 0
+    shed_drain: int = 0
+    """Queue remnants shed when the arrival horizon closed."""
+    completed: int = 0
+    materialized: int = 0
+    refs: int = 0
+    faults: int = 0
+    fetches: int = 0
+    shares: int = 0
+    dedup_hits: int = 0
+    cow_breaks: int = 0
+    evictions: int = 0
+    stalls: int = 0
+    queued_watermark: int = 0
+    """Refusal decisions charged to the watermark (one per offer)."""
+    queued_quota: int = 0
+    ticks: int = 0
+    max_active: int = 0
+    max_queue_depth: int = 0
+    queue_wait: LogHistogram = field(default_factory=LogHistogram)
+    """Admission delay per admitted session, in ticks."""
+    fault_wait: LogHistogram = field(default_factory=LogHistogram)
+    """Device wait per hard fetch (queueing delay + fetch time), cycles."""
+
+    @property
+    def shed(self) -> int:
+        return self.shed_oversize + self.shed_overflow + self.shed_drain
+
+
+def point_id(spec: dict) -> str:
+    """The stable point identifier (axis values only; keys resume)."""
+    return (
+        f"arrivals={spec['arrivals']}/policy={spec['policy']}/"
+        f"replacement={spec['replacement']}/offered={spec['offered']}/"
+        f"seed={spec['seed']}"
+    )
+
+
+def build_points(
+    loads: Iterable[float] = DEFAULT_LOADS,
+    arrivals: str = "poisson",
+    policy: str = "fcfs",
+    replacement: str = "lru",
+    seeds: Iterable[int] = (0,),
+    quick: bool = True,
+    base_seed: int = 1967,
+    name: str = "traffic",
+    trace_file: str | None = None,
+    **overrides,
+) -> list[dict]:
+    """Expand the offered-load axis into picklable point specs.
+
+    The arrival rate is calibrated so ``offered = 1.0`` sits at the
+    system's estimated service capacity — the *lesser* of its two
+    resources.  The pool sustains ``pool_frames / mean(quota)``
+    concurrent sessions, each resident at least ``session_length /
+    refs_per_tick`` ticks; the backing device sustains
+    ``refs_per_tick / fetch_time`` fetches per tick against an
+    estimated ``mean(quota)`` cold fetches per phase of the phased
+    trace.  Whichever rate is lower is the knee the offered-load axis
+    multiplies, so 0.5 / 1.0 / 1.5 land below, at, and above
+    saturation.  ``overrides`` replace any sizing field
+    (``pool_frames``, ``horizon``, ``watermark``, ...).
+    """
+    if arrivals not in ARRIVAL_PROCESSES:
+        known = ", ".join(sorted(ARRIVAL_PROCESSES))
+        raise ValueError(
+            f"unknown arrival process {arrivals!r}; choose from {known}"
+        )
+    if policy not in DRAIN_POLICIES:
+        known = ", ".join(sorted(DRAIN_POLICIES))
+        raise ValueError(f"unknown drain policy {policy!r}; choose from {known}")
+    sizing = dict(POINT_SIZES["quick" if quick else "full"])
+    unknown = set(overrides) - set(sizing)
+    if unknown:
+        raise ValueError(f"unknown sizing overrides: {sorted(unknown)}")
+    sizing.update(overrides)
+    quotas = tuple(sizing["quotas"])
+    mean_quota = sum(quotas) / len(quotas)
+    capacity = sizing["pool_frames"] / mean_quota
+    length = sizing["session_length"]
+    refs_per_tick = sizing["refs_per_tick"]
+    duration = max(1.0, length / refs_per_tick)
+    pool_rate = capacity / duration
+    # The device-side capacity: each session cold-faults roughly its
+    # quota once per trace phase, and the device retires
+    # refs_per_tick / fetch_time fetches per tick.
+    phase_length = max(16, length // 4)
+    phases = -(-length // phase_length)
+    fetches_per_session = max(1.0, mean_quota * phases)
+    device_rate = (
+        refs_per_tick / sizing["fetch_time"] / fetches_per_session
+        if sizing["fetch_time"] > 0 else pool_rate
+    )
+    service_rate = min(pool_rate, device_rate)
+    trace_refs = trace_length(trace_file) if trace_file else None
+    points = []
+    for offered in loads:
+        if offered <= 0:
+            raise ValueError(f"offered load must be positive, got {offered}")
+        for seed in seeds:
+            spec = {
+                "schema": TRAFFIC_SCHEMA,
+                "campaign": name,
+                "arrivals": arrivals,
+                "policy": policy,
+                "replacement": replacement,
+                "offered": offered,
+                "seed": seed,
+                "base_seed": base_seed,
+                "rate": offered * service_rate,
+                "trace_file": trace_file,
+                "trace_refs": trace_refs,
+                **{key: (tuple(value) if isinstance(value, (list, tuple))
+                         else value)
+                   for key, value in sizing.items()},
+            }
+            spec["quotas"] = list(quotas)
+            spec["point"] = point_id(spec)
+            points.append(spec)
+    return points
+
+
+def generate_sessions(spec: dict) -> list[SessionSpec]:
+    """The point's arrival stream as spec-only sessions, in tick order.
+
+    Per-session variation (length jitter, quota rotation, trace-window
+    placement) draws from one rng seeded by the point id, and each
+    session's trace seed is derived independently — so the stream is a
+    pure function of the point spec.
+    """
+    pid = spec["point"]
+    base = spec["base_seed"] + spec["seed"]
+    ticks = make_arrivals(
+        spec["arrivals"], rate=spec["rate"], horizon=spec["horizon"],
+        seed=derive_seed(base, pid, "arrivals"),
+    )
+    rng = Random(derive_seed(base, pid, "sessions"))
+    quotas = tuple(spec["quotas"])
+    mean_length = spec["session_length"]
+    trace_refs = spec.get("trace_refs")
+    sessions = []
+    for sid, arrival in enumerate(ticks):
+        length = rng.randint(max(8, mean_length // 2), mean_length * 3 // 2)
+        offset = 0
+        if trace_refs:
+            length = min(length, trace_refs)
+            offset = rng.randrange(max(1, trace_refs - length + 1))
+        sessions.append(SessionSpec(
+            sid=sid,
+            arrival=arrival,
+            quota=quotas[sid % len(quotas)],
+            pages=spec["pages"],
+            length=length,
+            shared_pages=spec["shared_pages"],
+            write_fraction=spec["write_fraction"],
+            seed=derive_seed(base, pid, f"trace.{sid}"),
+            trace_file=spec.get("trace_file"),
+            trace_offset=offset,
+        ))
+    return sessions
+
+
+def simulate_traffic(
+    spec: dict, telemetry: TelemetryRegistry | None = None
+) -> TrafficPointResult:
+    """Run one offered-load point; returns the measured result.
+
+    With a ``telemetry`` registry the finished counts land under
+    ``traffic.*`` counters/gauges and the wait sketches merge into the
+    ``traffic.queue_wait`` / ``traffic.fault_wait`` histograms — all
+    after the run, so telemetry changes no simulation bits.
+    """
+    from repro.serve.pool import SharedFramePool
+
+    pool = SharedFramePool(spec["pool_frames"])
+    controller = AdmissionController(
+        spec["pool_frames"],
+        watermark=spec["watermark"],
+        overcommit=spec["overcommit"],
+    )
+    drain = make_drain_policy(spec["policy"])
+    max_queue = spec.get("max_queue")
+    refs_per_tick = spec["refs_per_tick"]
+    fetch_time = spec["fetch_time"]
+    horizon = spec["horizon"]
+    replacement = spec["replacement"]
+
+    result = TrafficPointResult()
+    pending = deque(generate_sessions(spec))
+    result.arrivals = len(pending)
+    queue: list[SessionSpec] = []
+    active: list[ActiveSession] = []
+    committed = 0
+    device_free_at = 0
+    tick = 0
+    deadline = horizon * DRAIN_TICKS_FACTOR
+
+    while True:
+        # -- arrivals (the horizon closes the front door) -----------------
+        if tick < horizon:
+            while pending and pending[0].arrival <= tick:
+                session = pending.popleft()
+                decision = controller.decide(session, pool, committed)
+                if decision == SHED_OVERSIZE:
+                    result.shed_oversize += 1
+                elif max_queue is not None and len(queue) >= max_queue:
+                    result.shed_overflow += 1
+                else:
+                    queue.append(session)
+        elif queue:
+            # Shutdown sheds the backlog; in-flight sessions finish.
+            result.shed_drain += len(queue)
+            queue.clear()
+
+        # -- drain: offer queued specs in policy order --------------------
+        while queue:
+            admitted_one = False
+            for index in drain.order(queue):
+                decision = controller.decide(queue[index], pool, committed)
+                if decision == ADMIT:
+                    session_spec = queue.pop(index)
+                    session = session_spec.materialize(pool, replacement)
+                    session.admitted_at = tick
+                    result.materialized += 1
+                    result.admitted += 1
+                    result.queue_wait.observe(tick - session_spec.arrival)
+                    committed += session_spec.quota
+                    active.append(session)
+                    admitted_one = True
+                    break
+                if decision == QUEUE_WATERMARK:
+                    result.queued_watermark += 1
+                elif decision == QUEUE_QUOTA:
+                    result.queued_quota += 1
+                else:   # oversize after a config change; shed, keep going
+                    queue.pop(index)
+                    result.shed_oversize += 1
+                    admitted_one = True
+                    break
+                if not drain.skip_refused:
+                    break
+            if not admitted_one:
+                break
+
+        # -- serve each active session one tick ---------------------------
+        finished: list[ActiveSession] = []
+        for session in active:
+            if session.blocked_until > tick:
+                continue   # still waiting on its fetch
+            device_free_at = _serve_tick(
+                session, tick, refs_per_tick, fetch_time, device_free_at,
+                pool, result,
+            )
+            if session.done:
+                finished.append(session)
+        for session in finished:
+            for page in session.view.resident_pages():
+                session.view.release(page)
+            pool.unregister_view(session.view)
+            committed -= session.spec.quota
+            result.completed += 1
+            active.remove(session)
+
+        result.max_active = max(result.max_active, len(active))
+        result.max_queue_depth = max(result.max_queue_depth, len(queue))
+        tick += 1
+        if tick >= horizon and not active and not queue and not pending:
+            break
+        if tick > deadline:
+            raise RuntimeError(
+                f"traffic point {spec['point']!r} failed to drain within "
+                f"{deadline} ticks ({len(active)} sessions still active)"
+            )
+
+    result.ticks = tick
+    stats = pool.stats
+    result.shares = stats.shares
+    result.dedup_hits = stats.dedup_hits
+    result.cow_breaks = stats.cow_breaks
+    _record_telemetry(telemetry, result)
+    return result
+
+
+def _serve_tick(
+    session: ActiveSession,
+    tick: int,
+    refs_per_tick: int,
+    fetch_time: int,
+    device_free_at: int,
+    pool,
+    result: TrafficPointResult,
+) -> int:
+    """Advance one session up to ``refs_per_tick`` references or its
+    first hard fetch; returns the updated device clock."""
+    view = session.view
+    policy = session.policy
+    served = 0
+    while served < refs_per_tick and not session.done:
+        position = session.position
+        page = session.trace[position]
+        write = session.writes[position]
+        if page in view:
+            if write:
+                if not _note_write_evicting(
+                    session, page, position, result
+                ):
+                    break   # stalled: retry this reference next tick
+            policy.on_access(page, position, modified=write)
+            session.position += 1
+            served += 1
+            result.refs += 1
+            continue
+        # A fault against this session's view.
+        if view.is_full():
+            victim = policy.choose_victim(view.resident_pages(), position)
+            view.release(victim)
+            policy.on_evict(victim)
+            result.evictions += 1
+        hit = _acquire_evicting(session, page, position, result)
+        if hit is _STALLED:
+            break   # stalled: retry this reference next tick
+        policy.on_load(page, position, modified=write)
+        session.position += 1
+        served += 1
+        result.refs += 1
+        result.faults += 1
+        session.faults += 1
+        if hit is None:
+            # Hard fetch: serialize on the backing device.  The wait is
+            # the queueing delay plus the transfer — the open system's
+            # tail under load — and the session *blocks* until the
+            # device delivers, so a saturated device slows its tenants
+            # (closed-loop backpressure) instead of queueing unboundedly.
+            now = tick * refs_per_tick + served
+            start = max(now, device_free_at)
+            done_at = start + fetch_time
+            device_free_at = done_at
+            result.fault_wait.observe(done_at - now)
+            result.fetches += 1
+            session.fetches += 1
+            session.blocked_until = -(-done_at // refs_per_tick)
+            break   # the fetch consumes the rest of this tick
+    return device_free_at
+
+
+#: Sentinel ``_acquire_evicting`` returns when the session must stall
+#: (distinct from every real hit kind, including None).
+_STALLED = object()
+
+
+def _acquire_evicting(
+    session: ActiveSession, page, position: int, result: TrafficPointResult
+):
+    """Acquire ``page``, self-evicting until the pool yields a frame.
+
+    Under overcommit every frame can be pinned when a session faults.
+    Releasing one of the session's own pages does not always free a
+    frame — a victim mapping shared content still pinned by other
+    tenants only drops a refcount — so the self-eviction loops until
+    the acquire succeeds or the view has nothing left to give.  The
+    empty-handed case returns :data:`_STALLED`: the session retries the
+    same reference next tick, by which time some other session has
+    completed and released (if *every* session stripped itself bare,
+    all refcounts would be zero and the acquire could not fail — so
+    global progress is guaranteed).
+    """
+    view = session.view
+    policy = session.policy
+    try:
+        return view.acquire_detail(page)[1]
+    except OutOfMemory:
+        pass
+    while view.resident_count:
+        victim = policy.choose_victim(view.resident_pages(), position)
+        view.release(victim)
+        policy.on_evict(victim)
+        result.evictions += 1
+        try:
+            return view.acquire_detail(page)[1]
+        except OutOfMemory:
+            continue
+    result.stalls += 1
+    return _STALLED
+
+
+def _note_write_evicting(
+    session: ActiveSession, page, position: int, result: TrafficPointResult
+) -> bool:
+    """CoW-break ``page``, self-evicting other pages for the private
+    frame; False when the session must stall (nothing left to give)."""
+    view = session.view
+    policy = session.policy
+    try:
+        view.note_write(page)
+        return True
+    except OutOfMemory:
+        pass
+    while True:
+        others = [p for p in view.resident_pages() if p != page]
+        if not others:
+            result.stalls += 1
+            return False
+        victim = policy.choose_victim(others, position)
+        view.release(victim)
+        policy.on_evict(victim)
+        result.evictions += 1
+        try:
+            view.note_write(page)
+            return True
+        except OutOfMemory:
+            continue
+
+
+def _record_telemetry(
+    telemetry: TelemetryRegistry | None, result: TrafficPointResult
+) -> None:
+    if telemetry is None or not telemetry.enabled:
+        return
+    for name in ("arrivals", "admitted", "completed", "shed", "refs",
+                 "faults", "fetches", "shares", "dedup_hits", "cow_breaks",
+                 "evictions", "stalls", "queued_watermark", "queued_quota"):
+        telemetry.counter(f"traffic.{name}").increment(getattr(result, name))
+    for name in ("max_active", "max_queue_depth"):
+        gauge = telemetry.gauge(f"traffic.{name}")
+        gauge.set(max(gauge.value, getattr(result, name)))
+    telemetry.histogram("traffic.queue_wait", unit="ticks").merge(
+        result.queue_wait)
+    telemetry.histogram("traffic.fault_wait", unit="cycles").merge(
+        result.fault_wait)
+
+
+def _quantile(sketch: LogHistogram, q: float) -> float:
+    return round(sketch.quantile(q), 6) if sketch.count else 0.0
+
+
+def run_traffic_point(spec: dict) -> dict:
+    """Execute one point spec; returns the flat checkpoint record."""
+    started = time.perf_counter()
+    telemetry = TelemetryRegistry(enabled=bool(spec.get("telemetry", True)))
+    result = simulate_traffic(spec, telemetry=telemetry)
+    record = {
+        "schema": TRAFFIC_SCHEMA,
+        "campaign": spec["campaign"],
+        "point": spec["point"],
+        "arrivals_kind": spec["arrivals"],
+        "policy": spec["policy"],
+        "replacement": spec["replacement"],
+        "offered": spec["offered"],
+        "seed": spec["seed"],
+        "pool_frames": spec["pool_frames"],
+        "horizon": spec["horizon"],
+        "arrivals": result.arrivals,
+        "admitted": result.admitted,
+        "shed": result.shed,
+        "shed_oversize": result.shed_oversize,
+        "shed_overflow": result.shed_overflow,
+        "shed_drain": result.shed_drain,
+        "completed": result.completed,
+        "refs": result.refs,
+        "faults": result.faults,
+        "fetches": result.fetches,
+        "shares": result.shares,
+        "dedup_hits": result.dedup_hits,
+        "cow_breaks": result.cow_breaks,
+        "evictions": result.evictions,
+        "stalls": result.stalls,
+        "queued_watermark": result.queued_watermark,
+        "queued_quota": result.queued_quota,
+        "ticks": result.ticks,
+        "max_active": result.max_active,
+        "max_queue_depth": result.max_queue_depth,
+        "queue_wait_p50": _quantile(result.queue_wait, 0.50),
+        "queue_wait_p99": _quantile(result.queue_wait, 0.99),
+        "fault_wait_p50": _quantile(result.fault_wait, 0.50),
+        "fault_wait_p99": _quantile(result.fault_wait, 0.99),
+    }
+    if telemetry.enabled:
+        record["telemetry"] = telemetry.snapshot()
+    wall = time.perf_counter() - started
+    record["wall_s"] = round(wall, 4)
+    record["refs_per_s"] = round(result.refs / wall) if wall else None
+    return record
+
+
+def run_point_safely(spec: dict) -> dict:
+    """``run_traffic_point`` with failures as records (the pool boundary)."""
+    try:
+        return run_traffic_point(spec)
+    except Exception as error:   # noqa: BLE001 — the boundary by design
+        return {
+            "point": spec.get("point", "?"),
+            "error": f"{type(error).__name__}: {error}",
+        }
+
+
+# -- the campaign runner ---------------------------------------------------
+
+
+@dataclass
+class TrafficCampaignResult:
+    """Outcome of one ``run_campaign`` call."""
+
+    records: list[dict]
+    """Every completed record — resumed and fresh — sorted by point id."""
+    telemetry: TelemetryRegistry
+    """All points' telemetry merged exactly (bucket-sum histograms)."""
+    executed: int
+    skipped: int
+    failures: list[dict] = field(default_factory=list)
+    corrupt_lines: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def read_traffic_results(
+    path: str | Path, campaign: str | None = None
+) -> tuple[list[dict], int]:
+    """``(records, corrupt)`` from a traffic results file, damage-tolerant."""
+    raw, corrupt = read_jsonl_records(path)
+    records = [
+        record for record in raw
+        if record.get("schema") == TRAFFIC_SCHEMA
+        and "point" in record
+        and "error" not in record
+        and (campaign is None or record.get("campaign") == campaign)
+    ]
+    return records, corrupt
+
+
+def _execute(specs: list[dict], workers: int) -> Iterable[dict]:
+    if workers <= 1 or len(specs) <= 1:
+        for spec in specs:
+            yield run_point_safely(spec)
+        return
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    with context.Pool(processes=workers) as pool:
+        yield from pool.imap_unordered(run_point_safely, specs)
+
+
+def run_campaign(
+    points: list[dict],
+    workers: int = 1,
+    results_path: str | Path | None = None,
+    resume: bool = False,
+    progress: Callable[[int, int, dict], None] | None = None,
+) -> TrafficCampaignResult:
+    """Execute ``points``, checkpointing like the sweep engine.
+
+    The results file is append-only JSONL; ``resume=True`` skips points
+    whose ids are already recorded for the same campaign name.  Merged
+    telemetry folds resumed records in, so campaign totals are
+    independent of how many runs it took — and of ``workers``.
+    """
+    started = time.perf_counter()
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    campaign = points[0]["campaign"] if points else None
+
+    prior: list[dict] = []
+    corrupt = 0
+    if results_path is not None and resume:
+        prior, corrupt = read_traffic_results(results_path, campaign=campaign)
+    completed = {record["point"] for record in prior}
+    known = {spec["point"] for spec in points}
+    prior = [record for record in prior
+             if record["point"] in completed & known]
+    pending = [spec for spec in points if spec["point"] not in completed]
+
+    telemetry = TelemetryRegistry()
+    for record in prior:
+        if "telemetry" in record:
+            telemetry.merge_snapshot(record["telemetry"])
+
+    fresh: list[dict] = []
+    failures: list[dict] = []
+    handle = None
+    if results_path is not None:
+        Path(results_path).parent.mkdir(parents=True, exist_ok=True)
+        handle = open(results_path, "a", encoding="utf-8")
+    try:
+        done = 0
+        for record in _execute(pending, workers):
+            done += 1
+            if "error" in record:
+                failures.append(record)
+            else:
+                fresh.append(record)
+                if "telemetry" in record:
+                    telemetry.merge_snapshot(record["telemetry"])
+                if handle is not None:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.flush()
+            if progress is not None:
+                progress(done, len(pending), record)
+    finally:
+        if handle is not None:
+            handle.close()
+
+    records = sorted(prior + fresh, key=lambda record: record["point"])
+    return TrafficCampaignResult(
+        records=records,
+        telemetry=telemetry,
+        executed=len(fresh) + len(failures),
+        skipped=len(prior),
+        failures=failures,
+        corrupt_lines=corrupt,
+        workers=workers,
+        wall_s=round(time.perf_counter() - started, 3),
+    )
+
+
+def strip_nondeterministic(record: dict) -> dict:
+    """A record minus measured-time fields — the bit-identity form."""
+    stripped = {
+        key: value for key, value in record.items()
+        if key not in NONDETERMINISTIC_FIELDS
+    }
+    if "telemetry" in stripped:
+        stripped["telemetry"] = deterministic_telemetry(stripped["telemetry"])
+    return stripped
+
+
+def compare_campaigns(
+    current: list[dict], recorded: list[dict]
+) -> list[str]:
+    """Point ids whose deterministic fields differ (or are missing).
+
+    The ``--compare`` gate: a fresh in-memory run of the same points
+    must reproduce the recorded records bit for bit once measured-time
+    fields are stripped.
+    """
+    recorded_by_id = {record["point"]: record for record in recorded}
+    mismatched = []
+    for record in current:
+        pid = record["point"]
+        baseline = recorded_by_id.get(pid)
+        if baseline is None:
+            mismatched.append(f"{pid} (not recorded)")
+        elif strip_nondeterministic(record) != strip_nondeterministic(baseline):
+            mismatched.append(pid)
+    return mismatched
+
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "NONDETERMINISTIC_FIELDS",
+    "POINT_SIZES",
+    "TRAFFIC_SCHEMA",
+    "TrafficCampaignResult",
+    "TrafficPointResult",
+    "build_points",
+    "compare_campaigns",
+    "generate_sessions",
+    "point_id",
+    "read_traffic_results",
+    "run_campaign",
+    "run_point_safely",
+    "run_traffic_point",
+    "simulate_traffic",
+    "strip_nondeterministic",
+]

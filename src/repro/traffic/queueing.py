@@ -1,0 +1,86 @@
+"""Queue-drain scheduling: which waiting session to admit next.
+
+A drain policy orders the admission queue's candidates; the engine
+offers them to the :class:`~repro.traffic.admission.AdmissionController`
+in that order until a refusal stops the pass.  Three disciplines:
+
+- ``fcfs`` — strict arrival order with head-of-line blocking: only the
+  oldest waiting session is ever offered, so one large session can hold
+  the whole queue (the fairness baseline).
+- ``shortest`` — shortest-session-first: the candidate with the fewest
+  references to replay goes first (SJF; minimizes mean queue wait at
+  the cost of starving long sessions under load).
+- ``quota_aware`` — smallest quota first, *skipping* refused
+  candidates: a session whose allotment fits the current headroom can
+  overtake one that does not, so the pool back-fills around a blocked
+  giant instead of idling behind it.
+
+Every ordering is a pure, total sort of the queue (ties broken by
+arrival, then sid), so drain sequences are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.traffic.session import SessionSpec
+
+
+@dataclass(frozen=True, slots=True)
+class DrainPolicy:
+    """A named candidate ordering plus its refusal discipline."""
+
+    name: str
+    order: Callable[[Sequence[SessionSpec]], list[int]]
+    """Queue indices in offer order."""
+    skip_refused: bool
+    """Keep offering later candidates after a refusal (back-filling)
+    instead of stopping the pass (head-of-line blocking)."""
+
+
+def _fcfs_order(queue: Sequence[SessionSpec]) -> list[int]:
+    return [0] if queue else []
+
+
+def _shortest_order(queue: Sequence[SessionSpec]) -> list[int]:
+    if not queue:
+        return []
+    best = min(
+        range(len(queue)),
+        key=lambda index: (queue[index].length, queue[index].arrival,
+                           queue[index].sid),
+    )
+    return [best]
+
+
+def _quota_aware_order(queue: Sequence[SessionSpec]) -> list[int]:
+    return sorted(
+        range(len(queue)),
+        key=lambda index: (queue[index].quota, queue[index].arrival,
+                           queue[index].sid),
+    )
+
+
+#: The drain-policy registry the CLI's ``--policy`` flag indexes.
+DRAIN_POLICIES: dict[str, DrainPolicy] = {
+    "fcfs": DrainPolicy("fcfs", _fcfs_order, skip_refused=False),
+    "shortest": DrainPolicy("shortest", _shortest_order, skip_refused=False),
+    "quota_aware": DrainPolicy(
+        "quota_aware", _quota_aware_order, skip_refused=True
+    ),
+}
+
+
+def make_drain_policy(name: str) -> DrainPolicy:
+    """Look up a drain policy by name."""
+    try:
+        return DRAIN_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(DRAIN_POLICIES))
+        raise ValueError(
+            f"unknown drain policy {name!r}; choose from {known}"
+        ) from None
+
+
+__all__ = ["DRAIN_POLICIES", "DrainPolicy", "make_drain_policy"]

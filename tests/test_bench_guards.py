@@ -27,6 +27,11 @@ class TestZeroElapsed:
             assert stats["linear_ops_per_s"] is None
             assert stats["indexed_ops_per_s"] is None
             assert stats["speedup"] is None
+        for stats in report["traffic"]["loads"].values():
+            assert stats["refs_per_s"] is None
+            # The simulation itself runs on virtual time: the frozen
+            # wall clock must not zero the measured work.
+            assert stats["refs"] > 0
         # The report renders, with n/a columns, rather than crashing.
         import io
 
@@ -44,6 +49,104 @@ class TestZeroElapsed:
         baseline["metrics"]["replay.lru.fast_refs_per_s"] = None
         current["metrics"]["alloc.best_fit.linear_ops_per_s"] = None
         assert bench.compare_records(current, baseline) == []
+
+
+def traffic_report(scale=1.0, quick=True):
+    """canned_report plus the sections newer bench versions emit."""
+    report = canned_report(quick=quick)
+    report["telemetry"] = {
+        "references": 75_000, "degree": 4, "overhead": 0.011,
+        "off_refs_per_s": 300_000, "on_refs_per_s": 297_000,
+    }
+    report["traffic"] = {
+        "pool_frames": 48, "horizon": 300, "quick": True,
+        "loads": {
+            "1.0": {
+                "arrivals": 30, "admitted": 28, "shed": 2, "completed": 28,
+                "refs": 2_000, "queue_wait_p99": 88.0,
+                "fault_wait_p99": 18.5, "traffic_s": 0.01,
+                "refs_per_s": int(200_000 * scale),
+            },
+        },
+    }
+    return report
+
+
+class TestMixedVersionHistory:
+    """--compare must survive histories written by older bench builds:
+    records predating the telemetry and traffic sections (keys absent)
+    and records whose new throughputs were too fast to time (null)."""
+
+    def test_record_without_new_sections_still_flattens(self):
+        record = bench.history_record(canned_report())
+        assert record["telemetry_overhead"] is None
+        assert not any(key.startswith("traffic.") for key in record["metrics"])
+
+    def test_record_with_traffic_flattens(self):
+        record = bench.history_record(traffic_report())
+        assert record["metrics"]["traffic.load1.0.refs_per_s"] == 200_000
+        assert record["telemetry_overhead"] == 0.011
+
+    def test_overhead_rides_outside_the_compared_metrics(self):
+        """A *lower* overhead must never register as a regression, so it
+        must not live where compare_records reads throughputs."""
+        record = bench.history_record(traffic_report())
+        assert "telemetry_overhead" not in record["metrics"]
+        assert not any("overhead" in key for key in record["metrics"])
+
+    def test_compare_old_baseline_against_new_current(self):
+        baseline = bench.history_record(canned_report())
+        current = bench.history_record(traffic_report())
+        current["metrics"]["traffic.load1.0.refs_per_s"] = 1  # collapsed
+        # The traffic metric has no baseline: skipped, not flagged.
+        assert bench.compare_records(current, baseline) == []
+
+    def test_compare_new_baseline_against_old_current(self):
+        baseline = bench.history_record(traffic_report())
+        current = bench.history_record(canned_report())
+        assert bench.compare_records(current, baseline) == []
+
+    def test_compare_skips_untimed_traffic_on_either_side(self):
+        baseline = bench.history_record(traffic_report())
+        current = bench.history_record(traffic_report())
+        current["metrics"]["traffic.load1.0.refs_per_s"] = None
+        assert bench.compare_records(current, baseline) == []
+        assert bench.compare_records(baseline, current) == []
+
+    def test_traffic_regression_still_flagged(self):
+        baseline = bench.history_record(traffic_report())
+        current = bench.history_record(traffic_report(scale=0.5))
+        flagged = bench.compare_records(current, baseline)
+        assert [row["metric"] for row in flagged] == [
+            "traffic.load1.0.refs_per_s"
+        ]
+
+    def test_cli_compare_survives_a_pre_traffic_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import copy
+
+        monkeypatch.setattr(
+            bench, "run_suite",
+            lambda quick=False, trace_file=None:
+                copy.deepcopy(traffic_report(quick=quick)),
+        )
+        history = tmp_path / "history.jsonl"
+        bench.append_history(bench.history_record(canned_report()), history)
+        status = bench.main([
+            "--quick", "--no-write", "--history", str(history), "--compare",
+        ])
+        assert status == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_print_report_renders_untimed_traffic(self):
+        import io
+
+        report = traffic_report()
+        report["traffic"]["loads"]["1.0"]["refs_per_s"] = None
+        stream = io.StringIO()
+        bench._print_report(report, stream=stream)
+        assert "n/a" in stream.getvalue()
 
 
 class TestZeroCurrentValue:

@@ -183,6 +183,143 @@ class TestFork:
         assert ("scratch", 0) not in space   # divergence after the fork
 
 
+class TestQuotaSemantics:
+    """Quota charges *logical* residency — one unit per resident local
+    page, regardless of physical sharing (see the TenantView docstring).
+    The traffic tier's admission ledger sums quotas against the pool, so
+    these semantics are load-bearing for its overcommit arithmetic."""
+
+    def test_shared_hit_still_charges_a_unit(self):
+        pool = SharedFramePool(8)
+        a = TenantView(pool, "a", quota=2, shared_pages=4)
+        b = TenantView(pool, "b", quota=2, shared_pages=4)
+        a.acquire(0)
+        b.acquire(0)                         # physically free (a share)...
+        b.acquire(1)
+        assert pool.resident_count == 2      # two frames pinned in total
+        assert b.resident_count == 2         # ...but logically full
+        assert b.is_full()
+        with pytest.raises(ValueError, match="quota"):
+            b.acquire(2)
+
+    def test_dedup_hit_still_charges_a_unit(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0", quota=1, shared_pages=4)
+        view.acquire(0)
+        view.release(0)                      # zero-ref, content cached
+        _, hit = view.acquire_detail(0)
+        assert hit == "dedup"
+        assert view.resident_count == 1
+        assert view.is_full()
+
+    def test_release_refunds_exactly_one_unit(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0", quota=2, shared_pages=4)
+        view.acquire(0)
+        view.acquire(1)
+        view.release(0)
+        assert view.resident_count == 1
+        assert not view.is_full()
+        view.acquire(2)                      # the refunded unit is usable
+
+    def test_cow_break_is_charge_neutral(self):
+        pool = SharedFramePool(8)
+        a = TenantView(pool, "a", quota=1, shared_pages=4)
+        b = TenantView(pool, "b", quota=1, shared_pages=4)
+        a.acquire(0)
+        b.acquire(0)
+        assert b.is_full()
+        b.note_write(0)                      # new frame, same logical page
+        assert b.resident_count == 1
+        assert b.is_full()
+
+    def test_quota_sum_can_exceed_physical_frames(self):
+        """The overcommit bet: three tenants, quota 2 each, over a
+        4-frame pool — all full, yet only 2 frames pinned."""
+        pool = SharedFramePool(4)
+        views = [
+            TenantView(pool, f"t{i}", quota=2, shared_pages=4)
+            for i in range(3)
+        ]
+        for view in views:
+            view.acquire(0)
+            view.acquire(1)
+        assert all(view.is_full() for view in views)
+        assert pool.resident_count == 2
+        pool.check_invariants()
+
+
+class TestShareKeyAliasing:
+    """A share_key must map each tenant page to a distinct key; an
+    aliasing map would give two local pages one frame and break the
+    quota/residency bookkeeping silently."""
+
+    def test_aliasing_share_key_is_rejected(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0", share_key=lambda page: ("shared", 0))
+        view.acquire(0)
+        with pytest.raises(ValueError, match="already mapped"):
+            view.acquire(1)
+
+    def test_error_names_the_colliding_page_and_tenant(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "alias", share_key=lambda page: "same")
+        view.acquire(7)
+        with pytest.raises(ValueError, match=r"page 7.*tenant alias"):
+            view.acquire(8)
+
+    def test_rejection_leaves_no_partial_state(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0", share_key=lambda page: ("k", page % 2))
+        view.acquire(0)
+        with pytest.raises(ValueError, match="already mapped"):
+            view.acquire(2)
+        assert view.resident_pages() == [0]
+        assert pool.ref_total == 1
+        pool.check_invariants()
+
+    def test_honest_share_keys_are_unaffected(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0", shared_pages=2)
+        for page in range(4):
+            view.acquire(page)
+        assert view.resident_count == 4
+
+
+class TestUnregisterView:
+    def test_empty_view_leaves_the_ledger(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0")
+        view.acquire(0)
+        view.release(0)
+        pool.unregister_view(view)
+        pool.check_invariants()
+        # The retired view no longer shadows the conservation sums.
+        other = TenantView(pool, "t1")
+        other.acquire(0)
+        pool.check_invariants()
+
+    def test_resident_view_is_refused(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0")
+        view.acquire(0)
+        with pytest.raises(ValueError, match="t0"):
+            pool.unregister_view(view)
+
+    def test_unknown_view_is_refused(self):
+        pool = SharedFramePool(8)
+        stranger = TenantView(SharedFramePool(8), "elsewhere")
+        with pytest.raises(ValueError, match="not registered"):
+            pool.unregister_view(stranger)
+
+    def test_double_unregister_is_refused(self):
+        pool = SharedFramePool(8)
+        view = TenantView(pool, "t0")
+        pool.unregister_view(view)
+        with pytest.raises(ValueError, match="not registered"):
+            pool.unregister_view(view)
+
+
 def make_pager(frames, latency=500, **view_kwargs):
     clock = Clock()
     table = PageTable(page_size=128, pages=32)

@@ -6,10 +6,12 @@ import pytest
 
 from repro.sweep.engine import (
     NONDETERMINISTIC_FIELDS,
+    heartbeat_path,
     marginals,
     read_results,
     run_sweep,
     strip_nondeterministic,
+    write_heartbeat,
 )
 from repro.sweep.grid import SweepGrid
 from repro.sweep.shard import run_shard
@@ -169,6 +171,55 @@ class TestFailures:
     def test_zero_workers_rejected(self):
         with pytest.raises(ValueError, match="workers"):
             run_sweep(tiny_grid(), workers=0)
+
+
+class TestHeartbeat:
+    def test_campaign_publishes_progress(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        run_sweep(tiny_grid(), workers=1, results_path=path)
+        beat = json.loads(heartbeat_path(path).read_text())
+        assert beat["sweep"] == "tiny"
+        assert beat["done"] == beat["total"] == 4
+        assert beat["failed"] == 0
+        assert "telemetry" in beat
+
+    def test_replace_failure_leaves_no_tmp_litter(self, tmp_path,
+                                                  monkeypatch):
+        """Heartbeats are best-effort, but a persistently failing
+        os.replace must not leak one .tmp per beat into the results
+        directory — the failure-injection test for the cleanup path."""
+        from repro.sweep import engine
+
+        def broken_replace(src, dst):
+            raise OSError("injected: target vanished")
+
+        monkeypatch.setattr(engine.os, "replace", broken_replace)
+        path = tmp_path / "results.jsonl"
+        result = run_sweep(tiny_grid(), workers=1, results_path=path)
+        assert result.ok                        # the campaign is unharmed
+        assert len(result.records) == 4
+        assert not heartbeat_path(path).exists()
+        litter = [p.name for p in tmp_path.iterdir()
+                  if p.name.endswith(".tmp")]
+        assert litter == []
+
+    def test_unwritable_directory_is_swallowed_and_clean(self, tmp_path):
+        from repro.observe.telemetry.registry import TelemetryRegistry
+
+        target = tmp_path / "absent" / "beat.json"
+        write_heartbeat(target, "tiny", 1, 4, 0, TelemetryRegistry())
+        assert not target.exists()
+        assert not (tmp_path / "absent").exists()
+
+    def test_successful_beat_replaces_atomically(self, tmp_path):
+        from repro.observe.telemetry.registry import TelemetryRegistry
+
+        target = tmp_path / "beat.json"
+        write_heartbeat(target, "tiny", 1, 4, 0, TelemetryRegistry())
+        write_heartbeat(target, "tiny", 2, 4, 1, TelemetryRegistry())
+        beat = json.loads(target.read_text())
+        assert beat["done"] == 2 and beat["failed"] == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["beat.json"]
 
 
 class TestMarginals:

@@ -139,6 +139,44 @@ class TestLogHistogramMerge:
             LogHistogram(subbuckets=8).merge(LogHistogram(subbuckets=16))
 
 
+class TestLogHistogramZeroBoundaries:
+    """All-zero and zero-heavy streams: the traffic tier's queue-wait
+    sketch is exactly this shape at low offered load (every session
+    admitted on arrival), so p50/p99 of zeros must read 0.0, not NaN
+    or a bucket midpoint."""
+
+    def test_all_zero_stream_quantiles_are_zero(self):
+        sketch = LogHistogram()
+        sketch.observe_many([0] * 25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert sketch.quantile(q) == 0.0
+        assert sketch.mean == 0.0
+        assert sketch.minimum == 0 and sketch.maximum == 0
+
+    def test_zero_heavy_tail_crosses_at_the_right_rank(self):
+        sketch = LogHistogram()
+        sketch.observe_many([0] * 98 + [40, 50])
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(0.98) == 0.0      # rank 98: the last zero
+        assert sketch.quantile(0.99) > 0.0       # rank 99: the 40
+        assert sketch.quantile(1.0) == 50
+
+    def test_all_zero_merge_stays_zero(self):
+        left, right = LogHistogram(), LogHistogram()
+        left.observe_many([0, 0])
+        right.observe_many([0, 0, 0])
+        left.merge(right)
+        assert left.count == 5
+        assert left.quantile(0.99) == 0.0
+        assert left.total == 0
+
+    def test_single_observation_is_every_quantile(self):
+        sketch = LogHistogram()
+        sketch.observe(17)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert sketch.quantile(q) == 17
+
+
 class TestLogHistogramSerialization:
     def test_round_trip(self):
         sketch = LogHistogram()
@@ -222,6 +260,71 @@ class TestP2Quantile:
             right.observe(value)
         left.merge(right)
         assert left.value() == 5
+
+    def test_exact_nearest_rank_through_five_samples(self):
+        """The raw window is count <= 5 for *every* q: at five samples
+        the heights are still sorted raw values, so an extreme quantile
+        must read its nearest rank, not the middle height."""
+        samples = [50, 10, 40, 20, 30]
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            sketch = P2Quantile(q)
+            for n, value in enumerate(samples, start=1):
+                sketch.observe(value)
+                window = sorted(samples[:n])
+                rank = max(1, math.ceil(q * n))
+                assert sketch.value() == window[rank - 1], (q, n)
+
+    def test_five_samples_at_extreme_quantiles(self):
+        low, high = P2Quantile(0.01), P2Quantile(0.99)
+        for value in (10, 20, 30, 40, 50):
+            low.observe(value)
+            high.observe(value)
+        assert low.value() == 10       # not heights[2] == 30
+        assert high.value() == 50
+
+    def test_sixth_sample_hands_over_to_markers(self):
+        """From the sixth sample the estimate is heights[2] — within
+        the observed range immediately, converging as the stream grows."""
+        sketch = P2Quantile(0.99)
+        for value in (10, 20, 30, 40, 50, 60):
+            sketch.observe(value)
+        assert 10 <= sketch.value() <= 60
+        for value in range(70, 1010, 10):
+            sketch.observe(value)
+        assert sketch.value() >= 900
+
+    def test_merge_union_crossing_five_keeps_marker_invariants(self):
+        """3 + 4 raw samples cross the marker threshold.  The merged
+        estimator must hold exactly five heights (six would corrupt the
+        next observe's cell search) and keep estimating sensibly."""
+        left, right = P2Quantile(0.5), P2Quantile(0.5)
+        for value in (1, 5, 9):
+            left.observe(value)
+        for value in (2, 4, 6, 8):
+            right.observe(value)
+        left.merge(right)
+        assert left.count == 7
+        assert len(left._heights) == 5
+        assert left._heights == sorted(left._heights)
+        assert 2 <= left.value() <= 8
+        for value in range(10, 200):
+            left.observe(value)           # the corruption would bite here
+        assert left._heights == sorted(left._heights)
+        assert 50 <= left.value() <= 150
+
+    def test_merge_order_is_symmetric_for_small_sides(self):
+        def build(samples):
+            sketch = P2Quantile(0.5)
+            for value in samples:
+                sketch.observe(value)
+            return sketch
+
+        ab = build((1, 5, 9))
+        ab.merge(build((2, 4, 6, 8)))
+        ba = build((2, 4, 6, 8))
+        ba.merge(build((1, 5, 9)))
+        assert ab.value() == ba.value()
+        assert ab._heights == ba._heights
 
     def test_merged_estimate_is_reasonable(self):
         left, right = P2Quantile(0.5), P2Quantile(0.5)

@@ -1,0 +1,128 @@
+"""Admission control: the quota ledger, the watermark, the shed rule."""
+
+import pytest
+
+from repro.serve.pool import SharedFramePool
+from repro.traffic.admission import (
+    ADMIT,
+    QUEUE_QUOTA,
+    QUEUE_WATERMARK,
+    SHED_OVERSIZE,
+    AdmissionController,
+)
+from repro.traffic.queueing import DRAIN_POLICIES, make_drain_policy
+from repro.traffic.session import SessionSpec
+
+
+def spec(quota=4, sid=0, arrival=0, length=50):
+    return SessionSpec(
+        sid=sid, arrival=arrival, quota=quota, pages=16, length=length,
+        shared_pages=0, write_fraction=0.0, seed=0,
+    )
+
+
+class TestDecisionRule:
+    def test_empty_pool_admits(self):
+        controller = AdmissionController(16, watermark=0.25)
+        assert controller.decide(spec(quota=4), SharedFramePool(16), 0) \
+            == ADMIT
+
+    def test_oversize_is_shed_not_queued(self):
+        """A session whose quota exceeds the pool can never be admitted;
+        queueing it would wedge an fcfs drain forever."""
+        controller = AdmissionController(16)
+        assert controller.decide(spec(quota=17), SharedFramePool(16), 0) \
+            == SHED_OVERSIZE
+
+    def test_quota_ledger_refuses_before_physical_check(self):
+        controller = AdmissionController(16, overcommit=1.0)
+        pool = SharedFramePool(16)
+        assert controller.decide(spec(quota=4), pool, committed_quota=13) \
+            == QUEUE_QUOTA
+
+    def test_overcommit_widens_the_ledger(self):
+        controller = AdmissionController(16, overcommit=1.5)
+        pool = SharedFramePool(16)
+        assert controller.decide(spec(quota=4), pool, committed_quota=13) \
+            == ADMIT
+
+    def test_watermark_queues_when_reclaimable_runs_short(self):
+        from repro.serve.tenant import TenantView
+
+        controller = AdmissionController(16, watermark=0.25, overcommit=2.0)
+        pool = SharedFramePool(16)
+        view = TenantView(pool, "resident", quota=10)
+        for page in range(10):
+            view.acquire(page)
+        # 6 free frames; admitting quota 4 leaves 2 < ceil(0.25*16)=4.
+        assert controller.decide(spec(quota=4), pool, committed_quota=10) \
+            == QUEUE_WATERMARK
+
+    def test_cached_zero_ref_frames_count_as_reclaimable(self):
+        from repro.serve.tenant import TenantView
+
+        controller = AdmissionController(16, watermark=0.25, overcommit=2.0)
+        pool = SharedFramePool(16)
+        view = TenantView(pool, "churner", quota=10)
+        for page in range(10):
+            view.acquire(page)
+        for page in range(10):
+            view.release(page)
+        # Same occupancy, but every frame is now zero-ref cache: the
+        # pool can evict its way to them, so admission proceeds.
+        assert controller.decide(spec(quota=4), pool, committed_quota=10) \
+            == ADMIT
+
+    def test_decisions_are_pure(self):
+        controller = AdmissionController(16, watermark=0.25)
+        pool = SharedFramePool(16)
+        first = controller.decide(spec(quota=4), pool, 0)
+        assert all(
+            controller.decide(spec(quota=4), pool, 0) == first
+            for _ in range(5)
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="pool_frames"):
+            AdmissionController(0)
+        with pytest.raises(ValueError, match="watermark"):
+            AdmissionController(16, watermark=1.0)
+        with pytest.raises(ValueError, match="overcommit"):
+            AdmissionController(16, overcommit=0.5)
+
+
+class TestDrainPolicies:
+    def queue(self):
+        return [
+            spec(sid=0, arrival=0, quota=8, length=90),
+            spec(sid=1, arrival=1, quota=2, length=20),
+            spec(sid=2, arrival=2, quota=4, length=60),
+        ]
+
+    def test_fcfs_offers_only_the_head(self):
+        assert DRAIN_POLICIES["fcfs"].order(self.queue()) == [0]
+        assert DRAIN_POLICIES["fcfs"].order([]) == []
+        assert DRAIN_POLICIES["fcfs"].skip_refused is False
+
+    def test_shortest_offers_the_shortest(self):
+        assert DRAIN_POLICIES["shortest"].order(self.queue()) == [1]
+        assert DRAIN_POLICIES["shortest"].order([]) == []
+
+    def test_quota_aware_offers_all_smallest_first(self):
+        policy = DRAIN_POLICIES["quota_aware"]
+        assert policy.order(self.queue()) == [1, 2, 0]
+        assert policy.skip_refused is True
+
+    def test_ties_break_by_arrival_then_sid(self):
+        tied = [
+            spec(sid=5, arrival=3, quota=4),
+            spec(sid=1, arrival=3, quota=4),
+            spec(sid=2, arrival=1, quota=4),
+        ]
+        assert DRAIN_POLICIES["quota_aware"].order(tied) == [2, 1, 0]
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(ValueError, match="fcfs"):
+            make_drain_policy("priority")

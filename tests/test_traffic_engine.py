@@ -1,0 +1,179 @@
+"""The open-arrival engine: conservation laws, laziness, load behavior."""
+
+import pytest
+
+from repro.observe.telemetry.registry import TelemetryRegistry
+from repro.traffic.engine import (
+    DEFAULT_LOADS,
+    build_points,
+    generate_sessions,
+    point_id,
+    run_point_safely,
+    run_traffic_point,
+    simulate_traffic,
+)
+
+
+def tiny_point(offered=1.0, seed=0, **overrides):
+    """One fast point: a few dozen sessions, well under a second."""
+    sizing = dict(pool_frames=24, quotas=(3, 4), pages=32,
+                  session_length=48, shared_pages=8, horizon=120)
+    sizing.update(overrides)
+    return build_points(loads=(offered,), seeds=(seed,), **sizing)[0]
+
+
+class TestBuildPoints:
+    def test_default_axis_is_three_loads(self):
+        points = build_points()
+        assert [p["offered"] for p in points] == list(DEFAULT_LOADS)
+        assert len({p["point"] for p in points}) == 3
+
+    def test_point_id_carries_every_axis(self):
+        pid = point_id(tiny_point(offered=1.5, seed=7))
+        assert "offered=1.5" in pid and "seed=7" in pid
+        assert "arrivals=poisson" in pid and "policy=fcfs" in pid
+
+    def test_rate_scales_linearly_with_offered_load(self):
+        half = tiny_point(offered=0.5)
+        double = tiny_point(offered=2.0)
+        assert double["rate"] == pytest.approx(4 * half["rate"])
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            build_points(arrivals="sawtooth")
+        with pytest.raises(ValueError, match="drain"):
+            build_points(policy="priority")
+        with pytest.raises(ValueError, match="overrides"):
+            build_points(bogus_knob=1)
+        with pytest.raises(ValueError, match="offered"):
+            build_points(loads=(0.0,))
+
+
+class TestSessionGeneration:
+    def test_stream_is_a_pure_function_of_the_spec(self):
+        spec = tiny_point()
+        assert generate_sessions(spec) == generate_sessions(spec)
+
+    def test_quotas_rotate_and_lengths_jitter(self):
+        sessions = generate_sessions(tiny_point())
+        assert len(sessions) > 4
+        assert {s.quota for s in sessions} == {3, 4}
+        assert len({s.length for s in sessions}) > 1
+        assert all(s.arrival <= t.arrival
+                   for s, t in zip(sessions, sessions[1:]))
+
+
+class TestConservation:
+    def test_every_arrival_is_accounted_for(self):
+        for offered in (0.5, 1.0, 1.5):
+            result = simulate_traffic(tiny_point(offered=offered))
+            assert result.arrivals == result.admitted + result.shed
+            assert result.completed == result.admitted
+
+    def test_materialization_equals_admission(self):
+        """Queued and shed sessions never pay for traces or views."""
+        result = simulate_traffic(tiny_point(offered=1.5))
+        assert result.materialized == result.admitted
+        assert result.shed > 0
+
+    def test_refs_equal_the_admitted_sessions_lengths(self):
+        spec = tiny_point()
+        lengths = {s.sid: s.length for s in generate_sessions(spec)}
+        result = simulate_traffic(spec)
+        # Every admitted session replays its full trace; with zero shed
+        # the served references are exactly the arrival stream's total.
+        if result.shed == 0:
+            assert result.refs == sum(lengths.values())
+        else:
+            assert result.refs <= sum(lengths.values())
+
+    def test_pool_is_empty_after_drain(self, monkeypatch):
+        """Completion releases every page and retires every view, so
+        the engine's own pool ends with zero references and zero
+        registered views — the conservation ledger fully unwound."""
+        from repro.serve import pool as pool_module
+
+        captured = []
+        real = pool_module.SharedFramePool
+
+        class CapturingPool(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured.append(self)
+
+        monkeypatch.setattr(pool_module, "SharedFramePool", CapturingPool)
+        result = simulate_traffic(tiny_point(offered=1.5))
+        assert result.completed == result.admitted
+        (pool,) = captured
+        assert pool.ref_total == 0
+        assert not pool._views
+        pool.check_invariants()
+
+
+class TestLoadBehavior:
+    def test_underload_has_no_queueing(self):
+        result = simulate_traffic(tiny_point(offered=0.3))
+        assert result.shed == 0
+        assert result.queue_wait.count == result.admitted
+        assert result.queue_wait.quantile(0.99) == 0.0
+
+    def test_overload_queues_and_sheds(self):
+        calm = simulate_traffic(tiny_point(offered=0.5))
+        slammed = simulate_traffic(tiny_point(offered=1.6))
+        assert slammed.shed > calm.shed
+        assert slammed.queue_wait.quantile(0.99) > \
+            calm.queue_wait.quantile(0.99)
+
+    def test_both_queue_reasons_fire_at_saturation(self):
+        """The acceptance criterion: watermark and quota refusals both
+        exercised at offered load >= 1.0."""
+        result = simulate_traffic(tiny_point(offered=1.5))
+        assert result.queued_watermark > 0
+        assert result.queued_quota > 0
+
+    def test_overflow_cap_sheds_instead_of_growing(self):
+        capped = simulate_traffic(tiny_point(offered=2.0, max_queue=2))
+        assert capped.shed_overflow > 0
+        assert capped.max_queue_depth <= 2
+
+    def test_fault_waits_grow_with_device_pressure(self):
+        fast = simulate_traffic(tiny_point(fetch_time=1))
+        slow = simulate_traffic(tiny_point(fetch_time=6))
+        assert slow.fault_wait.quantile(0.5) > fast.fault_wait.quantile(0.5)
+
+
+class TestPointRecords:
+    def test_record_is_flat_and_json_safe(self):
+        import json
+
+        record = run_traffic_point(tiny_point())
+        assert record["schema"] == 1
+        assert record["queue_wait_p99"] >= record["queue_wait_p50"] >= 0
+        assert record["fault_wait_p99"] >= record["fault_wait_p50"] > 0
+        assert "traffic.refs" in record["telemetry"]["counters"]
+        json.dumps(record)
+
+    def test_telemetry_changes_no_simulation_bits(self):
+        from repro.traffic.engine import strip_nondeterministic
+
+        spec = tiny_point()
+        with_telemetry = run_traffic_point(spec)
+        without = run_traffic_point({**spec, "telemetry": False})
+        keys = set(strip_nondeterministic(without)) - {"telemetry"}
+        for key in keys:
+            assert with_telemetry[key] == without[key], key
+
+    def test_errors_become_records_not_exceptions(self):
+        record = run_point_safely({"point": "broken"})
+        assert record["point"] == "broken"
+        assert "error" in record
+
+    def test_telemetry_counters_match_the_result(self):
+        telemetry = TelemetryRegistry()
+        result = simulate_traffic(tiny_point(), telemetry=telemetry)
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["traffic.refs"] == result.refs
+        assert snapshot["counters"]["traffic.admitted"] == result.admitted
+        histograms = snapshot["histograms"]
+        assert histograms["traffic.fault_wait"]["count"] == \
+            result.fault_wait.count
