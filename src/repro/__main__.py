@@ -21,11 +21,13 @@
                              fault-injection recovery; exits 1 on any
                              violation (see :mod:`repro.check`).
 ``python -m repro sweep``    runs a deterministic machine × policy
-                             sweep over multiprocessing workers with a
-                             resumable results file and per-axis
-                             marginal tables (see :mod:`repro.sweep`;
-                             accepts ``--quick``, ``--workers``,
-                             ``--resume``, ``--checked``).
+                             sweep over a pluggable worker transport
+                             (inline, process pool, subprocess/SSH
+                             stream workers) with a resumable results
+                             file and per-axis marginal tables (see
+                             :mod:`repro.sweep`; accepts ``--quick``,
+                             ``--workers``, ``--resume``, ``--checked``,
+                             ``--transport``, ``--canon``).
 ``python -m repro trace-gen`` streams a workload straight into a binary
                              ``.rtrc`` columnar trace file without
                              materializing it in memory (see

@@ -25,7 +25,7 @@ import json
 import sys
 import time
 
-from .dashboard import LiveRenderer, render_snapshot
+from .dashboard import TERMINAL_STATES, LiveRenderer, render_snapshot
 from .exposition import to_openmetrics, validate_openmetrics
 from .registry import TelemetryRegistry
 
@@ -156,10 +156,13 @@ def run_top(argv: list[str] | None = None, stream=None) -> int:
             title = "telemetry (demo workload)" if not options.snapshot \
                 else f"telemetry ({options.snapshot})"
             frame = render_snapshot(snapshot, title=title)
+            state = str(header.get("state", "")) if header else ""
             if header:
                 progress = "  ".join(f"{key}={value}"
                                      for key, value in sorted(header.items()))
                 frame = progress + "\n\n" + frame
+            if state in TERMINAL_STATES:
+                frame += f"\n\ncampaign {state} — nothing further to follow"
             renderer.render(frame)
             frames += 1
             if options.once or (options.iterations
@@ -168,6 +171,11 @@ def run_top(argv: list[str] | None = None, stream=None) -> int:
             if not options.snapshot:
                 # The demo registry is one finished run; nothing will
                 # change between redraws, so don't pretend to follow it.
+                return 0
+            if state in TERMINAL_STATES:
+                # The campaign wrote its terminal beat; the file will
+                # never change again, so following it would spin on a
+                # dead campaign forever.
                 return 0
             time.sleep(options.interval)
     except KeyboardInterrupt:

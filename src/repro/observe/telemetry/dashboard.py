@@ -27,6 +27,14 @@ from .sketch import LogHistogram
 #: Percentile columns of the histogram table.
 SUMMARY_QUANTILES = (0.50, 0.90, 0.99)
 
+#: Heartbeat ``state`` values that mean the campaign is over.  The
+#: sweep engine stamps one of these from its ``finally`` block
+#: (``finished`` = ran to completion, failed shards included;
+#: ``aborted`` = the coordinator died mid-campaign), and a follower
+#: (``top --snapshot``) must stop polling when it sees one — a dead
+#: campaign's heartbeat never changes again.
+TERMINAL_STATES = ("finished", "aborted")
+
 
 def histogram_rows(snapshot: dict) -> list[tuple]:
     """Summary rows for every histogram in a registry snapshot.
@@ -175,6 +183,7 @@ def fault_rate_sparkline(rates: Sequence[float], width: int = 48) -> str:
 
 __all__ = [
     "SUMMARY_QUANTILES",
+    "TERMINAL_STATES",
     "LiveRenderer",
     "SweepLiveView",
     "fault_rate_sparkline",

@@ -15,21 +15,32 @@ package executes such campaigns:
   a trace replay (Figure 2), a multiprogrammed space-time mix
   (Figure 3), and an allocator churn with fragmentation measures
   (Figure 4), returning one flat record plus a counters snapshot.
-- :mod:`repro.sweep.engine` — :func:`run_sweep` fans shards out over
-  ``multiprocessing`` workers, appends each record to a resumable
-  ``SWEEP_results.jsonl`` (re-running skips completed shards), and
-  merges every shard's counters into one run-wide registry.
+- :mod:`repro.sweep.transport` — the pluggable worker boundary:
+  ``inline``, a local process pool with broken-worker detection, and
+  asyncio stdio workers (``python -m repro.sweep.worker``) reached as
+  subprocesses or over SSH, all with bounded retry on transport loss.
+- :mod:`repro.sweep.engine` — :func:`run_sweep` fans shards over a
+  transport, appends each record to a resumable ``SWEEP_results.jsonl``
+  through the torn-line-proof
+  :class:`~repro.sweep.checkpoint.CheckpointWriter`, and merges every
+  shard's counters into one run-wide registry.
+- :mod:`repro.sweep.scaling` — finite-size-scaling reductions:
+  power-law fits of a metric against an axis, per machine preset
+  (the ``EXPERIMENTS.md`` §SCALE study).
 - :mod:`repro.sweep.cli` — ``python -m repro sweep``: grids from the
   command line or a JSON file, ``--workers`` / ``--resume`` /
-  ``--checked``, and per-axis marginal tables.
+  ``--checked`` / ``--transport``, and per-axis marginal tables.
 
 Determinism contract: for a fixed grid (axes + sizes + ``base_seed``),
 every shard's record is a pure function of its shard id — the engine's
 only nondeterminism is completion *order* and wall-clock timings, which
-is why ``--workers 1`` and ``--workers 8`` produce the same records and
-the same merged counters (asserted by ``tests/test_sweep_engine.py``).
+is why any worker count over any transport mix produces the same
+records and the same merged counters (asserted by
+``tests/test_sweep_engine.py`` and ``tests/test_sweep_transport.py``,
+and diffed byte-for-byte in CI).
 """
 
+from repro.sweep.checkpoint import CheckpointWriter, canonical_lines
 from repro.sweep.engine import SweepResult, read_results, run_sweep
 from repro.sweep.grid import (
     Shard,
@@ -38,14 +49,27 @@ from repro.sweep.grid import (
     derive_seed,
     quick_grid,
 )
+from repro.sweep.scaling import (
+    PowerLawFit,
+    finite_size_scaling,
+    fit_power_law,
+)
 from repro.sweep.shard import run_shard
+from repro.sweep.transport import Transport, make_transport
 
 __all__ = [
+    "CheckpointWriter",
+    "PowerLawFit",
     "Shard",
     "SweepGrid",
     "SweepResult",
+    "Transport",
+    "canonical_lines",
     "default_grid",
     "derive_seed",
+    "finite_size_scaling",
+    "fit_power_law",
+    "make_transport",
     "quick_grid",
     "read_results",
     "run_shard",

@@ -5,7 +5,12 @@ Grid sources, in precedence order: ``--grid FILE`` (a JSON
 16-shard CI smoke grid), otherwise the default machine-museum grid.
 Axis flags (``--machines``, ``--replacement``, ``--placement``,
 ``--frames``, ``--capacities``, ``--sharing``, ``--seeds``) override
-whichever grid was selected.
+whichever grid was selected.  ``--transport`` picks the worker
+boundary (inline / pool / subprocess / ``ssh:host,...`` — see
+``docs/SWEEP.md``); records are bit-identical across all of them,
+which ``--canon FILE`` makes checkable: it writes the canonical
+sorted, wall-time-stripped record lines that two runs of the same grid
+must reproduce byte-for-byte.
 
 The report is three layers: a run summary (shard counts, the greppable
 ``executed N`` line the CI resume check keys on), one marginal table per
@@ -19,8 +24,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 from repro.metrics.report import format_table, kv_table
+from repro.sweep.checkpoint import canonical_lines
 from repro.sweep.engine import marginals, run_sweep
 from repro.sweep.grid import SweepGrid, default_grid, quick_grid
 
@@ -62,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "results file")
     parser.add_argument("--checked", action="store_true",
                         help="run every shard under the invariant suite")
+    parser.add_argument("--transport", default=None, metavar="NAME",
+                        help="worker boundary: inline, pool, subprocess, "
+                             "or ssh:HOST[,HOST...] (default: inline for "
+                             "1 worker, pool otherwise)")
+    parser.add_argument("--canon", default=None, metavar="FILE",
+                        help="also write the canonical (sorted, "
+                             "wall-time-stripped) record lines — the "
+                             "byte-comparable form of the campaign")
     parser.add_argument("--no-report", action="store_true",
                         help="suppress the marginal tables")
     parser.add_argument("--live", action="store_true",
@@ -118,6 +133,7 @@ def _print_report(result, grid: SweepGrid) -> None:
         ("skipped (resumed)", result.skipped),
         ("failed", len(result.failures)),
         ("workers", result.workers),
+        ("transport", result.transport),
         ("wall s", result.wall_s),
     ]
     if result.corrupt_lines:
@@ -158,18 +174,29 @@ def main(argv: list[str] | None = None) -> int:
 
         progress = SweepLiveView(grid.name).update
 
-    result = run_sweep(
-        grid,
-        workers=workers,
-        results_path=options.results,
-        resume=options.resume,
-        checked=options.checked,
-        progress=progress,
-    )
+    try:
+        result = run_sweep(
+            grid,
+            workers=workers,
+            results_path=options.results,
+            resume=options.resume,
+            checked=options.checked,
+            progress=progress,
+            transport=options.transport,
+        )
+    except ValueError as error:   # e.g. an unknown --transport spelling
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if options.canon:
+        lines = canonical_lines(result.records)
+        Path(options.canon).write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8")
 
     if options.no_report:
         print(f"sweep: {grid.name}  executed {result.executed}  "
-              f"skipped {result.skipped}  failed {len(result.failures)}")
+              f"skipped {result.skipped}  failed {len(result.failures)}  "
+              f"transport {result.transport}")
     else:
         _print_report(result, grid)
     for failure in result.failures:

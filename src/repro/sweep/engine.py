@@ -1,21 +1,26 @@
-"""The sweep executor: worker pool, checkpoint file, merged counters.
+"""The sweep coordinator: transports, checkpoint file, merged counters.
 
-``run_sweep`` executes a grid's shards over N ``multiprocessing``
-workers and appends each finished shard's record to an append-only
-``SWEEP_results.jsonl``.  The file is the checkpoint: re-running the
-same grid with ``resume=True`` skips every shard whose id is already
-recorded, so an interrupted campaign finishes instead of restarting.
+``run_sweep`` executes a grid's shards over a pluggable
+:class:`~repro.sweep.transport.Transport` — inline, a local process
+pool, or streaming subprocess/SSH workers — and appends each finished
+shard's record to an append-only ``SWEEP_results.jsonl``.  The file is
+the checkpoint: re-running the same grid with ``resume=True`` skips
+every shard whose id is already recorded, so an interrupted campaign
+finishes instead of restarting.
 
-Completion order is whatever the pool produces; nothing else is.  A
-shard's record depends only on its spec (see :mod:`repro.sweep.shard`),
-and the merged counters are integer sums, so any worker count yields
-the same records and the same totals.
+Completion order is whatever the transport produces; nothing else is.
+A shard's record depends only on its spec (see
+:mod:`repro.sweep.shard`), and the merged counters are integer sums, so
+any worker count — and any placement of those workers — yields the
+same records and the same totals.  Appends go through
+:class:`~repro.sweep.checkpoint.CheckpointWriter` (one ``os.write`` per
+record on an ``O_APPEND`` descriptor), so an interrupt or a second
+concurrent writer can delay a record but never tear one.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
@@ -24,18 +29,21 @@ from typing import Callable, Iterable
 
 from repro.observe.counters import Counters
 from repro.observe.sinks import read_jsonl_records
-from repro.observe.telemetry.registry import (
-    WALL_CLOCK_SUFFIX,
-    TelemetryRegistry,
+from repro.observe.telemetry.dashboard import TERMINAL_STATES
+from repro.observe.telemetry.registry import TelemetryRegistry
+from repro.sweep.checkpoint import (
+    NONDETERMINISTIC_FIELDS,
+    CheckpointWriter,
+    canonical_lines,
+    deterministic_telemetry,
+    strip_nondeterministic,
 )
 from repro.sweep.grid import SCHEMA, SweepGrid
 from repro.sweep.shard import run_shard_safely
+from repro.sweep.transport import Transport, make_transport
 
-#: Fields excluded when comparing records for bit-identity: wall time is
-#: measured, not derived, and is the record's one nondeterministic field.
-#: The ``telemetry`` snapshot is *partly* deterministic, so
-#: ``strip_nondeterministic`` reduces it rather than dropping it.
-NONDETERMINISTIC_FIELDS = ("wall_s",)
+assert set(TERMINAL_STATES) == {"finished", "aborted"}, \
+    "run_sweep stamps exactly these terminal heartbeat states"
 
 
 def read_results(
@@ -46,7 +54,9 @@ def read_results(
     Records are filtered to the current schema, to real results (error
     records are never checkpointed, but a hand-edited file might hold
     anything), and — when ``sweep`` is given — to that grid name.
-    Unreadable lines are counted, not silently dropped.
+    Unreadable lines (including a line torn by a crash mid-write) are
+    counted, not silently dropped: resume re-executes exactly the
+    shards whose lines did not survive.
     """
     raw, corrupt = read_jsonl_records(path)
     records = [
@@ -80,6 +90,7 @@ class SweepResult:
     failures: list[dict] = field(default_factory=list)
     corrupt_lines: int = 0
     workers: int = 1
+    transport: str = "inline"
     wall_s: float = 0.0
 
     @property
@@ -87,23 +98,25 @@ class SweepResult:
         return not self.failures
 
 
-def _execute(
-    specs: list[dict], workers: int
-) -> Iterable[dict]:
-    """Yield result records as shards complete, inline or pooled."""
-    if workers <= 1 or len(specs) <= 1:
-        for spec in specs:
-            yield run_shard_safely(spec)
-        return
-    # fork is markedly faster to start and available everywhere this
-    # repo targets; spawn (macOS/Windows default) works because workers
-    # import only repro.sweep.shard, but prefer fork when offered.
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else None
-    )
-    with context.Pool(processes=workers) as pool:
-        yield from pool.imap_unordered(run_shard_safely, specs)
+def resolve_transport(
+    transport: str | Transport | None, workers: int, shard_count: int
+) -> Transport:
+    """Turn ``run_sweep``'s transport argument into a live transport.
+
+    ``None`` keeps the historical behavior: inline for one worker (or
+    one shard — a pool would cost more than it saves), a local pool
+    otherwise.  A string goes through
+    :func:`~repro.sweep.transport.make_transport`; an object is used
+    as-is.  The local transports run ``run_shard_safely`` resolved from
+    this module, which is the monkeypatchable fault-injection seam the
+    tests rely on.
+    """
+    if transport is None:
+        transport = "inline" if workers <= 1 or shard_count <= 1 else "pool"
+    if isinstance(transport, str):
+        return make_transport(transport, workers=workers,
+                              runner=run_shard_safely)
+    return transport
 
 
 def run_sweep(
@@ -113,14 +126,15 @@ def run_sweep(
     resume: bool = False,
     checked: bool = False,
     progress: Callable[[int, int, dict], None] | None = None,
+    transport: str | Transport | None = None,
 ) -> SweepResult:
     """Execute ``grid``, checkpointing to ``results_path``.
 
     Parameters
     ----------
     workers:
-        Worker processes; 1 runs inline (no pool).  Results are
-        identical for any value — only wall time changes.
+        Worker count handed to the transport; 1 runs inline (no pool).
+        Results are identical for any value — only wall time changes.
     results_path:
         The append-only JSONL checkpoint.  None runs entirely in
         memory (no resume possible).
@@ -134,13 +148,25 @@ def run_sweep(
         violation fails that shard, never the campaign.
     progress:
         Optional ``progress(done, total, record)`` callback, called in
-        the parent as each shard lands.
+        the parent as each shard lands — after the record is durably
+        appended, so an interrupt inside the callback cannot lose or
+        tear the line it was told about.
+    transport:
+        Where shards run: ``"inline"``, ``"pool"``, ``"subprocess"``,
+        ``"ssh:host1,host2"`` (see :mod:`repro.sweep.transport`), a
+        :class:`~repro.sweep.transport.Transport` instance, or None
+        for the historical workers-based choice.  Records are
+        bit-identical across all of them.
 
     With a ``results_path``, a live heartbeat lands next to it at
     ``<results_path>.telemetry.json`` after every fresh shard: progress
     scalars plus the merged telemetry snapshot so far, written
     atomically so ``python -m repro top --snapshot`` can follow the
-    campaign from another terminal.
+    campaign from another terminal.  A final heartbeat always lands
+    from a ``finally`` block with a terminal ``state`` —
+    ``"finished"`` when the campaign ran to completion (failed shards
+    included), ``"aborted"`` when the coordinator died mid-campaign —
+    so followers see a dead campaign as dead, never as live forever.
     """
     started = time.perf_counter()
     if workers <= 0:
@@ -161,6 +187,7 @@ def run_sweep(
         for shard in shards
         if shard.id not in completed
     ]
+    carrier = resolve_transport(transport, workers, len(pending))
 
     counters = Counters()
     telemetry = TelemetryRegistry()
@@ -171,13 +198,13 @@ def run_sweep(
 
     fresh: list[dict] = []
     failures: list[dict] = []
-    handle = None
+    writer: CheckpointWriter | None = None
     if results_path is not None:
-        Path(results_path).parent.mkdir(parents=True, exist_ok=True)
-        handle = open(results_path, "a", encoding="utf-8")
+        writer = CheckpointWriter(results_path)
+    done = 0
+    state = "aborted"
     try:
-        done = 0
-        for record in _execute(pending, workers):
+        for record in carrier.run(pending):
             done += 1
             if "error" in record:
                 failures.append(record)
@@ -186,18 +213,27 @@ def run_sweep(
                 counters.merge_snapshot(record.get("counters", {}))
                 if "telemetry" in record:
                     telemetry.merge_snapshot(record["telemetry"])
-                if handle is not None:
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
-                    handle.flush()
+                if writer is not None:
+                    # One string, one write — durable before anything
+                    # downstream (heartbeat, progress) learns of it.
+                    writer.append(record)
                     write_heartbeat(
                         heartbeat_path(results_path), grid.name,
                         done, len(pending), len(failures), telemetry,
                     )
             if progress is not None:
                 progress(done, len(pending), record)
+        state = "finished"
     finally:
-        if handle is not None:
-            handle.close()
+        if writer is not None:
+            writer.close()
+        if results_path is not None:
+            # The terminal beat: a follower polling the heartbeat must
+            # never spin on a campaign that is no longer running.
+            write_heartbeat(
+                heartbeat_path(results_path), grid.name,
+                done, len(pending), len(failures), telemetry, state=state,
+            )
 
     records = sorted(prior + fresh, key=lambda record: record["shard"])
     return SweepResult(
@@ -210,6 +246,7 @@ def run_sweep(
         failures=failures,
         corrupt_lines=corrupt,
         workers=workers,
+        transport=carrier.name,
         wall_s=round(time.perf_counter() - started, 3),
     )
 
@@ -227,23 +264,28 @@ def write_heartbeat(
     total: int,
     failed: int,
     telemetry: TelemetryRegistry,
+    state: str = "running",
 ) -> None:
     """Atomically publish campaign progress plus merged telemetry.
 
     Write-to-temp then :func:`os.replace`, so a follower (``python -m
     repro top --snapshot``) polling the file never reads a torn write.
-    Heartbeats are best-effort: an unwritable path must not fail the
-    campaign, so OS errors are swallowed — but the side file must not
-    outlive a failed publish.  A sweep heartbeats every few shards; if
-    the replace step fails persistently (target directory vanished,
-    permissions flipped), leaking one ``.tmp`` per beat litters the
-    results directory, so cleanup rides a ``finally``.
+    ``state`` is ``"running"`` while shards land and one of
+    :data:`TERMINAL_STATES` from ``run_sweep``'s ``finally`` block —
+    the marker that tells followers to stop waiting.  Heartbeats are
+    best-effort: an unwritable path must not fail the campaign, so OS
+    errors are swallowed — but the side file must not outlive a failed
+    publish.  A sweep heartbeats every few shards; if the replace step
+    fails persistently (target directory vanished, permissions
+    flipped), leaking one ``.tmp`` per beat litters the results
+    directory, so cleanup rides a ``finally``.
     """
     payload = {
         "sweep": sweep,
         "done": done,
         "total": total,
         "failed": failed,
+        "state": state,
         "telemetry": telemetry.snapshot(),
     }
     tmp = path.with_name(path.name + ".tmp")
@@ -258,41 +300,6 @@ def write_heartbeat(
             tmp.unlink(missing_ok=True)
         except OSError:
             pass
-
-
-def strip_nondeterministic(record: dict) -> dict:
-    """A record minus its measured-time fields — the comparable form.
-
-    What the determinism tests (and any cross-run differ) should
-    compare: everything in a record except wall time is a pure function
-    of the grid.  A ``telemetry`` snapshot is reduced to its
-    deterministic part (wall-clock ``*_seconds`` instruments stripped)
-    rather than dropped — the sketches and counters that remain are
-    pinned to be identical across runs and worker counts.
-    """
-    stripped = {
-        key: value for key, value in record.items()
-        if key not in NONDETERMINISTIC_FIELDS
-    }
-    if "telemetry" in stripped:
-        stripped["telemetry"] = deterministic_telemetry(stripped["telemetry"])
-    return stripped
-
-
-def deterministic_telemetry(snapshot: dict) -> dict:
-    """A telemetry snapshot minus its wall-clock instruments.
-
-    The dict analogue of
-    :meth:`~repro.observe.telemetry.TelemetryRegistry.deterministic_snapshot`,
-    for snapshots that already crossed a JSON boundary.
-    """
-    return {
-        section: {
-            name: value for name, value in entries.items()
-            if not name.endswith(WALL_CLOCK_SUFFIX)
-        }
-        for section, entries in snapshot.items()
-    }
 
 
 def marginals(records: list[dict], axis: str) -> list[tuple]:
@@ -334,11 +341,14 @@ def marginals(records: list[dict], axis: str) -> list[tuple]:
 
 __all__ = [
     "NONDETERMINISTIC_FIELDS",
+    "TERMINAL_STATES",
     "SweepResult",
+    "canonical_lines",
     "deterministic_telemetry",
     "heartbeat_path",
     "marginals",
     "read_results",
+    "resolve_transport",
     "run_sweep",
     "strip_nondeterministic",
     "write_heartbeat",

@@ -1,0 +1,142 @@
+"""Finite-size-scaling fits over sweep records.
+
+The 1967 survey could only report fragmentation machine-by-machine; a
+campaign over the capacity axis lets us ask the modern question
+(Seyed-allaei, "Fragmentation of a distributed file system", PAPERS.md):
+how does fragmentation *scale* as the storage pool grows?  The ansatz
+is a power law,
+
+    ``metric(C) ≈ amplitude · C ** exponent``,
+
+fitted here as ordinary least squares in log-log space — pure stdlib,
+because the sweep's marginal means are a handful of points, not a
+numerics problem.  ``r_squared`` says how much of the log-variance the
+law explains; treat a fit with few points or low ``r_squared`` as a
+trend line, not a measured exponent.
+
+The entry point for campaign results is :func:`finite_size_scaling`:
+group records (by machine preset, usually), average the metric per
+capacity, fit one law per group, and compare exponents across the
+appendix machines — the finite-size-scaling study in
+``EXPERIMENTS.md`` (§SCALE) is exactly that, at full size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """One fitted ``y ≈ amplitude · x ** exponent`` law."""
+
+    exponent: float
+    amplitude: float
+    r_squared: float
+    points: int
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x`` (``x`` must be positive)."""
+        if x <= 0:
+            raise ValueError(f"power laws live on x > 0, got {x}")
+        return self.amplitude * x ** self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares power-law fit in log-log space.
+
+    Pairs with a non-positive coordinate are excluded (a log-log fit
+    cannot see them); at least two surviving pairs with distinct ``x``
+    are required.
+
+    >>> fit = fit_power_law([10, 100, 1000], [50.0, 5.0, 0.5])
+    >>> round(fit.exponent, 6), round(fit.r_squared, 6)
+    (-1.0, 1.0)
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2 or len({x for x, _ in pairs}) < 2:
+        raise ValueError(
+            f"need >= 2 positive pairs with distinct x to fit a power "
+            f"law, got {len(pairs)}"
+        )
+    lx = [math.log(x) for x, _ in pairs]
+    ly = [math.log(y) for _, y in pairs]
+    n = len(pairs)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    ss_res = sum((y - (slope * x + intercept)) ** 2
+                 for x, y in zip(lx, ly))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=slope,
+        amplitude=math.exp(intercept),
+        r_squared=r_squared,
+        points=n,
+    )
+
+
+def axis_means(records: Iterable[dict], metric: str,
+               axis: str) -> list[tuple[float, float]]:
+    """``(axis value, mean metric)`` pairs, sorted by axis value."""
+    groups: dict[float, list[float]] = {}
+    for record in records:
+        if axis in record and metric in record:
+            groups.setdefault(record[axis], []).append(record[metric])
+    return [(value, sum(groups[value]) / len(groups[value]))
+            for value in sorted(groups)]
+
+
+def finite_size_scaling(
+    records: Iterable[dict],
+    metric: str = "external_frag",
+    axis: str = "capacity",
+    group: str = "machine",
+) -> Mapping[str, PowerLawFit]:
+    """One power-law fit per ``group`` value, metric means against ``axis``.
+
+    The finite-size-scaling reduction of a campaign: for each machine
+    preset (or any other grouping field), average ``metric`` over every
+    record sharing an ``axis`` value — seeds, policies, whatever else
+    the grid swept — and fit the scaling law through the means.  Groups
+    without enough positive points to fit are omitted rather than
+    invented.
+    """
+    by_group: dict[str, list[dict]] = {}
+    for record in records:
+        by_group.setdefault(record.get(group, "?"), []).append(record)
+    fits: dict[str, PowerLawFit] = {}
+    for value in sorted(by_group, key=str):
+        means = axis_means(by_group[value], metric, axis)
+        try:
+            fits[value] = fit_power_law([x for x, _ in means],
+                                        [y for _, y in means])
+        except ValueError:
+            continue
+    return fits
+
+
+def scaling_rows(fits: Mapping[str, PowerLawFit]) -> list[tuple]:
+    """Report rows ``(group, exponent, amplitude, r², points)``."""
+    return [
+        (name, round(fit.exponent, 4), round(fit.amplitude, 4),
+         round(fit.r_squared, 4), fit.points)
+        for name, fit in fits.items()
+    ]
+
+
+__all__ = [
+    "PowerLawFit",
+    "axis_means",
+    "finite_size_scaling",
+    "fit_power_law",
+    "scaling_rows",
+]

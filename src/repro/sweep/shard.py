@@ -33,6 +33,7 @@ one deliberately nondeterministic field.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 
@@ -412,11 +413,33 @@ def run_shard(spec: dict) -> dict:
 def run_shard_safely(spec: dict) -> dict:
     """``run_shard``, with failures returned as records, never raised.
 
-    The pool's unit of work: a shard that dies (an invariant violation
-    in checked mode, a bad configuration) must not tear down the whole
-    campaign, so the error travels back as an ``{"shard", "error"}``
-    record the engine counts as failed and does not checkpoint.
+    The transport's unit of work: a shard that dies (an invariant
+    violation in checked mode, a bad configuration) must not tear down
+    the whole campaign, so the error travels back as an
+    ``{"shard", "error"}`` record the engine counts as failed and does
+    not checkpoint.
+
+    Three fault-injection seams ride in the spec, in the same spirit as
+    :mod:`repro.check`'s seeded fault plans — how the tests (and the CI
+    transport smoke) exercise worker death without a real OOM killer:
+
+    - ``inject_exit_once``: a marker-file path; if the file does not
+      exist yet, create it and die *hard* (``os._exit``, no exception,
+      no cleanup) — the next attempt finds the marker and runs
+      normally.  Simulates a worker lost once to a transient kill.
+    - ``inject_exit``: truthy — die hard on every attempt.  Simulates a
+      shard that kills any worker it lands on, for the give-up path.
+    - ``inject_print``: a string printed to stdout mid-shard, for
+      proving the stream worker's protocol channel is shielded.
     """
+    marker = spec.get("inject_exit_once")
+    if marker is not None and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(13)
+    if spec.get("inject_exit"):
+        os._exit(13)
+    if spec.get("inject_print"):
+        print(spec["inject_print"])
     try:
         return run_shard(spec)
     except Exception as error:   # noqa: BLE001 — the boundary by design

@@ -96,3 +96,39 @@ class TestRuns:
         assert repro_main(["sweep", *TINY, "--quick", "--workers", "1",
                            "--no-report", "--results", str(results)]) == 0
         assert "executed 2" in capsys.readouterr().out
+
+
+class TestTransports:
+    def test_summary_names_the_transport(self, tmp_path, capsys):
+        status, _ = run_cli(tmp_path, "--transport", "inline")
+        assert status == 0
+        assert "transport" in capsys.readouterr().out
+
+    def test_no_report_line_names_the_transport(self, tmp_path, capsys):
+        status, _ = run_cli(tmp_path, "--transport", "inline",
+                            "--no-report")
+        assert status == 0
+        assert "transport inline" in capsys.readouterr().out
+
+    def test_unknown_transport_exits_two(self, tmp_path, capsys):
+        status, _ = run_cli(tmp_path, "--transport", "carrier-pigeon")
+        assert status == 2
+        assert "unknown transport" in capsys.readouterr().err
+
+    def test_canon_files_are_byte_identical_across_transports(
+            self, tmp_path, capsys):
+        """The CI diff in miniature: the same grid under two transports
+        writes byte-identical --canon files."""
+        canons = {}
+        for name in ("inline", "pool"):
+            canon = tmp_path / f"canon_{name}.jsonl"
+            status = main([*TINY, "--quick", "--workers", "2",
+                           "--results", str(tmp_path / f"r_{name}.jsonl"),
+                           "--transport", name, "--no-report",
+                           "--canon", str(canon)])
+            assert status == 0
+            canons[name] = canon.read_bytes()
+        assert canons["inline"] == canons["pool"]
+        # Canonical lines are wall-time-free sorted JSON.
+        for line in canons["inline"].decode().splitlines():
+            assert "wall_s" not in json.loads(line)

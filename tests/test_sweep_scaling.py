@@ -1,0 +1,145 @@
+"""Finite-size-scaling fits: the power law, the grouping, the study."""
+
+import math
+
+import pytest
+
+from repro.sweep.engine import run_sweep
+from repro.sweep.grid import SweepGrid
+from repro.sweep.scaling import (
+    PowerLawFit,
+    axis_means,
+    finite_size_scaling,
+    fit_power_law,
+    scaling_rows,
+)
+
+
+class TestFitPowerLaw:
+    def test_exact_law_recovered_exactly(self):
+        # y = 80 * x ** -0.5
+        xs = [4.0, 16.0, 64.0, 256.0]
+        ys = [80.0 * x ** -0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(-0.5)
+        assert fit.amplitude == pytest.approx(80.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.points == 4
+
+    def test_rising_law_has_positive_exponent(self):
+        fit = fit_power_law([1, 10, 100], [2.0, 20.0, 200.0])
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_non_positive_pairs_are_excluded(self):
+        fit = fit_power_law([0.0, -1.0, 10.0, 100.0],
+                            [5.0, 5.0, 50.0, 5.0])
+        assert fit.points == 2
+
+    def test_too_few_positive_pairs_rejected(self):
+        with pytest.raises(ValueError, match="positive pairs"):
+            fit_power_law([10.0], [1.0])
+        with pytest.raises(ValueError, match="positive pairs"):
+            fit_power_law([10.0, 10.0], [1.0, 2.0])   # one distinct x
+        with pytest.raises(ValueError, match="positive pairs"):
+            fit_power_law([1.0, 2.0], [0.0, -3.0])    # all filtered
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            fit_power_law([1.0, 2.0], [1.0])
+
+    def test_constant_metric_is_a_perfect_flat_law(self):
+        """All-equal y: slope 0, and r² reports 1.0 rather than 0/0."""
+        fit = fit_power_law([1.0, 10.0, 100.0], [7.0, 7.0, 7.0])
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.amplitude == pytest.approx(7.0)
+        assert fit.r_squared == 1.0
+
+    def test_noise_lowers_r_squared(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        clean = [10.0 * x ** -1.0 for x in xs]
+        noisy = [y * factor for y, factor
+                 in zip(clean, [1.0, 3.0, 0.3, 3.0, 0.3])]
+        assert fit_power_law(xs, noisy).r_squared \
+            < fit_power_law(xs, clean).r_squared
+
+    def test_predict_inverts_the_fit(self):
+        fit = PowerLawFit(exponent=-1.0, amplitude=100.0,
+                          r_squared=1.0, points=3)
+        assert fit.predict(10.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError, match="x > 0"):
+            fit.predict(0.0)
+
+
+class TestAxisMeans:
+    def test_groups_and_sorts_by_axis_value(self):
+        records = [
+            {"capacity": 200, "frag": 0.2},
+            {"capacity": 100, "frag": 0.5},
+            {"capacity": 100, "frag": 0.7},
+        ]
+        assert axis_means(records, "frag", "capacity") \
+            == [(100, pytest.approx(0.6)), (200, pytest.approx(0.2))]
+
+    def test_records_missing_either_field_are_skipped(self):
+        records = [{"capacity": 100, "frag": 0.5}, {"capacity": 200},
+                   {"frag": 0.9}]
+        assert axis_means(records, "frag", "capacity") == [(100, 0.5)]
+
+
+def synthetic_campaign():
+    """Two 'machines' with known laws, two seeds of ±10% noise."""
+    records = []
+    for machine, amplitude, exponent in (("fast", 50.0, -1.0),
+                                         ("slow", 9.0, -0.5)):
+        for capacity in (1_000, 4_000, 16_000, 64_000):
+            base = amplitude * capacity ** exponent
+            for noise in (0.9, 1.1):
+                records.append({"machine": machine, "capacity": capacity,
+                                "external_frag": base * noise})
+    return records
+
+
+class TestFiniteSizeScaling:
+    def test_recovers_each_groups_law_from_noisy_records(self):
+        fits = finite_size_scaling(synthetic_campaign())
+        assert set(fits) == {"fast", "slow"}
+        # The ±10% noise is symmetric per capacity, so the means sit
+        # on the true law and the exponents come back nearly exact.
+        assert fits["fast"].exponent == pytest.approx(-1.0, abs=0.02)
+        assert fits["slow"].exponent == pytest.approx(-0.5, abs=0.02)
+        assert fits["fast"].points == 4
+
+    def test_unfittable_groups_are_omitted_not_invented(self):
+        records = synthetic_campaign() + [
+            {"machine": "dead", "capacity": 1_000, "external_frag": 0.0},
+            {"machine": "dead", "capacity": 4_000, "external_frag": 0.0},
+        ]
+        fits = finite_size_scaling(records)
+        assert "dead" not in fits
+
+    def test_scaling_rows_shape(self):
+        rows = scaling_rows(finite_size_scaling(synthetic_campaign()))
+        assert [row[0] for row in rows] == ["fast", "slow"]
+        for row in rows:
+            name, exponent, amplitude, r_squared, points = row
+            assert points == 4 and 0.9 < r_squared <= 1.0
+
+    def test_campaign_fragmentation_falls_with_capacity(self):
+        """The §SCALE study in miniature: in the fixed-workload regime
+        (capacity >= 16000 pins the request-size distribution) external
+        fragmentation decays as a power of capacity."""
+        grid = SweepGrid.from_dict(dict(
+            name="scale-mini", machines=("baseline",),
+            replacement=("lru",), placement=("first_fit",),
+            frames=(8,), capacities=(32_000, 128_000), seeds=(0, 1),
+            length=400, pages=32, requests=300, mean_lifetime=60,
+            programs=2, program_length=200))
+        result = run_sweep(grid, workers=2)
+        assert result.ok
+        fits = finite_size_scaling(result.records)
+        assert fits["baseline"].exponent < 0
+        assert fits["baseline"].points == 2
+        predicted = fits["baseline"].predict(32_000)
+        measured = axis_means(result.records, "external_frag",
+                              "capacity")[0][1]
+        assert predicted == pytest.approx(measured, rel=1e-6)
